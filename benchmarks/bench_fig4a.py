@@ -1,0 +1,45 @@
+"""Benchmark + regeneration of Fig. 4(a): SmartBalance vs vanilla on
+the interactive microbenchmarks.
+
+The timed unit is one full (workload, two balancers) comparison; the
+complete figure is regenerated once and written to
+``benchmarks/out/fig4a.txt``.  Paper headline: ~50 % average IPS/W
+gain; the assertion checks the shape (SmartBalance wins clearly).
+"""
+
+from repro.experiments import fig4
+from repro.experiments.common import QUICK, compare_balancers
+from repro.hardware.platform import quad_hmp
+from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+from repro.kernel.balancers.vanilla import VanillaBalancer
+from repro.workload.synthetic import imb_threads
+
+
+def bench_fig4a_single_case(benchmark):
+    """Time one Fig. 4(a) data point (MTMI, 8 threads, both balancers)."""
+    platform = quad_hmp()
+
+    def one_case():
+        return compare_balancers(
+            platform,
+            lambda: imb_threads("MTMI", 8),
+            (VanillaBalancer, SmartBalanceKernelAdapter),
+            n_epochs=QUICK.n_epochs,
+        )
+
+    results = benchmark(one_case)
+    gain = results["smartbalance"].improvement_over(results["vanilla"])
+    benchmark.extra_info["ips_per_watt_gain_pct"] = gain
+    assert gain > 0
+
+
+def bench_fig4a_full_figure(benchmark, save_artifact):
+    """Regenerate the whole Fig. 4(a) grid (quick scale)."""
+    result = benchmark.pedantic(
+        lambda: fig4.run_fig4a(QUICK), rounds=1, iterations=1
+    )
+    save_artifact(result)
+    finding = result.finding("average IMB improvement")
+    benchmark.extra_info["average_improvement_pct"] = finding.measured
+    benchmark.extra_info["paper_pct"] = finding.paper
+    assert finding.measured > 30.0

@@ -1,0 +1,47 @@
+"""Benchmark + regeneration of Fig. 6: prediction error across PARSEC.
+
+Paper headline: 4.2 % average IPC error, 5 % average power error.
+Also times a single Eq. 8 prediction (the per-thread runtime cost the
+predict phase pays) and the full offline training run.
+"""
+
+import numpy as np
+
+from repro.core.training import default_predictor, profile_phase, train_predictor
+from repro.experiments import fig6
+from repro.hardware.features import HUGE, TABLE2_TYPES
+from repro.workload.characteristics import COMPUTE_PHASE
+
+
+def bench_fig6_full_figure(benchmark, save_artifact):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    save_artifact(result)
+    ipc = result.finding("average IPC prediction error")
+    power = result.finding("average power prediction error")
+    benchmark.extra_info["avg_ipc_error_pct"] = ipc.measured
+    benchmark.extra_info["avg_power_error_pct"] = power.measured
+    assert ipc.measured < 10.0
+    assert power.measured < 10.0
+
+
+def bench_fig6_single_prediction(benchmark):
+    """Cost of one Eq. 8 + Eq. 9 evaluation (runtime predict path)."""
+    model = default_predictor()
+    features = profile_phase(COMPUTE_PHASE, HUGE)
+
+    def predict():
+        ipc = model.predict_ipc("Huge", "Small", features)
+        return model.predict_power("Small", ipc)
+
+    value = benchmark(predict)
+    assert value > 0.0
+
+
+def bench_fig6_offline_training(benchmark):
+    """Cost of the full offline profiling + least-squares fit."""
+    result = benchmark.pedantic(
+        lambda: train_predictor(TABLE2_TYPES, n_synthetic=100),
+        rounds=1,
+        iterations=1,
+    )
+    assert float(np.mean(list(result.fit_error.values()))) < 0.10

@@ -1,0 +1,59 @@
+"""Benchmark + regeneration of Fig. 7: SmartBalance overhead and
+scalability.
+
+Here the *benchmark timings are the figure*: the per-phase costs of the
+sense-predict-balance loop at each platform scale.  Individual
+benchmarks time ``SmartBalance.decide`` at mobile (4c/8t) and server
+(64c/128t) scales; the full figure (both panels) is regenerated once.
+"""
+
+from repro.core.balancer import SmartBalance
+from repro.core.training import default_predictor
+from repro.experiments import fig7
+
+
+def bench_fig7_decide_mobile_scale(benchmark):
+    """One epoch decision on the quad-core HMP with 8 threads."""
+    engine = SmartBalance(default_predictor())
+    views = [fig7.synthetic_view(4, 8, seed=s) for s in range(8)]
+    state = {"i": 0}
+
+    def decide():
+        view = views[state["i"] % len(views)]
+        state["i"] += 1
+        return engine.decide(view)
+
+    decision = benchmark(decide)
+    assert decision.timings.total_s > 0.0
+
+
+def bench_fig7_decide_large_scale(benchmark):
+    """One epoch decision at 64 cores / 128 threads."""
+    engine = SmartBalance(default_predictor())
+    views = [fig7.synthetic_view(64, 128, seed=s) for s in range(4)]
+    state = {"i": 0}
+
+    def decide():
+        view = views[state["i"] % len(views)]
+        state["i"] += 1
+        return engine.decide(view)
+
+    decision = benchmark.pedantic(decide, rounds=3, iterations=1)
+    assert decision.timings.total_s > 0.0
+
+
+def bench_fig7_full_figure(benchmark, save_artifact):
+    def regenerate():
+        a = fig7.run_fig7a()
+        b = fig7.run_fig7b(n_epochs=3)
+        return a, b
+
+    fig7a, fig7b = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_artifact(fig7a)
+    save_artifact(fig7b)
+    benchmark.extra_info["overhead_share_pct_4c8t"] = fig7a.finding(
+        "total overhead share of epoch"
+    ).measured
+    # Shape checks: balance dominates, larger scales cost more.
+    rows = {row[0]: row for row in fig7b.rows}
+    assert rows["128c/256t"][3] > rows["2c/4t"][3]

@@ -1,0 +1,37 @@
+"""Benchmark + regeneration of Fig. 8: SA quality/budget trade-off and
+optimizer parameters.
+
+Times the annealer at the Fig. 8(a) iteration budgets on known-optimal
+synthetic problems; asserts the distance-to-optimal curve decreases.
+"""
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.annealing import SAConfig, anneal
+from repro.experiments import fig8
+
+
+@pytest.mark.parametrize("iterations", [30, 300, 3000])
+def bench_fig8_anneal_budget(benchmark, iterations):
+    """SA wall time at a given iteration budget (6 threads, 4 cores)."""
+    objective = fig8.synthetic_problem(6, 4, seed=1)
+    initial = Allocation.round_robin(6, 4)
+    config = SAConfig(max_iterations=iterations, seed=2)
+
+    result = benchmark(lambda: anneal(objective, initial, config))
+    benchmark.extra_info["best_value"] = result.best_value
+
+
+def bench_fig8_full_figure(benchmark, save_artifact):
+    def regenerate():
+        return fig8.run_fig8a(n_problems=4), fig8.run_fig8b()
+
+    fig8a, fig8b = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    save_artifact(fig8a)
+    save_artifact(fig8b)
+    gaps = [row[1] for row in fig8a.rows if isinstance(row[0], int)]
+    benchmark.extra_info["gap_at_min_budget_pct"] = gaps[0]
+    benchmark.extra_info["gap_at_max_budget_pct"] = gaps[-1]
+    assert gaps[-1] < gaps[0]
+    assert gaps[-1] < 5.0

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Table 4: the Θ coefficient matrix."""
+
+from repro.experiments import table4
+
+
+def bench_table4(benchmark, save_artifact):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    save_artifact(result)
+    benchmark.extra_info["mean_fit_error_pct"] = result.finding(
+        "mean training fit error"
+    ).measured
+    assert len(result.rows) == 12

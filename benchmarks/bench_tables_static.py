@@ -1,0 +1,15 @@
+"""Regeneration of the static tables (Table 1 and Table 3)."""
+
+from repro.experiments import table1, table3
+
+
+def bench_table1(benchmark, save_artifact):
+    result = benchmark(table1.run)
+    save_artifact(result)
+    assert len(result.rows) == 7
+
+
+def bench_table3(benchmark, save_artifact):
+    result = benchmark(table3.run)
+    save_artifact(result)
+    assert len(result.rows) == 6

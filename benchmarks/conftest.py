@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: artifact output directory."""
+
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Where regenerated tables/figures are written.
+ARTIFACT_DIR = os.path.join(_ROOT, "benchmarks", "out")
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> str:
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a rendered experiment result to benchmarks/out/<id>.txt."""
+
+    def _save(result) -> None:
+        path = os.path.join(artifact_dir, f"{result.experiment_id}.txt")
+        with open(path, "w") as handle:
+            handle.write(result.render() + "\n")
+
+    return _save

@@ -1,0 +1,9 @@
+"""Ensure the in-tree package is importable when running pytest from the
+repository root, independent of whether an editable install succeeded."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

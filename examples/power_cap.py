@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Power-capped balancing (an alternative optimisation goal).
+
+The paper notes the allocation objective "can be defined in several
+ways according to the desired optimization goals".  This example
+sweeps a chip power cap and shows the throughput the power-cap goal
+extracts at each budget — the classic power/performance Pareto front
+of a heterogeneous chip, found by the same Algorithm 1 annealer.
+
+Run:  python examples/power_cap.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import Allocation, SAConfig, anneal
+from repro.core.objective import EnergyEfficiencyObjective
+from repro.hardware import TABLE2_TYPES, busy_power, estimate, idle_power, sleep_power
+from repro.workload import training_corpus
+from repro.workload.demand import demanded_fraction_on
+
+
+def build_problem(n_threads: int = 8, seed: int = 3):
+    """Ground-truth S/P/U matrices for random threads on the quad HMP."""
+    phases = training_corpus(n_threads, seed)
+    core_types = list(TABLE2_TYPES)
+    m, n = n_threads, len(core_types)
+    ips = np.zeros((m, n))
+    power = np.zeros((m, n))
+    util = np.zeros((m, n))
+    for i, phase in enumerate(phases):
+        for j, core_type in enumerate(core_types):
+            perf = estimate(phase, core_type)
+            ips[i, j] = perf.ips(core_type)
+            power[i, j] = busy_power(core_type, perf.ipc).total_w
+            util[i, j] = demanded_fraction_on(phase, core_type)
+    idle = [idle_power(t).total_w for t in core_types]
+    sleep = [sleep_power(t) for t in core_types]
+    return ips, power, util, idle, sleep
+
+
+def chip_state(objective, allocation):
+    """(throughput, power) of an allocation under an objective's model."""
+    total_ips, total_power = 0.0, 0.0
+    for core in range(objective.n_cores):
+        threads = allocation.threads_on(core)
+        su = sum(objective.utilization[t, core] for t in threads)
+        sui = sum(objective.utilization[t, core] * objective.ips[t, core] for t in threads)
+        sup = sum(objective.utilization[t, core] * objective.power[t, core] for t in threads)
+        core_ips, core_power = objective.core_terms(core, su, sui, sup)
+        total_ips += core_ips
+        total_power += core_power
+    return total_ips, total_power
+
+
+def main() -> None:
+    ips, power, util, idle, sleep = build_problem()
+    initial = Allocation.round_robin(ips.shape[0], ips.shape[1])
+
+    rows = []
+    for cap_w in (0.5, 1.0, 2.0, 4.0, 8.0, 12.0):
+        objective = EnergyEfficiencyObjective(
+            ips=ips, power=power, utilization=util,
+            idle_power=idle, sleep_power=sleep,
+            mode="power_cap", power_cap_w=cap_w,
+        )
+        result = anneal(objective, initial, SAConfig(max_iterations=3000, seed=7))
+        throughput, chip_power = chip_state(objective, result.best_allocation)
+        rows.append(
+            [
+                f"{cap_w:.1f} W",
+                f"{throughput:.3e}",
+                f"{chip_power:.2f} W",
+                "yes" if chip_power <= cap_w * 1.01 else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["power cap", "throughput (IPS)", "chip power", "cap met"],
+            rows,
+            title="Power-capped balancing on the quad HMP (8 random threads)",
+        )
+    )
+    print("\nHigher caps unlock the Big/Huge cores; tiny caps pack the "
+          "Small/Medium cores and power-gate the rest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""SmartBalance overhead scaling from 2 to 64 cores (Fig. 7(b) style).
+
+Measures the wall-clock cost of each SmartBalance phase as the
+platform grows, with the Fig. 8(a) iteration cap bounding the balance
+phase, and runs a standalone annealing convergence demo against a
+known-optimal synthetic problem.
+
+Run:  python examples/scalability.py
+"""
+
+from repro.analysis import format_table
+from repro.core import Allocation, SAConfig, anneal, default_iteration_cap
+from repro.experiments.fig7 import EPOCH_S, phase_timings
+from repro.experiments.fig8 import brute_force_optimum, synthetic_problem
+
+
+def main() -> None:
+    print("Phase timings vs platform scale (Python wall-clock):\n")
+    rows = []
+    for n_cores, n_threads in ((2, 4), (4, 8), (8, 16), (16, 32), (32, 64), (64, 128)):
+        t = phase_timings(n_cores, n_threads, n_epochs=3)
+        total = sum(t.values())
+        rows.append(
+            [
+                f"{n_cores} cores / {n_threads} threads",
+                f"{1e6 * t['sense_s']:.0f}",
+                f"{1e6 * t['predict_s']:.0f}",
+                f"{1e6 * t['balance_s']:.0f}",
+                f"{100 * total / EPOCH_S:.2f}",
+                default_iteration_cap(n_cores, n_threads),
+            ]
+        )
+    print(
+        format_table(
+            ["scale", "sense us", "predict us", "balance us", "% of 60ms epoch", "iter cap"],
+            rows,
+        )
+    )
+
+    print("\nAnnealer convergence on a known-optimal problem (6 threads, 4 cores):")
+    objective = synthetic_problem(n_threads=6, n_cores=4, seed=3)
+    optimum = brute_force_optimum(objective)
+    initial = Allocation.round_robin(6, 4)
+    for iterations in (10, 50, 200, 1000):
+        result = anneal(objective, initial, SAConfig(max_iterations=iterations))
+        gap = 100 * max(0.0, (optimum - result.best_value) / optimum)
+        print(
+            f"  {iterations:>5} iterations: distance to optimal {gap:5.2f} % "
+            f"({result.accepted_moves} accepted moves, "
+            f"{result.uphill_accepts} uphill)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Experiment result containers and rendering.
+
+Every experiment module produces an :class:`ExperimentResult`: an
+identifier tying it to the paper artifact it regenerates, tabular rows,
+headline scalar findings, and the paper's reported values for direct
+comparison (the content of ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One headline scalar: measured value vs what the paper reports."""
+
+    name: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    def render(self) -> str:
+        if self.paper is None:
+            return f"{self.name}: {self.measured:.4g}{self.unit}"
+        return (
+            f"{self.name}: measured {self.measured:.4g}{self.unit} "
+            f"(paper: {self.paper:.4g}{self.unit})"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of regenerating one paper table or figure."""
+
+    #: Paper artifact id, e.g. ``"fig4a"`` or ``"table4"``.
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[object]]
+    findings: Sequence[Finding] = field(default_factory=tuple)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable report: table + headline findings."""
+        parts = [format_table(self.headers, self.rows, title=self.title)]
+        if self.findings:
+            parts.append("")
+            parts.extend(f.render() for f in self.findings)
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def finding(self, name: str) -> Finding:
+        """Look up a headline finding by name."""
+        for f in self.findings:
+            if f.name == name:
+                return f
+        raise KeyError(
+            f"no finding named {name!r} in {self.experiment_id}; "
+            f"have {[f.name for f in self.findings]}"
+        )

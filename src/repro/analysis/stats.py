@@ -1,0 +1,65 @@
+"""Summary statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percent_improvement(candidate: float, baseline: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` in %."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (candidate / baseline - 1.0)
+
+
+def mean_absolute_relative_error(
+    predicted: Iterable[float], actual: Iterable[float]
+) -> float:
+    """Mean of ``|pred - act| / act`` (the Fig. 6 error metric)."""
+    predicted = list(predicted)
+    actual = list(actual)
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual must have equal length")
+    if not predicted:
+        raise ValueError("error of empty sequence")
+    errors = []
+    for p, a in zip(predicted, actual):
+        if a == 0:
+            raise ValueError("actual value of 0 makes relative error undefined")
+        errors.append(abs(p - a) / abs(a))
+    return mean(errors)
+
+
+def normalize(values: Sequence[float], reference: float) -> list[float]:
+    """Scale values so that ``reference`` maps to 1.0 (Fig. 5 style)."""
+    if reference <= 0:
+        raise ValueError(f"reference must be positive, got {reference}")
+    return [v / reference for v in values]

@@ -1,0 +1,144 @@
+"""Run-trace export: per-epoch and per-core data as CSV/JSON.
+
+Experiments and downstream users often want the raw per-epoch series
+(energy efficiency over time, migration bursts, per-core utilisation)
+rather than the aggregate :class:`~repro.kernel.metrics.RunResult`.
+This module flattens a run into rows and writes standard formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional
+
+from repro.kernel.metrics import RunResult
+
+#: Columns of the per-epoch trace.
+EPOCH_COLUMNS = (
+    "epoch",
+    "start_time_s",
+    "duration_s",
+    "instructions",
+    "energy_j",
+    "ips_per_watt",
+    "migrations",
+    "balancer_time_s",
+)
+
+#: Columns of the per-core summary.
+CORE_COLUMNS = (
+    "core_id",
+    "core_type",
+    "instructions",
+    "energy_j",
+    "busy_s",
+    "idle_s",
+    "sleep_s",
+    "utilisation",
+)
+
+
+def epoch_rows(result: RunResult) -> list[dict]:
+    """The per-epoch series as dictionaries keyed by EPOCH_COLUMNS."""
+    rows = []
+    for epoch in result.epochs:
+        rows.append(
+            {
+                "epoch": epoch.epoch_index,
+                "start_time_s": epoch.start_time_s,
+                "duration_s": epoch.duration_s,
+                "instructions": epoch.instructions,
+                "energy_j": epoch.energy_j,
+                "ips_per_watt": epoch.ips_per_watt,
+                "migrations": epoch.migrations,
+                "balancer_time_s": epoch.balancer_time_s,
+            }
+        )
+    return rows
+
+
+def core_rows(result: RunResult) -> list[dict]:
+    """The per-core lifetime summary as dictionaries."""
+    rows = []
+    for core in result.core_stats:
+        rows.append(
+            {
+                "core_id": core.core_id,
+                "core_type": core.core_type_name,
+                "instructions": core.instructions,
+                "energy_j": core.energy_j,
+                "busy_s": core.busy_s,
+                "idle_s": core.idle_s,
+                "sleep_s": core.sleep_s,
+                "utilisation": core.utilisation,
+            }
+        )
+    return rows
+
+
+def to_csv(result: RunResult, which: str = "epochs") -> str:
+    """Render the epoch or core trace as CSV text."""
+    if which == "epochs":
+        columns, rows = EPOCH_COLUMNS, epoch_rows(result)
+    elif which == "cores":
+        columns, rows = CORE_COLUMNS, core_rows(result)
+    else:
+        raise ValueError(f"which must be 'epochs' or 'cores', got {which!r}")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(result: RunResult) -> str:
+    """Render the whole run (summary + traces) as a JSON document."""
+    document = {
+        "balancer": result.balancer_name,
+        "platform": result.platform_name,
+        "duration_s": result.duration_s,
+        "instructions": result.instructions,
+        "energy_j": result.energy_j,
+        "ips_per_watt": result.ips_per_watt,
+        "migrations": result.migrations,
+        "epochs": epoch_rows(result),
+        "cores": core_rows(result),
+        "tasks": [
+            {
+                "tid": t.tid,
+                "name": t.name,
+                "instructions": t.instructions,
+                "busy_s": t.busy_s,
+                "energy_j": t.energy_j,
+                "migrations": t.migrations,
+            }
+            for t in result.task_stats
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def write_trace(result: RunResult, path: str, fmt: Optional[str] = None) -> None:
+    """Write a run trace to ``path``; format inferred from the suffix.
+
+    ``.json`` gets the full document; ``.csv`` gets the epoch series.
+    """
+    if fmt is None:
+        if path.endswith(".json"):
+            fmt = "json"
+        elif path.endswith(".csv"):
+            fmt = "csv"
+        else:
+            raise ValueError(
+                f"cannot infer format from {path!r}; pass fmt='csv' or 'json'"
+            )
+    if fmt == "json":
+        text = to_json(result)
+    elif fmt == "csv":
+        text = to_csv(result, "epochs")
+    else:
+        raise ValueError(f"fmt must be 'csv' or 'json', got {fmt!r}")
+    with open(path, "w") as handle:
+        handle.write(text)

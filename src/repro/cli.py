@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+Run experiments, simulate workloads and train predictors without
+writing Python::
+
+    python -m repro experiments --scale quick          # everything
+    python -m repro experiments fig4a fig6             # selected
+    python -m repro run --platform quad --workload MTMI --threads 8 \
+        --balancer smartbalance --epochs 40 --trace out.json
+    python -m repro compare --workload Mix6 --threads 2
+    python -m repro train --output predictor.json
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.trace import write_trace
+from repro.hardware.platform import Platform, big_little_octa, quad_hmp, scaled_hmp
+from repro.kernel.balancers.base import LoadBalancer, NullBalancer
+from repro.kernel.balancers.gts import GtsBalancer
+from repro.kernel.balancers.iks import IksBalancer
+from repro.kernel.balancers.vanilla import VanillaBalancer
+from repro.kernel.simulator import SimulationConfig, System
+from repro.workload.parsec import BENCHMARKS, MIXES, benchmark, mix_threads
+from repro.workload.synthetic import IMB_CONFIGS, imb_threads
+
+#: Platform presets reachable from the CLI.
+PLATFORMS = {
+    "quad": quad_hmp,
+    "biglittle": big_little_octa,
+}
+
+#: Balancer factories reachable from the CLI.
+BALANCERS = {
+    "none": NullBalancer,
+    "vanilla": VanillaBalancer,
+    "gts": GtsBalancer,
+    "iks": IksBalancer,
+}
+
+
+def _smart_balancer():
+    # Imported lazily: training the default predictor takes a moment
+    # and commands like `list` should stay instant.
+    from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+
+    return SmartBalanceKernelAdapter()
+
+
+def make_platform(spec: str) -> Platform:
+    """Resolve a platform spec: a preset name or ``hmp:<n>``."""
+    if spec in PLATFORMS:
+        return PLATFORMS[spec]()
+    if spec.startswith("hmp:"):
+        return scaled_hmp(int(spec.split(":", 1)[1]))
+    raise SystemExit(
+        f"unknown platform {spec!r}; use one of {sorted(PLATFORMS)} or hmp:<n>"
+    )
+
+
+def make_workload(spec: str, n_threads: int, seed: int = 0):
+    """Resolve a workload spec: an IMB config, benchmark or mix name."""
+    if spec in IMB_CONFIGS:
+        return imb_threads(spec, n_threads, seed)
+    if spec in BENCHMARKS:
+        return benchmark(spec).threads(n_threads, seed)
+    if spec in MIXES:
+        return mix_threads(spec, max(n_threads, 1), seed)
+    raise SystemExit(
+        f"unknown workload {spec!r}; see `python -m repro list`"
+    )
+
+
+def make_balancer(name: str) -> LoadBalancer:
+    if name == "smartbalance":
+        return _smart_balancer()
+    try:
+        return BALANCERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown balancer {name!r}; use one of "
+            f"{sorted(BALANCERS) + ['smartbalance']}"
+        ) from None
+
+
+def cmd_list(_args) -> int:
+    print("platforms :", ", ".join(sorted(PLATFORMS)), "+ hmp:<n>")
+    print("balancers :", ", ".join(sorted(BALANCERS) + ["smartbalance"]))
+    print("imb       :", ", ".join(IMB_CONFIGS))
+    print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
+    print("mixes     :", ", ".join(sorted(MIXES)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    platform = make_platform(args.platform)
+    workload = make_workload(args.workload, args.threads, args.seed)
+    balancer = make_balancer(args.balancer)
+    system = System(
+        platform, workload, balancer, SimulationConfig(seed=args.seed)
+    )
+    result = system.run(n_epochs=args.epochs)
+    print(
+        f"{result.balancer_name} on {result.platform_name}: "
+        f"{result.ips_per_watt:.4e} instructions/J, "
+        f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
+        f"{result.migrations} migrations"
+    )
+    if args.trace:
+        write_trace(result, args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    platform = make_platform(args.platform)
+    names = args.balancers or ["vanilla", "smartbalance"]
+    results = {}
+    for name in names:
+        workload = make_workload(args.workload, args.threads, args.seed)
+        system = System(
+            platform, workload, make_balancer(name),
+            SimulationConfig(seed=args.seed),
+        )
+        results[name] = system.run(n_epochs=args.epochs)
+        print(f"{name:>13}: {results[name].ips_per_watt:.4e} instructions/J")
+    baseline = results[names[0]]
+    for name in names[1:]:
+        gain = results[name].improvement_over(baseline)
+        print(f"{name} vs {names[0]}: {gain:+.1f} %")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro import experiments
+    from repro.experiments.common import FULL, QUICK
+
+    scale = FULL if args.scale == "full" else QUICK
+    registry = {
+        "table1": lambda: experiments.table1.run(),
+        "table2": lambda: experiments.table2.run(),
+        "table3": lambda: experiments.table3.run(),
+        "table4": lambda: experiments.table4.run(),
+        "fig4a": lambda: experiments.fig4.run_fig4a(scale),
+        "fig4b": lambda: experiments.fig4.run_fig4b(scale),
+        "fig5": lambda: experiments.fig5.run(scale),
+        "fig6": lambda: experiments.fig6.run(),
+        "fig7a": lambda: experiments.fig7.run_fig7a(scale),
+        "fig7b": lambda: experiments.fig7.run_fig7b(),
+        "fig8a": lambda: experiments.fig8.run_fig8a(),
+        "fig8b": lambda: experiments.fig8.run_fig8b(),
+        "ext_virtual_sensing": lambda: experiments.extensions.run_virtual_sensing(),
+        "ext_optimizers": lambda: experiments.extensions.run_optimizer_comparison(),
+        "ext_replicated": lambda: experiments.extensions.run_replicated_headline(),
+    }
+    selected = args.ids or list(registry)
+    unknown = [i for i in selected if i not in registry]
+    if unknown:
+        raise SystemExit(f"unknown experiment ids {unknown}; known: {list(registry)}")
+    for exp_id in selected:
+        print(registry[exp_id]().render())
+        print()
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.core.training import train_predictor
+    from repro.hardware.features import BUILTIN_TYPES
+
+    types = list(BUILTIN_TYPES.values())
+    model = train_predictor(types, seed=args.seed)
+    with open(args.output, "w") as handle:
+        json.dump(model.to_dict(), handle, indent=2)
+    mean_err = sum(model.fit_error.values()) / len(model.fit_error)
+    print(
+        f"trained predictor over {len(types)} types "
+        f"({len(model.theta)} pairs, mean fit error {100 * mean_err:.2f} %) "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartBalance reproduction (DAC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list platforms, balancers and workloads")
+
+    run = sub.add_parser("run", help="simulate one workload under one balancer")
+    run.add_argument("--platform", default="quad")
+    run.add_argument("--workload", required=True)
+    run.add_argument("--threads", type=int, default=8)
+    run.add_argument("--balancer", default="smartbalance")
+    run.add_argument("--epochs", type=int, default=40)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--trace", help="write per-epoch trace (.csv or .json)")
+
+    compare = sub.add_parser("compare", help="run several balancers on one workload")
+    compare.add_argument("--platform", default="quad")
+    compare.add_argument("--workload", required=True)
+    compare.add_argument("--threads", type=int, default=8)
+    compare.add_argument("--epochs", type=int, default=40)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("balancers", nargs="*", metavar="balancer")
+
+    experiments = sub.add_parser("experiments", help="regenerate paper artifacts")
+    experiments.add_argument("ids", nargs="*", metavar="id")
+    experiments.add_argument("--scale", choices=("quick", "full"), default="quick")
+
+    train = sub.add_parser("train", help="train and export the Θ predictor")
+    train.add_argument("--output", default="predictor.json")
+    train.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "experiments": cmd_experiments,
+        "train": cmd_train,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

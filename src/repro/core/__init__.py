@@ -1,0 +1,109 @@
+"""SmartBalance — the paper's primary contribution.
+
+The closed-loop sense-predict-balance load balancer: epoch sensing and
+per-thread estimation (Eqs. 4–7), cross-core-type throughput/power
+prediction (Eqs. 8–9, Table 4), the energy-efficiency objective
+(Eqs. 10–11) with O(1) incremental evaluation, and the fixed-point
+simulated-annealing optimizer (Algorithm 1).
+"""
+
+from repro.core.allocation import EMPTY, Allocation
+from repro.core.annealing import (
+    SAConfig,
+    SAResult,
+    anneal,
+    default_iteration_cap,
+)
+from repro.core.balancer import BalanceDecision, PhaseTimings, SmartBalance
+from repro.core.config import SmartBalanceConfig
+from repro.core.estimation import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    CoreEstimate,
+    core_ips_from_counters,
+    estimate_cores,
+    feature_vector,
+    features_from_rates,
+)
+from repro.core.fixed_point import Xorshift32, exp_neg, exp_neg_q16, from_q16, to_q16
+from repro.core.objective import MODES, EnergyEfficiencyObjective, IncrementalEvaluator
+from repro.core.optimizers import (
+    OPTIMIZERS,
+    OptimizeResult,
+    exhaustive_search,
+    greedy_allocate,
+    optimize,
+    random_search,
+)
+from repro.core.prediction import (
+    CharacterisationMatrices,
+    MatrixBuilder,
+    PowerLine,
+    PredictorModel,
+)
+from repro.core.sensing import EpochObservation, ThreadObservation, sense
+from repro.core.training import (
+    default_predictor,
+    parsec_phases,
+    parsec_training_corpus,
+    profile_phase,
+    train_predictor,
+)
+from repro.core.virtual_sensing import (
+    MINIMAL_OBSERVED,
+    VirtualSensorModel,
+    hidden_features,
+    sparsify,
+    train_virtual_sensors,
+)
+
+__all__ = [
+    "Allocation",
+    "EMPTY",
+    "SAConfig",
+    "SAResult",
+    "anneal",
+    "default_iteration_cap",
+    "SmartBalance",
+    "SmartBalanceConfig",
+    "BalanceDecision",
+    "PhaseTimings",
+    "EnergyEfficiencyObjective",
+    "IncrementalEvaluator",
+    "MODES",
+    "OptimizeResult",
+    "OPTIMIZERS",
+    "optimize",
+    "greedy_allocate",
+    "random_search",
+    "exhaustive_search",
+    "VirtualSensorModel",
+    "train_virtual_sensors",
+    "hidden_features",
+    "sparsify",
+    "MINIMAL_OBSERVED",
+    "parsec_training_corpus",
+    "PredictorModel",
+    "PowerLine",
+    "MatrixBuilder",
+    "CharacterisationMatrices",
+    "EpochObservation",
+    "ThreadObservation",
+    "sense",
+    "CoreEstimate",
+    "estimate_cores",
+    "core_ips_from_counters",
+    "feature_vector",
+    "features_from_rates",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "Xorshift32",
+    "exp_neg",
+    "exp_neg_q16",
+    "to_q16",
+    "from_q16",
+    "train_predictor",
+    "default_predictor",
+    "parsec_phases",
+    "profile_phase",
+]

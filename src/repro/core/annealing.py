@@ -1,0 +1,201 @@
+"""Run-time simulated-annealing optimizer (paper Algorithm 1).
+
+Faithful structure: the allocation Ψ is a flat slot array; each
+iteration perturbs one random slot position to a second position whose
+distance contracts with the perturbation schedule, swaps them, and
+accepts the move if the objective improves — otherwise with a
+probability ``e^(-|ΔJ|/accept)`` that shrinks with the acceptance
+schedule.  The probabilistic primitives can run on the paper's
+fixed-point ``rand``/``e^x`` (:mod:`repro.core.fixed_point`) or on
+float math (the ablation benchmark compares both).
+
+Design notes / deliberate choices:
+
+* ``diff`` is normalised by the magnitude of the current objective, so
+  one acceptance scale works across workloads whose ``J_E`` differs by
+  orders of magnitude (the paper's Fig. 8(b) constants are for its own
+  fixed Gem5 platform; a library must be scale-free).
+* The acceptance test for worse moves uses the paper's integer trick
+  ``randi() mod round(1/probability) == 0``.
+* The objective is evaluated incrementally (O(1) per move) via
+  :class:`~repro.core.objective.IncrementalEvaluator`, the paper's
+  "keeping track of previous computations" optimisation; a full
+  re-evaluation mode exists for the ablation.
+* Iterations are capped per platform scale by
+  :func:`default_iteration_cap` — the Fig. 8(a) trade of solution
+  quality for bounded overhead on large systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.allocation import Allocation
+from repro.core.fixed_point import Xorshift32, exp_neg
+from repro.core.objective import EnergyEfficiencyObjective, IncrementalEvaluator
+
+#: Hard ceiling on iterations regardless of system size (Fig. 8(a)'s
+#: flattening for 128-core scenarios).
+MAX_ITERATION_CAP = 4000
+#: Floor so tiny systems still explore.
+MIN_ITERATION_CAP = 150
+
+
+def default_iteration_cap(n_cores: int, n_threads: int) -> int:
+    """Iteration budget per Fig. 8(a)'s scalability schedule.
+
+    Grows with the search-space dimensions (m threads, n cores) but is
+    clamped so the balance phase stays a bounded fraction of the epoch
+    on large systems — the paper's explicit quality/overhead trade.
+    """
+    if n_cores < 1 or n_threads < 1:
+        raise ValueError("need at least one core and one thread")
+    proposed = int(25 * n_threads * math.sqrt(n_cores))
+    return max(MIN_ITERATION_CAP, min(MAX_ITERATION_CAP, proposed))
+
+
+@dataclass(frozen=True)
+class SAConfig:
+    """Tunable inputs of Algorithm 1.
+
+    ``max_iterations=None`` selects :func:`default_iteration_cap` for
+    the problem size at hand.
+    """
+
+    max_iterations: Optional[int] = None
+    #: ``Opt_perturb`` — initial perturbation amplitude in [0, 1]:
+    #: fraction of the slot array a move may span.
+    initial_perturbation: float = 1.0
+    #: ``Opt_Δperturb`` — geometric decay of the perturbation per move.
+    perturbation_decay: float = 0.995
+    #: ``Opt_accept`` — initial acceptance temperature, relative to the
+    #: current objective magnitude.
+    initial_acceptance: float = 0.05
+    #: ``Opt_Δaccept`` — geometric decay of the acceptance temperature.
+    acceptance_decay: float = 0.99
+    #: PRNG seed (xorshift32 state).
+    seed: int = 0x5EED5EED
+    #: Use the fixed-point ``e^x`` (paper's kernel implementation) or
+    #: float math (ablation).
+    use_fixed_point_exp: bool = True
+    #: Use the O(1) incremental objective (paper's optimisation) or a
+    #: full re-evaluation per move (ablation).
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        if not 0.0 <= self.initial_perturbation <= 1.0:
+            raise ValueError("initial_perturbation must be in [0, 1]")
+        for name in ("perturbation_decay", "acceptance_decay"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        if self.initial_acceptance <= 0:
+            raise ValueError("initial_acceptance must be positive")
+
+
+@dataclass
+class SAResult:
+    """Outcome of one annealing run."""
+
+    best_allocation: Allocation
+    best_value: float
+    initial_value: float
+    iterations: int
+    accepted_moves: int
+    uphill_accepts: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative objective improvement over the initial allocation."""
+        if self.initial_value == 0:
+            return 0.0
+        return (self.best_value - self.initial_value) / abs(self.initial_value)
+
+
+def anneal(
+    objective: EnergyEfficiencyObjective,
+    initial: Allocation,
+    config: SAConfig = SAConfig(),
+) -> SAResult:
+    """Run Algorithm 1 from ``initial`` and return the best allocation.
+
+    ``initial`` is not mutated.  The returned allocation is the best
+    one *visited* (tracking the best costs nothing and dominates
+    returning the final state).
+    """
+    working = initial.copy()
+    evaluator = IncrementalEvaluator(objective, working)
+    rng = Xorshift32(config.seed)
+    total_slots = len(working)
+    iterations = config.max_iterations
+    if iterations is None:
+        iterations = default_iteration_cap(objective.n_cores, objective.n_threads)
+
+    perturb = config.initial_perturbation
+    accept = config.initial_acceptance
+    current = evaluator.value
+    initial_value = current
+    best_value = current
+    best_allocation = working.copy()
+    accepted = 0
+    uphill = 0
+
+    for _ in range(iterations):
+        pos = rng.randi_range(0, total_slots)
+        span = math.sqrt(perturb)
+        offset = rng.randi_range(-pos, total_slots - pos)
+        pos_new = pos + int(span * offset)
+        pos_new = min(max(pos_new, 0), total_slots - 1)
+
+        if config.incremental:
+            new_value = evaluator.apply_swap(pos, pos_new)
+        else:
+            working.swap(pos, pos_new)
+            new_value = objective.evaluate(working)
+        diff = new_value - current
+
+        take = False
+        if diff > 0:
+            take = True
+        elif diff < 0:
+            scale = accept * max(abs(current), 1e-30)
+            x = min(-diff / scale, 11.0)
+            probability = exp_neg(x) if config.use_fixed_point_exp else math.exp(-x)
+            if probability > 0:
+                inverse = max(int(round(1.0 / probability)), 1)
+                take = rng.randi() % inverse == 0
+        else:
+            # Neutral move (e.g. empty-empty swap): accept, it costs
+            # nothing and keeps the walk moving.
+            take = True
+
+        if take:
+            current = new_value
+            accepted += 1
+            if diff < 0:
+                uphill += 1
+            if current > best_value:
+                best_value = current
+                best_allocation = working.copy()
+        else:
+            # Swaps are involutive: undo by re-applying.
+            if config.incremental:
+                evaluator.apply_swap(pos, pos_new)
+            else:
+                working.swap(pos, pos_new)
+
+        perturb *= config.perturbation_decay
+        accept *= config.acceptance_decay
+
+    return SAResult(
+        best_allocation=best_allocation,
+        best_value=best_value,
+        initial_value=initial_value,
+        iterations=iterations,
+        accepted_moves=accepted,
+        uphill_accepts=uphill,
+    )

@@ -1,0 +1,191 @@
+"""The SmartBalance epoch loop: sense → predict → balance.
+
+Orchestrates the three phases of paper Section 4 at each epoch
+boundary and returns the thread migrations to apply.  Each phase is
+wall-clock timed — those timings are the per-phase overhead the paper
+reports in Fig. 7.
+
+The class is kernel-agnostic: it consumes the observable
+:class:`~repro.kernel.view.SystemView` and produces a placement, so it
+can run against the full simulator (via
+:class:`repro.kernel.balancers.smart.SmartBalanceKernelAdapter`) or be
+driven directly with synthetic views in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.annealing import SAResult, anneal
+from repro.core.config import SmartBalanceConfig
+from repro.core.objective import EnergyEfficiencyObjective
+from repro.core.prediction import CharacterisationMatrices, MatrixBuilder, PredictorModel
+from repro.core.sensing import ThreadObservation, sense
+from repro.hardware.counters import DerivedRates
+from repro.kernel.view import SystemView
+
+
+@dataclass(frozen=True)
+class PhaseTimings:
+    """Wall-clock seconds spent in each SmartBalance phase (Fig. 7)."""
+
+    sense_s: float
+    predict_s: float
+    balance_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.sense_s + self.predict_s + self.balance_s
+
+
+@dataclass(frozen=True)
+class BalanceDecision:
+    """Outcome of one epoch's sense-predict-balance pass."""
+
+    #: ``tid -> core_id`` changes to apply; ``None`` when the incumbent
+    #: allocation is kept.
+    placement: Optional[dict[int, int]]
+    timings: PhaseTimings
+    #: The annealer's run, when the balance phase executed.
+    sa_result: Optional[SAResult] = None
+    #: The characterisation matrices, when built.
+    matrices: Optional[CharacterisationMatrices] = None
+    #: Objective value of the incumbent allocation under this epoch's
+    #: matrices (for convergence diagnostics).
+    incumbent_value: float = 0.0
+
+
+class SmartBalance:
+    """Closed-loop sensing-driven load balancer (the paper's system)."""
+
+    def __init__(
+        self,
+        predictor: PredictorModel,
+        config: SmartBalanceConfig | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.config = config or SmartBalanceConfig()
+        self._builder = MatrixBuilder(predictor)
+        #: Per-tid smoothed characterisation rows (EWMA across epochs,
+        #: in prediction space: aligned to platform cores, so smoothing
+        #: survives migrations).
+        self._rows: dict[int, tuple] = {}
+
+    def _blend(self, matrices: CharacterisationMatrices) -> CharacterisationMatrices:
+        """EWMA-smooth per-thread matrix rows across epochs.
+
+        Workload phases can flip faster than a migration pays off;
+        chasing each epoch's snapshot produces migration storms with no
+        realised gain.  Blending each thread's predicted (IPS, power,
+        demand) row over the recent epochs makes the balancer target
+        the thread's *time-averaged* behaviour.  Rows live in
+        prediction space — indexed by platform core, not by where the
+        thread happened to run — so smoothing survives migrations.
+        """
+        beta = self.config.smoothing
+        if beta >= 1.0:
+            return matrices
+        ips = matrices.ips.copy()
+        power = matrices.power.copy()
+        util = matrices.utilization.copy()
+        for i, tid in enumerate(matrices.tids):
+            prev = self._rows.get(tid)
+            if prev is not None:
+                prev_ips, prev_power, prev_util = prev
+                ips[i] = (1.0 - beta) * prev_ips + beta * ips[i]
+                power[i] = (1.0 - beta) * prev_power + beta * power[i]
+                util[i] = (1.0 - beta) * prev_util + beta * util[i]
+            self._rows[tid] = (ips[i].copy(), power[i].copy(), util[i].copy())
+        live = set(matrices.tids)
+        for tid in list(self._rows):
+            if tid not in live:
+                del self._rows[tid]
+        return replace(matrices, ips=ips, power=power, utilization=util)
+
+    def decide(self, view: SystemView) -> BalanceDecision:
+        """Run one epoch's sense → predict → balance pass."""
+        t0 = time.perf_counter()
+        observation = sense(
+            view, include_kernel_threads=self.config.include_kernel_threads
+        )
+        measured = list(observation.measured_threads)
+        t1 = time.perf_counter()
+
+        if not measured:
+            # Nothing characterised yet (first epoch): keep placement.
+            timings = PhaseTimings(sense_s=t1 - t0, predict_s=0.0, balance_s=0.0)
+            return BalanceDecision(placement=None, timings=timings)
+
+        core_types = [core.core_type for core in view.platform]
+        matrices = self._blend(self._builder.build(measured, core_types))
+        t2 = time.perf_counter()
+
+        # Affinity constraints (paper Section 5.1): build the allowed
+        # mask when any measured thread carries a cpuset.
+        allowed = None
+        if any(obs.allowed_cores is not None for obs in measured):
+            allowed = np.ones((len(measured), len(core_types)), dtype=bool)
+            for i, obs in enumerate(measured):
+                if obs.allowed_cores is not None:
+                    allowed[i, :] = False
+                    for core_id in obs.allowed_cores:
+                        if 0 <= core_id < len(core_types):
+                            allowed[i, core_id] = True
+
+        weights = self.config.core_weights
+        if self.config.thermal_aware and observation.core_temperatures_c:
+            from repro.hardware.thermal import thermal_weights
+
+            weights = thermal_weights(
+                list(observation.core_temperatures_c),
+                knee_c=self.config.thermal_knee_c,
+                zero_c=self.config.thermal_zero_c,
+            )
+        objective = EnergyEfficiencyObjective(
+            ips=matrices.ips,
+            power=matrices.power,
+            utilization=matrices.utilization,
+            idle_power=list(observation.idle_power_w),
+            sleep_power=list(observation.sleep_power_w),
+            weights=weights,
+            mode=self.config.objective_mode,
+            throughput_exponent=self.config.throughput_exponent,
+            allowed=allowed,
+        )
+        incumbent = Allocation.from_mapping(
+            [obs.core_id for obs in measured], n_cores=len(core_types)
+        )
+        incumbent_value = objective.evaluate(incumbent)
+        result = anneal(objective, incumbent, self.config.sa)
+        t3 = time.perf_counter()
+
+        timings = PhaseTimings(sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2)
+        changes = incumbent.diff(result.best_allocation)
+        # Adoption gate: the predicted gain must clear both the churn
+        # threshold and the warm-up cost of the migrations it needs.
+        required = (
+            1.0
+            + self.config.min_improvement
+            + self.config.migration_penalty * len(changes) / max(len(measured), 1)
+        )
+        if not changes or result.best_value <= incumbent_value * required:
+            return BalanceDecision(
+                placement=None,
+                timings=timings,
+                sa_result=result,
+                matrices=matrices,
+                incumbent_value=incumbent_value,
+            )
+        placement = {matrices.tids[thread]: core for thread, core in changes.items()}
+        return BalanceDecision(
+            placement=placement or None,
+            timings=timings,
+            sa_result=result,
+            matrices=matrices,
+            incumbent_value=incumbent_value,
+        )

@@ -1,0 +1,89 @@
+"""SmartBalance configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.annealing import SAConfig
+
+
+@dataclass(frozen=True)
+class SmartBalanceConfig:
+    """Tunables of the full sense-predict-balance loop.
+
+    Attributes
+    ----------
+    sa:
+        Simulated-annealing parameters (Algorithm 1 inputs).
+    min_improvement:
+        Relative objective gain the annealer must find before the new
+        allocation is adopted; guards against migration churn when the
+        incumbent allocation is already near-optimal.  The paper's
+        overhead analysis assumes ~50 % of threads migrate per epoch;
+        a small threshold keeps migrations purposeful.
+    include_kernel_threads:
+        Balance kernel threads too (paper Section 5.1 optimises user
+        threads by default, marking them at ``sched_fork``).
+    migration_penalty:
+        Extra relative objective gain demanded per migrated thread
+        (scaled by the fraction of threads moving).  Models the cache
+        warm-up cost a migration actually incurs, so the balancer does
+        not chase marginal predicted gains with real migrations.
+    core_weights:
+        The ω_j of Eq. 11; ``None`` means all ones.
+    objective_mode:
+        ``"global"`` (chip-level IPS/Watt, the default) or
+        ``"per_core_sum"`` (the literal Eq. 11 weighted sum of per-core
+        ratios) — see :mod:`repro.core.objective`.
+    """
+
+    sa: SAConfig = field(default_factory=SAConfig)
+    min_improvement: float = 0.02
+    migration_penalty: float = 0.25
+    #: EWMA weight of the newest epoch when smoothing per-thread
+    #: observations across epochs (1.0 = no smoothing).  Smoothing
+    #: keeps the balancer targeting a thread's *time-averaged*
+    #: behaviour instead of chasing phases faster than a migration can
+    #: pay off.
+    smoothing: float = 0.4
+    include_kernel_threads: bool = False
+    core_weights: Optional[Sequence[float]] = None
+    #: Derive Eq. 11's ω_j from core temperatures each epoch
+    #: (repro.hardware.thermal.thermal_weights); mutually exclusive
+    #: with explicit core_weights.
+    thermal_aware: bool = False
+    #: Temperature band of the thermal de-rating: full weight below the
+    #: knee, zero weight at/above the zero point.
+    thermal_knee_c: float = 75.0
+    thermal_zero_c: float = 95.0
+    objective_mode: str = "global"
+    #: α of the global objective ``IPS^α / P``.  1 is plain IPS/W
+    #: (sheds work aggressively on heterogeneous chips), 2 is inverse
+    #: EDP (fully throughput-preserving); 1.7 balances the two the way
+    #: the paper's results do and is the calibrated default.
+    throughput_exponent: float = 1.7
+
+    def __post_init__(self) -> None:
+        if self.min_improvement < 0:
+            raise ValueError(
+                f"min_improvement must be non-negative, got {self.min_improvement}"
+            )
+        if self.migration_penalty < 0:
+            raise ValueError(
+                f"migration_penalty must be non-negative, got {self.migration_penalty}"
+            )
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError(
+                f"smoothing must be in (0, 1], got {self.smoothing}"
+            )
+        if self.thermal_aware and self.core_weights is not None:
+            raise ValueError(
+                "thermal_aware derives core weights; do not also pass "
+                "explicit core_weights"
+            )
+        if not self.thermal_knee_c < self.thermal_zero_c:
+            raise ValueError(
+                f"thermal_knee_c ({self.thermal_knee_c}) must be below "
+                f"thermal_zero_c ({self.thermal_zero_c})"
+            )

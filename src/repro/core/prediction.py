@@ -1,0 +1,254 @@
+"""Predict phase: cross-core-type throughput and power (Eqs. 8–9).
+
+A thread measured on one core type must be characterised on *every*
+type without sampling it there (the paper rejects sampling for its
+overhead).  Two models:
+
+* **Throughput** (Eq. 8): per ordered type pair ``(src, dst)``, a
+  linear regression over the counter feature vector of
+  :mod:`repro.core.estimation`; ``ips = ipc · F_dst``.  The fitted Θ is
+  the reproduction of the paper's Table 4.  The regression runs in
+  **CPI space** — ``cpi_dst = Θ_{src→dst} · X'`` with the source-IPC
+  feature inverted to source CPI — because stall contributions are
+  additive in CPI, making the linear model a far better fit (the
+  difference is roughly 3x in mean error on our hardware model); the
+  prediction is inverted back to IPC and clipped to the IPC band seen
+  in training.
+* **Power** (Eq. 9): per core type, an affine map ``p = α₁·ipc + α₀``
+  from predicted IPC to Watts, from offline profiling.
+
+:class:`MatrixBuilder` assembles the full ``S`` (Eq. 2) and ``P``
+(Eq. 3) matrices for the balance phase: measured entries where the
+thread actually ran, predictions everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.estimation import FEATURE_NAMES, N_FEATURES, feature_vector
+from repro.core.sensing import ThreadObservation
+from repro.hardware.features import CoreType
+
+#: Index of the source-IPC feature, inverted to CPI in design space.
+IPC_FEATURE_INDEX = FEATURE_NAMES.index("ipc_src")
+
+
+def design_vector(features: np.ndarray) -> np.ndarray:
+    """Map a feature vector into the regressor's design space.
+
+    Identical to the feature vector except the source-IPC entry is
+    replaced by source CPI, matching the CPI-space regression.
+    """
+    x = np.asarray(features, dtype=float).copy()
+    x[IPC_FEATURE_INDEX] = 1.0 / max(x[IPC_FEATURE_INDEX], 1e-6)
+    return x
+
+
+@dataclass(frozen=True)
+class PowerLine:
+    """Eq. 9's per-core-type affine IPC→power map."""
+
+    alpha1: float
+    alpha0: float
+
+    def predict(self, ipc: float) -> float:
+        """Predicted power (W), floored to stay physical."""
+        return max(self.alpha1 * ipc + self.alpha0, 1e-6)
+
+
+@dataclass(frozen=True)
+class PredictorModel:
+    """The trained cross-core predictor (Θ of Table 4 + power lines).
+
+    ``theta`` maps ordered core-type name pairs (src → dst) to
+    coefficient vectors over the design space of :func:`design_vector`
+    (Table 4 feature order, source IPC inverted to CPI, target in CPI).
+    ``ipc_range`` clips predictions to the IPC band seen in training
+    for each target type — extrapolation outside it is meaningless.
+    """
+
+    type_names: tuple[str, ...]
+    theta: dict[tuple[str, str], np.ndarray]
+    power_lines: dict[str, PowerLine]
+    ipc_range: dict[str, tuple[float, float]]
+    #: Training diagnostics: mean absolute relative error per pair.
+    fit_error: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pair, coeffs in self.theta.items():
+            if np.asarray(coeffs).shape != (N_FEATURES,):
+                raise ValueError(
+                    f"theta[{pair}] must have {N_FEATURES} coefficients"
+                )
+
+    def predict_ipc(self, src_type: str, dst_type: str, features: np.ndarray) -> float:
+        """Eq. 8: predicted IPC of the thread on ``dst_type``."""
+        if src_type == dst_type:
+            # Same type: the measurement itself (features carry it).
+            return float(features[IPC_FEATURE_INDEX])
+        try:
+            coeffs = self.theta[(src_type, dst_type)]
+        except KeyError:
+            raise KeyError(
+                f"predictor has no coefficients for {src_type} -> {dst_type}; "
+                f"trained types: {self.type_names}"
+            ) from None
+        cpi = float(np.dot(coeffs, design_vector(features)))
+        raw = 1.0 / max(cpi, 1e-3)
+        lo, hi = self.ipc_range[dst_type]
+        return min(max(raw, lo), hi)
+
+    def predict_power(self, dst_type: str, ipc: float) -> float:
+        """Eq. 9: predicted power (W) of the thread on ``dst_type``."""
+        try:
+            line = self.power_lines[dst_type]
+        except KeyError:
+            raise KeyError(
+                f"predictor has no power line for {dst_type!r}; "
+                f"trained types: {self.type_names}"
+            ) from None
+        return line.predict(ipc)
+
+    # ------------------------------------------------------------------
+    # Serialisation (a kernel would carry these as firmware blobs).
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "type_names": list(self.type_names),
+            "theta": {
+                f"{src}->{dst}": list(map(float, coeffs))
+                for (src, dst), coeffs in self.theta.items()
+            },
+            "power_lines": {
+                name: [line.alpha1, line.alpha0]
+                for name, line in self.power_lines.items()
+            },
+            "ipc_range": {name: list(r) for name, r in self.ipc_range.items()},
+            "fit_error": {
+                f"{src}->{dst}": err for (src, dst), err in self.fit_error.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictorModel":
+        def split(key: str) -> tuple[str, str]:
+            src, dst = key.split("->")
+            return src, dst
+
+        return cls(
+            type_names=tuple(data["type_names"]),
+            theta={
+                split(key): np.asarray(coeffs, dtype=float)
+                for key, coeffs in data["theta"].items()
+            },
+            power_lines={
+                name: PowerLine(alpha1=a1, alpha0=a0)
+                for name, (a1, a0) in data["power_lines"].items()
+            },
+            ipc_range={
+                name: (float(lo), float(hi))
+                for name, (lo, hi) in data["ipc_range"].items()
+            },
+            fit_error={
+                split(key): float(err)
+                for key, err in data.get("fit_error", {}).items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class CharacterisationMatrices:
+    """The S (Eq. 2) and P (Eq. 3) matrices plus companion vectors.
+
+    ``ips``/``power`` are (m threads × n cores); row order follows
+    ``tids``.  ``measured_mask[i, j]`` is True where the entry is a
+    direct measurement rather than a prediction.
+
+    ``utilization`` is also (m × n): the time fraction each thread
+    would demand of each core.  A thread observed running below the
+    CPU-bound threshold is rate-limited — it currently delivers
+    ``u_meas · ips_measured`` instructions per wall second, and would
+    demand ``min(rate / ips_ij, 1)`` of core ``j`` to sustain that
+    rate; a CPU-bound thread demands every core fully.
+    """
+
+    tids: tuple[int, ...]
+    ips: np.ndarray
+    power: np.ndarray
+    utilization: np.ndarray
+    measured_mask: np.ndarray
+
+
+#: Observed utilisation above which a thread is treated as CPU-bound
+#: (it would saturate any core, so its demand does not shrink on a
+#: faster one).
+CPU_BOUND_UTILIZATION = 0.93
+
+
+class MatrixBuilder:
+    """Builds the characterisation matrices for the balance phase."""
+
+    def __init__(self, model: PredictorModel) -> None:
+        self.model = model
+
+    def build(
+        self,
+        observations: list[ThreadObservation],
+        cores: list[CoreType],
+    ) -> CharacterisationMatrices:
+        """Assemble S and P for ``observations`` across ``cores``.
+
+        Every observation must carry a measurement (filter with
+        ``EpochObservation.measured_threads`` first).
+        """
+        m, n = len(observations), len(cores)
+        if m == 0:
+            raise ValueError("need at least one measured thread")
+        ips = np.zeros((m, n))
+        power = np.zeros((m, n))
+        measured = np.zeros((m, n), dtype=bool)
+        util = np.zeros((m, n))
+        for i, obs in enumerate(observations):
+            if not obs.has_measurement:
+                raise ValueError(
+                    f"thread {obs.tid} ({obs.name}) has no measurement"
+                )
+            features = feature_vector(obs)
+            src = obs.core_type.name
+            # Predict once per distinct target type, then broadcast to
+            # the cores of that type (same type => same prediction).
+            ipc_by_type: dict[str, float] = {}
+            for j, core_type in enumerate(cores):
+                dst = core_type.name
+                if dst not in ipc_by_type:
+                    if dst == src:
+                        ipc_by_type[dst] = obs.ipc_measured
+                    else:
+                        ipc_by_type[dst] = self.model.predict_ipc(src, dst, features)
+                ipc = ipc_by_type[dst]
+                ips[i, j] = ipc * core_type.freq_hz
+                if dst == src:
+                    power[i, j] = max(obs.power_measured, 1e-6)
+                    measured[i, j] = True
+                else:
+                    power[i, j] = self.model.predict_power(dst, ipc)
+            # Demand translation across cores (see class docstring).
+            if obs.utilization >= CPU_BOUND_UTILIZATION:
+                util[i, :] = 1.0
+            else:
+                delivered_rate = obs.utilization * ips[i, obs.core_id]
+                with np.errstate(divide="ignore"):
+                    util[i, :] = np.minimum(
+                        delivered_rate / np.maximum(ips[i, :], 1e-9), 1.0
+                    )
+        return CharacterisationMatrices(
+            tids=tuple(obs.tid for obs in observations),
+            ips=ips,
+            power=power,
+            utilization=util,
+            measured_mask=measured,
+        )

@@ -1,0 +1,108 @@
+"""Sense phase: turn the kernel's epoch view into thread observations.
+
+Section 4.1/4.2.1 of the paper: per-thread counters sampled at context
+switches are aggregated over the epoch, giving each thread's measured
+throughput ``ips_ij = Σ I / Σ τ`` (Eq. 4) and power ``p_ij = Σ ε / Σ τ``
+(Eq. 5) *on the core it actually ran on*.  This module extracts those
+per-thread observations — and the counter-derived characterisation
+rates the predictor consumes — from a
+:class:`~repro.kernel.view.SystemView`.
+
+Threads with no execution time in the window (e.g. just-arrived) carry
+``has_measurement=False`` and are passed through to the balance phase
+with utilisation only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.counters import DerivedRates
+from repro.hardware.features import CoreType
+from repro.kernel.view import SystemView, TaskView
+
+
+@dataclass(frozen=True)
+class ThreadObservation:
+    """One thread's sensed state for the epoch just ended."""
+
+    tid: int
+    name: str
+    core_id: int
+    core_type: CoreType
+    utilization: float
+    #: Eq. 4 — measured throughput on the current core (instr/s of own
+    #: busy time); 0 when the thread never ran.
+    ips_measured: float
+    #: Measured IPC on the current core (non-sleep cycles).
+    ipc_measured: float
+    #: Eq. 5 — measured average power while running (W).
+    power_measured: float
+    rates: DerivedRates
+    busy_time_s: float
+    #: cpuset affinity (core ids); None = any core.
+    allowed_cores: "frozenset[int] | None" = None
+
+    @property
+    def has_measurement(self) -> bool:
+        return self.busy_time_s > 0 and self.ips_measured > 0
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """All sensed thread state plus static core facts for one epoch."""
+
+    epoch_index: int
+    window_s: float
+    threads: tuple[ThreadObservation, ...]
+    #: Per-core idle power (W), indexed by core id (firmware table).
+    idle_power_w: tuple[float, ...]
+    #: Per-core power-gated sleep power (W).
+    sleep_power_w: tuple[float, ...]
+    #: Per-core temperatures (deg C; ambient when thermal disabled).
+    core_temperatures_c: tuple[float, ...] = ()
+
+    @property
+    def measured_threads(self) -> tuple[ThreadObservation, ...]:
+        return tuple(t for t in self.threads if t.has_measurement)
+
+
+def observe_task(task: TaskView, core_type: CoreType) -> ThreadObservation:
+    """Build one thread's observation from its task view."""
+    rates = task.rates
+    return ThreadObservation(
+        tid=task.tid,
+        name=task.name,
+        core_id=task.core_id,
+        core_type=core_type,
+        utilization=task.utilization,
+        ips_measured=rates.ips,
+        ipc_measured=rates.ipc,
+        power_measured=task.power_w,
+        rates=rates,
+        busy_time_s=task.busy_time_s,
+        allowed_cores=task.allowed_cores,
+    )
+
+
+def sense(view: SystemView, include_kernel_threads: bool = False) -> EpochObservation:
+    """Sense phase over a system view.
+
+    Only user threads are balanced by default (paper Section 5.1:
+    kernel threads are marked at ``sched_fork`` and left to CFS since
+    user threads dominate).
+    """
+    core_types = {c.core_id: c.core_type for c in view.cores}
+    idle_power = tuple(c.idle_power_w for c in view.cores)
+    sleep_power = tuple(c.sleep_power_w for c in view.cores)
+    temperatures = tuple(c.temperature_c for c in view.cores)
+    tasks = view.tasks if include_kernel_threads else view.user_tasks
+    threads = tuple(observe_task(t, core_types[t.core_id]) for t in tasks)
+    return EpochObservation(
+        epoch_index=view.epoch_index,
+        window_s=view.window_s,
+        threads=threads,
+        idle_power_w=idle_power,
+        sleep_power_w=sleep_power,
+        core_temperatures_c=temperatures,
+    )

@@ -1,0 +1,191 @@
+"""Offline predictor training (paper Section 4.2.2 / Table 4).
+
+The paper obtains Θ "by standard linear regression using the least
+squares method" over offline profiling runs, and the power constants
+α₀, α₁ "from offline profiling".  This module reproduces that pipeline
+against the simulated hardware:
+
+1. build a profiling corpus — the PARSEC workload models (the paper's
+   training set) plus a synthetic corpus spanning the characterisation
+   space;
+2. for every (workload, source type), produce the counter-derived
+   feature vector a real profiling run would measure (optionally with
+   sensor noise);
+3. for every ordered type pair, least-squares fit
+   ``ipc_dst ≈ Θ_{src→dst} · X``;
+4. per type, fit the affine IPC→power line.
+
+``train_predictor`` returns a :class:`~repro.core.prediction.PredictorModel`;
+``default_predictor`` caches one trained over all built-in core types
+(used by the kernel adapter and the experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimation import N_FEATURES, features_from_rates
+from repro.core.prediction import PowerLine, PredictorModel, design_vector
+from repro.hardware import microarch
+from repro.hardware import power as power_model
+from repro.hardware.features import BUILTIN_TYPES, CoreType
+from repro.hardware.sensors import NoiseModel
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.generator import training_corpus
+from repro.workload.parsec import BENCHMARKS
+
+#: Mild measurement noise on profiled features/targets: offline
+#: profiling averages many samples, so it is cleaner than runtime
+#: sensing but not perfect.
+DEFAULT_TRAINING_NOISE = NoiseModel(sigma=0.01)
+
+
+def parsec_phases(seed: int = 0) -> list[WorkloadPhase]:
+    """All distinct phases of the PARSEC workload models (one seed)."""
+    phases: list[WorkloadPhase] = []
+    for model in BENCHMARKS.values():
+        thread = model.threads(1, seed)[0]
+        phases.extend(seg.phase for seg in thread.schedule.segments)
+    return phases
+
+
+def parsec_training_corpus(
+    n_seeds: int = 5, threads_per_benchmark: int = 4
+) -> list[WorkloadPhase]:
+    """A dense PARSEC profiling corpus (the paper's training set).
+
+    Many jittered instantiations of every benchmark, so the regression
+    sees the per-thread variation it will face at runtime.
+    """
+    if n_seeds < 1 or threads_per_benchmark < 1:
+        raise ValueError("need at least one seed and one thread per benchmark")
+    phases: list[WorkloadPhase] = []
+    for model in BENCHMARKS.values():
+        for seed in range(n_seeds):
+            for thread in model.threads(threads_per_benchmark, seed):
+                phases.extend(seg.phase for seg in thread.schedule.segments)
+    return phases
+
+
+def profile_phase(
+    phase: WorkloadPhase,
+    src_type: CoreType,
+    noise: Optional[NoiseModel] = None,
+    rng: Optional[random.Random] = None,
+) -> np.ndarray:
+    """Feature vector a profiling run on ``src_type`` would measure.
+
+    Rates come from the hardware model's event rates — exactly what the
+    performance counters of :mod:`repro.hardware.counters` would ratio
+    out over a long run — with optional read-out noise.
+    """
+    perf = microarch.estimate(phase, src_type)
+
+    def read(value: float) -> float:
+        if noise is None or rng is None:
+            return value
+        return noise.apply(value, rng)
+
+    return features_from_rates(
+        freq_mhz=src_type.freq_mhz,
+        mr_l1i=read(perf.icache_miss_rate),
+        mr_l1d=read(perf.dcache_miss_rate),
+        i_msh=read(phase.mem_share),
+        i_bsh=read(phase.branch_share),
+        mr_b=read(perf.branch_miss_rate),
+        mr_itlb=read(perf.itlb_miss_rate),
+        mr_dtlb=read(perf.dtlb_miss_rate),
+        ipc_src=read(perf.ipc),
+        stall_frac=read(perf.stall_cpi / perf.cpi),
+    )
+
+
+def train_predictor(
+    core_types: Sequence[CoreType],
+    phases: Optional[Sequence[WorkloadPhase]] = None,
+    n_synthetic: int = 100,
+    seed: int = 7,
+    noise: Optional[NoiseModel] = DEFAULT_TRAINING_NOISE,
+) -> PredictorModel:
+    """Train Θ and the power lines for a set of core types.
+
+    ``phases=None`` uses the dense PARSEC profiling corpus (the paper's
+    training set) plus ``n_synthetic`` random workloads to cover the
+    space between benchmarks.  Distinct type *names* are required
+    (types are keyed by name, as γ keys cores by type).
+    """
+    types = list(core_types)
+    names = [t.name for t in types]
+    if len(set(names)) != len(names):
+        raise ValueError(f"core types must have distinct names, got {names}")
+    if len(types) < 2:
+        raise ValueError("need at least two core types to train a predictor")
+    if phases is None:
+        corpus = parsec_training_corpus() + training_corpus(n_synthetic, seed)
+    else:
+        corpus = list(phases)
+    if len(corpus) < 4 * N_FEATURES:
+        raise ValueError(
+            f"corpus of {len(corpus)} phases is too small to fit "
+            f"{N_FEATURES}-feature regressions reliably"
+        )
+    rng = random.Random(seed)
+
+    # Profile every phase on every type once.
+    features = {
+        t.name: np.vstack([profile_phase(p, t, noise, rng) for p in corpus])
+        for t in types
+    }
+    designs = {
+        name: np.vstack([design_vector(row) for row in mat])
+        for name, mat in features.items()
+    }
+    true_ipc = {
+        t.name: np.array([microarch.estimate(p, t).ipc for p in corpus])
+        for t in types
+    }
+
+    theta: dict[tuple[str, str], np.ndarray] = {}
+    fit_error: dict[tuple[str, str], float] = {}
+    for src in types:
+        x = designs[src.name]
+        for dst in types:
+            if dst.name == src.name:
+                continue
+            y = true_ipc[dst.name]
+            # CPI-space least squares (see repro.core.prediction).
+            coeffs, *_ = np.linalg.lstsq(x, 1.0 / y, rcond=None)
+            theta[(src.name, dst.name)] = coeffs
+            prediction = 1.0 / np.maximum(x @ coeffs, 1e-3)
+            fit_error[(src.name, dst.name)] = float(
+                np.mean(np.abs(prediction - y) / np.maximum(y, 1e-9))
+            )
+
+    power_lines: dict[str, PowerLine] = {}
+    ipc_range: dict[str, tuple[float, float]] = {}
+    for t in types:
+        ipcs = true_ipc[t.name]
+        powers = np.array(
+            [power_model.busy_power(t, ipc).total_w for ipc in ipcs]
+        )
+        alpha1, alpha0 = np.polyfit(ipcs, powers, deg=1)
+        power_lines[t.name] = PowerLine(alpha1=float(alpha1), alpha0=float(alpha0))
+        ipc_range[t.name] = (float(ipcs.min()) * 0.5, float(ipcs.max()) * 1.2)
+
+    return PredictorModel(
+        type_names=tuple(names),
+        theta=theta,
+        power_lines=power_lines,
+        ipc_range=ipc_range,
+        fit_error=fit_error,
+    )
+
+
+@lru_cache(maxsize=4)
+def default_predictor(seed: int = 7) -> PredictorModel:
+    """A predictor trained over all built-in core types (cached)."""
+    return train_predictor(tuple(BUILTIN_TYPES.values()), seed=seed)

@@ -1,0 +1,173 @@
+"""Sparse virtual sensing (paper Section 6.4, reference [24]).
+
+The paper acknowledges that needing ~10 counters plus per-core power
+sensors "may be viewed as a serious limitation on certain
+architectures" and points to *sparse virtual sensing* — estimating the
+full sensor set from a minimal physical subset — as the mitigation.
+
+This module implements that extension: a per-core-type linear
+reconstructor that estimates the *hidden* counter-derived rates from a
+small set of *physically observed* ones.  A platform with only the
+basic cycle/instruction counters (IPC, stall fraction, instruction-mix
+shares are derivable from three hardware counters plus the cycle
+counters every core has) can then still feed SmartBalance's Θ
+predictor, paying some accuracy for much cheaper hardware.
+
+The ``virtual_sensing`` benchmark quantifies the trade: predictor
+error as a function of how many physical counters the platform
+provides.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimation import FEATURE_NAMES
+from repro.core.training import profile_phase
+from repro.hardware.features import CoreType
+from repro.hardware.sensors import NoiseModel
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.generator import training_corpus
+
+#: Features that are never reconstructed: the core frequency is static
+#: platform knowledge and the intercept is a constant.
+ALWAYS_KNOWN = ("freq_mhz", "const")
+
+#: Rates derivable from the basic counters every core has (cycle and
+#: committed-instruction counters): the minimal physical set.
+MINIMAL_OBSERVED = ("ipc_src", "stall_frac", "i_msh", "i_bsh")
+
+
+@dataclass(frozen=True)
+class VirtualSensorModel:
+    """Linear reconstructor of hidden counter rates.
+
+    ``coefficients[(type_name, hidden_feature)]`` maps the observed
+    sub-vector (plus intercept) to one hidden feature's estimate.
+    """
+
+    observed: tuple[str, ...]
+    hidden: tuple[str, ...]
+    coefficients: dict[tuple[str, str], np.ndarray]
+    #: Mean absolute reconstruction error per hidden feature (training).
+    fit_error: dict[str, float]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.observed) & set(self.hidden)
+        if overlap:
+            raise ValueError(f"features cannot be both observed and hidden: {overlap}")
+
+    def reconstruct(
+        self, core_type: CoreType, sparse_features: np.ndarray
+    ) -> np.ndarray:
+        """Rebuild a full feature vector from sparse readings.
+
+        ``sparse_features`` is a full-length feature vector in the
+        canonical order whose *hidden* entries are ignored (typically
+        zero); the returned copy has them replaced by reconstructions.
+        """
+        sparse_features = np.asarray(sparse_features, dtype=float)
+        if sparse_features.shape != (len(FEATURE_NAMES),):
+            raise ValueError(
+                f"expected a {len(FEATURE_NAMES)}-feature vector, got "
+                f"shape {sparse_features.shape}"
+            )
+        design = self._design(sparse_features)
+        full = sparse_features.copy()
+        for name in self.hidden:
+            key = (core_type.name, name)
+            try:
+                coeffs = self.coefficients[key]
+            except KeyError:
+                raise KeyError(
+                    f"no reconstructor for feature {name!r} on core type "
+                    f"{core_type.name!r}"
+                ) from None
+            index = FEATURE_NAMES.index(name)
+            full[index] = max(float(np.dot(coeffs, design)), 0.0)
+        return full
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        values = [features[FEATURE_NAMES.index(name)] for name in self.observed]
+        return np.array(values + [1.0])
+
+
+def hidden_features(observed: Sequence[str]) -> tuple[str, ...]:
+    """The features a platform with ``observed`` counters must estimate."""
+    known = set(observed) | set(ALWAYS_KNOWN)
+    unknown_names = [n for n in observed if n not in FEATURE_NAMES]
+    if unknown_names:
+        raise ValueError(
+            f"unknown feature names {unknown_names}; valid: {FEATURE_NAMES}"
+        )
+    return tuple(n for n in FEATURE_NAMES if n not in known)
+
+
+def train_virtual_sensors(
+    core_types: Sequence[CoreType],
+    observed: Sequence[str] = MINIMAL_OBSERVED,
+    phases: Optional[Sequence[WorkloadPhase]] = None,
+    n_synthetic: int = 300,
+    seed: int = 17,
+    noise: Optional[NoiseModel] = NoiseModel(sigma=0.01),
+) -> VirtualSensorModel:
+    """Fit per-type reconstructors on an offline profiling corpus.
+
+    Mirrors the Θ training pipeline: profile each corpus phase on each
+    core type, then least-squares fit each hidden rate from the
+    observed sub-vector.
+    """
+    observed = tuple(observed)
+    hidden = hidden_features(observed)
+    if not hidden:
+        raise ValueError("nothing to reconstruct: all features observed")
+    if phases is None:
+        from repro.core.training import parsec_training_corpus
+
+        corpus = parsec_training_corpus(n_seeds=3) + training_corpus(n_synthetic, seed)
+    else:
+        corpus = list(phases)
+    if len(corpus) < 5 * (len(observed) + 1):
+        raise ValueError(
+            f"corpus of {len(corpus)} phases is too small for "
+            f"{len(observed)}-feature reconstructors"
+        )
+    rng = random.Random(seed)
+
+    coefficients: dict[tuple[str, str], np.ndarray] = {}
+    fit_error: dict[str, float] = {}
+    errors_by_feature: dict[str, list[float]] = {name: [] for name in hidden}
+    observed_idx = [FEATURE_NAMES.index(n) for n in observed]
+    for core_type in core_types:
+        rows = np.vstack([profile_phase(p, core_type, noise, rng) for p in corpus])
+        design = np.column_stack([rows[:, observed_idx], np.ones(len(corpus))])
+        for name in hidden:
+            target = rows[:, FEATURE_NAMES.index(name)]
+            coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+            coefficients[(core_type.name, name)] = coeffs
+            reconstructed = design @ coeffs
+            scale = max(float(np.abs(target).mean()), 1e-9)
+            errors_by_feature[name].append(
+                float(np.abs(reconstructed - target).mean()) / scale
+            )
+    for name, errs in errors_by_feature.items():
+        fit_error[name] = float(np.mean(errs))
+    return VirtualSensorModel(
+        observed=observed,
+        hidden=hidden,
+        coefficients=coefficients,
+        fit_error=fit_error,
+    )
+
+
+def sparsify(features: np.ndarray, observed: Sequence[str]) -> np.ndarray:
+    """Zero the hidden entries of a full feature vector (what a platform
+    with only ``observed`` counters would physically produce)."""
+    features = np.asarray(features, dtype=float).copy()
+    for name in hidden_features(observed):
+        features[FEATURE_NAMES.index(name)] = 0.0
+    return features

@@ -1,0 +1,78 @@
+"""Experiment modules — one per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult`` (or ``run_<id>``
+where one paper figure has multiple panels) and a ``main()`` that
+prints the rendered result.  ``run_all()`` regenerates everything.
+
+| module  | paper artifact                                     |
+|---------|----------------------------------------------------|
+| table1  | related-work capability matrix                     |
+| table2  | core configurations + derived peaks                |
+| table3  | PARSEC mixes                                       |
+| table4  | predictor coefficient matrix Θ                     |
+| fig4    | IPS/W gain vs vanilla (IMBs, PARSEC + mixes)       |
+| fig5    | normalised IPS/W vs ARM GTS on big.LITTLE          |
+| fig6    | IPC / power prediction error                       |
+| fig7    | per-phase overhead + 2-128 core scalability        |
+| fig8    | SA iterations vs distance-to-optimal + parameters  |
+"""
+
+from repro.experiments import (
+    extensions,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.common import FULL, QUICK, Scale
+
+
+def run_all(scale: Scale = QUICK) -> list:
+    """Regenerate every table and figure; returns the results."""
+    results = [
+        table1.run(),
+        table2.run(),
+        table3.run(),
+        table4.run(),
+        fig4.run_fig4a(scale),
+        fig4.run_fig4b(scale),
+        fig5.run(scale),
+        fig6.run(),
+        fig7.run_fig7a(scale),
+        fig7.run_fig7b(),
+        fig8.run_fig8a(),
+        fig8.run_fig8b(),
+        extensions.run_virtual_sensing(),
+        extensions.run_optimizer_comparison(),
+    ]
+    return results
+
+
+def main() -> None:
+    for result in run_all():
+        print(result.render())
+        print()
+
+
+__all__ = [
+    "run_all",
+    "main",
+    "Scale",
+    "QUICK",
+    "FULL",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "extensions",
+]

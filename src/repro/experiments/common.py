@@ -1,0 +1,94 @@
+"""Shared experiment infrastructure.
+
+Every experiment runs at a :class:`Scale`: ``QUICK`` keeps the
+benchmark harness fast (CI-friendly), ``FULL`` matches the settings the
+committed ``EXPERIMENTS.md`` numbers were produced with.  The shapes —
+who wins, by roughly what factor — hold at both scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.hardware.platform import Platform
+from repro.kernel.balancers.base import LoadBalancer
+from repro.kernel.metrics import RunResult
+from repro.kernel.simulator import SimulationConfig, System
+from repro.workload.thread import ThreadBehavior
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    #: Epochs simulated per run (60 ms each by default).
+    n_epochs: int
+    #: Per-benchmark thread counts (the paper uses 2, 4, 8).
+    thread_counts: tuple[int, ...]
+    #: IMB configurations evaluated (all nine at FULL).
+    imb_configs: tuple[str, ...]
+    #: PARSEC benchmarks evaluated in Fig. 4(b)/Fig. 5.
+    parsec_benchmarks: tuple[str, ...]
+    #: Table 3 mixes evaluated.
+    mixes: tuple[str, ...]
+
+
+QUICK = Scale(
+    name="quick",
+    n_epochs=12,
+    thread_counts=(2, 8),
+    imb_configs=("HTHI", "MTMI", "LTLI"),
+    parsec_benchmarks=("x264_H_crew", "x264_L_bow", "bodytrack"),
+    mixes=("Mix1", "Mix6"),
+)
+
+FULL = Scale(
+    name="full",
+    n_epochs=40,
+    thread_counts=(2, 4, 8),
+    imb_configs=(
+        "HTHI", "HTMI", "HTLI",
+        "MTHI", "MTMI", "MTLI",
+        "LTHI", "LTMI", "LTLI",
+    ),
+    parsec_benchmarks=(
+        "x264_H_crew", "x264_H_bow", "x264_L_crew", "x264_L_bow", "bodytrack",
+    ),
+    mixes=("Mix1", "Mix2", "Mix3", "Mix4", "Mix5", "Mix6"),
+)
+
+
+def run_balancer(
+    platform: Platform,
+    behaviors: Sequence[ThreadBehavior],
+    balancer: LoadBalancer,
+    n_epochs: int,
+    config: SimulationConfig | None = None,
+) -> RunResult:
+    """Simulate one (platform, workload, balancer) combination."""
+    system = System(platform, list(behaviors), balancer, config)
+    return system.run(n_epochs=n_epochs)
+
+
+def compare_balancers(
+    platform: Platform,
+    behavior_factory: Callable[[], list[ThreadBehavior]],
+    balancers: Sequence[Callable[[], LoadBalancer]],
+    n_epochs: int,
+    config: SimulationConfig | None = None,
+) -> dict[str, RunResult]:
+    """Run the same workload under several balancers.
+
+    ``behavior_factory`` is called fresh per balancer so each run gets
+    identical, independent thread objects.
+    """
+    results: dict[str, RunResult] = {}
+    for make_balancer in balancers:
+        balancer = make_balancer()
+        result = run_balancer(
+            platform, behavior_factory(), balancer, n_epochs, config
+        )
+        results[result.balancer_name] = result
+    return results

@@ -1,0 +1,123 @@
+"""Fig. 4 — SmartBalance vs vanilla Linux on the quad-core HMP.
+
+(a) interactive microbenchmarks across the throughput x interactivity
+grid; (b) PARSEC benchmarks and the Table 3 mixes.  Each configuration
+runs with 2, 4 and 8 threads per benchmark (the paper's
+parallelisation levels); the figure reports the percent energy-
+efficiency (IPS/Watt) improvement of SmartBalance over the vanilla
+balancer on identical workloads.
+
+Paper headline: 50.02 % average for the IMBs, 52 % for PARSEC and the
+mixes, "over 50 % across all benchmarks".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult, Finding
+from repro.analysis.stats import mean
+from repro.experiments.common import FULL, Scale, compare_balancers
+from repro.hardware.platform import quad_hmp
+from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+from repro.kernel.balancers.vanilla import VanillaBalancer
+from repro.workload.parsec import benchmark, mix_threads
+from repro.workload.synthetic import imb_threads
+
+#: Paper-reported average improvements.
+PAPER_IMB_AVG_PCT = 50.02
+PAPER_PARSEC_AVG_PCT = 52.0
+
+_BALANCERS = (VanillaBalancer, SmartBalanceKernelAdapter)
+
+
+def _case_improvement(make_threads, n_epochs: int) -> tuple[float, float]:
+    """(improvement %, instruction ratio) for one workload case."""
+    results = compare_balancers(
+        quad_hmp(), make_threads, _BALANCERS, n_epochs=n_epochs
+    )
+    smart = results["smartbalance"]
+    vanilla = results["vanilla"]
+    return (
+        smart.improvement_over(vanilla),
+        smart.instructions / max(vanilla.instructions, 1.0),
+    )
+
+
+def run_fig4a(scale: Scale = FULL) -> ExperimentResult:
+    """Fig. 4(a): IMB energy-efficiency gains over vanilla."""
+    rows = []
+    improvements = []
+    for config in scale.imb_configs:
+        for n_threads in scale.thread_counts:
+            imp, instr_ratio = _case_improvement(
+                lambda c=config, n=n_threads: imb_threads(c, n),
+                scale.n_epochs,
+            )
+            improvements.append(imp)
+            rows.append([config, n_threads, round(imp, 1), round(instr_ratio, 2)])
+    return ExperimentResult(
+        experiment_id="fig4a",
+        title="Fig. 4(a): SmartBalance vs vanilla — interactive microbenchmarks",
+        headers=["IMB config", "threads", "IPS/W gain %", "instr ratio"],
+        rows=rows,
+        findings=(
+            Finding(
+                name="average IMB improvement",
+                measured=mean(improvements),
+                paper=PAPER_IMB_AVG_PCT,
+                unit="%",
+            ),
+        ),
+        notes=(
+            "instr ratio = SmartBalance delivered instructions relative to "
+            "vanilla (throughput preservation check)."
+        ),
+    )
+
+
+def run_fig4b(scale: Scale = FULL) -> ExperimentResult:
+    """Fig. 4(b): PARSEC + mixes energy-efficiency gains over vanilla."""
+    rows = []
+    improvements = []
+    for bench_name in scale.parsec_benchmarks:
+        for n_threads in scale.thread_counts:
+            imp, instr_ratio = _case_improvement(
+                lambda b=bench_name, n=n_threads: benchmark(b).threads(n),
+                scale.n_epochs,
+            )
+            improvements.append(imp)
+            rows.append([bench_name, n_threads, round(imp, 1), round(instr_ratio, 2)])
+    for mix_name in scale.mixes:
+        for n_threads in scale.thread_counts:
+            per_member = max(n_threads // 2, 1)
+            imp, instr_ratio = _case_improvement(
+                lambda m=mix_name, n=per_member: mix_threads(m, n),
+                scale.n_epochs,
+            )
+            improvements.append(imp)
+            rows.append(
+                [mix_name, f"{per_member}/bench", round(imp, 1), round(instr_ratio, 2)]
+            )
+    return ExperimentResult(
+        experiment_id="fig4b",
+        title="Fig. 4(b): SmartBalance vs vanilla — PARSEC benchmarks and mixes",
+        headers=["benchmark", "threads", "IPS/W gain %", "instr ratio"],
+        rows=rows,
+        findings=(
+            Finding(
+                name="average PARSEC improvement",
+                measured=mean(improvements),
+                paper=PAPER_PARSEC_AVG_PCT,
+                unit="%",
+            ),
+        ),
+    )
+
+
+def main() -> None:
+    print(run_fig4a().render())
+    print()
+    print(run_fig4b().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Table 1 — comparative summary of related work.
+
+The paper's qualitative capability matrix.  Regenerated as data, with
+the SmartBalance row *verified against this implementation*: each
+claimed capability maps to a concrete property of the code base that
+the test-suite exercises (noted in the rightmost column).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult
+
+#: (reference, >2 core types, thread:core > 1, per-thread IPC,
+#:  per-thread power, per-thread util, per-core IPC, per-core power,
+#:  implemented in OS)
+RELATED_WORK = [
+    ("Chen2009", "Yes", "No", "No", "No", "No", "Yes", "Yes", "No"),
+    ("Annamalai2013", "No", "No", "No", "No", "No", "Yes", "Yes", "No"),
+    ("Liu2013", "Yes", "Yes", "No", "No", "No", "Yes", "Yes", "No"),
+    ("Kim2014", "No", "Yes", "No", "No", "Yes", "No", "No", "Yes"),
+    ("Linaro IKS 2013", "No", "Yes", "No", "No", "Yes", "No", "No", "Yes"),
+    ("ARM GTS 2013", "No", "Yes", "No", "No", "Yes", "No", "No", "Yes"),
+    ("SmartBalance", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes", "Yes"),
+]
+
+#: How each SmartBalance capability is realised in this code base.
+SMARTBALANCE_EVIDENCE = {
+    "core types > 2": "quad_hmp() runs 4 types; scaled_hmp(n) arbitrary",
+    "thread:core > 1": "CFS run queues multiplex; objective compresses D_j > 1",
+    "per-thread IPC": "ThreadObservation.ipc_measured (Eq. 4)",
+    "per-thread power": "ThreadObservation.power_measured (Eq. 5)",
+    "per-thread util": "Task.utilization (PELT-style EWMA)",
+    "per-core IPC": "CoreEstimate.ips_avg (Eq. 6)",
+    "per-core power": "CoreEstimate.power_avg (Eq. 7)",
+    "implemented in OS": "SmartBalanceKernelAdapter replaces rebalance_domains()",
+}
+
+
+def run() -> ExperimentResult:
+    """Build the Table 1 reproduction."""
+    headers = [
+        "Reference",
+        ">2 types",
+        "thr:core>1",
+        "thr IPC",
+        "thr power",
+        "thr util",
+        "core IPC",
+        "core power",
+        "in OS",
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table 1: Comparative summary of related work",
+        headers=headers,
+        rows=[list(r) for r in RELATED_WORK],
+        notes="SmartBalance row evidence:\n"
+        + "\n".join(f"  {k}: {v}" for k, v in SMARTBALANCE_EVIDENCE.items()),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Cache, TLB and branch-predictor miss-rate models.
+
+The Gem5 platform of the paper provides per-core private L1/L2 caches
+and real predictors; SmartBalance only ever observes the resulting
+*per-epoch miss rates* through performance counters.  We therefore model
+miss rates analytically as smooth functions of the workload footprint
+versus the core's structure sizes.  The essential property preserved is
+that the same workload sees *different but correlated* miss rates on
+different core types — the correlation the paper's Θ predictor (Eq. 8)
+learns.
+
+All rates returned are per relevant access:
+
+* data-cache miss rate — per load/store,
+* instruction-cache miss rate — per fetched instruction,
+* TLB miss rates — per load/store (data) and per instruction (instr),
+* branch misprediction rate — per branch instruction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.features import CoreType
+from repro.workload.characteristics import WorkloadPhase
+
+#: Saturating miss rate of a pathologically cache-hostile workload.
+MAX_DCACHE_MISS_RATE = 0.30
+MAX_ICACHE_MISS_RATE = 0.10
+#: Scaling of effective capacity: locality lets a cache behave as if it
+#: were this many times larger than its nominal size.
+DCACHE_REACH_FACTOR = 4.0
+ICACHE_REACH_FACTOR = 8.0
+#: Fraction of TLB footprint covered per TLB entry (pages).
+TLB_PAGES_PER_ENTRY = 1.0
+MAX_TLB_MISS_RATE = 0.05
+#: Branch misprediction rate of a perfectly unpredictable branch on the
+#: weakest predictor.
+MAX_BRANCH_MISS_RATE = 0.12
+
+
+def _capacity_miss(footprint: float, effective_capacity: float, max_rate: float) -> float:
+    """Smooth capacity miss-rate curve.
+
+    Zero when the footprint fits; approaches ``max_rate`` as the
+    footprint dwarfs the cache.  The curve ``f/(f + c)`` is the standard
+    power-law-inspired approximation for LRU caches under a mix of
+    reuse distances.
+    """
+    if footprint <= 0:
+        return 0.0
+    overflow = max(0.0, footprint - effective_capacity)
+    return max_rate * overflow / (overflow + effective_capacity)
+
+
+def dcache_miss_rate(phase: WorkloadPhase, core: CoreType) -> float:
+    """L1 data-cache miss rate (per memory instruction)."""
+    effective = core.l1d_kb * DCACHE_REACH_FACTOR * phase.data_locality
+    return _capacity_miss(phase.working_set_kb, effective, MAX_DCACHE_MISS_RATE)
+
+
+def icache_miss_rate(phase: WorkloadPhase, core: CoreType) -> float:
+    """L1 instruction-cache miss rate (per instruction)."""
+    effective = core.l1i_kb * ICACHE_REACH_FACTOR
+    return _capacity_miss(phase.code_footprint_kb, effective, MAX_ICACHE_MISS_RATE)
+
+
+def dtlb_miss_rate(phase: WorkloadPhase, core: CoreType) -> float:
+    """Data-TLB miss rate (per memory instruction).
+
+    TLB reach is ``entries * 4KiB``; the data footprint in pages is the
+    working set divided by the page size, inflated for sparse access
+    patterns (low locality touches more pages per byte of working set).
+    """
+    pages = phase.working_set_kb / 4.0 / max(phase.data_locality, 0.1)
+    reach = core.dtlb_entries * TLB_PAGES_PER_ENTRY
+    return _capacity_miss(pages, reach, MAX_TLB_MISS_RATE)
+
+
+def itlb_miss_rate(phase: WorkloadPhase, core: CoreType) -> float:
+    """Instruction-TLB miss rate (per instruction)."""
+    pages = phase.code_footprint_kb / 4.0
+    reach = core.itlb_entries * TLB_PAGES_PER_ENTRY
+    return _capacity_miss(pages, reach, MAX_TLB_MISS_RATE)
+
+
+def predictor_quality(core: CoreType) -> float:
+    """Branch-predictor quality in ``(0, 1]``.
+
+    Table 2 does not size the predictor explicitly; as in the 21264
+    family, predictor capability tracks the front-end width — wider
+    cores carry larger history tables.  Quality 1.0 means perfect
+    prediction of *predictable* branches; the residual mispredict rate
+    for a fully random branch stream is ``MAX_BRANCH_MISS_RATE``.
+    """
+    return 1.0 - 0.35 / (1.0 + math.log2(2.0 * core.issue_width))
+
+
+def branch_miss_rate(phase: WorkloadPhase, core: CoreType) -> float:
+    """Branch misprediction rate (per branch instruction)."""
+    hostility = phase.branch_entropy
+    quality = predictor_quality(core)
+    return MAX_BRANCH_MISS_RATE * hostility * (1.0 - quality * (1.0 - hostility))
+
+
+def warmup_inflation(warmup_fraction: float, penalty: float = 2.0) -> float:
+    """Multiplier applied to cache/TLB miss rates after a migration.
+
+    ``warmup_fraction`` is 1.0 immediately after the thread lands on a
+    cold core and decays linearly to 0.0 as the private caches refill;
+    the inflation interpolates between ``1 + penalty`` (fully cold) and
+    1.0 (warm).  This is the mechanism that makes thrashing migrations
+    costly in the kernel simulator.
+    """
+    frac = min(max(warmup_fraction, 0.0), 1.0)
+    return 1.0 + penalty * frac

@@ -1,0 +1,134 @@
+"""DVFS operating points and V/f-differentiated platforms.
+
+Paper Section 3: "even if the cores are identical in terms of
+micro-architecture but associated with different nominal frequencies,
+they can be considered as distinct core types", and Section 5 notes
+the approach "is not limited by the voltage and frequency of the
+cores" — the evaluation simply fixes one operating point per type.
+
+This module makes the V/f dimension usable: per-type operating-point
+(OPP) tables with voltage scaling laws, helpers to derive the distinct
+core types each OPP induces, and platform builders that expose DVFS as
+*static heterogeneity* — e.g. a quad-core chip whose four identical
+cores are pinned at four different OPPs, which SmartBalance balances
+exactly like micro-architectural heterogeneity (see the
+``dvfs_platform`` example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.features import CoreType
+from repro.hardware.platform import Platform, build_platform
+
+#: Voltage scaling: V(f) follows a linear law between the type's
+#: nominal point and the minimum operating voltage, the standard
+#: compact approximation for mobile SoC OPP tables.
+MIN_OPERATING_VDD = 0.55
+#: Lowest frequency an OPP table goes down to, as a fraction of nominal.
+MIN_FREQ_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS operating point: frequency + matched supply voltage."""
+
+    freq_mhz: float
+    vdd: float
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0:
+            raise ValueError(f"freq_mhz must be positive, got {self.freq_mhz}")
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+
+
+def voltage_for_frequency(core_type: CoreType, freq_mhz: float) -> float:
+    """Matched supply voltage for a frequency on a type's V/f curve.
+
+    Linear interpolation between (``MIN_FREQ_FRACTION`` · f_nom,
+    ``MIN_OPERATING_VDD``) and the nominal (f_nom, V_nom) point,
+    clamped at the nominal voltage for over-nominal requests.
+    """
+    if freq_mhz <= 0:
+        raise ValueError(f"freq_mhz must be positive, got {freq_mhz}")
+    f_nom = core_type.freq_mhz
+    f_min = MIN_FREQ_FRACTION * f_nom
+    if freq_mhz >= f_nom:
+        return core_type.vdd
+    if freq_mhz <= f_min:
+        return MIN_OPERATING_VDD
+    span = (freq_mhz - f_min) / (f_nom - f_min)
+    return MIN_OPERATING_VDD + span * (core_type.vdd - MIN_OPERATING_VDD)
+
+
+def opp_table(core_type: CoreType, n_points: int = 4) -> tuple[OperatingPoint, ...]:
+    """An evenly-spaced OPP table from the minimum point to nominal."""
+    if n_points < 1:
+        raise ValueError(f"need at least one OPP, got {n_points}")
+    f_nom = core_type.freq_mhz
+    f_min = MIN_FREQ_FRACTION * f_nom
+    if n_points == 1:
+        freqs = [f_nom]
+    else:
+        step = (f_nom - f_min) / (n_points - 1)
+        freqs = [f_min + i * step for i in range(n_points)]
+    return tuple(
+        OperatingPoint(freq_mhz=f, vdd=voltage_for_frequency(core_type, f))
+        for f in freqs
+    )
+
+
+def type_at_opp(core_type: CoreType, opp: OperatingPoint) -> CoreType:
+    """The distinct core type induced by pinning a type at an OPP."""
+    return core_type.with_frequency(opp.freq_mhz, vdd=opp.vdd)
+
+
+def opp_variants(core_type: CoreType, n_points: int = 4) -> tuple[CoreType, ...]:
+    """All core types induced by a type's OPP table (ascending f)."""
+    return tuple(type_at_opp(core_type, opp) for opp in opp_table(core_type, n_points))
+
+
+def dvfs_platform(
+    core_type: CoreType,
+    n_cores: int = 4,
+    n_points: int | None = None,
+    name: str | None = None,
+) -> Platform:
+    """A platform of identical cores pinned at spread-out OPPs.
+
+    The paper's observation in hardware form: one micro-architecture,
+    ``n_cores`` cores, each at a different operating point — an
+    aggressively heterogeneous platform by V/f alone.  ``n_points``
+    defaults to ``n_cores`` (one OPP per core).
+    """
+    if n_cores < 1:
+        raise ValueError(f"need at least one core, got {n_cores}")
+    n_points = n_points or n_cores
+    variants = opp_variants(core_type, n_points)
+    counts = []
+    for i in range(n_cores):
+        counts.append((variants[i % len(variants)], 1))
+    return build_platform(
+        counts, name=name or f"dvfs-{core_type.name}-{n_cores}"
+    )
+
+
+def energy_per_instruction(core_type: CoreType, opps: Sequence[OperatingPoint]):
+    """(OPP, peak IPS, Joules/instruction) rows for an OPP table.
+
+    The classic DVFS energy curve: lower V/f costs less energy per
+    instruction (quadratic dynamic savings) until leakage-dominated
+    run-time stretching wins — useful for choosing OPP spreads.
+    """
+    from repro.hardware import microarch, power
+
+    rows = []
+    for opp in opps:
+        variant = type_at_opp(core_type, opp)
+        ips = microarch.peak_ips(variant)
+        watts = power.busy_power(variant, microarch.peak_ipc(variant)).total_w
+        rows.append((opp, ips, watts / ips if ips > 0 else float("inf")))
+    return rows

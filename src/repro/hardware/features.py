@@ -1,0 +1,192 @@
+"""Heterogeneous core-type descriptions (paper Table 2).
+
+A *core type* is a unique combination of micro-architectural parameters
+plus a nominal voltage/frequency operating point.  The paper's Table 2
+defines four types (Huge, Big, Medium, Small) derived from the Alpha
+21264 by scaling seven structures; we reproduce those parameter sets
+exactly and add ARM-flavoured ``big``/``little`` types for the
+big.LITTLE comparison of Fig. 5.
+
+Peak IPC / peak power in Table 2 are *derived* quantities (the paper
+estimated them with Gem5 + McPAT on PARSEC); here they fall out of
+:mod:`repro.hardware.microarch` and :mod:`repro.hardware.power` and are
+checked against the paper's values in the test-suite and the ``table2``
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """Immutable description of one heterogeneous core type.
+
+    Parameters mirror Table 2 of the paper: issue width, load/store
+    queue sizes, instruction-queue size, reorder-buffer size, register
+    file size, split L1 cache sizes, and the fixed nominal
+    voltage/frequency point.  ``area_mm2`` is used by the leakage model.
+    """
+
+    name: str
+    issue_width: int
+    lq_size: int
+    sq_size: int
+    iq_size: int
+    rob_size: int
+    num_regs: int
+    l1i_kb: int
+    l1d_kb: int
+    freq_mhz: float
+    vdd: float
+    area_mm2: float
+    #: Data/instruction TLB entries.  Not listed in Table 2; scaled with
+    #: the L1 sizes as is conventional for the Alpha 21264 family.
+    dtlb_entries: int = 0
+    itlb_entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError(f"issue_width must be >= 1, got {self.issue_width}")
+        if self.freq_mhz <= 0:
+            raise ValueError(f"freq_mhz must be positive, got {self.freq_mhz}")
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        if self.dtlb_entries == 0:
+            object.__setattr__(self, "dtlb_entries", 8 * self.l1d_kb)
+        if self.itlb_entries == 0:
+            object.__setattr__(self, "itlb_entries", 8 * self.l1i_kb)
+
+    @property
+    def freq_hz(self) -> float:
+        """Nominal clock frequency in Hz."""
+        return self.freq_mhz * 1e6
+
+    def with_frequency(self, freq_mhz: float, vdd: float | None = None) -> "CoreType":
+        """Return a copy running at a different operating point.
+
+        Per Section 3 of the paper, cores with identical
+        micro-architecture but different nominal frequency count as
+        distinct core types; this helper builds such variants.
+        """
+        new_name = f"{self.name}@{freq_mhz:g}MHz"
+        return replace(
+            self,
+            name=new_name,
+            freq_mhz=freq_mhz,
+            vdd=self.vdd if vdd is None else vdd,
+        )
+
+
+#: Table 2 core types, verbatim parameter sets.
+HUGE = CoreType(
+    name="Huge",
+    issue_width=8,
+    lq_size=32,
+    sq_size=32,
+    iq_size=64,
+    rob_size=192,
+    num_regs=256,
+    l1i_kb=64,
+    l1d_kb=64,
+    freq_mhz=2000.0,
+    vdd=1.0,
+    area_mm2=11.99,
+)
+
+BIG = CoreType(
+    name="Big",
+    issue_width=4,
+    lq_size=16,
+    sq_size=16,
+    iq_size=32,
+    rob_size=128,
+    num_regs=128,
+    l1i_kb=32,
+    l1d_kb=32,
+    freq_mhz=1500.0,
+    vdd=0.8,
+    area_mm2=5.08,
+)
+
+MEDIUM = CoreType(
+    name="Medium",
+    issue_width=2,
+    lq_size=8,
+    sq_size=8,
+    iq_size=16,
+    rob_size=64,
+    num_regs=64,
+    l1i_kb=16,
+    l1d_kb=16,
+    freq_mhz=1000.0,
+    vdd=0.7,
+    area_mm2=3.04,
+)
+
+SMALL = CoreType(
+    name="Small",
+    issue_width=1,
+    lq_size=8,
+    sq_size=8,
+    iq_size=16,
+    rob_size=64,
+    num_regs=64,
+    l1i_kb=16,
+    l1d_kb=16,
+    freq_mhz=500.0,
+    vdd=0.6,
+    area_mm2=2.27,
+)
+
+#: The quad-HMP type set used throughout Section 6 (four core types).
+TABLE2_TYPES = (HUGE, BIG, MEDIUM, SMALL)
+
+#: ARM-flavoured types for the big.LITTLE octa-core of Section 6.1.
+#: Modeled on Cortex-A15 (3-wide OoO) and Cortex-A7 (2-wide in-order-ish)
+#: class cores at Exynos-like operating points.
+ARM_BIG = CoreType(
+    name="A15big",
+    issue_width=3,
+    lq_size=16,
+    sq_size=16,
+    iq_size=48,
+    rob_size=128,
+    num_regs=128,
+    l1i_kb=32,
+    l1d_kb=32,
+    freq_mhz=1600.0,
+    vdd=0.9,
+    area_mm2=4.5,
+)
+
+ARM_LITTLE = CoreType(
+    name="A7little",
+    issue_width=2,
+    lq_size=8,
+    sq_size=8,
+    iq_size=8,
+    rob_size=32,
+    num_regs=32,
+    l1i_kb=16,
+    l1d_kb=16,
+    freq_mhz=1000.0,
+    vdd=0.7,
+    area_mm2=0.9,
+)
+
+#: Registry of all built-in core types by name.
+BUILTIN_TYPES = {
+    t.name: t for t in (HUGE, BIG, MEDIUM, SMALL, ARM_BIG, ARM_LITTLE)
+}
+
+
+def core_type_by_name(name: str) -> CoreType:
+    """Look up a built-in core type; raises ``KeyError`` if unknown."""
+    try:
+        return BUILTIN_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown core type {name!r}; known: {sorted(BUILTIN_TYPES)}"
+        ) from None

@@ -1,0 +1,154 @@
+"""Chip topology: cores, clusters and platform presets.
+
+Builds the simulated MPSoC the kernel substrate runs on.  Provides the
+two platforms of the paper's evaluation —
+
+* the **quad-core HMP** with the four Table 2 core types (Section 6),
+* the **octa-core big.LITTLE** (4 big + 4 little) of Section 6.1,
+
+plus parameterised builders for the 2–128-core scalability sweep of
+Fig. 7(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.hardware.features import (
+    ARM_BIG,
+    ARM_LITTLE,
+    BIG,
+    HUGE,
+    MEDIUM,
+    SMALL,
+    TABLE2_TYPES,
+    CoreType,
+)
+
+
+@dataclass(frozen=True)
+class Core:
+    """One physical core instance: an id, a type and a cluster label.
+
+    The mapping ``core -> type`` is the γ function of Section 3.
+    """
+
+    core_id: int
+    core_type: CoreType
+    cluster: str = "default"
+
+    @property
+    def name(self) -> str:
+        return f"c{self.core_id}({self.core_type.name})"
+
+
+class Platform:
+    """A heterogeneous MPSoC: an ordered set of cores.
+
+    The platform is purely structural; dynamic state (run queues,
+    counters, energy) lives in the kernel simulator.
+    """
+
+    def __init__(self, cores: Sequence[Core], name: str = "custom") -> None:
+        if not cores:
+            raise ValueError("a platform needs at least one core")
+        ids = [c.core_id for c in cores]
+        if ids != list(range(len(cores))):
+            raise ValueError(
+                f"core ids must be contiguous starting at 0, got {ids}"
+            )
+        self.name = name
+        self.cores: tuple[Core, ...] = tuple(cores)
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    def __getitem__(self, core_id: int) -> Core:
+        return self.cores[core_id]
+
+    @property
+    def core_types(self) -> tuple[CoreType, ...]:
+        """Distinct core types present, in first-appearance order."""
+        seen: dict[str, CoreType] = {}
+        for core in self.cores:
+            seen.setdefault(core.core_type.name, core.core_type)
+        return tuple(seen.values())
+
+    @property
+    def clusters(self) -> dict[str, tuple[Core, ...]]:
+        """Cores grouped by cluster label."""
+        groups: dict[str, list[Core]] = {}
+        for core in self.cores:
+            groups.setdefault(core.cluster, []).append(core)
+        return {name: tuple(cs) for name, cs in groups.items()}
+
+    def cores_of_type(self, core_type: CoreType) -> tuple[Core, ...]:
+        return tuple(c for c in self.cores if c.core_type.name == core_type.name)
+
+    def describe(self) -> str:
+        """One-line human-readable topology summary."""
+        parts = []
+        for cluster, cores in self.clusters.items():
+            types = {}
+            for core in cores:
+                types[core.core_type.name] = types.get(core.core_type.name, 0) + 1
+            desc = "+".join(f"{n}x{t}" for t, n in types.items())
+            parts.append(f"{cluster}[{desc}]")
+        return f"{self.name}: " + " ".join(parts)
+
+
+def build_platform(
+    type_counts: Iterable[tuple[CoreType, int]],
+    name: str = "custom",
+    cluster_per_type: bool = False,
+) -> Platform:
+    """Build a platform from ``(core_type, count)`` pairs.
+
+    With ``cluster_per_type`` each type gets its own cluster label
+    (big.LITTLE-style homogeneous clusters); otherwise all cores share
+    one cluster.
+    """
+    cores: list[Core] = []
+    for core_type, count in type_counts:
+        if count < 0:
+            raise ValueError(f"negative core count for {core_type.name}")
+        cluster = core_type.name if cluster_per_type else "default"
+        for _ in range(count):
+            cores.append(Core(core_id=len(cores), core_type=core_type, cluster=cluster))
+    return Platform(cores, name=name)
+
+
+def quad_hmp() -> Platform:
+    """The paper's 4-core, 4-type HMP (Huge + Big + Medium + Small)."""
+    return build_platform(
+        [(HUGE, 1), (BIG, 1), (MEDIUM, 1), (SMALL, 1)], name="quad-hmp"
+    )
+
+
+def big_little_octa() -> Platform:
+    """Octa-core big.LITTLE: 4 big + 4 little, clustered per type."""
+    return build_platform(
+        [(ARM_BIG, 4), (ARM_LITTLE, 4)],
+        name="bigLITTLE-octa",
+        cluster_per_type=True,
+    )
+
+
+def scaled_hmp(n_cores: int) -> Platform:
+    """HMP with ``n_cores`` cores cycling through the Table 2 types.
+
+    Used for the 2–128-core scalability analysis of Fig. 7(b).  Cores
+    are assigned types round-robin (Huge, Big, Medium, Small, Huge, …)
+    so every scale keeps the full heterogeneity of the quad platform.
+    """
+    if n_cores < 1:
+        raise ValueError(f"need at least one core, got {n_cores}")
+    cores = [
+        Core(core_id=i, core_type=TABLE2_TYPES[i % len(TABLE2_TYPES)])
+        for i in range(n_cores)
+    ]
+    return Platform(cores, name=f"hmp-{n_cores}")

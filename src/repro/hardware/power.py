@@ -1,0 +1,137 @@
+"""McPAT-substitute power model.
+
+The paper integrates McPAT with Gem5 to obtain per-core power at
+runtime.  SmartBalance's power predictor (Eq. 9) relies on a single
+structural property of that data: *per core type, thread power is
+(approximately) linear in the thread's IPC*.  We therefore model
+
+* dynamic power as ``C_eff * V^2 * f * activity(ipc)`` with activity an
+  affine function of IPC utilisation, and
+* leakage as an area- and voltage-dependent constant, gate-able when a
+  core sleeps,
+
+calibrating ``C_eff`` per core type so each type hits the Table 2 peak
+power at its peak IPC.  The result has exactly the linear-in-IPC shape
+Eq. 9 assumes — plus whatever noise the sensors add — so the predictor
+faces the same estimation problem it faces on McPAT data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.hardware import microarch
+from repro.hardware.features import CoreType
+
+#: Table 2 peak power targets (Watt) used for calibration.
+TABLE2_PEAK_POWER_W = {
+    "Huge": 8.62,
+    "Big": 1.41,
+    "Medium": 0.53,
+    "Small": 0.095,
+}
+
+#: Leakage density at V = 1.0 V in W/mm^2 for the 22 nm node.
+LEAK_DENSITY_W_PER_MM2 = 0.080
+#: Sub-threshold leakage grows super-linearly with supply voltage; a
+#: V^4 power law is a standard compact-model approximation over the
+#: 0.6–1.0 V range.
+LEAK_VOLTAGE_EXPONENT = 4.0
+#: Fraction of leakage that survives power gating in the sleep state.
+SLEEP_GATING_RESIDUAL = 0.10
+#: Activity factor of a clocked-but-stalled pipeline relative to peak.
+IDLE_ACTIVITY = 0.30
+#: Default effective switched capacitance per mm^2 at activity 1.0,
+#: used for core types without a Table 2 calibration target.
+DEFAULT_CEFF_PER_MM2 = 4.0e-10
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Decomposed core power (Watt)."""
+
+    dynamic_w: float
+    leakage_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.leakage_w
+
+
+def leakage_power(core: CoreType) -> float:
+    """Static leakage power of a powered-on core (Watt)."""
+    return (
+        LEAK_DENSITY_W_PER_MM2
+        * core.area_mm2
+        * core.vdd ** LEAK_VOLTAGE_EXPONENT
+    )
+
+
+def sleep_power(core: CoreType) -> float:
+    """Residual power of a power-gated (sleeping) core (Watt)."""
+    return leakage_power(core) * SLEEP_GATING_RESIDUAL
+
+
+@lru_cache(maxsize=None)
+def effective_capacitance(core: CoreType) -> float:
+    """Effective switched capacitance ``C_eff`` (Farad) at activity 1.
+
+    For Table 2 types, solved from the published peak power at the
+    type's peak IPC; other types fall back to an area-proportional
+    default.
+    """
+    target = TABLE2_PEAK_POWER_W.get(core.name)
+    if target is None:
+        return DEFAULT_CEFF_PER_MM2 * core.area_mm2
+    dynamic_peak = max(target - leakage_power(core), 1e-6)
+    return dynamic_peak / (core.vdd ** 2 * core.freq_hz)
+
+
+def activity_factor(core: CoreType, ipc: float) -> float:
+    """Pipeline activity in ``[IDLE_ACTIVITY, 1]`` as a function of IPC."""
+    peak = microarch.peak_ipc(core)
+    utilisation = min(max(ipc / peak, 0.0), 1.0)
+    return IDLE_ACTIVITY + (1.0 - IDLE_ACTIVITY) * utilisation
+
+
+def busy_power(core: CoreType, ipc: float) -> PowerBreakdown:
+    """Power of a core actively running a thread at the given IPC."""
+    dynamic = (
+        effective_capacitance(core)
+        * core.vdd ** 2
+        * core.freq_hz
+        * activity_factor(core, ipc)
+    )
+    return PowerBreakdown(dynamic_w=dynamic, leakage_w=leakage_power(core))
+
+
+def idle_power(core: CoreType) -> PowerBreakdown:
+    """Power of a powered-on core with nothing to run (clock-gated).
+
+    A shallow C-state: most clocks gated (a tenth of the stalled-
+    pipeline activity keeps ticking) but the core stays powered, so
+    leakage is paid in full.  Long idle stretches transition to the
+    power-gated :func:`sleep_power` state (the kernel substrate models
+    the transition latency).
+    """
+    dynamic = (
+        effective_capacitance(core)
+        * core.vdd ** 2
+        * core.freq_hz
+        * IDLE_ACTIVITY
+        * 0.1
+    )
+    return PowerBreakdown(dynamic_w=dynamic, leakage_w=leakage_power(core))
+
+
+def peak_power(core: CoreType) -> float:
+    """Total power at peak IPC (Table 2 'Peak Power' row)."""
+    return busy_power(core, microarch.peak_ipc(core)).total_w
+
+
+def energy_joules(power_w: float, duration_s: float) -> float:
+    """Energy for a constant-power interval; guards against negatives."""
+    if duration_s < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_s}")
+    return power_w * duration_s

@@ -1,0 +1,102 @@
+"""On-chip sensing interface: noisy counter and power readouts.
+
+The paper's extended Gem5 exports McPAT power data and hardware
+counters to the kernel at runtime (Fig. 3).  Real sensors are noisy and
+quantised; SmartBalance's prediction errors (Fig. 6: ~4–5 %) are partly
+measurement-driven.  This module wraps ground-truth values with a
+seeded, reproducible noise model so that:
+
+* the *simulated hardware* stays deterministic, and
+* the *observed* values the OS sees carry configurable error.
+
+Noise is multiplicative Gaussian, clipped to keep readings physical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.hardware.counters import CounterBlock
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative Gaussian read-out noise.
+
+    ``sigma`` is the relative standard deviation (0.02 = 2 %).  A sigma
+    of zero yields a pass-through (ideal) sensor.  ``clip`` bounds the
+    multiplier to ``[1 - clip, 1 + clip]`` so extreme draws cannot
+    produce negative counts.
+    """
+
+    sigma: float = 0.02
+    clip: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        if not 0.0 < self.clip < 1.0:
+            raise ValueError(f"clip must be in (0, 1), got {self.clip}")
+
+    def apply(self, value: float, rng: random.Random) -> float:
+        """Return a noisy reading of ``value``."""
+        if self.sigma == 0.0 or value == 0.0:
+            return value
+        factor = rng.gauss(1.0, self.sigma)
+        factor = min(max(factor, 1.0 - self.clip), 1.0 + self.clip)
+        return value * factor
+
+
+#: Ideal (noise-free) sensors, for unit tests and ablations.
+IDEAL_NOISE = NoiseModel(sigma=0.0)
+#: Default sensing fidelity used across the experiments.
+DEFAULT_COUNTER_NOISE = NoiseModel(sigma=0.015)
+DEFAULT_POWER_NOISE = NoiseModel(sigma=0.025)
+
+
+class SensingInterface:
+    """The kernel-visible sensing port of the simulated chip.
+
+    One instance per platform; owns a private RNG so noisy readings are
+    reproducible for a given seed regardless of other randomness in the
+    simulation.
+    """
+
+    def __init__(
+        self,
+        counter_noise: NoiseModel = DEFAULT_COUNTER_NOISE,
+        power_noise: NoiseModel = DEFAULT_POWER_NOISE,
+        seed: int = 0,
+    ) -> None:
+        self.counter_noise = counter_noise
+        self.power_noise = power_noise
+        self._rng = random.Random(seed)
+
+    def read_counters(self, block: CounterBlock) -> CounterBlock:
+        """Return a noisy snapshot of a counter block.
+
+        Each counter gets an independent noise draw, as independent
+        hardware counters would.  Timing (``busy_time_s``) is kernel
+        bookkeeping, not a hardware counter, and is read exactly.
+        """
+        noisy = block.snapshot()
+        for name in (
+            "cy_busy",
+            "cy_idle",
+            "cy_sleep",
+            "instructions",
+            "mem_instructions",
+            "branch_instructions",
+            "branch_mispredicts",
+            "l1i_misses",
+            "l1d_misses",
+            "itlb_misses",
+            "dtlb_misses",
+        ):
+            setattr(noisy, name, self.counter_noise.apply(getattr(block, name), self._rng))
+        return noisy
+
+    def read_power(self, true_power_w: float) -> float:
+        """Return a noisy reading from a per-core power sensor."""
+        return max(self.power_noise.apply(true_power_w, self._rng), 0.0)

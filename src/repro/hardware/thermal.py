@@ -1,0 +1,137 @@
+"""Per-core RC thermal model with temperature-dependent leakage.
+
+An extension beyond the paper's evaluation, but squarely inside its
+programme: the authors' companion work (reference [24] and the
+"Variability Expedition" project the paper acknowledges) centres on
+run-time thermal estimation for MPSoCs, and Eq. 11's per-core weights
+ω_j are explicitly "tunable to give preference to certain cores" —
+temperature being the canonical reason to deprefer one.
+
+The model is the standard first-order RC compact model used by
+HotSpot-class tools at core granularity:
+
+    dT/dt = (P · R_th − (T − T_amb)) / (R_th · C_th)
+
+with per-core thermal resistance derived from die area (smaller cores
+are harder to cool per watt but also dissipate less), plus the classic
+exponential leakage-temperature feedback folded in as a multiplier on
+the leakage term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hardware.features import CoreType
+
+#: Ambient/package reference temperature (deg C).
+AMBIENT_C = 45.0
+#: Thermal resistance of a 1 mm^2 silicon patch to ambient through the
+#: package (K·mm^2/W); per-core R_th = THERMAL_R_MM2 / area.
+THERMAL_R_MM2 = 60.0
+#: Areal thermal capacitance (J/K per mm^2) of silicon + spreader.
+THERMAL_C_MM2 = 1.5e-3
+#: Leakage doubles roughly every LEAK_DOUBLE_C degrees.
+LEAK_DOUBLE_C = 25.0
+#: Junction temperature treated as thermal emergency (deg C).
+T_JUNCTION_MAX_C = 95.0
+
+
+def thermal_resistance(core: CoreType) -> float:
+    """Core-to-ambient thermal resistance (K/W)."""
+    return THERMAL_R_MM2 / core.area_mm2
+
+
+def thermal_capacitance(core: CoreType) -> float:
+    """Core thermal capacitance (J/K)."""
+    return THERMAL_C_MM2 * core.area_mm2
+
+
+def thermal_time_constant(core: CoreType) -> float:
+    """RC time constant (seconds); area cancels, so it is uniform."""
+    return thermal_resistance(core) * thermal_capacitance(core)
+
+
+def steady_state_temperature(core: CoreType, power_w: float) -> float:
+    """Temperature the core settles at under constant power (deg C)."""
+    if power_w < 0:
+        raise ValueError(f"power must be non-negative, got {power_w}")
+    return AMBIENT_C + power_w * thermal_resistance(core)
+
+
+def leakage_multiplier(temp_c: float) -> float:
+    """Leakage scaling relative to the ambient-temperature value.
+
+    Exponential in temperature with a doubling every
+    :data:`LEAK_DOUBLE_C` degrees — the standard compact approximation
+    of sub-threshold leakage's temperature dependence.
+    """
+    return 2.0 ** ((temp_c - AMBIENT_C) / LEAK_DOUBLE_C)
+
+
+@dataclass
+class ThermalState:
+    """Mutable thermal state of one core (explicit-Euler RC integration)."""
+
+    core: CoreType
+    temp_c: float = AMBIENT_C
+    peak_c: float = field(default=AMBIENT_C)
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the RC model by ``dt_s`` under ``power_w``; returns
+        the new temperature.
+
+        Uses the exact exponential solution of the first-order ODE for
+        a constant-power interval, so arbitrarily long steps stay
+        stable.
+        """
+        if power_w < 0:
+            raise ValueError(f"power must be non-negative, got {power_w}")
+        if dt_s < 0:
+            raise ValueError(f"dt must be non-negative, got {dt_s}")
+        target = steady_state_temperature(self.core, power_w)
+        tau = thermal_time_constant(self.core)
+        decay = math.exp(-dt_s / tau) if tau > 0 else 0.0
+        self.temp_c = target + (self.temp_c - target) * decay
+        self.peak_c = max(self.peak_c, self.temp_c)
+        return self.temp_c
+
+    @property
+    def over_limit(self) -> bool:
+        """True when the core exceeds the junction limit."""
+        return self.temp_c > T_JUNCTION_MAX_C
+
+    def extra_leakage_w(self, base_leakage_w: float) -> float:
+        """Additional leakage power due to self-heating (W)."""
+        if base_leakage_w < 0:
+            raise ValueError(
+                f"base leakage must be non-negative, got {base_leakage_w}"
+            )
+        return base_leakage_w * (leakage_multiplier(self.temp_c) - 1.0)
+
+
+def thermal_weights(
+    temperatures_c: list[float],
+    knee_c: float = 75.0,
+    zero_c: float = T_JUNCTION_MAX_C,
+) -> list[float]:
+    """Eq. 11 core weights ω_j derived from core temperatures.
+
+    1.0 below the knee, linearly de-rated to 0.0 at ``zero_c`` — a
+    simple thermal-aware preference that steers the balancer away from
+    hot cores without hard constraints.
+    """
+    if not knee_c < zero_c:
+        raise ValueError(
+            f"knee ({knee_c}) must be below the zero point ({zero_c})"
+        )
+    weights = []
+    for temp in temperatures_c:
+        if temp <= knee_c:
+            weights.append(1.0)
+        elif temp >= zero_c:
+            weights.append(0.0)
+        else:
+            weights.append((zero_c - temp) / (zero_c - knee_c))
+    return weights

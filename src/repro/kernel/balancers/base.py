@@ -1,0 +1,69 @@
+"""Load-balancer interface.
+
+A balancer is the pluggable policy the simulator consults at fixed
+intervals — the role of ``rebalance_domains()`` in the vanilla kernel,
+which SmartBalance's prototype reimplements (paper Section 5.1).
+
+The contract:
+
+* :meth:`LoadBalancer.rebalance` receives a :class:`~repro.kernel.view.SystemView`
+  covering the sensing window just ended and returns either ``None``
+  (no changes) or a partial ``tid -> core_id`` placement; the simulator
+  migrates every task whose assignment changed.
+* ``interval_periods`` sets how many CFS periods pass between calls —
+  1 for the vanilla balancer (it runs with every scheduler tick),
+  ``L`` (one epoch) for SmartBalance.
+* Balancers must decide from the view alone; they never see workload
+  ground truth.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.kernel.view import SystemView
+
+#: Placement delta returned by a balancer: task id -> target core id.
+Placement = dict[int, int]
+
+
+class LoadBalancer(abc.ABC):
+    """Abstract cross-core load-balancing policy."""
+
+    #: Human-readable policy name (used in results and figures).
+    name: str = "abstract"
+    #: CFS periods between rebalance calls.
+    interval_periods: int = 1
+
+    @abc.abstractmethod
+    def rebalance(self, view: SystemView) -> Optional[Placement]:
+        """Return placement changes for the next window, or ``None``."""
+
+    def validate_placement(self, view: SystemView, placement: Placement) -> None:
+        """Raise ``ValueError`` on malformed placements (helper for
+        implementations and tests)."""
+        known_tids = {t.tid for t in view.tasks}
+        n_cores = len(view.platform)
+        for tid, core_id in placement.items():
+            if tid not in known_tids:
+                raise ValueError(f"placement references unknown task {tid}")
+            if not 0 <= core_id < n_cores:
+                raise ValueError(
+                    f"placement sends task {tid} to invalid core {core_id}"
+                )
+
+
+class NullBalancer(LoadBalancer):
+    """Keeps the initial placement forever (no balancing).
+
+    The degenerate baseline: whatever round-robin placement tasks start
+    with is what they keep.  Useful for tests and as a floor in
+    ablation studies.
+    """
+
+    name = "none"
+    interval_periods = 1_000_000_000
+
+    def rebalance(self, view: SystemView) -> Optional[Placement]:
+        return None

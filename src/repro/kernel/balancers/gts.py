@@ -1,0 +1,131 @@
+"""ARM Global Task Scheduling (GTS) policy — the state-of-the-art
+comparator of paper Section 6.1.
+
+GTS (ARM's big.LITTLE MP extension) tracks per-task load/utilisation
+and makes a *binary*, threshold-driven choice between the big and the
+little cluster: a task whose tracked utilisation crosses the
+**up-migration threshold** is moved to a big core; one that falls below
+the **down-migration threshold** is moved to a little core.  Within the
+chosen cluster, tasks spread by load as usual.
+
+The paper's critique — which this implementation deliberately
+preserves — is that GTS (a) only supports exactly two core types,
+(b) uses utilisation as a *proxy* for efficiency, with no per-thread
+IPC or power awareness, and therefore (c) leaves ~20 % energy
+efficiency on the table versus SmartBalance's direct optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.balancers.base import LoadBalancer, Placement
+from repro.kernel.view import SystemView, TaskView
+
+#: Default migration thresholds from ARM's published big.LITTLE MP
+#: patch set (fractions of full-scale utilisation).
+UP_THRESHOLD = 0.70
+DOWN_THRESHOLD = 0.25
+
+
+class GtsBalancer(LoadBalancer):
+    """Utilisation-threshold big/little selection + in-cluster spread."""
+
+    name = "gts"
+    interval_periods = 1
+
+    def __init__(
+        self,
+        up_threshold: float = UP_THRESHOLD,
+        down_threshold: float = DOWN_THRESHOLD,
+    ) -> None:
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < down < up <= 1, got "
+                f"down={down_threshold}, up={up_threshold}"
+            )
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self._big_cluster: Optional[str] = None
+        self._little_cluster: Optional[str] = None
+
+    def _identify_clusters(self, view: SystemView) -> tuple[str, str]:
+        """Find the big and little clusters; GTS requires exactly two.
+
+        The big cluster is the one with the higher peak single-thread
+        capacity (frequency x issue width) — the static capacity table
+        a real GTS kernel is given by the device tree.
+        """
+        if self._big_cluster is not None and self._little_cluster is not None:
+            return self._big_cluster, self._little_cluster
+        clusters = view.platform.clusters
+        if len(clusters) != 2:
+            raise ValueError(
+                "GTS supports exactly two clusters (big.LITTLE); platform "
+                f"{view.platform.name!r} has {len(clusters)}"
+            )
+
+        def capacity(cluster_name: str) -> float:
+            core = clusters[cluster_name][0]
+            return core.core_type.freq_mhz * core.core_type.issue_width
+
+        names = sorted(clusters, key=capacity, reverse=True)
+        self._big_cluster, self._little_cluster = names[0], names[1]
+        return self._big_cluster, self._little_cluster
+
+    def rebalance(self, view: SystemView) -> Optional[Placement]:
+        big, little = self._identify_clusters(view)
+        clusters = view.platform.clusters
+        core_cluster = {c.core_id: c.cluster for c in view.platform}
+
+        loads = {c.core_id: 0.0 for c in view.cores}
+        for task in view.tasks:
+            loads[task.core_id] += task.weight * max(task.utilization, 0.05)
+
+        placement: Placement = {}
+        for task in view.tasks:
+            current_cluster = core_cluster[task.core_id]
+            target_cluster = current_cluster
+            if task.utilization >= self.up_threshold:
+                target_cluster = big
+            elif task.utilization <= self.down_threshold:
+                target_cluster = little
+            if target_cluster != current_cluster:
+                target = self._least_loaded(clusters[target_cluster], loads)
+                load = task.weight * max(task.utilization, 0.05)
+                loads[task.core_id] -= load
+                loads[target] += load
+                placement[task.tid] = target
+
+        # In-cluster load balancing (GTS keeps the normal CFS balancer
+        # inside each cluster).
+        for cluster_cores in clusters.values():
+            self._balance_within(cluster_cores, view, loads, placement)
+        return placement or None
+
+    @staticmethod
+    def _least_loaded(cores, loads) -> int:
+        return min((c.core_id for c in cores), key=lambda cid: loads[cid])
+
+    def _balance_within(self, cores, view: SystemView, loads, placement: Placement) -> None:
+        core_ids = {c.core_id for c in cores}
+        members: dict[int, list[TaskView]] = {cid: [] for cid in core_ids}
+        for task in view.tasks:
+            effective_core = placement.get(task.tid, task.core_id)
+            if effective_core in core_ids:
+                members[effective_core].append(task)
+        for _ in range(len(view.tasks)):
+            busiest = max(core_ids, key=lambda c: loads[c])
+            idlest = min(core_ids, key=lambda c: loads[c])
+            if loads[idlest] > 0 and loads[busiest] <= loads[idlest] * 1.25:
+                break
+            movable = members[busiest]
+            if len(movable) <= 1:
+                break
+            task = min(movable, key=lambda t: t.utilization)
+            load = task.weight * max(task.utilization, 0.05)
+            placement[task.tid] = idlest
+            members[busiest].remove(task)
+            members[idlest].append(task)
+            loads[busiest] -= load
+            loads[idlest] += load

@@ -1,0 +1,53 @@
+"""Kernel adapter for SmartBalance.
+
+Plugs the sense-predict-balance loop of :mod:`repro.core.balancer`
+into the simulator's balancer slot — the role of the reimplemented
+``rebalance_domains()`` in the paper's Linux prototype (Section 5.1).
+Runs once per epoch (every ``L`` CFS periods) and records per-phase
+timings for the Fig. 7 overhead analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.balancer import PhaseTimings, SmartBalance
+from repro.core.config import SmartBalanceConfig
+from repro.core.prediction import PredictorModel
+from repro.core.training import default_predictor
+from repro.kernel.balancers.base import LoadBalancer, Placement
+from repro.kernel.view import SystemView
+
+
+class SmartBalanceKernelAdapter(LoadBalancer):
+    """SmartBalance as a kernel load balancer."""
+
+    name = "smartbalance"
+
+    def __init__(
+        self,
+        predictor: Optional[PredictorModel] = None,
+        config: Optional[SmartBalanceConfig] = None,
+        epoch_periods: int = 10,
+    ) -> None:
+        if epoch_periods < 1:
+            raise ValueError(f"epoch_periods must be >= 1, got {epoch_periods}")
+        self.interval_periods = epoch_periods
+        self.engine = SmartBalance(
+            predictor=predictor or default_predictor(),
+            config=config,
+        )
+        #: Per-epoch phase timings (Fig. 7 raw data).
+        self.timings: list[PhaseTimings] = []
+        #: Per-epoch migration counts proposed.
+        self.proposed_migrations: list[int] = []
+
+    def rebalance(self, view: SystemView) -> Optional[Placement]:
+        decision = self.engine.decide(view)
+        self.timings.append(decision.timings)
+        self.proposed_migrations.append(
+            len(decision.placement) if decision.placement else 0
+        )
+        if decision.placement:
+            self.validate_placement(view, decision.placement)
+        return decision.placement

@@ -1,0 +1,88 @@
+"""Vanilla Linux load balancer (the paper's baseline).
+
+Emulates the stock CFS ``rebalance_domains()`` behaviour on an SMP
+kernel that has no notion of core capability: it equalises *load*
+(utilisation-weighted task weight) across cores, pulling tasks from the
+busiest run queue onto the least-loaded one whenever the imbalance
+exceeds a threshold.  On a heterogeneous platform this "evenly
+distributes the workload among cores even if the cores have distinct
+processing capabilities" (paper Section 1) — the inefficiency
+SmartBalance attacks.
+
+Runs every scheduling period, like the tick-driven kernel balancer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.balancers.base import LoadBalancer, Placement
+from repro.kernel.view import SystemView, TaskView
+
+#: Relative imbalance tolerated before tasks are pulled, mirroring the
+#: kernel's imbalance_pct (125 %).
+IMBALANCE_PCT = 1.25
+
+
+class VanillaBalancer(LoadBalancer):
+    """Capability-unaware load-equalising balancer."""
+
+    name = "vanilla"
+    interval_periods = 1
+
+    def __init__(self, imbalance_pct: float = IMBALANCE_PCT) -> None:
+        if imbalance_pct < 1.0:
+            raise ValueError(
+                f"imbalance_pct must be >= 1.0, got {imbalance_pct}"
+            )
+        self.imbalance_pct = imbalance_pct
+
+    def rebalance(self, view: SystemView) -> Optional[Placement]:
+        loads = {c.core_id: 0.0 for c in view.cores}
+        members: dict[int, list[TaskView]] = {c.core_id: [] for c in view.cores}
+        for task in view.tasks:
+            loads[task.core_id] += self._task_load(task)
+            members[task.core_id].append(task)
+
+        placement: Placement = {}
+        # Iterate busiest->idlest pulls until balanced, bounding the
+        # number of sweeps like the kernel bounds nr_balance_failed.
+        for _ in range(len(view.tasks)):
+            busiest = max(loads, key=lambda c: loads[c])
+            idlest = min(loads, key=lambda c: loads[c])
+            if busiest == idlest:
+                break
+            if loads[idlest] > 0 and loads[busiest] <= loads[idlest] * self.imbalance_pct:
+                break
+            movable = [t for t in members[busiest] if t.tid not in placement]
+            if not movable:
+                break
+            # Pull the task that best halves the gap, but never move a
+            # task whose load meets or exceeds the gap — that would
+            # merely invert the imbalance and ping-pong forever.
+            gap = loads[busiest] - loads[idlest]
+            candidates = [t for t in movable if self._task_load(t) < gap]
+            if not candidates:
+                break
+            task = min(
+                candidates,
+                key=lambda t: abs(2 * self._task_load(t) - gap),
+            )
+            load = self._task_load(task)
+            placement[task.tid] = idlest
+            members[busiest].remove(task)
+            members[idlest].append(task)
+            loads[busiest] -= load
+            loads[idlest] += load
+        return placement or None
+
+    @staticmethod
+    def _task_load(task: TaskView) -> float:
+        """CFS load contribution.
+
+        Linux 2.6 (the paper's kernel) balances on the sum of task
+        *weights* — no utilisation scaling (PELT arrived in 3.8) and no
+        notion of core capability.  With default nice values the result
+        is the even thread-count distribution the paper describes.
+        """
+        return task.weight

@@ -1,0 +1,109 @@
+"""Run metrics: the quantities the paper's figures are built from.
+
+The headline metric is **energy efficiency** — throughput per Watt,
+equivalently instructions per Joule (Eq. 10/11 optimise its per-core
+weighted sum; the figures report the whole-chip value).  A
+:class:`RunResult` aggregates a full simulation, and keeps a per-epoch
+history so experiments can plot convergence and count migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Aggregate outcome of one SmartBalance epoch (or epoch-equivalent
+    window under a baseline balancer)."""
+
+    epoch_index: int
+    start_time_s: float
+    duration_s: float
+    instructions: float
+    energy_j: float
+    migrations: int
+    #: Wall-clock seconds the balancer itself spent deciding (overhead).
+    balancer_time_s: float
+
+    @property
+    def ips_per_watt(self) -> float:
+        """Energy efficiency over the epoch (instructions per Joule)."""
+        return self.instructions / self.energy_j if self.energy_j > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class CoreStats:
+    """Lifetime per-core accounting."""
+
+    core_id: int
+    core_type_name: str
+    instructions: float
+    energy_j: float
+    busy_s: float
+    idle_s: float
+    sleep_s: float
+    #: Peak junction temperature (deg C); None when the run had the
+    #: thermal model disabled.
+    peak_temp_c: "float | None" = None
+
+    @property
+    def utilisation(self) -> float:
+        total = self.busy_s + self.idle_s + self.sleep_s
+        return self.busy_s / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Complete outcome of one simulated run."""
+
+    balancer_name: str
+    platform_name: str
+    duration_s: float
+    instructions: float
+    energy_j: float
+    migrations: int
+    epochs: tuple[EpochRecord, ...]
+    core_stats: tuple[CoreStats, ...]
+    #: Per-task (tid, name, instructions, busy_s, energy_j).
+    task_stats: tuple["TaskStats", ...] = ()
+
+    @property
+    def ips_per_watt(self) -> float:
+        """Whole-run energy efficiency (instructions per Joule).
+
+        Instructions-per-Joule equals average-IPS per average-Watt, the
+        paper's 'throughput/Watt'.
+        """
+        return self.instructions / self.energy_j if self.energy_j > 0 else 0.0
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def average_ips(self) -> float:
+        return self.instructions / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def balancer_overhead_s(self) -> float:
+        """Total wall-clock time spent inside the balancer."""
+        return sum(e.balancer_time_s for e in self.epochs)
+
+    def improvement_over(self, baseline: "RunResult") -> float:
+        """Percent energy-efficiency improvement relative to ``baseline``."""
+        if baseline.ips_per_watt <= 0:
+            raise ValueError("baseline has non-positive energy efficiency")
+        return 100.0 * (self.ips_per_watt / baseline.ips_per_watt - 1.0)
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Lifetime per-task accounting."""
+
+    tid: int
+    name: str
+    instructions: float
+    busy_s: float
+    energy_j: float
+    migrations: int

@@ -1,0 +1,419 @@
+"""Full-system discrete-time simulator.
+
+Drives the simulated MPSoC the way the paper's extended Gem5 + Linux
+platform does (Fig. 3): per-core CFS scheduling in fixed periods,
+epoch-aligned sensing through the noisy sensor interface, pluggable
+cross-core balancers, and migration with cache warm-up costs.
+
+Timing structure (paper Fig. 1(c)/Fig. 2): an *epoch* covers ``L`` CFS
+scheduling periods.  At each balancer interval boundary the simulator
+
+1. builds a :class:`~repro.kernel.view.SystemView` from the counters
+   and energy accumulated since the last view (the sensing window),
+2. calls the balancer (timing it — that wall-clock time is the
+   overhead Fig. 7 reports),
+3. applies the returned migrations, then
+4. resets the epoch-scoped accumulators and simulates the next window.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hardware import power as power_model
+from repro.hardware.platform import Platform
+from repro.hardware.thermal import AMBIENT_C, ThermalState
+from repro.hardware.sensors import (
+    DEFAULT_COUNTER_NOISE,
+    DEFAULT_POWER_NOISE,
+    NoiseModel,
+    SensingInterface,
+)
+from repro.kernel.balancers.base import LoadBalancer, Placement
+from repro.kernel.cfs import CACHE_WARMUP_S, CfsRunQueue
+from repro.kernel.metrics import CoreStats, EpochRecord, RunResult, TaskStats
+from repro.kernel.task import Task, TaskState
+from repro.kernel.view import CoreView, SystemView, TaskView
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.thread import ThreadBehavior, steady_thread
+
+#: Scheduler-side cost per migration (seconds) charged to the migrated
+#: task's next slice via warm-up; matches the paper's assumption that
+#: migration cost is dominated by cache refill.
+MIGRATION_KERNEL_COST_S = 50e-6
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the simulated platform and timing structure."""
+
+    #: CFS scheduling period (seconds).
+    period_s: float = 0.006
+    #: L — CFS periods per SmartBalance epoch (60 ms epoch by default,
+    #: the paper's value).
+    periods_per_epoch: int = 10
+    #: Sensor fidelity.
+    counter_noise: NoiseModel = DEFAULT_COUNTER_NOISE
+    power_noise: NoiseModel = DEFAULT_POWER_NOISE
+    #: Seed for all sensing noise.
+    seed: int = 0
+    #: Number of low-duty kernel-daemon background tasks to add
+    #: (the OS workload the paper notes it optimises jointly).
+    os_noise_tasks: int = 0
+    #: Enable the per-core RC thermal model with leakage feedback.
+    thermal_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {self.period_s}")
+        if self.periods_per_epoch < 1:
+            raise ValueError(
+                f"periods_per_epoch must be >= 1, got {self.periods_per_epoch}"
+            )
+        if self.os_noise_tasks < 0:
+            raise ValueError("os_noise_tasks must be non-negative")
+
+    @property
+    def epoch_s(self) -> float:
+        return self.period_s * self.periods_per_epoch
+
+
+def _os_noise_behavior(index: int) -> ThreadBehavior:
+    """A kernel-daemon-like background thread: tiny, bursty, low duty."""
+    phase = WorkloadPhase(
+        ilp=1.2,
+        mem_share=0.30,
+        branch_share=0.15,
+        working_set_kb=24.0,
+        code_footprint_kb=32.0,
+        branch_entropy=0.45,
+        data_locality=0.8,
+        active_fraction=0.05,
+    )
+    return steady_thread(f"kworker/{index}", phase)
+
+
+class System:
+    """One simulated machine: platform + tasks + balancer."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        behaviors: Sequence[ThreadBehavior],
+        balancer: LoadBalancer,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        if not behaviors:
+            raise ValueError("need at least one thread behaviour")
+        self.platform = platform
+        self.balancer = balancer
+        self.config = config or SimulationConfig()
+        self.sensing = SensingInterface(
+            counter_noise=self.config.counter_noise,
+            power_noise=self.config.power_noise,
+            seed=self.config.seed,
+        )
+        self.runqueues = [CfsRunQueue(core) for core in platform]
+        if self.config.thermal_enabled:
+            for queue in self.runqueues:
+                queue.thermal = ThermalState(core=queue.core.core_type)
+        self.tasks: list[Task] = []
+        self.time_s = 0.0
+        self.total_migrations = 0
+        self._window_migrations = 0
+        #: Migrations since the last metrics-epoch boundary (independent
+        #: of the balancer's own sensing-window resets).
+        self._epoch_migrations = 0
+        self._epoch_records: list[EpochRecord] = []
+        self._view_counter = 0
+        self._core_instructions = [0.0] * len(platform)
+
+        all_behaviors = list(behaviors) + [
+            _os_noise_behavior(i) for i in range(self.config.os_noise_tasks)
+        ]
+        for index, behavior in enumerate(all_behaviors):
+            is_user = index < len(behaviors)
+            task = Task(
+                tid=index,
+                behavior=behavior,
+                core_id=0,
+                is_user=is_user,
+            )
+            self.tasks.append(task)
+        self._place_initial()
+
+    # ------------------------------------------------------------------
+    # Placement & migration
+    # ------------------------------------------------------------------
+
+    def _place_initial(self) -> None:
+        """Round-robin initial placement (what fork balancing gives a
+        freshly exec'd thread before any balancer runs), respecting
+        each task's cpuset affinity."""
+        for index, task in enumerate(self.tasks):
+            candidates = [
+                q for q in self.runqueues if task.may_run_on(q.core.core_id)
+            ]
+            if not candidates:
+                raise ValueError(
+                    f"task {task.name!r} has no allowed core on this platform"
+                )
+            queue = candidates[index % len(candidates)]
+            queue.enqueue(task)
+            if task.behavior.arrival_s <= 0:
+                task.state = TaskState.ACTIVE
+
+    def task_by_tid(self, tid: int) -> Task:
+        return self.tasks[tid]
+
+    def migrate(self, task: Task, core_id: int) -> None:
+        """Move a task to another core (``set_cpus_allowed_ptr`` path).
+
+        Charges the kernel-side cost and starts the cache warm-up
+        window on the destination core.
+        """
+        if not 0 <= core_id < len(self.runqueues):
+            raise ValueError(f"invalid destination core {core_id}")
+        if not task.may_run_on(core_id):
+            raise ValueError(
+                f"task {task.name!r} is not allowed on core {core_id} "
+                f"(cpuset {sorted(task.behavior.allowed_cores)})"
+            )
+        if core_id == task.core_id:
+            return
+        self.runqueues[task.core_id].dequeue(task)
+        self.runqueues[core_id].enqueue(task)
+        task.warmup_remaining_s = CACHE_WARMUP_S + MIGRATION_KERNEL_COST_S
+        task.migrations += 1
+        self.total_migrations += 1
+        self._window_migrations += 1
+        self._epoch_migrations += 1
+
+    def apply_placement(self, placement: Placement) -> int:
+        """Apply a balancer's placement delta; returns migration count."""
+        moved = 0
+        for tid, core_id in placement.items():
+            task = self.task_by_tid(tid)
+            if task.state is TaskState.EXITED:
+                continue
+            if not task.may_run_on(core_id):
+                # The kernel enforces cpusets regardless of what a
+                # balancer asks for.
+                continue
+            if task.core_id != core_id:
+                self.migrate(task, core_id)
+                moved += 1
+        return moved
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    def build_view(self, window_s: float) -> SystemView:
+        """Construct the observable system view for the last window."""
+        task_views = []
+        for task in self.tasks:
+            if task.state is TaskState.PENDING:
+                continue
+            noisy = self.sensing.read_counters(task.counters)
+            busy = task.counters.busy_time_s
+            if busy > 0:
+                true_power = task.epoch_energy_j / busy
+                measured_power = self.sensing.read_power(true_power)
+            else:
+                measured_power = 0.0
+            task_views.append(
+                TaskView(
+                    tid=task.tid,
+                    name=task.name,
+                    core_id=task.core_id,
+                    weight=task.weight,
+                    is_user=task.is_user,
+                    utilization=task.utilization,
+                    counters=noisy,
+                    rates=noisy.derive_rates(),
+                    power_w=measured_power,
+                    busy_time_s=busy,
+                    allowed_cores=task.behavior.allowed_cores,
+                )
+            )
+        core_views = []
+        for queue in self.runqueues:
+            core_type = queue.core.core_type
+            elapsed = queue.epoch_time_s
+            avg_power = queue.epoch_energy_j / elapsed if elapsed > 0 else 0.0
+            # Effective cost of unused capacity: shallow idle up to the
+            # cpuidle latency, power-gated sleep beyond — what the
+            # kernel's own cpuidle accounting would report.
+            from repro.kernel.cfs import IDLE_TO_SLEEP_LATENCY_S
+
+            shallow_frac = min(IDLE_TO_SLEEP_LATENCY_S / self.config.period_s, 1.0)
+            effective_idle = (
+                shallow_frac * power_model.idle_power(core_type).total_w
+                + (1.0 - shallow_frac) * power_model.sleep_power(core_type)
+            )
+            core_views.append(
+                CoreView(
+                    core_id=queue.core.core_id,
+                    core_type=core_type,
+                    cluster=queue.core.cluster,
+                    power_w=self.sensing.read_power(avg_power),
+                    idle_power_w=effective_idle,
+                    sleep_power_w=power_model.sleep_power(core_type),
+                    counters=self.sensing.read_counters(queue.counters),
+                    nr_running=queue.nr_running(),
+                    load=queue.load(),
+                    temperature_c=(
+                        queue.thermal.temp_c if queue.thermal else AMBIENT_C
+                    ),
+                )
+            )
+        return SystemView(
+            epoch_index=self._view_counter,
+            time_s=self.time_s,
+            window_s=window_s,
+            platform=self.platform,
+            tasks=tuple(task_views),
+            cores=tuple(core_views),
+        )
+
+    def _reset_window_accounting(self) -> None:
+        for task in self.tasks:
+            task.reset_epoch_accounting()
+        for queue in self.runqueues:
+            queue.reset_epoch_accounting()
+        self._window_migrations = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: Optional[float] = None,
+        n_epochs: Optional[int] = None,
+    ) -> RunResult:
+        """Simulate for a duration or a number of epochs."""
+        if (duration_s is None) == (n_epochs is None):
+            raise ValueError("specify exactly one of duration_s or n_epochs")
+        if n_epochs is None:
+            n_epochs = max(int(round(duration_s / self.config.epoch_s)), 1)
+        interval = max(self.balancer.interval_periods, 1)
+        periods_total = n_epochs * self.config.periods_per_epoch
+
+        window_instructions = 0.0
+        window_energy = 0.0
+        window_start = self.time_s
+        window_balancer_time = 0.0
+        periods_since_rebalance = 0
+
+        for period_index in range(periods_total):
+            # Rebalance at interval boundaries, including t=0 (the
+            # first call sees an empty window, as a real kernel would).
+            if period_index % interval == 0:
+                view = self.build_view(
+                    window_s=periods_since_rebalance * self.config.period_s
+                )
+                t0 = time.perf_counter()
+                placement = self.balancer.rebalance(view)
+                window_balancer_time += time.perf_counter() - t0
+                # Reset the sensing window before applying the new
+                # placement so these migrations are charged to the
+                # window they affect.
+                self._reset_window_accounting()
+                if placement:
+                    self.apply_placement(placement)
+                self._view_counter += 1
+                periods_since_rebalance = 0
+
+            self._handle_arrivals()
+            period_instr, period_energy = self._simulate_period()
+            window_instructions += period_instr
+            window_energy += period_energy
+            periods_since_rebalance += 1
+
+            # Epoch bookkeeping for metrics (independent of the
+            # balancer's own interval so results are comparable).
+            if (period_index + 1) % self.config.periods_per_epoch == 0:
+                self._epoch_records.append(
+                    EpochRecord(
+                        epoch_index=len(self._epoch_records),
+                        start_time_s=window_start,
+                        duration_s=self.time_s - window_start,
+                        instructions=window_instructions,
+                        energy_j=window_energy,
+                        migrations=self._epoch_migrations,
+                        balancer_time_s=window_balancer_time,
+                    )
+                )
+                window_instructions = 0.0
+                window_energy = 0.0
+                window_balancer_time = 0.0
+                window_start = self.time_s
+                self._epoch_migrations = 0
+
+        return self._result()
+
+    def _handle_arrivals(self) -> None:
+        for task in self.tasks:
+            if task.state is TaskState.PENDING and task.behavior.arrival_s <= self.time_s:
+                task.state = TaskState.ACTIVE
+
+    def _simulate_period(self) -> tuple[float, float]:
+        """Advance all cores by one CFS period; returns (instr, energy)."""
+        instructions = 0.0
+        energy = 0.0
+        for queue in self.runqueues:
+            result = queue.schedule_period(self.config.period_s)
+            for sl in result.slices:
+                if sl.task.is_user:
+                    instructions += sl.instructions
+                self._core_instructions[queue.core.core_id] += sl.instructions
+            energy += result.energy_j
+        for task in self.tasks:
+            if task.state is TaskState.ACTIVE:
+                core_type = self.platform[task.core_id].core_type
+                task.update_utilization(task.demanded_fraction(core_type))
+        self.time_s += self.config.period_s
+        return instructions, energy
+
+    def _result(self) -> RunResult:
+        core_stats = tuple(
+            CoreStats(
+                core_id=q.core.core_id,
+                core_type_name=q.core.core_type.name,
+                instructions=self._core_instructions[q.core.core_id],
+                energy_j=q.total_energy_j,
+                busy_s=q.total_busy_s,
+                idle_s=q.total_idle_s,
+                sleep_s=q.total_sleep_s,
+                peak_temp_c=q.thermal.peak_c if q.thermal else None,
+            )
+            for q in self.runqueues
+        )
+        task_stats = tuple(
+            TaskStats(
+                tid=t.tid,
+                name=t.name,
+                instructions=t.total_instructions,
+                busy_s=t.total_busy_time_s,
+                energy_j=t.total_energy_j,
+                migrations=t.migrations,
+            )
+            for t in self.tasks
+        )
+        user_instructions = sum(t.instructions for t in task_stats if self.tasks[t.tid].is_user)
+        total_energy = sum(c.energy_j for c in core_stats)
+        return RunResult(
+            balancer_name=self.balancer.name,
+            platform_name=self.platform.name,
+            duration_s=self.time_s,
+            instructions=user_instructions,
+            energy_j=total_energy,
+            migrations=self.total_migrations,
+            epochs=tuple(self._epoch_records),
+            core_stats=core_stats,
+            task_stats=task_stats,
+        )

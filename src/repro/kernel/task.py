@@ -1,0 +1,123 @@
+"""Task entities: the kernel's view of a thread.
+
+Mirrors the Linux model the paper builds on: processes and threads are
+all *task entities* scheduled independently (Section 3).  A
+:class:`Task` pairs an immutable :class:`~repro.workload.thread.ThreadBehavior`
+with the mutable runtime state the kernel owns — placement, CFS
+vruntime, per-epoch hardware counters, a PELT-style utilisation
+estimate, migration warm-up state and lifetime accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.counters import CounterBlock
+from repro.hardware.features import CoreType
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.demand import demanded_fraction_on
+from repro.workload.thread import ThreadBehavior
+
+#: Geometric decay of the utilisation EWMA per scheduling period,
+#: approximating Linux PELT's 32 ms half-life at a 6 ms period.
+UTIL_DECAY = 0.82
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task within the simulation."""
+
+    #: Created but not yet arrived (``arrival_s`` in the future).
+    PENDING = "pending"
+    #: Arrived and schedulable (may still sleep part of each period —
+    #: the duty cycle lives in the workload phase).
+    ACTIVE = "active"
+    #: Retired all its instructions.
+    EXITED = "exited"
+
+
+@dataclass
+class Task:
+    """One schedulable task entity."""
+
+    tid: int
+    behavior: ThreadBehavior
+    core_id: int
+    is_user: bool = True
+    state: TaskState = TaskState.PENDING
+    progress_instructions: float = 0.0
+    vruntime: float = 0.0
+    #: PELT-like EWMA of the demanded CPU fraction, in [0, 1].
+    utilization: float = 0.0
+    #: Remaining cache warm-up wall time after a migration (seconds of
+    #: own execution).
+    warmup_remaining_s: float = 0.0
+    #: Per-epoch hardware counters (reset at each sensing boundary).
+    counters: CounterBlock = field(default_factory=CounterBlock)
+    #: Per-epoch attributed energy (Joule) while this task ran.
+    epoch_energy_j: float = 0.0
+    #: Lifetime accounting.
+    total_instructions: float = 0.0
+    total_busy_time_s: float = 0.0
+    total_energy_j: float = 0.0
+    migrations: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.behavior.name
+
+    @property
+    def weight(self) -> float:
+        return self.behavior.nice_weight
+
+    def may_run_on(self, core_id: int) -> bool:
+        """cpuset check: may this task be placed on ``core_id``?"""
+        allowed = self.behavior.allowed_cores
+        return allowed is None or core_id in allowed
+
+    def current_phase(self) -> WorkloadPhase:
+        """Ground-truth phase at the task's current progress point."""
+        return self.behavior.phase_at(self.progress_instructions)
+
+    def demanded_fraction(self, core_type: CoreType) -> float:
+        """CPU time fraction the task wants on ``core_type`` right now.
+
+        Rate-limited tasks demand more of a slower core (ground truth;
+        the kernel observes the resulting runnable time).
+        """
+        if self.state is not TaskState.ACTIVE:
+            return 0.0
+        return demanded_fraction_on(self.current_phase(), core_type)
+
+    def remaining_instructions(self) -> float:
+        """Instructions left before exit (``inf`` for unbounded tasks)."""
+        if self.behavior.total_instructions is None:
+            return float("inf")
+        return max(self.behavior.total_instructions - self.progress_instructions, 0.0)
+
+    def retire(self, instructions: float, busy_time_s: float, energy_j: float) -> None:
+        """Account one execution slice and exit when work is done."""
+        if instructions < 0 or busy_time_s < 0 or energy_j < 0:
+            raise ValueError("retire() arguments must be non-negative")
+        self.progress_instructions += instructions
+        self.total_instructions += instructions
+        self.total_busy_time_s += busy_time_s
+        self.total_energy_j += energy_j
+        self.epoch_energy_j += energy_j
+        if self.remaining_instructions() <= 0:
+            self.state = TaskState.EXITED
+
+    def update_utilization(self, demanded_fraction: float) -> None:
+        """Fold one period's demanded CPU fraction into the EWMA."""
+        if not 0.0 <= demanded_fraction <= 1.0:
+            raise ValueError(
+                f"demanded fraction must be in [0, 1], got {demanded_fraction}"
+            )
+        self.utilization = (
+            UTIL_DECAY * self.utilization + (1.0 - UTIL_DECAY) * demanded_fraction
+        )
+
+    def reset_epoch_accounting(self) -> None:
+        """Zero the per-epoch counters and energy (sensing rollover)."""
+        self.counters.reset()
+        self.epoch_energy_j = 0.0

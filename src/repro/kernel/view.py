@@ -1,0 +1,107 @@
+"""The kernel-side system view handed to load balancers.
+
+This is the boundary between *ground truth* (which only the simulator
+sees) and *observations* (what a real kernel could know):
+
+* per-task hardware counters, read through the noisy sensing interface
+  at the epoch boundary — the paper's per-thread sampling at context
+  switches, aggregated per epoch (Section 4.1);
+* per-task measured power, attributed from per-core power sensors by
+  time share (Eq. 5's ``p = ε / τ``);
+* per-task PELT-style utilisation (runnable-time tracking — standard
+  kernel bookkeeping, also what ARM GTS consumes);
+* per-core static facts a kernel knows from firmware tables: core
+  type parameters, frequency, idle/sleep power.
+
+Balancers must make decisions *only* from a :class:`SystemView`; tests
+assert that no ground-truth phase objects leak through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.counters import CounterBlock, DerivedRates
+from repro.hardware.features import CoreType
+from repro.hardware.platform import Platform
+
+
+@dataclass(frozen=True)
+class TaskView:
+    """Observed state of one task over the last sensing window."""
+
+    tid: int
+    name: str
+    core_id: int
+    weight: float
+    is_user: bool
+    #: PELT-style demanded-CPU fraction estimate in [0, 1].
+    utilization: float
+    #: Noisy counter snapshot for the window.
+    counters: CounterBlock
+    #: Rates derived from the noisy counters (Section 4.1 ratios).
+    rates: DerivedRates
+    #: Measured average power while this task ran (W); 0 if it never ran.
+    power_w: float
+    #: Wall time the task actually executed during the window (s).
+    busy_time_s: float
+    #: cpuset affinity (core ids); None = any core.
+    allowed_cores: "frozenset[int] | None" = None
+
+    @property
+    def has_measurement(self) -> bool:
+        """True when the task ran long enough to be characterised."""
+        return self.busy_time_s > 0 and self.counters.instructions > 0
+
+
+@dataclass(frozen=True)
+class CoreView:
+    """Observed state of one core over the last sensing window."""
+
+    core_id: int
+    core_type: CoreType
+    cluster: str
+    #: Measured average power over the window (W), from the sensor.
+    power_w: float
+    #: Idle and sleep power from firmware tables (W).
+    idle_power_w: float
+    sleep_power_w: float
+    #: Noisy per-core counter snapshot.
+    counters: CounterBlock
+    #: Run-queue statistics (exact — kernel bookkeeping).
+    nr_running: int
+    load: float
+    #: Core temperature (deg C) from the thermal sensor; ambient when
+    #: the thermal model is disabled.
+    temperature_c: float = 45.0
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """Everything a balancer may observe at a rebalancing point."""
+
+    epoch_index: int
+    time_s: float
+    window_s: float
+    platform: Platform
+    tasks: tuple[TaskView, ...]
+    cores: tuple[CoreView, ...]
+
+    @property
+    def placement(self) -> dict[int, int]:
+        """Current ``tid -> core_id`` mapping."""
+        return {t.tid: t.core_id for t in self.tasks}
+
+    @property
+    def user_tasks(self) -> tuple[TaskView, ...]:
+        return tuple(t for t in self.tasks if t.is_user)
+
+    def tasks_on_core(self, core_id: int) -> tuple[TaskView, ...]:
+        return tuple(t for t in self.tasks if t.core_id == core_id)
+
+    def core(self, core_id: int) -> CoreView:
+        for core in self.cores:
+            if core.core_id == core_id:
+                return core
+        raise KeyError(f"no core with id {core_id}")

@@ -1,0 +1,55 @@
+"""Workload substrate: phases, thread behaviours and benchmark models.
+
+Stands in for the PARSEC binaries and synthetic interactive
+microbenchmarks of the paper's evaluation (Section 6, Table 3).
+"""
+
+from repro.workload.characteristics import (
+    COMPUTE_PHASE,
+    MEMORY_PHASE,
+    PEAK_PHASE,
+    WorkloadPhase,
+)
+from repro.workload.generator import (
+    random_behavior,
+    random_phase,
+    random_thread_set,
+    training_corpus,
+)
+from repro.workload.parsec import (
+    BENCHMARKS,
+    EVALUATION_SET,
+    MIXES,
+    BenchmarkModel,
+    benchmark,
+    mix_threads,
+)
+from repro.workload.phases import PhaseSchedule, PhaseSegment
+from repro.workload.synthetic import IMB_CONFIGS, LEVELS, imb_threads, parse_config
+from repro.workload.thread import ThreadBehavior, phased_thread, steady_thread
+
+__all__ = [
+    "WorkloadPhase",
+    "PEAK_PHASE",
+    "COMPUTE_PHASE",
+    "MEMORY_PHASE",
+    "PhaseSchedule",
+    "PhaseSegment",
+    "ThreadBehavior",
+    "steady_thread",
+    "phased_thread",
+    "BenchmarkModel",
+    "BENCHMARKS",
+    "EVALUATION_SET",
+    "MIXES",
+    "benchmark",
+    "mix_threads",
+    "IMB_CONFIGS",
+    "LEVELS",
+    "imb_threads",
+    "parse_config",
+    "random_phase",
+    "random_behavior",
+    "random_thread_set",
+    "training_corpus",
+]

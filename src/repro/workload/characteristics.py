@@ -1,0 +1,133 @@
+"""Workload characterization primitives.
+
+The hardware substrate needs a compact, architecture-independent
+description of *what a thread is doing* so it can compute how fast the
+thread would run — and how much power it would draw — on each
+heterogeneous core type.  A :class:`WorkloadPhase` captures the
+properties that drive the performance counters of paper Section 4.1:
+
+* intrinsic instruction-level parallelism (how much a wide core helps),
+* instruction mix (memory share ``I_msh`` and branch share ``I_bsh``),
+* data/instruction footprints (cache and TLB miss rates),
+* branch predictability,
+* CPU demand duty cycle (the interactivity knob of the paper's IMBs).
+
+Phases are *ground truth*: the OS and SmartBalance never see them
+directly, only the noisy counter values they induce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One stationary phase of a thread's execution.
+
+    Attributes
+    ----------
+    ilp:
+        Mean exploitable instruction-level parallelism (independent
+        instructions per cycle available to an infinitely wide core).
+        Typical range 1–10.
+    mem_share:
+        Fraction of committed instructions that are loads/stores
+        (``I_msh`` in the paper).
+    branch_share:
+        Fraction of committed instructions that are branches
+        (``I_bsh``).
+    working_set_kb:
+        Data working-set size in KiB; drives L1D and D-TLB miss rates.
+    code_footprint_kb:
+        Hot code size in KiB; drives L1I and I-TLB miss rates.
+    branch_entropy:
+        Unpredictability of the branch stream in ``[0, 1]``; 0 means
+        perfectly predictable, 1 means random.
+    data_locality:
+        Spatial/temporal locality factor in ``(0, 1]``; higher locality
+        makes a cache of a given size behave as if larger.
+    active_fraction:
+        Nominal CPU duty cycle of the phase *on the reference core*
+        (1.0 for CPU-bound, lower for interactive/IO-bound threads).
+        Used by the workload builders to derive ``work_rate_ips``.
+    work_rate_ips:
+        Demanded work rate in instructions per second of wall time;
+        ``None`` means CPU-bound (the thread always wants the CPU).
+        A rate-limited thread (video frames, interactive requests)
+        needs *more CPU time on a slower core* to deliver the same
+        work: its demanded time fraction on core ``c`` is
+        ``min(work_rate_ips / ips(phase, c), 1)``.  This is the
+        property that makes capability-blind even distribution
+        wasteful — parking a rate-limited thread on a big core burns
+        big-core power for work a small core could deliver.
+    """
+
+    ilp: float
+    mem_share: float
+    branch_share: float
+    working_set_kb: float
+    code_footprint_kb: float = 16.0
+    branch_entropy: float = 0.3
+    data_locality: float = 1.0
+    active_fraction: float = 1.0
+    work_rate_ips: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.ilp <= 0:
+            raise ValueError(f"ilp must be positive, got {self.ilp}")
+        for attr in ("mem_share", "branch_share", "branch_entropy", "active_fraction"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+        if self.mem_share + self.branch_share > 1.0:
+            raise ValueError(
+                "mem_share + branch_share cannot exceed 1.0 "
+                f"(got {self.mem_share} + {self.branch_share})"
+            )
+        if self.working_set_kb < 0 or self.code_footprint_kb < 0:
+            raise ValueError("footprints must be non-negative")
+        if not 0.0 < self.data_locality <= 1.0:
+            raise ValueError(f"data_locality must be in (0, 1], got {self.data_locality}")
+        if self.work_rate_ips is not None and self.work_rate_ips <= 0:
+            raise ValueError(
+                f"work_rate_ips must be positive or None, got {self.work_rate_ips}"
+            )
+
+    def scaled(self, **overrides: float) -> "WorkloadPhase":
+        """Return a copy with selected attributes replaced."""
+        return replace(self, **overrides)
+
+
+#: A maximally core-friendly phase: used to probe peak throughput of a
+#: core type (Table 2 "Peak Throughput" row).
+PEAK_PHASE = WorkloadPhase(
+    ilp=10.0,
+    mem_share=0.05,
+    branch_share=0.02,
+    working_set_kb=4.0,
+    code_footprint_kb=4.0,
+    branch_entropy=0.0,
+    data_locality=1.0,
+)
+
+#: A representative compute-bound phase (blackscholes-like).
+COMPUTE_PHASE = WorkloadPhase(
+    ilp=4.0,
+    mem_share=0.25,
+    branch_share=0.10,
+    working_set_kb=64.0,
+    code_footprint_kb=24.0,
+    branch_entropy=0.15,
+)
+
+#: A representative memory-bound phase (canneal/streamcluster-like).
+MEMORY_PHASE = WorkloadPhase(
+    ilp=2.0,
+    mem_share=0.45,
+    branch_share=0.12,
+    working_set_kb=2048.0,
+    code_footprint_kb=32.0,
+    branch_entropy=0.35,
+    data_locality=0.5,
+)

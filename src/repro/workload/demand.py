@@ -1,0 +1,68 @@
+"""CPU-demand semantics: duty cycles and work rates.
+
+A phase's ``active_fraction`` is a *nominal* duty cycle — meaningful
+only relative to some core.  The workload builders anchor it to the
+**reference core** (the Medium type of Table 2, a mid-range mobile
+core): a phase with ``active_fraction=0.5`` wants half the CPU *when
+running on the reference core*.  :func:`with_duty` converts that duty
+into an absolute demanded work rate (instructions per wall second),
+which the kernel then translates into a per-core time demand:
+``min(rate / ips(core), 1)``.
+
+Phases with duty at or above :data:`CPU_BOUND_DUTY` are left
+rate-unlimited (CPU-bound): an encoder given infinite frames never
+sleeps, no matter how fast the core.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import microarch
+from repro.hardware.features import MEDIUM, CoreType
+from repro.workload.characteristics import WorkloadPhase
+
+#: The core type defining what "duty cycle" means for workloads.
+REFERENCE_CORE: CoreType = MEDIUM
+#: Duty at or above this is treated as CPU-bound (no rate limit).
+CPU_BOUND_DUTY = 0.95
+
+
+def reference_ips(phase: WorkloadPhase) -> float:
+    """Throughput of a phase on the reference core (instr/s)."""
+    return microarch.estimate(phase, REFERENCE_CORE).ips(REFERENCE_CORE)
+
+
+def with_duty(phase: WorkloadPhase, duty: float | None = None) -> WorkloadPhase:
+    """Anchor a phase's duty cycle to the reference core.
+
+    Returns a copy whose ``work_rate_ips`` delivers ``duty`` of the
+    reference core's throughput per wall second.  ``duty=None`` uses
+    the phase's own ``active_fraction``.  CPU-bound duties (>=
+    :data:`CPU_BOUND_DUTY`) return the phase rate-unlimited.
+    """
+    if duty is None:
+        duty = phase.active_fraction
+    if not 0.0 < duty <= 1.0:
+        raise ValueError(f"duty must be in (0, 1], got {duty}")
+    if duty >= CPU_BOUND_DUTY:
+        return phase.scaled(active_fraction=1.0, work_rate_ips=None)
+    return phase.scaled(
+        active_fraction=duty,
+        work_rate_ips=duty * reference_ips(phase),
+    )
+
+
+def demanded_fraction_on(phase: WorkloadPhase, core_type: CoreType) -> float:
+    """Time fraction of ``core_type`` the phase demands.
+
+    CPU-bound phases demand the whole core; rate-limited phases demand
+    the time needed to sustain their work rate, saturating at 1.0 when
+    the core cannot keep up.
+    """
+    if phase.work_rate_ips is None:
+        # No rate anchor: interpret active_fraction as a plain time
+        # fraction (legacy behaviour for hand-built phases).
+        return phase.active_fraction
+    ips = microarch.estimate(phase, core_type).ips(core_type)
+    if ips <= 0:
+        return 1.0
+    return min(phase.work_rate_ips / ips, 1.0)

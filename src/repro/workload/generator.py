@@ -1,0 +1,79 @@
+"""Random workload generation.
+
+Two consumers:
+
+* the **offline trainer** (:mod:`repro.core.training`) needs a corpus
+  of workloads spanning the characterisation space so the Θ regression
+  generalises — the paper trains on offline profiling of PARSEC;
+  we train on PARSEC models *plus* this synthetic corpus;
+* **property-based tests** need arbitrary-but-valid phases and threads.
+
+All draws come from a caller-seeded :class:`random.Random`, never from
+global state, so corpora are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.demand import with_duty
+from repro.workload.thread import ThreadBehavior, phased_thread, steady_thread
+
+
+def random_phase(rng: random.Random) -> WorkloadPhase:
+    """Draw a uniformly diverse, always-valid workload phase.
+
+    Footprints are drawn log-uniformly (working sets span 8 KiB – 16 MiB)
+    so both cache-resident and cache-hostile behaviours are covered.
+    """
+    mem_share = rng.uniform(0.1, 0.5)
+    branch_share = rng.uniform(0.04, min(0.2, 0.95 - mem_share))
+    return with_duty(WorkloadPhase(
+        ilp=rng.uniform(1.0, 8.0),
+        mem_share=mem_share,
+        branch_share=branch_share,
+        working_set_kb=8.0 * 2 ** rng.uniform(0.0, 11.0),
+        code_footprint_kb=8.0 * 2 ** rng.uniform(0.0, 5.0),
+        branch_entropy=rng.uniform(0.0, 0.9),
+        data_locality=rng.uniform(0.3, 1.0),
+        active_fraction=rng.uniform(0.15, 1.0),
+    ))
+
+
+def random_behavior(
+    rng: random.Random,
+    name: Optional[str] = None,
+    max_segments: int = 4,
+) -> ThreadBehavior:
+    """Draw a thread behaviour with 1–``max_segments`` cyclic phases."""
+    n_segments = rng.randint(1, max_segments)
+    label = name or f"rand-{rng.getrandbits(32):08x}"
+    if n_segments == 1:
+        return steady_thread(label, random_phase(rng))
+    segments = [
+        (random_phase(rng), 10 ** rng.uniform(6.5, 8.0)) for _ in range(n_segments)
+    ]
+    return phased_thread(label, segments, cyclic=True)
+
+
+def training_corpus(n_workloads: int, seed: int = 7) -> list[WorkloadPhase]:
+    """A reproducible corpus of stationary phases for predictor training."""
+    if n_workloads < 1:
+        raise ValueError(f"need at least one workload, got {n_workloads}")
+    rng = random.Random(seed)
+    return [random_phase(rng) for _ in range(n_workloads)]
+
+
+def random_thread_set(
+    n_threads: int,
+    seed: int = 0,
+    max_segments: int = 4,
+) -> list[ThreadBehavior]:
+    """A reproducible set of random threads for integration tests."""
+    rng = random.Random(seed)
+    return [
+        random_behavior(rng, name=f"rand-{i}", max_segments=max_segments)
+        for i in range(n_threads)
+    ]

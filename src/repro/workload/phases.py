@@ -1,0 +1,98 @@
+"""Phase sequencing: how a thread's characteristics evolve over time.
+
+Real applications (the paper stresses x264's input-dependence, Table 3)
+move through *phases* with different instruction mixes and footprints.
+A :class:`PhaseSegment` pins a :class:`~repro.workload.characteristics.WorkloadPhase`
+for a given number of committed instructions; a :class:`PhaseSchedule`
+strings segments together, optionally cyclically.
+
+Measuring segment length in *instructions* (not wall time) makes phase
+progress speed-dependent: a thread parked on a Small core stays in its
+current phase longer — exactly the feedback SmartBalance's epoch loop
+has to track.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.workload.characteristics import WorkloadPhase
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """A stationary phase lasting ``instructions`` committed instructions."""
+
+    phase: WorkloadPhase
+    instructions: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError(
+                f"segment length must be positive, got {self.instructions}"
+            )
+
+
+class PhaseSchedule:
+    """An ordered, optionally cyclic sequence of phase segments.
+
+    ``phase_at(progress)`` maps a committed-instruction count to the
+    active phase.  Non-cyclic schedules hold their last phase forever
+    (a thread past its description keeps its final behaviour until the
+    kernel retires it).
+    """
+
+    def __init__(self, segments: Sequence[PhaseSegment], cyclic: bool = False) -> None:
+        if not segments:
+            raise ValueError("a schedule needs at least one segment")
+        self.segments: tuple[PhaseSegment, ...] = tuple(segments)
+        self.cyclic = cyclic
+        boundaries: list[float] = []
+        total = 0.0
+        for segment in self.segments:
+            total += segment.instructions
+            boundaries.append(total)
+        self._boundaries = boundaries
+        self.cycle_instructions = total
+
+    @classmethod
+    def steady(cls, phase: WorkloadPhase) -> "PhaseSchedule":
+        """A single never-ending phase."""
+        return cls([PhaseSegment(phase, instructions=1.0)], cyclic=True)
+
+    def phase_at(self, progress_instructions: float) -> WorkloadPhase:
+        """Phase active after ``progress_instructions`` committed."""
+        if progress_instructions < 0:
+            raise ValueError("progress cannot be negative")
+        progress = progress_instructions
+        if self.cyclic:
+            progress = progress % self.cycle_instructions
+        elif progress >= self.cycle_instructions:
+            return self.segments[-1].phase
+        index = bisect_right(self._boundaries, progress)
+        index = min(index, len(self.segments) - 1)
+        return self.segments[index].phase
+
+    def instructions_until_phase_change(self, progress_instructions: float) -> float:
+        """Instructions remaining in the current segment.
+
+        Returns ``inf`` for the terminal segment of a non-cyclic
+        schedule and for single-segment cyclic schedules (the phase
+        never changes).  Used by the simulator to keep time steps from
+        straddling phase boundaries too coarsely.
+        """
+        if progress_instructions < 0:
+            raise ValueError("progress cannot be negative")
+        if len(self.segments) == 1:
+            return float("inf")
+        progress = progress_instructions
+        if self.cyclic:
+            progress = progress % self.cycle_instructions
+        elif progress >= self.cycle_instructions:
+            return float("inf")
+        index = bisect_right(self._boundaries, progress)
+        if index >= len(self._boundaries):
+            return float("inf")
+        return self._boundaries[index] - progress

@@ -1,0 +1,149 @@
+"""Interactive microbenchmarks (IMB) — paper Section 6.
+
+The paper's IMBs are multithreaded synthetic benchmarks whose *load*,
+*phasic behaviour* and *interactivity* (sleep and wait periods) are
+controllable.  Each configuration is labelled by a throughput level
+(``T``) and an interactivity level (``I``), each high / medium / low —
+e.g. ``HTHI`` is high-throughput, high-interactivity.  All nine
+combinations appear in Fig. 4(a).
+
+*Throughput* controls how much work the thread can extract from a core
+(ILP, footprint, instruction mix); *interactivity* controls the CPU
+duty cycle (fraction of wall time the thread wants to run).  Per-thread
+jitter (seeded) keeps the threads of one benchmark from being
+identical, as the paper's thread-level awareness presumes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.demand import with_duty
+from repro.workload.thread import ThreadBehavior, phased_thread
+
+#: The throughput and interactivity grades, in the paper's order.
+LEVELS = ("H", "M", "L")
+
+#: All nine IMB configuration labels of Fig. 4(a), e.g. "HTHI".
+IMB_CONFIGS = tuple(f"{t}T{i}I" for t in LEVELS for i in LEVELS)
+
+
+@dataclass(frozen=True)
+class _ThroughputProfile:
+    ilp: float
+    mem_share: float
+    branch_share: float
+    working_set_kb: float
+    branch_entropy: float
+    data_locality: float
+
+
+_THROUGHPUT_PROFILES = {
+    # High throughput: compute-friendly, cache-resident, predictable.
+    "H": _ThroughputProfile(
+        ilp=6.0,
+        mem_share=0.20,
+        branch_share=0.08,
+        working_set_kb=48.0,
+        branch_entropy=0.10,
+        data_locality=0.95,
+    ),
+    # Medium: moderate ILP, working set stressing small-core caches.
+    "M": _ThroughputProfile(
+        ilp=3.0,
+        mem_share=0.30,
+        branch_share=0.12,
+        working_set_kb=384.0,
+        branch_entropy=0.30,
+        data_locality=0.75,
+    ),
+    # Low: memory-bound, branchy and irregular.
+    "L": _ThroughputProfile(
+        ilp=1.6,
+        mem_share=0.42,
+        branch_share=0.16,
+        working_set_kb=2048.0,
+        branch_entropy=0.55,
+        data_locality=0.45,
+    ),
+}
+
+#: CPU-demand duty cycle per interactivity grade.  High interactivity
+#: means long sleep/wait periods (an IO/user-driven thread).
+_ACTIVE_FRACTION = {"H": 0.25, "M": 0.55, "L": 0.90}
+
+#: Instructions per busy/idle cycle pair of the phasic pattern.
+_PHASE_CYCLE_INSTRUCTIONS = 2e8
+
+
+def parse_config(config: str) -> tuple[str, str]:
+    """Split a label like ``'HTMI'`` into (throughput, interactivity)."""
+    if (
+        len(config) != 4
+        or config[1] != "T"
+        or config[3] != "I"
+        or config[0] not in LEVELS
+        or config[2] not in LEVELS
+    ):
+        raise ValueError(
+            f"bad IMB config {config!r}; expected one of {IMB_CONFIGS}"
+        )
+    return config[0], config[2]
+
+
+def imb_threads(
+    config: str,
+    n_threads: int,
+    seed: int = 0,
+    total_instructions: float | None = None,
+) -> list[ThreadBehavior]:
+    """Build ``n_threads`` IMB threads for one configuration label.
+
+    Each thread alternates a demanding phase and a lighter phase (the
+    paper's "phasic behaviour"), with per-thread jitter on ILP,
+    footprint and duty cycle drawn from a seeded RNG.
+    """
+    throughput, interactivity = parse_config(config)
+    if n_threads < 1:
+        raise ValueError(f"need at least one thread, got {n_threads}")
+    profile = _THROUGHPUT_PROFILES[throughput]
+    duty = _ACTIVE_FRACTION[interactivity]
+    rng = random.Random(f"{seed}-{config}")
+
+    threads: list[ThreadBehavior] = []
+    for index in range(n_threads):
+        jitter = lambda spread: 1.0 + rng.uniform(-spread, spread)  # noqa: E731
+        busy = WorkloadPhase(
+            ilp=profile.ilp * jitter(0.15),
+            mem_share=min(profile.mem_share * jitter(0.10), 0.8),
+            branch_share=min(profile.branch_share * jitter(0.10), 0.2),
+            working_set_kb=profile.working_set_kb * jitter(0.25),
+            code_footprint_kb=16.0,
+            branch_entropy=min(profile.branch_entropy * jitter(0.15), 1.0),
+            data_locality=min(profile.data_locality * jitter(0.05), 1.0),
+            active_fraction=min(duty * jitter(0.10), 1.0),
+        )
+        light = busy.scaled(
+            ilp=max(busy.ilp * 0.5, 0.8),
+            working_set_kb=busy.working_set_kb * 0.25,
+            active_fraction=min(busy.active_fraction * 0.6, 1.0),
+        )
+        # Anchor the duty cycles to the reference core: the threads
+        # demand a *work rate*, so their CPU time need depends on how
+        # capable their current core is.
+        busy = with_duty(busy)
+        light = with_duty(light)
+        threads.append(
+            phased_thread(
+                name=f"imb-{config}-{index}",
+                segments=[
+                    (busy, _PHASE_CYCLE_INSTRUCTIONS * jitter(0.2)),
+                    (light, 0.5 * _PHASE_CYCLE_INSTRUCTIONS * jitter(0.2)),
+                ],
+                cyclic=True,
+                total_instructions=total_instructions,
+            )
+        )
+    return threads

@@ -1,0 +1,104 @@
+"""Thread behaviour descriptions.
+
+A :class:`ThreadBehavior` is the immutable ground-truth description of
+one thread: its phase schedule, its total work (committed instructions
+until exit, or unbounded), and its interactivity (CPU-demand duty
+cycle).  The kernel's :class:`~repro.kernel.task.Task` wraps a
+behaviour with mutable runtime state (progress, counters, placement).
+
+Following the paper's thread model (Section 3): threads are independent
+task entities (Pthread-like, no inter-thread dependencies modelled),
+they may enter and leave at any time, and their total execution time is
+unknown to the balancer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.phases import PhaseSchedule, PhaseSegment
+
+
+@dataclass(frozen=True)
+class ThreadBehavior:
+    """Ground-truth description of one thread.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (benchmark + thread index).
+    schedule:
+        The thread's phase schedule.
+    total_instructions:
+        Committed instructions until the thread exits; ``None`` means
+        the thread runs until the simulation ends.
+    arrival_s:
+        Simulation time at which the thread becomes runnable.
+    nice_weight:
+        CFS load weight (all threads default to the same weight, as in
+        the paper's experiments).
+    allowed_cores:
+        Optional cpuset-style affinity: the core ids this thread may
+        run on (``None`` = any core, the paper's default assumption;
+        Section 5.1 notes special constraints "can easily be included").
+    """
+
+    name: str
+    schedule: PhaseSchedule
+    total_instructions: Optional[float] = None
+    arrival_s: float = 0.0
+    nice_weight: float = 1.0
+    allowed_cores: Optional[frozenset[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.total_instructions is not None and self.total_instructions <= 0:
+            raise ValueError("total_instructions must be positive or None")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.nice_weight <= 0:
+            raise ValueError("nice_weight must be positive")
+        if self.allowed_cores is not None:
+            if not self.allowed_cores:
+                raise ValueError("allowed_cores must be None or non-empty")
+            object.__setattr__(self, "allowed_cores", frozenset(self.allowed_cores))
+
+    def phase_at(self, progress_instructions: float) -> WorkloadPhase:
+        """Phase active at a given progress point."""
+        return self.schedule.phase_at(progress_instructions)
+
+
+def steady_thread(
+    name: str,
+    phase: WorkloadPhase,
+    total_instructions: Optional[float] = None,
+    arrival_s: float = 0.0,
+) -> ThreadBehavior:
+    """A thread with a single stationary phase."""
+    return ThreadBehavior(
+        name=name,
+        schedule=PhaseSchedule.steady(phase),
+        total_instructions=total_instructions,
+        arrival_s=arrival_s,
+    )
+
+
+def phased_thread(
+    name: str,
+    segments: list[tuple[WorkloadPhase, float]],
+    cyclic: bool = True,
+    total_instructions: Optional[float] = None,
+    arrival_s: float = 0.0,
+) -> ThreadBehavior:
+    """A thread cycling through ``(phase, instructions)`` segments."""
+    schedule = PhaseSchedule(
+        [PhaseSegment(phase, instructions) for phase, instructions in segments],
+        cyclic=cyclic,
+    )
+    return ThreadBehavior(
+        name=name,
+        schedule=schedule,
+        total_instructions=total_instructions,
+        arrival_s=arrival_s,
+    )

@@ -1,0 +1,94 @@
+"""Tests for summary statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    geomean,
+    mean,
+    mean_absolute_relative_error,
+    normalize,
+    percent_improvement,
+    stdev,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_scale_invariance(self):
+        values = [1.5, 2.5, 8.0]
+        assert geomean([10 * v for v in values]) == pytest.approx(
+            10 * geomean(values)
+        )
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_bounded_by_min_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestStdev:
+    def test_constant_sequence(self):
+        assert stdev([5.0, 5.0, 5.0]) == 0.0
+
+    def test_single_value(self):
+        assert stdev([3.0]) == 0.0
+
+    def test_known_value(self):
+        assert stdev([1.0, 3.0]) == pytest.approx(math.sqrt(2.0))
+
+
+class TestPercentImprovement:
+    def test_positive(self):
+        assert percent_improvement(1.5, 1.0) == pytest.approx(50.0)
+
+    def test_negative(self):
+        assert percent_improvement(0.8, 1.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_improvement(1.0, 0.0)
+
+
+class TestMare:
+    def test_perfect_prediction(self):
+        assert mean_absolute_relative_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_error(self):
+        assert mean_absolute_relative_error([1.1, 1.8], [1.0, 2.0]) == pytest.approx(
+            (0.1 + 0.1) / 2
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([1.0], [1.0, 2.0])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_relative_error([1.0], [0.0])
+
+
+class TestNormalize:
+    def test_reference_maps_to_one(self):
+        assert normalize([2.0, 4.0], 2.0) == pytest.approx([1.0, 2.0])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)

@@ -1,0 +1,79 @@
+"""Tests for table and bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentResult, Finding
+from repro.analysis.tables import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_rendered(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.startswith("My Table")
+        assert "=" * len("My Table") in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestFormatBarChart:
+    def test_bars_scale_to_peak(self):
+        text = format_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_value_shown(self):
+        text = format_bar_chart(["x"], [42.5], unit="%")
+        assert "42.5%" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart([], [])
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="figX",
+            title="Test figure",
+            headers=["k", "v"],
+            rows=[["a", 1.0]],
+            findings=(Finding(name="gain", measured=51.0, paper=50.0, unit="%"),),
+            notes="a note",
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "Test figure" in text
+        assert "gain" in text
+        assert "paper: 50" in text
+        assert "a note" in text
+
+    def test_finding_lookup(self):
+        result = self.make()
+        assert result.finding("gain").measured == 51.0
+        with pytest.raises(KeyError):
+            result.finding("missing")
+
+    def test_finding_without_paper_value(self):
+        finding = Finding(name="solo", measured=1.25)
+        assert "paper" not in finding.render()

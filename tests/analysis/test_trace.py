@@ -1,0 +1,92 @@
+"""Tests for run-trace export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.trace import (
+    CORE_COLUMNS,
+    EPOCH_COLUMNS,
+    core_rows,
+    epoch_rows,
+    to_csv,
+    to_json,
+    write_trace,
+)
+from repro.hardware.platform import quad_hmp
+from repro.kernel.balancers.base import NullBalancer
+from repro.kernel.simulator import System
+from repro.workload.synthetic import imb_threads
+
+
+@pytest.fixture(scope="module")
+def result():
+    system = System(quad_hmp(), imb_threads("MTMI", 4), NullBalancer())
+    return system.run(n_epochs=5)
+
+
+class TestRows:
+    def test_epoch_rows_cover_run(self, result):
+        rows = epoch_rows(result)
+        assert len(rows) == 5
+        assert set(rows[0]) == set(EPOCH_COLUMNS)
+        assert sum(r["instructions"] for r in rows) == pytest.approx(
+            result.instructions
+        )
+
+    def test_core_rows_cover_platform(self, result):
+        rows = core_rows(result)
+        assert len(rows) == 4
+        assert set(rows[0]) == set(CORE_COLUMNS)
+        assert {r["core_type"] for r in rows} == {"Huge", "Big", "Medium", "Small"}
+
+
+class TestCsv:
+    def test_epochs_csv_parses(self, result):
+        text = to_csv(result, "epochs")
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 5
+        assert float(parsed[0]["energy_j"]) > 0
+
+    def test_cores_csv_parses(self, result):
+        text = to_csv(result, "cores")
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+
+    def test_bad_selector_rejected(self, result):
+        with pytest.raises(ValueError):
+            to_csv(result, "tasks")
+
+
+class TestJson:
+    def test_document_structure(self, result):
+        doc = json.loads(to_json(result))
+        assert doc["balancer"] == "none"
+        assert doc["platform"] == "quad-hmp"
+        assert len(doc["epochs"]) == 5
+        assert len(doc["cores"]) == 4
+        assert len(doc["tasks"]) == 4
+        assert doc["ips_per_watt"] == pytest.approx(result.ips_per_watt)
+
+
+class TestWriteTrace:
+    def test_json_suffix(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(result, str(path))
+        assert json.loads(path.read_text())["instructions"] > 0
+
+    def test_csv_suffix(self, result, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace(result, str(path))
+        assert "ips_per_watt" in path.read_text()
+
+    def test_unknown_suffix_needs_fmt(self, result, tmp_path):
+        with pytest.raises(ValueError, match="cannot infer"):
+            write_trace(result, str(tmp_path / "trace.dat"))
+        write_trace(result, str(tmp_path / "trace.dat"), fmt="csv")
+
+    def test_invalid_fmt_rejected(self, result, tmp_path):
+        with pytest.raises(ValueError, match="fmt must be"):
+            write_trace(result, str(tmp_path / "x.csv"), fmt="xml")

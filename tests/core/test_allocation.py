@@ -1,0 +1,140 @@
+"""Tests for the slot-array allocation representation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.allocation import EMPTY, Allocation
+
+
+class TestConstruction:
+    def test_round_robin(self):
+        alloc = Allocation.round_robin(6, 4)
+        assert alloc.mapping() == [0, 1, 2, 3, 0, 1]
+
+    def test_from_mapping(self):
+        alloc = Allocation.from_mapping([2, 2, 0], n_cores=3)
+        assert alloc.core_of(0) == 2
+        assert alloc.threads_on(2) == [0, 1]
+        assert alloc.threads_on(1) == []
+
+    def test_headroom_allows_all_on_one_core(self):
+        alloc = Allocation.from_mapping([0] * 8, n_cores=4)
+        assert alloc.threads_on(0) == list(range(8))
+
+    def test_insufficient_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(n_threads=5, n_cores=2, slots_per_core=2)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(n_threads=-1, n_cores=2)
+        with pytest.raises(ValueError):
+            Allocation(n_threads=1, n_cores=0)
+
+
+class TestPlacement:
+    def test_double_place_rejected(self):
+        alloc = Allocation(2, 2)
+        alloc.place(0, 1)
+        with pytest.raises(ValueError):
+            alloc.place(0, 0)
+
+    def test_core_of_unplaced_rejected(self):
+        alloc = Allocation(2, 2)
+        with pytest.raises(ValueError):
+            alloc.core_of(0)
+
+    def test_is_complete(self):
+        alloc = Allocation(2, 2)
+        assert not alloc.is_complete()
+        alloc.place(0, 0)
+        alloc.place(1, 1)
+        assert alloc.is_complete()
+
+    def test_full_core_rejects_placement(self):
+        alloc = Allocation(3, 3, slots_per_core=1)
+        alloc.place(0, 0)
+        with pytest.raises(ValueError):
+            alloc.place(1, 0)
+
+
+class TestSwap:
+    def test_swap_moves_thread_to_other_core(self):
+        alloc = Allocation.round_robin(2, 2)
+        # thread 0 in slot 0 (core 0); find an empty slot on core 1
+        empty_slot = next(
+            s for s in range(alloc.slots_per_core, 2 * alloc.slots_per_core)
+            if alloc.slots[s] == EMPTY
+        )
+        alloc.swap(0, empty_slot)
+        assert alloc.core_of(0) == 1
+
+    def test_swap_exchanges_two_threads(self):
+        alloc = Allocation.round_robin(2, 2)
+        slot0 = alloc._thread_slot[0]
+        slot1 = alloc._thread_slot[1]
+        alloc.swap(slot0, slot1)
+        assert alloc.core_of(0) == 1
+        assert alloc.core_of(1) == 0
+
+    def test_swap_empty_empty_is_noop(self):
+        alloc = Allocation.round_robin(1, 3)
+        empties = [i for i, t in enumerate(alloc.slots) if t == EMPTY]
+        alloc.swap(empties[0], empties[1])
+        assert alloc.core_of(0) == 0
+
+    def test_swap_is_involutive(self):
+        alloc = Allocation.round_robin(5, 3)
+        before = alloc.mapping()
+        alloc.swap(2, 11)
+        alloc.swap(2, 11)
+        assert alloc.mapping() == before
+
+    def test_swap_returns_affected_cores(self):
+        alloc = Allocation.round_robin(4, 2)
+        cores = alloc.swap(0, alloc.slots_per_core)
+        assert cores == (0, 1)
+
+    def test_out_of_range_slot_rejected(self):
+        alloc = Allocation.round_robin(2, 2)
+        with pytest.raises(IndexError):
+            alloc.swap(0, len(alloc) + 5)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=5),
+        st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000)), max_size=50),
+    )
+    def test_random_swaps_preserve_completeness(self, m, n, swaps):
+        """Property: any swap sequence keeps every thread placed once."""
+        alloc = Allocation.round_robin(m, n)
+        total = len(alloc)
+        for a, b in swaps:
+            alloc.swap(a % total, b % total)
+        assert alloc.is_complete()
+        seen = [t for t in alloc.slots if t != EMPTY]
+        assert sorted(seen) == list(range(m))
+
+
+class TestCopyAndDiff:
+    def test_copy_is_independent(self):
+        alloc = Allocation.round_robin(4, 2)
+        clone = alloc.copy()
+        clone.swap(0, alloc.slots_per_core + 1)
+        assert alloc.mapping() != clone.mapping() or alloc.mapping() == clone.mapping()
+        assert alloc.core_of(0) == 0
+
+    def test_diff_lists_changed_threads(self):
+        a = Allocation.from_mapping([0, 1, 2], n_cores=3)
+        b = Allocation.from_mapping([0, 2, 2], n_cores=3)
+        assert a.diff(b) == {1: 2}
+
+    def test_diff_empty_for_identical(self):
+        a = Allocation.round_robin(5, 3)
+        assert a.diff(a.copy()) == {}
+
+    def test_diff_shape_mismatch_rejected(self):
+        a = Allocation.round_robin(2, 2)
+        b = Allocation.round_robin(3, 2)
+        with pytest.raises(ValueError):
+            a.diff(b)

@@ -1,0 +1,142 @@
+"""Tests for the SmartBalance sense-predict-balance engine."""
+
+import pytest
+
+from repro.core.annealing import SAConfig
+from repro.core.balancer import SmartBalance
+from repro.core.config import SmartBalanceConfig
+from repro.core.training import default_predictor
+from repro.experiments.fig7 import synthetic_view
+from repro.hardware.platform import quad_hmp
+from repro.hardware.sensors import NoiseModel
+from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+from repro.kernel.simulator import SimulationConfig, System
+from repro.workload.synthetic import imb_threads
+
+
+def engine(**config_kwargs) -> SmartBalance:
+    return SmartBalance(
+        default_predictor(), SmartBalanceConfig(**config_kwargs)
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_improvement": -0.1},
+            {"migration_penalty": -1.0},
+            {"smoothing": 0.0},
+            {"smoothing": 1.5},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SmartBalanceConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        SmartBalanceConfig()
+
+
+class TestDecide:
+    def test_empty_window_keeps_placement(self):
+        """First epoch has no measurements: no migration storm."""
+        system = System(quad_hmp(), imb_threads("MTMI", 4), _null())
+        view = system.build_view(window_s=0.0)
+        decision = engine().decide(view)
+        assert decision.placement is None
+        assert decision.sa_result is None
+
+    def test_decides_with_measurements(self):
+        view = synthetic_view(4, 8, seed=1)
+        decision = engine().decide(view)
+        assert decision.sa_result is not None
+        assert decision.matrices is not None
+        assert decision.incumbent_value > 0.0
+
+    def test_placement_targets_valid_cores(self):
+        view = synthetic_view(4, 8, seed=2)
+        decision = engine().decide(view)
+        if decision.placement:
+            for tid, core in decision.placement.items():
+                assert 0 <= core < 4
+                assert tid in {t.tid for t in view.tasks}
+
+    def test_timings_populated(self):
+        view = synthetic_view(4, 8, seed=3)
+        decision = engine().decide(view)
+        assert decision.timings.sense_s >= 0.0
+        assert decision.timings.predict_s > 0.0
+        assert decision.timings.balance_s > 0.0
+        assert decision.timings.total_s == pytest.approx(
+            decision.timings.sense_s
+            + decision.timings.predict_s
+            + decision.timings.balance_s
+        )
+
+    def test_adoption_gate_blocks_marginal_gains(self):
+        """With an enormous required improvement nothing is adopted."""
+        view = synthetic_view(4, 8, seed=4)
+        decision = engine(min_improvement=1e9).decide(view)
+        assert decision.placement is None
+
+    def test_migration_penalty_reduces_churn(self):
+        view = synthetic_view(4, 12, seed=5)
+        free = engine(migration_penalty=0.0, min_improvement=0.0).decide(view)
+        taxed = engine(migration_penalty=50.0, min_improvement=0.0).decide(view)
+        n_free = len(free.placement or {})
+        n_taxed = len(taxed.placement or {})
+        assert n_taxed <= n_free
+
+    def test_smoothing_state_tracks_threads(self):
+        eng = engine()
+        eng.decide(synthetic_view(4, 6, seed=6))
+        assert len(eng._rows) == 6
+        # A later view with fewer threads drops stale rows.
+        eng.decide(synthetic_view(4, 3, seed=7))
+        assert len(eng._rows) == 3
+
+    def test_blend_moves_toward_new_observation(self):
+        eng = engine(smoothing=0.5)
+        first = eng.decide(synthetic_view(4, 4, seed=8))
+        second = eng.decide(synthetic_view(4, 4, seed=9))
+        assert first.matrices is not None and second.matrices is not None
+        # smoothed rows exist and differ from the raw second build
+        assert len(eng._rows) == 4
+
+
+class TestKernelAdapter:
+    def test_interval_is_epoch(self):
+        adapter = SmartBalanceKernelAdapter(epoch_periods=10)
+        assert adapter.interval_periods == 10
+
+    def test_invalid_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            SmartBalanceKernelAdapter(epoch_periods=0)
+
+    def test_records_timings_per_epoch(self):
+        adapter = SmartBalanceKernelAdapter()
+        system = System(quad_hmp(), imb_threads("MTMI", 4), adapter)
+        system.run(n_epochs=5)
+        assert len(adapter.timings) == 5
+        assert len(adapter.proposed_migrations) == 5
+
+    def test_improves_over_initial_placement(self):
+        """Closed loop: once sensing data exists the balancer lifts the
+        system well above the round-robin initial placement and stays
+        there (phase drift may wobble the level, not collapse it)."""
+        adapter = SmartBalanceKernelAdapter()
+        system = System(
+            quad_hmp(), imb_threads("HTHI", 8),
+            adapter, SimulationConfig(seed=1),
+        )
+        result = system.run(n_epochs=20)
+        first = result.epochs[0].ips_per_watt  # pre-balancing epoch
+        late = sum(e.ips_per_watt for e in result.epochs[-4:]) / 4
+        assert late > 1.2 * first
+
+
+def _null():
+    from repro.kernel.balancers.base import NullBalancer
+
+    return NullBalancer()

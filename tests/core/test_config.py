@@ -1,0 +1,48 @@
+"""Tests for SmartBalanceConfig validation and defaults."""
+
+import pytest
+
+from repro.core.annealing import SAConfig
+from repro.core.config import SmartBalanceConfig
+
+
+class TestDefaults:
+    def test_default_objective_is_global(self):
+        config = SmartBalanceConfig()
+        assert config.objective_mode == "global"
+        assert config.throughput_exponent == pytest.approx(1.7)
+
+    def test_default_gates_nontrivial(self):
+        config = SmartBalanceConfig()
+        assert config.min_improvement > 0
+        assert config.migration_penalty > 0
+        assert 0 < config.smoothing < 1
+
+    def test_kernel_threads_excluded_by_default(self):
+        assert SmartBalanceConfig().include_kernel_threads is False
+
+    def test_sa_config_embedded(self):
+        config = SmartBalanceConfig(sa=SAConfig(max_iterations=42))
+        assert config.sa.max_iterations == 42
+
+
+class TestValidation:
+    def test_thermal_band_checked(self):
+        with pytest.raises(ValueError, match="thermal_knee_c"):
+            SmartBalanceConfig(thermal_knee_c=90.0, thermal_zero_c=80.0)
+
+    def test_negative_gates_rejected(self):
+        with pytest.raises(ValueError):
+            SmartBalanceConfig(min_improvement=-0.01)
+        with pytest.raises(ValueError):
+            SmartBalanceConfig(migration_penalty=-0.01)
+
+    def test_smoothing_bounds(self):
+        SmartBalanceConfig(smoothing=1.0)  # no smoothing is valid
+        with pytest.raises(ValueError):
+            SmartBalanceConfig(smoothing=0.0)
+
+    def test_frozen(self):
+        config = SmartBalanceConfig()
+        with pytest.raises(AttributeError):
+            config.min_improvement = 0.5  # type: ignore[misc]

@@ -1,0 +1,128 @@
+"""Tests for the alternative objective goals (performance, power cap)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.annealing import SAConfig, anneal
+from repro.core.objective import (
+    MODES,
+    POWER_CAP_PENALTY_EXPONENT,
+    EnergyEfficiencyObjective,
+    IncrementalEvaluator,
+)
+
+
+def matrices(m=4, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "ips": rng.uniform(1e8, 5e9, size=(m, n)),
+        "power": rng.uniform(0.05, 8.0, size=(m, n)),
+        "utilization": rng.uniform(0.1, 1.0, size=(m, n)),
+        "idle_power": rng.uniform(0.05, 1.5, size=n),
+    }
+
+
+class TestModesRegistry:
+    def test_all_modes_registered(self):
+        assert set(MODES) == {"global", "per_core_sum", "performance", "power_cap"}
+
+
+class TestPerformanceMode:
+    def test_value_is_weighted_ips(self):
+        data = matrices()
+        obj = EnergyEfficiencyObjective(mode="performance", **data)
+        alloc = Allocation.round_robin(4, 3)
+        value = obj.evaluate(alloc)
+        # Recompute: sum over cores of throughput terms only.
+        core_ips = []
+        for core in range(3):
+            threads = alloc.threads_on(core)
+            su = sum(obj.utilization[t, core] for t in threads)
+            sui = sum(obj.utilization[t, core] * obj.ips[t, core] for t in threads)
+            sup = sum(obj.utilization[t, core] * obj.power[t, core] for t in threads)
+            core_ips.append(obj.core_terms(core, su, sui, sup)[0])
+        assert value == pytest.approx(sum(core_ips))
+
+    def test_optimizing_performance_beats_efficiency_on_ips(self):
+        """The performance goal must deliver at least as much predicted
+        throughput as the efficiency goal."""
+        data = matrices(m=6, n=3, seed=5)
+        perf = EnergyEfficiencyObjective(mode="performance", **data)
+        eff = EnergyEfficiencyObjective(mode="global", **data)
+        initial = Allocation.round_robin(6, 3)
+        best_perf = anneal(perf, initial, SAConfig(max_iterations=2000, seed=1))
+        best_eff = anneal(eff, initial, SAConfig(max_iterations=2000, seed=1))
+        ips_of = lambda alloc: perf.evaluate(alloc)  # noqa: E731
+        assert ips_of(best_perf.best_allocation) >= ips_of(
+            best_eff.best_allocation
+        ) * (1 - 1e-9)
+
+
+class TestPowerCapMode:
+    def test_requires_cap(self):
+        data = matrices()
+        with pytest.raises(ValueError, match="power_cap"):
+            EnergyEfficiencyObjective(mode="power_cap", **data)
+        with pytest.raises(ValueError, match="power_cap"):
+            EnergyEfficiencyObjective(mode="power_cap", power_cap_w=-1.0, **data)
+
+    def test_no_penalty_under_cap(self):
+        data = matrices()
+        capped = EnergyEfficiencyObjective(
+            mode="power_cap", power_cap_w=1e9, **data
+        )
+        perf = EnergyEfficiencyObjective(mode="performance", **data)
+        alloc = Allocation.round_robin(4, 3)
+        assert capped.evaluate(alloc) == pytest.approx(perf.evaluate(alloc))
+
+    def test_penalty_above_cap(self):
+        data = matrices()
+        capped = EnergyEfficiencyObjective(
+            mode="power_cap", power_cap_w=1e-3, **data
+        )
+        perf = EnergyEfficiencyObjective(mode="performance", **data)
+        alloc = Allocation.round_robin(4, 3)
+        assert capped.evaluate(alloc) < perf.evaluate(alloc)
+
+    def test_penalty_exponent_steep(self):
+        assert POWER_CAP_PENALTY_EXPONENT >= 2.0
+
+    def test_optimizer_respects_cap(self):
+        """Annealing under a tight cap lands on a lower-power
+        allocation than unconstrained performance maximisation."""
+        data = matrices(m=6, n=3, seed=7)
+        perf = EnergyEfficiencyObjective(mode="performance", **data)
+        initial = Allocation.round_robin(6, 3)
+        unconstrained = anneal(perf, initial, SAConfig(max_iterations=2000, seed=2))
+
+        def power_of(alloc):
+            total = 0.0
+            for core in range(3):
+                threads = alloc.threads_on(core)
+                su = sum(perf.utilization[t, core] for t in threads)
+                sui = sum(perf.utilization[t, core] * perf.ips[t, core] for t in threads)
+                sup = sum(perf.utilization[t, core] * perf.power[t, core] for t in threads)
+                total += perf.core_terms(core, su, sui, sup)[1]
+            return total
+
+        cap = 0.6 * power_of(unconstrained.best_allocation)
+        capped_obj = EnergyEfficiencyObjective(
+            mode="power_cap", power_cap_w=cap, **data
+        )
+        capped = anneal(capped_obj, initial, SAConfig(max_iterations=3000, seed=2))
+        assert power_of(capped.best_allocation) < power_of(
+            unconstrained.best_allocation
+        )
+
+    def test_incremental_matches_full_in_new_modes(self):
+        data = matrices(m=5, n=3, seed=11)
+        for mode, extra in (("performance", {}), ("power_cap", {"power_cap_w": 3.0})):
+            obj = EnergyEfficiencyObjective(mode=mode, **extra, **data)
+            alloc = Allocation.round_robin(5, 3)
+            evaluator = IncrementalEvaluator(obj, alloc)
+            for a, b in [(0, 7), (3, 11), (2, 9)]:
+                evaluator.apply_swap(a, b)
+            assert evaluator.value == pytest.approx(
+                obj.evaluate(alloc), rel=1e-9
+            )

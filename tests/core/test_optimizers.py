@@ -1,0 +1,126 @@
+"""Tests for the alternative allocation optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.objective import EnergyEfficiencyObjective
+from repro.core.optimizers import (
+    OPTIMIZERS,
+    exhaustive_search,
+    greedy_allocate,
+    optimize,
+    random_search,
+)
+
+
+def make_objective(m=5, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    ips = rng.uniform(1e8, 5e9, size=(m, n))
+    power = rng.uniform(0.05, 8.0, size=(m, n))
+    util = rng.uniform(0.1, 1.0, size=(m, n))
+    idle = rng.uniform(0.05, 1.5, size=n)
+    return EnergyEfficiencyObjective(
+        ips=ips, power=power, utilization=util, idle_power=idle,
+        sleep_power=0.1 * idle,
+    )
+
+
+class TestGreedy:
+    def test_never_worse_than_initial(self):
+        objective = make_objective()
+        result = greedy_allocate(objective, Allocation.round_robin(5, 3))
+        assert result.best_value >= result.initial_value
+        assert result.method == "greedy"
+
+    def test_initial_untouched(self):
+        objective = make_objective()
+        initial = Allocation.round_robin(5, 3)
+        before = initial.mapping()
+        greedy_allocate(objective, initial)
+        assert initial.mapping() == before
+
+    def test_result_complete(self):
+        objective = make_objective(seed=4)
+        result = greedy_allocate(objective, Allocation.round_robin(5, 3))
+        assert result.best_allocation.is_complete()
+
+    def test_reaches_local_optimum(self):
+        """Running greedy again from its own output must not improve."""
+        objective = make_objective(seed=9)
+        first = greedy_allocate(objective, Allocation.round_robin(5, 3))
+        second = greedy_allocate(objective, first.best_allocation)
+        assert second.best_value == pytest.approx(first.best_value, rel=1e-12)
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_allocate(make_objective(), Allocation.round_robin(5, 3),
+                            max_rounds=0)
+
+
+class TestRandomSearch:
+    def test_never_worse(self):
+        objective = make_objective(seed=2)
+        result = random_search(objective, Allocation.round_robin(5, 3),
+                               iterations=500)
+        assert result.best_value >= result.initial_value
+        assert result.evaluations == 500
+
+    def test_deterministic_per_seed(self):
+        objective = make_objective(seed=3)
+        initial = Allocation.round_robin(5, 3)
+        a = random_search(objective, initial, iterations=200, seed=42)
+        b = random_search(objective, initial, iterations=200, seed=42)
+        assert a.best_value == b.best_value
+
+    def test_invalid_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            random_search(make_objective(), Allocation.round_robin(5, 3),
+                          iterations=0)
+
+
+class TestExhaustive:
+    def test_finds_true_optimum(self):
+        """Exhaustive must dominate every other optimizer."""
+        objective = make_objective(m=5, n=3, seed=7)
+        initial = Allocation.round_robin(5, 3)
+        optimum = exhaustive_search(objective, initial)
+        assert optimum.evaluations == 3 ** 5
+        for method in ("greedy", "random", "annealing"):
+            other = optimize(method, objective, initial)
+            # Compare fresh evaluations: incrementally-tracked values
+            # carry last-ulp drift.
+            fresh = objective.evaluate(other.best_allocation)
+            assert fresh <= optimum.best_value * (1 + 1e-9)
+
+    def test_guard_against_explosion(self):
+        objective = make_objective(m=5, n=3)
+        big = make_objective(m=20, n=4)
+        exhaustive_search(objective)  # fine
+        with pytest.raises(ValueError, match="exceed"):
+            exhaustive_search(big)
+
+
+class TestOptimizeDispatch:
+    def test_all_registered_methods_run(self):
+        objective = make_objective(m=4, n=2, seed=1)
+        initial = Allocation.round_robin(4, 2)
+        for method in OPTIMIZERS:
+            result = optimize(method, objective, initial)
+            assert result.method == method
+            assert result.best_allocation.is_complete()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError, match="unknown optimizer"):
+            optimize("quantum", make_objective(), Allocation.round_robin(5, 3))
+
+    def test_annealing_close_to_exhaustive(self):
+        """The paper's claim: SA is near-optimal on small problems."""
+        objective = make_objective(m=6, n=3, seed=13)
+        initial = Allocation.round_robin(6, 3)
+        optimum = exhaustive_search(objective, initial)
+        from repro.core.annealing import SAConfig
+
+        sa = optimize("annealing", objective, initial,
+                      config=SAConfig(max_iterations=3000, seed=3))
+        assert sa.best_value >= 0.95 * optimum.best_value

@@ -1,0 +1,126 @@
+"""Tests for the sense phase and the Eq. 4-7 estimation identities."""
+
+import pytest
+
+from repro.core.estimation import (
+    core_ips_from_counters,
+    estimate_cores,
+    feature_vector,
+)
+from repro.core.sensing import sense
+from repro.hardware.counters import CounterBlock
+from repro.hardware import microarch
+from repro.hardware.platform import quad_hmp
+from repro.hardware.sensors import NoiseModel
+from repro.kernel.balancers.base import NullBalancer
+from repro.kernel.simulator import SimulationConfig, System
+from repro.workload.characteristics import COMPUTE_PHASE
+from repro.workload.synthetic import imb_threads
+
+IDEAL = SimulationConfig(
+    counter_noise=NoiseModel(sigma=0.0), power_noise=NoiseModel(sigma=0.0)
+)
+
+
+def sensed_view(n_threads=4, os_tasks=0, n_epochs=2):
+    config = SimulationConfig(
+        counter_noise=NoiseModel(sigma=0.0),
+        power_noise=NoiseModel(sigma=0.0),
+        os_noise_tasks=os_tasks,
+    )
+    system = System(quad_hmp(), imb_threads("MTMI", n_threads), NullBalancer(), config)
+    system.run(n_epochs=n_epochs)
+    return system, system.build_view(window_s=n_epochs * 0.06)
+
+
+class TestSense:
+    def test_all_user_threads_observed(self):
+        _, view = sensed_view(4)
+        observation = sense(view)
+        assert len(observation.threads) == 4
+        assert len(observation.measured_threads) == 4
+
+    def test_kernel_threads_excluded_by_default(self):
+        _, view = sensed_view(2, os_tasks=3)
+        observation = sense(view)
+        assert len(observation.threads) == 2
+        included = sense(view, include_kernel_threads=True)
+        assert len(included.threads) == 5
+
+    def test_idle_and_sleep_power_vectors(self):
+        _, view = sensed_view(2)
+        observation = sense(view)
+        assert len(observation.idle_power_w) == 4
+        assert len(observation.sleep_power_w) == 4
+        for idle, sleep in zip(observation.idle_power_w, observation.sleep_power_w):
+            assert 0 < sleep < idle
+
+    def test_eq4_ips_identity(self):
+        """ips_ij = sum(I) / sum(tau) — verified against ground truth."""
+        system, view = sensed_view(4)
+        observation = sense(view)
+        for obs in observation.measured_threads:
+            task = system.tasks[obs.tid]
+            expected = task.counters.instructions / task.counters.busy_time_s
+            assert obs.ips_measured == pytest.approx(expected, rel=1e-9)
+
+    def test_eq5_power_identity(self):
+        """p_ij = sum(energy) / sum(tau)."""
+        system, view = sensed_view(4)
+        observation = sense(view)
+        for obs in observation.measured_threads:
+            task = system.tasks[obs.tid]
+            expected = task.epoch_energy_j / task.counters.busy_time_s
+            assert obs.power_measured == pytest.approx(expected, rel=1e-9)
+
+
+class TestEstimateCores:
+    def test_eq6_eq7_are_member_averages(self):
+        _, view = sensed_view(8)
+        observation = sense(view)
+        estimates = estimate_cores(observation)
+        for core_id, estimate in estimates.items():
+            members = [
+                t for t in observation.measured_threads if t.core_id == core_id
+            ]
+            assert estimate.n_threads == len(members)
+            assert estimate.ips_avg == pytest.approx(
+                sum(t.ips_measured for t in members) / len(members)
+            )
+            assert estimate.power_avg == pytest.approx(
+                sum(t.power_measured for t in members) / len(members)
+            )
+
+    def test_empty_core_absent(self):
+        _, view = sensed_view(2)  # cores 2, 3 have no threads
+        estimates = estimate_cores(sense(view))
+        assert set(estimates) == {0, 1}
+
+
+class TestCoreIpsIdentity:
+    def test_matches_counter_formula(self):
+        """IPS_j = I_total * F / (cyBusy + cyIdle)."""
+        from repro.hardware.features import BIG
+
+        block = CounterBlock()
+        perf = microarch.estimate(COMPUTE_PHASE, BIG)
+        block.charge_execution(perf, BIG, 0.01, 0.3, 0.1)
+        ips = core_ips_from_counters(block, BIG)
+        assert ips == pytest.approx(perf.ipc * BIG.freq_hz, rel=1e-9)
+
+    def test_zero_for_empty_counters(self):
+        from repro.hardware.features import BIG
+
+        assert core_ips_from_counters(CounterBlock(), BIG) == 0.0
+
+
+class TestFeatureVector:
+    def test_matches_observed_rates(self):
+        _, view = sensed_view(2)
+        observation = sense(view)
+        obs = observation.measured_threads[0]
+        features = feature_vector(obs)
+        assert features[0] == obs.core_type.freq_mhz
+        assert features[-3] == pytest.approx(obs.rates.ipc)
+        assert features[-2] == pytest.approx(obs.rates.stall_fraction)
+        assert features[-1] == 1.0

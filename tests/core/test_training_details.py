@@ -1,0 +1,89 @@
+"""Additional tests for the offline training pipeline."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.training import (
+    DEFAULT_TRAINING_NOISE,
+    default_predictor,
+    parsec_phases,
+    parsec_training_corpus,
+    profile_phase,
+    train_predictor,
+)
+from repro.hardware import microarch
+from repro.hardware.features import BIG, HUGE, TABLE2_TYPES
+from repro.workload.characteristics import COMPUTE_PHASE
+from repro.workload.parsec import BENCHMARKS
+
+
+class TestCorpora:
+    def test_parsec_phases_covers_all_benchmarks(self):
+        phases = parsec_phases()
+        # every benchmark model contributes two phases
+        assert len(phases) == 2 * len(BENCHMARKS)
+
+    def test_training_corpus_scales_with_seeds(self):
+        small = parsec_training_corpus(n_seeds=1, threads_per_benchmark=2)
+        large = parsec_training_corpus(n_seeds=3, threads_per_benchmark=2)
+        assert len(large) == 3 * len(small)
+
+    def test_invalid_corpus_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            parsec_training_corpus(n_seeds=0)
+        with pytest.raises(ValueError):
+            parsec_training_corpus(threads_per_benchmark=0)
+
+
+class TestProfilePhase:
+    def test_noise_free_profile_matches_model(self):
+        features = profile_phase(COMPUTE_PHASE, BIG)
+        perf = microarch.estimate(COMPUTE_PHASE, BIG)
+        assert features[0] == BIG.freq_mhz
+        assert features[-3] == pytest.approx(perf.ipc)
+        assert features[-2] == pytest.approx(perf.stall_cpi / perf.cpi)
+
+    def test_noisy_profile_close_to_clean(self):
+        rng = random.Random(1)
+        noisy = profile_phase(COMPUTE_PHASE, BIG, DEFAULT_TRAINING_NOISE, rng)
+        clean = profile_phase(COMPUTE_PHASE, BIG)
+        assert np.allclose(noisy, clean, rtol=0.1)
+
+    def test_frequency_feature_differs_by_type(self):
+        huge = profile_phase(COMPUTE_PHASE, HUGE)
+        big = profile_phase(COMPUTE_PHASE, BIG)
+        assert huge[0] != big[0]
+
+
+class TestDefaultPredictor:
+    def test_cached_instance(self):
+        assert default_predictor() is default_predictor()
+
+    def test_covers_arm_types_too(self):
+        model = default_predictor()
+        assert "A15big" in model.type_names
+        assert ("A15big", "A7little") in model.theta
+
+    def test_ipc_range_brackets_peaks(self):
+        model = default_predictor()
+        for core_type in TABLE2_TYPES:
+            lo, hi = model.ipc_range[core_type.name]
+            assert lo < microarch.peak_ipc(core_type) <= hi * 1.01
+
+
+class TestTrainingConfigurability:
+    def test_noise_free_training_fits_tighter(self):
+        noisy = train_predictor(
+            [HUGE, BIG], n_synthetic=150, noise=DEFAULT_TRAINING_NOISE
+        )
+        clean = train_predictor([HUGE, BIG], n_synthetic=150, noise=None)
+        noisy_err = np.mean(list(noisy.fit_error.values()))
+        clean_err = np.mean(list(clean.fit_error.values()))
+        assert clean_err <= noisy_err * 1.1
+
+    def test_custom_phase_corpus_used(self):
+        corpus = parsec_training_corpus(n_seeds=2, threads_per_benchmark=2)
+        model = train_predictor([HUGE, BIG], phases=corpus)
+        assert ("Huge", "Big") in model.theta

@@ -1,0 +1,138 @@
+"""Tests for the sparse virtual sensing extension (paper Section 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import FEATURE_NAMES
+from repro.core.training import default_predictor, profile_phase
+from repro.core.virtual_sensing import (
+    ALWAYS_KNOWN,
+    MINIMAL_OBSERVED,
+    VirtualSensorModel,
+    hidden_features,
+    sparsify,
+    train_virtual_sensors,
+)
+from repro.hardware import microarch
+from repro.hardware.features import BIG, HUGE, TABLE2_TYPES
+from repro.workload.characteristics import COMPUTE_PHASE, MEMORY_PHASE
+
+
+@pytest.fixture(scope="module")
+def sensors() -> VirtualSensorModel:
+    return train_virtual_sensors(TABLE2_TYPES, n_synthetic=150)
+
+
+class TestHiddenFeatures:
+    def test_minimal_set_hides_event_counters(self):
+        hidden = hidden_features(MINIMAL_OBSERVED)
+        assert "mr_l1d" in hidden
+        assert "mr_b" in hidden
+        assert "ipc_src" not in hidden
+        assert "const" not in hidden
+
+    def test_always_known_excluded(self):
+        for name in ALWAYS_KNOWN:
+            assert name not in hidden_features(MINIMAL_OBSERVED)
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError, match="unknown feature"):
+            hidden_features(["mr_l1d", "banana"])
+
+    def test_full_observation_hides_nothing(self):
+        everything = [n for n in FEATURE_NAMES if n not in ALWAYS_KNOWN]
+        assert hidden_features(everything) == ()
+
+
+class TestTraining:
+    def test_covers_all_types_and_features(self, sensors):
+        for core_type in TABLE2_TYPES:
+            for name in sensors.hidden:
+                assert (core_type.name, name) in sensors.coefficients
+
+    def test_nothing_to_reconstruct_rejected(self):
+        everything = [n for n in FEATURE_NAMES if n not in ALWAYS_KNOWN]
+        with pytest.raises(ValueError, match="nothing to reconstruct"):
+            train_virtual_sensors(TABLE2_TYPES, observed=everything)
+
+    def test_tiny_corpus_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            train_virtual_sensors(
+                TABLE2_TYPES, phases=[COMPUTE_PHASE] * 3
+            )
+
+    def test_overlapping_observed_hidden_rejected(self):
+        with pytest.raises(ValueError, match="observed and hidden"):
+            VirtualSensorModel(
+                observed=("ipc_src",),
+                hidden=("ipc_src",),
+                coefficients={},
+                fit_error={},
+            )
+
+
+class TestReconstruction:
+    def test_observed_entries_preserved(self, sensors):
+        features = profile_phase(MEMORY_PHASE, BIG)
+        sparse = sparsify(features, MINIMAL_OBSERVED)
+        full = sensors.reconstruct(BIG, sparse)
+        for name in MINIMAL_OBSERVED:
+            index = FEATURE_NAMES.index(name)
+            assert full[index] == sparse[index]
+
+    def test_hidden_entries_filled(self, sensors):
+        features = profile_phase(MEMORY_PHASE, BIG)
+        sparse = sparsify(features, MINIMAL_OBSERVED)
+        full = sensors.reconstruct(BIG, sparse)
+        l1d = FEATURE_NAMES.index("mr_l1d")
+        assert sparse[l1d] == 0.0
+        assert full[l1d] > 0.0
+
+    def test_reconstruction_nonnegative(self, sensors):
+        for phase in (COMPUTE_PHASE, MEMORY_PHASE):
+            sparse = sparsify(profile_phase(phase, HUGE), MINIMAL_OBSERVED)
+            assert np.all(sensors.reconstruct(HUGE, sparse) >= 0.0)
+
+    def test_wrong_shape_rejected(self, sensors):
+        with pytest.raises(ValueError, match="feature vector"):
+            sensors.reconstruct(BIG, np.ones(3))
+
+    def test_unknown_type_rejected(self, sensors):
+        from repro.hardware.features import ARM_BIG
+
+        sparse = sparsify(profile_phase(MEMORY_PHASE, BIG), MINIMAL_OBSERVED)
+        with pytest.raises(KeyError, match="no reconstructor"):
+            sensors.reconstruct(ARM_BIG, sparse)
+
+
+class TestEndToEndAccuracy:
+    def test_predictor_degrades_gracefully(self, sensors):
+        """The headline claim of Section 6.4: a minimal counter set
+        still supports useful prediction.  Error with 4 physical
+        counters must stay within 2x of the full 10-counter error."""
+        model = default_predictor()
+        full_errs, sparse_errs = [], []
+        for phase in (COMPUTE_PHASE, MEMORY_PHASE):
+            for src in TABLE2_TYPES:
+                features = profile_phase(phase, src)
+                reconstructed = sensors.reconstruct(
+                    src, sparsify(features, MINIMAL_OBSERVED)
+                )
+                for dst in TABLE2_TYPES:
+                    if dst.name == src.name:
+                        continue
+                    truth = microarch.estimate(phase, dst).ipc
+                    full_errs.append(
+                        abs(model.predict_ipc(src.name, dst.name, features) - truth)
+                        / truth
+                    )
+                    sparse_errs.append(
+                        abs(
+                            model.predict_ipc(src.name, dst.name, reconstructed)
+                            - truth
+                        )
+                        / truth
+                    )
+        full = float(np.mean(full_errs))
+        sparse = float(np.mean(sparse_errs))
+        assert sparse < max(2.0 * full, 0.2)

@@ -1,0 +1,48 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import extensions
+
+
+class TestVirtualSensingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extensions.run_virtual_sensing()
+
+    def test_rows_cover_sweep(self, result):
+        assert len(result.rows) == len(extensions.COUNTER_SWEEP)
+
+    def test_error_decreases_with_more_counters(self, result):
+        errors = [row[1] for row in result.rows]
+        assert errors[0] >= errors[-1]
+
+    def test_minimal_error_usable(self, result):
+        minimal = result.finding("IPC error with minimal counters")
+        assert minimal.measured < 15.0
+
+    def test_full_matches_fig6_band(self, result):
+        full = result.finding("IPC error with full counters")
+        assert full.measured < 10.0
+
+
+class TestOptimizerComparisonExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extensions.run_optimizer_comparison(n_problems=3, budget=500)
+
+    def test_all_methods_reported(self, result):
+        methods = {row[0] for row in result.rows}
+        assert methods == {"annealing", "greedy", "random", "exhaustive"}
+
+    def test_exhaustive_is_zero_gap(self, result):
+        row = [r for r in result.rows if r[0] == "exhaustive"][0]
+        assert row[1] == 0.0
+
+    def test_annealing_near_optimal(self, result):
+        finding = result.finding("annealing distance to optimal")
+        assert finding.measured < 10.0
+
+    def test_gaps_non_negative(self, result):
+        for row in result.rows:
+            assert row[1] >= 0.0

@@ -1,0 +1,107 @@
+"""Tests for the cache/TLB/branch miss-rate models."""
+
+import pytest
+
+from repro.hardware import cache
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL
+from repro.workload.characteristics import WorkloadPhase
+
+
+def phase(**overrides) -> WorkloadPhase:
+    base = dict(
+        ilp=2.0, mem_share=0.3, branch_share=0.1, working_set_kb=128.0,
+        code_footprint_kb=32.0, branch_entropy=0.4, data_locality=0.8,
+    )
+    base.update(overrides)
+    return WorkloadPhase(**base)
+
+
+class TestDcacheMissRate:
+    def test_zero_when_fits(self):
+        assert cache.dcache_miss_rate(phase(working_set_kb=4.0), HUGE) == 0.0
+
+    def test_monotone_in_working_set(self):
+        rates = [
+            cache.dcache_miss_rate(phase(working_set_kb=ws), SMALL)
+            for ws in (16, 64, 256, 1024, 4096)
+        ]
+        assert rates == sorted(rates)
+
+    def test_monotone_in_cache_size(self):
+        ws = phase(working_set_kb=2048.0)
+        assert (
+            cache.dcache_miss_rate(ws, HUGE)
+            <= cache.dcache_miss_rate(ws, BIG)
+            <= cache.dcache_miss_rate(ws, SMALL)
+        )
+
+    def test_bounded_by_max(self):
+        extreme = phase(working_set_kb=1e7, data_locality=0.3)
+        assert cache.dcache_miss_rate(extreme, SMALL) <= cache.MAX_DCACHE_MISS_RATE
+
+    def test_locality_reduces_misses(self):
+        tight = phase(working_set_kb=1024.0, data_locality=1.0)
+        loose = phase(working_set_kb=1024.0, data_locality=0.4)
+        assert cache.dcache_miss_rate(tight, BIG) < cache.dcache_miss_rate(loose, BIG)
+
+
+class TestIcacheMissRate:
+    def test_zero_for_small_code(self):
+        assert cache.icache_miss_rate(phase(code_footprint_kb=8.0), MEDIUM) == 0.0
+
+    def test_large_code_misses_on_small_core(self):
+        big_code = phase(code_footprint_kb=2048.0)
+        assert cache.icache_miss_rate(big_code, SMALL) > 0.0
+
+
+class TestTlbMissRates:
+    def test_dtlb_zero_for_tiny_working_set(self):
+        assert cache.dtlb_miss_rate(phase(working_set_kb=8.0), HUGE) == 0.0
+
+    def test_dtlb_grows_with_working_set(self):
+        small = cache.dtlb_miss_rate(phase(working_set_kb=256.0), SMALL)
+        large = cache.dtlb_miss_rate(phase(working_set_kb=16384.0), SMALL)
+        assert large > small
+
+    def test_itlb_bounded(self):
+        huge_code = phase(code_footprint_kb=1e6)
+        assert cache.itlb_miss_rate(huge_code, SMALL) <= cache.MAX_TLB_MISS_RATE
+
+
+class TestBranchModel:
+    def test_predictor_quality_in_unit_interval(self):
+        for core in (HUGE, BIG, MEDIUM, SMALL):
+            assert 0.0 < cache.predictor_quality(core) <= 1.0
+
+    def test_wider_core_predicts_better(self):
+        assert cache.predictor_quality(HUGE) > cache.predictor_quality(SMALL)
+
+    def test_zero_entropy_never_mispredicts(self):
+        assert cache.branch_miss_rate(phase(branch_entropy=0.0), BIG) == 0.0
+
+    def test_miss_rate_monotone_in_entropy(self):
+        rates = [
+            cache.branch_miss_rate(phase(branch_entropy=e), MEDIUM)
+            for e in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert rates == sorted(rates)
+
+    def test_full_entropy_capped(self):
+        assert cache.branch_miss_rate(phase(branch_entropy=1.0), SMALL) <= (
+            cache.MAX_BRANCH_MISS_RATE
+        )
+
+
+class TestWarmupInflation:
+    def test_warm_is_identity(self):
+        assert cache.warmup_inflation(0.0) == 1.0
+
+    def test_cold_is_full_penalty(self):
+        assert cache.warmup_inflation(1.0) == pytest.approx(3.0)
+
+    def test_clamped_outside_unit_interval(self):
+        assert cache.warmup_inflation(-1.0) == 1.0
+        assert cache.warmup_inflation(2.0) == cache.warmup_inflation(1.0)
+
+    def test_linear_in_between(self):
+        assert cache.warmup_inflation(0.5) == pytest.approx(2.0)

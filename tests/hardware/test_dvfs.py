@@ -1,0 +1,109 @@
+"""Tests for the DVFS operating-point extension."""
+
+import pytest
+
+from repro.hardware import microarch, power
+from repro.hardware.dvfs import (
+    MIN_OPERATING_VDD,
+    OperatingPoint,
+    dvfs_platform,
+    energy_per_instruction,
+    opp_table,
+    opp_variants,
+    type_at_opp,
+    voltage_for_frequency,
+)
+from repro.hardware.features import BIG, MEDIUM
+
+
+class TestVoltageCurve:
+    def test_nominal_point(self):
+        assert voltage_for_frequency(BIG, BIG.freq_mhz) == BIG.vdd
+
+    def test_over_nominal_clamped(self):
+        assert voltage_for_frequency(BIG, 2 * BIG.freq_mhz) == BIG.vdd
+
+    def test_floor_voltage(self):
+        assert voltage_for_frequency(BIG, 1.0) == MIN_OPERATING_VDD
+
+    def test_monotone(self):
+        freqs = [200, 500, 900, 1200, 1500]
+        volts = [voltage_for_frequency(BIG, f) for f in freqs]
+        assert volts == sorted(volts)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            voltage_for_frequency(BIG, 0.0)
+
+
+class TestOppTable:
+    def test_size_and_ordering(self):
+        table = opp_table(BIG, 4)
+        assert len(table) == 4
+        freqs = [o.freq_mhz for o in table]
+        assert freqs == sorted(freqs)
+        assert freqs[-1] == BIG.freq_mhz
+
+    def test_single_point_is_nominal(self):
+        (only,) = opp_table(BIG, 1)
+        assert only.freq_mhz == BIG.freq_mhz
+        assert only.vdd == BIG.vdd
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            opp_table(BIG, 0)
+
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(freq_mhz=-1.0, vdd=1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(freq_mhz=1000.0, vdd=0.0)
+
+
+class TestOppVariants:
+    def test_variants_are_distinct_types(self):
+        variants = opp_variants(MEDIUM, 3)
+        names = {v.name for v in variants}
+        assert len(names) == 3
+        assert all(v.issue_width == MEDIUM.issue_width for v in variants)
+
+    def test_lower_opp_means_lower_power(self):
+        low, *_, high = opp_variants(BIG, 4)
+        assert power.peak_power(low) < power.peak_power(high)
+
+    def test_lower_opp_means_lower_throughput(self):
+        low, *_, high = opp_variants(BIG, 4)
+        assert microarch.peak_ips(low) < microarch.peak_ips(high)
+
+
+class TestDvfsPlatform:
+    def test_one_opp_per_core(self):
+        platform = dvfs_platform(MEDIUM, n_cores=4)
+        assert len(platform) == 4
+        assert len(platform.core_types) == 4
+
+    def test_more_cores_than_opps_cycles(self):
+        platform = dvfs_platform(MEDIUM, n_cores=6, n_points=3)
+        assert len(platform) == 6
+        assert len(platform.core_types) == 3
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            dvfs_platform(MEDIUM, n_cores=0)
+
+
+class TestEnergyPerInstruction:
+    def test_rows_match_opps(self):
+        opps = opp_table(BIG, 3)
+        rows = energy_per_instruction(BIG, opps)
+        assert len(rows) == 3
+        for opp, ips, epi in rows:
+            assert ips > 0 and epi > 0
+
+    def test_low_opp_more_efficient_per_instruction(self):
+        """The DVFS premise: the lowest OPP costs fewer Joules per
+        instruction than the highest (leakage does not dominate in this
+        calibration)."""
+        opps = opp_table(BIG, 4)
+        rows = energy_per_instruction(BIG, opps)
+        assert rows[0][2] < rows[-1][2]

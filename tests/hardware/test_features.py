@@ -1,0 +1,119 @@
+"""Tests for core-type descriptions (Table 2)."""
+
+import pytest
+
+from repro.hardware.features import (
+    ARM_BIG,
+    ARM_LITTLE,
+    BIG,
+    BUILTIN_TYPES,
+    HUGE,
+    MEDIUM,
+    SMALL,
+    TABLE2_TYPES,
+    CoreType,
+    core_type_by_name,
+)
+
+
+class TestTable2Parameters:
+    """The four core types carry the paper's exact parameter sets."""
+
+    def test_four_types(self):
+        assert [t.name for t in TABLE2_TYPES] == ["Huge", "Big", "Medium", "Small"]
+
+    def test_issue_widths(self):
+        assert [t.issue_width for t in TABLE2_TYPES] == [8, 4, 2, 1]
+
+    def test_rob_sizes(self):
+        assert [t.rob_size for t in TABLE2_TYPES] == [192, 128, 64, 64]
+
+    def test_iq_sizes(self):
+        assert [t.iq_size for t in TABLE2_TYPES] == [64, 32, 16, 16]
+
+    def test_register_counts(self):
+        assert [t.num_regs for t in TABLE2_TYPES] == [256, 128, 64, 64]
+
+    def test_cache_sizes(self):
+        assert [t.l1i_kb for t in TABLE2_TYPES] == [64, 32, 16, 16]
+        assert [t.l1d_kb for t in TABLE2_TYPES] == [64, 32, 16, 16]
+
+    def test_frequencies(self):
+        assert [t.freq_mhz for t in TABLE2_TYPES] == [2000, 1500, 1000, 500]
+
+    def test_voltages(self):
+        assert [t.vdd for t in TABLE2_TYPES] == [1.0, 0.8, 0.7, 0.6]
+
+    def test_areas(self):
+        assert [t.area_mm2 for t in TABLE2_TYPES] == [11.99, 5.08, 3.04, 2.27]
+
+    def test_lq_sq(self):
+        assert HUGE.lq_size == 32 and HUGE.sq_size == 32
+        assert SMALL.lq_size == 8 and SMALL.sq_size == 8
+
+
+class TestCoreType:
+    def test_freq_hz(self):
+        assert HUGE.freq_hz == 2e9
+
+    def test_tlb_entries_default_from_cache_size(self):
+        assert HUGE.dtlb_entries == 8 * 64
+        assert SMALL.itlb_entries == 8 * 16
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            HUGE.issue_width = 4  # type: ignore[misc]
+
+    def test_with_frequency_creates_distinct_type(self):
+        lp = MEDIUM.with_frequency(600.0, vdd=0.62)
+        assert lp.freq_mhz == 600.0
+        assert lp.vdd == 0.62
+        assert lp.name != MEDIUM.name
+        assert lp.issue_width == MEDIUM.issue_width
+
+    def test_with_frequency_keeps_vdd_by_default(self):
+        lp = MEDIUM.with_frequency(800.0)
+        assert lp.vdd == MEDIUM.vdd
+
+    def test_invalid_issue_width_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType(
+                name="bad", issue_width=0, lq_size=8, sq_size=8, iq_size=16,
+                rob_size=64, num_regs=64, l1i_kb=16, l1d_kb=16,
+                freq_mhz=1000, vdd=0.7, area_mm2=1.0,
+            )
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType(
+                name="bad", issue_width=2, lq_size=8, sq_size=8, iq_size=16,
+                rob_size=64, num_regs=64, l1i_kb=16, l1d_kb=16,
+                freq_mhz=0, vdd=0.7, area_mm2=1.0,
+            )
+
+    def test_invalid_vdd_rejected(self):
+        with pytest.raises(ValueError):
+            CoreType(
+                name="bad", issue_width=2, lq_size=8, sq_size=8, iq_size=16,
+                rob_size=64, num_regs=64, l1i_kb=16, l1d_kb=16,
+                freq_mhz=1000, vdd=-0.1, area_mm2=1.0,
+            )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert core_type_by_name("Huge") is HUGE
+        assert core_type_by_name("A7little") is ARM_LITTLE
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="unknown core type"):
+            core_type_by_name("Gigantic")
+
+    def test_builtin_registry_complete(self):
+        assert set(BUILTIN_TYPES) == {
+            "Huge", "Big", "Medium", "Small", "A15big", "A7little",
+        }
+
+    def test_arm_types_are_big_little(self):
+        assert ARM_BIG.issue_width > ARM_LITTLE.issue_width
+        assert ARM_BIG.freq_mhz > ARM_LITTLE.freq_mhz

@@ -1,0 +1,124 @@
+"""Tests for the analytical micro-architecture performance model."""
+
+import pytest
+
+from repro.hardware import microarch
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL, TABLE2_TYPES
+from repro.workload.characteristics import (
+    COMPUTE_PHASE,
+    MEMORY_PHASE,
+    PEAK_PHASE,
+    WorkloadPhase,
+)
+
+#: Paper Table 2 peak-throughput targets (Gem5-derived).
+PAPER_PEAK_IPC = {"Huge": 4.18, "Big": 2.60, "Medium": 1.31, "Small": 0.91}
+
+
+class TestPeakCalibration:
+    """Peak IPC must track the paper's Table 2 within tolerance."""
+
+    @pytest.mark.parametrize("core", TABLE2_TYPES, ids=lambda c: c.name)
+    def test_peak_ipc_close_to_paper(self, core):
+        model = microarch.peak_ipc(core)
+        paper = PAPER_PEAK_IPC[core.name]
+        assert model == pytest.approx(paper, rel=0.15)
+
+    def test_peak_ipc_strictly_ordered(self):
+        ipcs = [microarch.peak_ipc(t) for t in TABLE2_TYPES]
+        assert ipcs == sorted(ipcs, reverse=True)
+
+    def test_peak_ips_scales_with_frequency(self):
+        assert microarch.peak_ips(HUGE) > 4 * microarch.peak_ips(MEDIUM)
+
+
+class TestStructuralBehaviour:
+    """The model must preserve the qualitative structure SmartBalance
+    exploits."""
+
+    def test_high_ilp_rewarded_more_on_wide_core(self):
+        low = WorkloadPhase(ilp=1.2, mem_share=0.2, branch_share=0.1,
+                            working_set_kb=16)
+        high = low.scaled(ilp=8.0)
+        gain_huge = microarch.estimate(high, HUGE).ipc / microarch.estimate(low, HUGE).ipc
+        gain_small = microarch.estimate(high, SMALL).ipc / microarch.estimate(low, SMALL).ipc
+        assert gain_huge > gain_small
+
+    def test_large_working_set_hurts_small_cache_more(self):
+        small_ws = WorkloadPhase(ilp=2.0, mem_share=0.4, branch_share=0.1,
+                                 working_set_kb=16)
+        big_ws = small_ws.scaled(working_set_kb=4096.0)
+        loss_huge = microarch.estimate(big_ws, HUGE).ipc / microarch.estimate(small_ws, HUGE).ipc
+        loss_small = microarch.estimate(big_ws, SMALL).ipc / microarch.estimate(small_ws, SMALL).ipc
+        assert loss_small < loss_huge
+
+    def test_memory_phase_slower_than_compute_phase_everywhere(self):
+        for core in TABLE2_TYPES:
+            assert (
+                microarch.estimate(MEMORY_PHASE, core).ipc
+                < microarch.estimate(COMPUTE_PHASE, core).ipc
+            )
+
+    def test_branch_entropy_reduces_ipc(self):
+        tame = WorkloadPhase(ilp=3.0, mem_share=0.2, branch_share=0.15,
+                             working_set_kb=32, branch_entropy=0.0)
+        hostile = tame.scaled(branch_entropy=0.9)
+        for core in TABLE2_TYPES:
+            assert microarch.estimate(hostile, core).ipc < microarch.estimate(tame, core).ipc
+
+    def test_warmup_degrades_ipc(self):
+        warm = microarch.estimate(MEMORY_PHASE, BIG, warmup_fraction=0.0)
+        cold = microarch.estimate(MEMORY_PHASE, BIG, warmup_fraction=1.0)
+        assert cold.ipc < warm.ipc
+
+    def test_warmup_does_not_change_branch_rate(self):
+        warm = microarch.estimate(MEMORY_PHASE, BIG, warmup_fraction=0.0)
+        cold = microarch.estimate(MEMORY_PHASE, BIG, warmup_fraction=1.0)
+        assert cold.branch_miss_rate == warm.branch_miss_rate
+
+
+class TestPerfEstimate:
+    def test_cpi_is_base_plus_stall(self):
+        est = microarch.estimate(COMPUTE_PHASE, BIG)
+        assert est.cpi == pytest.approx(est.base_cpi + est.stall_cpi)
+
+    def test_ipc_inverse_of_cpi(self):
+        est = microarch.estimate(COMPUTE_PHASE, BIG)
+        assert est.ipc == pytest.approx(1.0 / est.cpi)
+
+    def test_ips_uses_core_frequency(self):
+        est = microarch.estimate(COMPUTE_PHASE, BIG)
+        assert est.ips(BIG) == pytest.approx(est.ipc * BIG.freq_hz)
+
+    def test_peak_phase_has_no_stalls(self):
+        est = microarch.estimate(PEAK_PHASE, HUGE)
+        assert est.stall_cpi == pytest.approx(0.0, abs=1e-9)
+
+    def test_miss_rates_within_unit_interval(self):
+        for phase in (PEAK_PHASE, COMPUTE_PHASE, MEMORY_PHASE):
+            for core in TABLE2_TYPES:
+                est = microarch.estimate(phase, core)
+                for rate in (
+                    est.dcache_miss_rate,
+                    est.icache_miss_rate,
+                    est.dtlb_miss_rate,
+                    est.itlb_miss_rate,
+                    est.branch_miss_rate,
+                ):
+                    assert 0.0 <= rate <= 1.0
+
+
+class TestWindowModel:
+    def test_effective_window_bounded_by_rob(self):
+        assert microarch.effective_window(HUGE) <= HUGE.rob_size
+
+    def test_effective_window_ordered_by_core_size(self):
+        windows = [microarch.effective_window(t) for t in TABLE2_TYPES]
+        assert windows[0] >= windows[1] >= windows[2] >= windows[3]
+
+    def test_mlp_overlap_at_least_one(self):
+        for core in TABLE2_TYPES:
+            assert microarch.mlp_overlap(core) >= 1.0
+
+    def test_wider_core_has_more_mlp(self):
+        assert microarch.mlp_overlap(HUGE) > microarch.mlp_overlap(SMALL)

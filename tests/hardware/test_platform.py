@@ -1,0 +1,103 @@
+"""Tests for chip topology and platform presets."""
+
+import pytest
+
+from repro.hardware.features import ARM_BIG, ARM_LITTLE, BIG, HUGE, MEDIUM, SMALL
+from repro.hardware.platform import (
+    Core,
+    Platform,
+    big_little_octa,
+    build_platform,
+    quad_hmp,
+    scaled_hmp,
+)
+
+
+class TestQuadHmp:
+    def test_four_cores_four_types(self):
+        platform = quad_hmp()
+        assert len(platform) == 4
+        assert [c.core_type.name for c in platform] == [
+            "Huge", "Big", "Medium", "Small",
+        ]
+
+    def test_core_ids_contiguous(self):
+        assert [c.core_id for c in quad_hmp()] == [0, 1, 2, 3]
+
+    def test_core_types_property(self):
+        assert len(quad_hmp().core_types) == 4
+
+
+class TestBigLittleOcta:
+    def test_eight_cores_two_clusters(self):
+        platform = big_little_octa()
+        assert len(platform) == 8
+        clusters = platform.clusters
+        assert set(clusters) == {"A15big", "A7little"}
+        assert len(clusters["A15big"]) == 4
+        assert len(clusters["A7little"]) == 4
+
+    def test_cores_of_type(self):
+        platform = big_little_octa()
+        assert len(platform.cores_of_type(ARM_BIG)) == 4
+        assert len(platform.cores_of_type(ARM_LITTLE)) == 4
+        assert len(platform.cores_of_type(HUGE)) == 0
+
+
+class TestScaledHmp:
+    @pytest.mark.parametrize("n", [1, 2, 4, 7, 16, 128])
+    def test_core_count(self, n):
+        assert len(scaled_hmp(n)) == n
+
+    def test_types_cycle(self):
+        platform = scaled_hmp(8)
+        names = [c.core_type.name for c in platform]
+        assert names == ["Huge", "Big", "Medium", "Small"] * 2
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_hmp(0)
+
+
+class TestBuildPlatform:
+    def test_counts_respected(self):
+        platform = build_platform([(BIG, 2), (SMALL, 3)])
+        assert len(platform) == 5
+        assert len(platform.cores_of_type(BIG)) == 2
+        assert len(platform.cores_of_type(SMALL)) == 3
+
+    def test_cluster_per_type(self):
+        platform = build_platform(
+            [(BIG, 2), (SMALL, 2)], cluster_per_type=True
+        )
+        assert set(platform.clusters) == {"Big", "Small"}
+
+    def test_single_cluster_default(self):
+        platform = build_platform([(BIG, 1), (SMALL, 1)])
+        assert set(platform.clusters) == {"default"}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_platform([(BIG, -1)])
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            build_platform([])
+
+
+class TestPlatformInvariants:
+    def test_non_contiguous_ids_rejected(self):
+        cores = [Core(core_id=1, core_type=BIG), Core(core_id=2, core_type=SMALL)]
+        with pytest.raises(ValueError):
+            Platform(cores)
+
+    def test_indexing(self):
+        platform = quad_hmp()
+        assert platform[2].core_type.name == "Medium"
+
+    def test_describe_mentions_types(self):
+        text = big_little_octa().describe()
+        assert "4xA15big" in text and "4xA7little" in text
+
+    def test_core_name(self):
+        assert quad_hmp()[0].name == "c0(Huge)"

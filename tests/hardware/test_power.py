@@ -1,0 +1,85 @@
+"""Tests for the McPAT-substitute power model."""
+
+import pytest
+
+from repro.hardware import microarch, power
+from repro.hardware.features import ARM_BIG, BIG, HUGE, MEDIUM, SMALL, TABLE2_TYPES
+
+
+class TestCalibration:
+    """Peak power must hit the Table 2 targets by construction."""
+
+    @pytest.mark.parametrize("core", TABLE2_TYPES, ids=lambda c: c.name)
+    def test_peak_power_matches_table2(self, core):
+        target = power.TABLE2_PEAK_POWER_W[core.name]
+        assert power.peak_power(core) == pytest.approx(target, rel=1e-6)
+
+    def test_uncalibrated_type_uses_area_default(self):
+        # ARM_BIG is not in the Table 2 calibration set.
+        ceff = power.effective_capacitance(ARM_BIG)
+        assert ceff == pytest.approx(
+            power.DEFAULT_CEFF_PER_MM2 * ARM_BIG.area_mm2
+        )
+
+
+class TestLeakage:
+    def test_leakage_scales_with_area(self):
+        assert power.leakage_power(HUGE) > power.leakage_power(SMALL)
+
+    def test_leakage_increases_with_voltage(self):
+        lv = MEDIUM.with_frequency(1000.0, vdd=0.6)
+        assert power.leakage_power(lv) < power.leakage_power(MEDIUM)
+
+    def test_sleep_power_is_gated_leakage(self):
+        assert power.sleep_power(BIG) == pytest.approx(
+            power.SLEEP_GATING_RESIDUAL * power.leakage_power(BIG)
+        )
+
+    def test_leakage_below_peak(self):
+        for core in TABLE2_TYPES:
+            assert power.leakage_power(core) < power.peak_power(core)
+
+
+class TestActivityModel:
+    def test_activity_bounded(self):
+        for ipc in (0.0, 0.5, 2.0, 100.0):
+            act = power.activity_factor(BIG, ipc)
+            assert power.IDLE_ACTIVITY <= act <= 1.0
+
+    def test_activity_one_at_peak_ipc(self):
+        peak = microarch.peak_ipc(BIG)
+        assert power.activity_factor(BIG, peak) == pytest.approx(1.0)
+
+    def test_busy_power_linear_in_ipc(self):
+        """Eq. 9's premise: per-type power is affine in IPC."""
+        peak = microarch.peak_ipc(MEDIUM)
+        ipcs = [0.1 * peak, 0.4 * peak, 0.7 * peak]
+        powers = [power.busy_power(MEDIUM, i).total_w for i in ipcs]
+        slope1 = (powers[1] - powers[0]) / (ipcs[1] - ipcs[0])
+        slope2 = (powers[2] - powers[1]) / (ipcs[2] - ipcs[1])
+        assert slope1 == pytest.approx(slope2, rel=1e-9)
+
+
+class TestPowerOrdering:
+    def test_sleep_below_idle_below_busy(self):
+        for core in TABLE2_TYPES:
+            busy = power.busy_power(core, microarch.peak_ipc(core)).total_w
+            idle = power.idle_power(core).total_w
+            sleep = power.sleep_power(core)
+            assert sleep < idle < busy
+
+    def test_huge_dwarfs_small(self):
+        assert power.peak_power(HUGE) > 50 * power.peak_power(SMALL)
+
+    def test_breakdown_sums(self):
+        b = power.busy_power(BIG, 1.0)
+        assert b.total_w == pytest.approx(b.dynamic_w + b.leakage_w)
+
+
+class TestEnergy:
+    def test_energy_is_power_times_time(self):
+        assert power.energy_joules(2.0, 3.0) == pytest.approx(6.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            power.energy_joules(1.0, -1.0)

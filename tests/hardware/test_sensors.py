@@ -1,0 +1,95 @@
+"""Tests for the noisy sensing interface."""
+
+import random
+
+import pytest
+
+from repro.hardware import microarch
+from repro.hardware.counters import CounterBlock
+from repro.hardware.features import BIG
+from repro.hardware.sensors import IDEAL_NOISE, NoiseModel, SensingInterface
+from repro.workload.characteristics import COMPUTE_PHASE
+
+
+def charged_block() -> CounterBlock:
+    block = CounterBlock()
+    perf = microarch.estimate(COMPUTE_PHASE, BIG)
+    block.charge_execution(perf, BIG, 0.01, 0.3, 0.1)
+    return block
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_identity(self):
+        rng = random.Random(0)
+        assert IDEAL_NOISE.apply(42.0, rng) == 42.0
+
+    def test_zero_value_stays_zero(self):
+        rng = random.Random(0)
+        assert NoiseModel(sigma=0.5).apply(0.0, rng) == 0.0
+
+    def test_noise_bounded_by_clip(self):
+        model = NoiseModel(sigma=0.5, clip=0.2)
+        rng = random.Random(1)
+        for _ in range(500):
+            reading = model.apply(100.0, rng)
+            assert 80.0 <= reading <= 120.0
+
+    def test_noise_unbiased(self):
+        model = NoiseModel(sigma=0.05)
+        rng = random.Random(2)
+        readings = [model.apply(100.0, rng) for _ in range(4000)]
+        assert sum(readings) / len(readings) == pytest.approx(100.0, rel=0.01)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+
+    def test_invalid_clip_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(clip=1.5)
+
+
+class TestSensingInterface:
+    def test_deterministic_for_seed(self):
+        block = charged_block()
+        a = SensingInterface(seed=7).read_counters(block)
+        b = SensingInterface(seed=7).read_counters(block)
+        assert a.instructions == b.instructions
+        assert a.l1d_misses == b.l1d_misses
+
+    def test_different_seeds_differ(self):
+        block = charged_block()
+        a = SensingInterface(seed=1).read_counters(block)
+        b = SensingInterface(seed=2).read_counters(block)
+        assert a.instructions != b.instructions
+
+    def test_ideal_sensor_passthrough(self):
+        block = charged_block()
+        sensing = SensingInterface(
+            counter_noise=IDEAL_NOISE, power_noise=IDEAL_NOISE
+        )
+        noisy = sensing.read_counters(block)
+        assert noisy.instructions == block.instructions
+        assert sensing.read_power(3.2) == 3.2
+
+    def test_read_does_not_mutate_source(self):
+        block = charged_block()
+        before = block.instructions
+        SensingInterface(seed=3).read_counters(block)
+        assert block.instructions == before
+
+    def test_busy_time_read_exactly(self):
+        """Timing is kernel bookkeeping, not a noisy hardware counter."""
+        block = charged_block()
+        noisy = SensingInterface(seed=4).read_counters(block)
+        assert noisy.busy_time_s == block.busy_time_s
+
+    def test_power_reading_non_negative(self):
+        sensing = SensingInterface(seed=5)
+        for _ in range(100):
+            assert sensing.read_power(0.001) >= 0.0
+
+    def test_noise_is_relative(self):
+        block = charged_block()
+        noisy = SensingInterface(seed=6).read_counters(block)
+        assert noisy.instructions == pytest.approx(block.instructions, rel=0.3)

@@ -1,0 +1,111 @@
+"""Tests for the task entity."""
+
+import pytest
+
+from repro.hardware.features import HUGE, MEDIUM, SMALL
+from repro.kernel.task import Task, TaskState, UTIL_DECAY
+from repro.workload.characteristics import COMPUTE_PHASE, MEMORY_PHASE
+from repro.workload.demand import with_duty
+from repro.workload.thread import phased_thread, steady_thread
+
+
+def make_task(behavior=None, **kwargs) -> Task:
+    behavior = behavior or steady_thread("t", COMPUTE_PHASE)
+    defaults = dict(tid=0, behavior=behavior, core_id=0, state=TaskState.ACTIVE)
+    defaults.update(kwargs)
+    return Task(**defaults)
+
+
+class TestLifecycle:
+    def test_defaults(self):
+        task = Task(tid=1, behavior=steady_thread("t", COMPUTE_PHASE), core_id=2)
+        assert task.state is TaskState.PENDING
+        assert task.progress_instructions == 0.0
+        assert task.utilization == 0.0
+
+    def test_retire_accumulates(self):
+        task = make_task()
+        task.retire(1000.0, 0.001, 0.05)
+        task.retire(500.0, 0.0005, 0.02)
+        assert task.progress_instructions == 1500.0
+        assert task.total_busy_time_s == pytest.approx(0.0015)
+        assert task.total_energy_j == pytest.approx(0.07)
+        assert task.epoch_energy_j == pytest.approx(0.07)
+
+    def test_exits_when_work_done(self):
+        behavior = steady_thread("t", COMPUTE_PHASE, total_instructions=1000.0)
+        task = make_task(behavior=behavior)
+        task.retire(999.0, 0.001, 0.01)
+        assert task.state is TaskState.ACTIVE
+        task.retire(1.0, 0.0001, 0.001)
+        assert task.state is TaskState.EXITED
+
+    def test_unbounded_task_never_exits(self):
+        task = make_task()
+        task.retire(1e15, 1.0, 1.0)
+        assert task.state is TaskState.ACTIVE
+        assert task.remaining_instructions() == float("inf")
+
+    def test_negative_retire_rejected(self):
+        with pytest.raises(ValueError):
+            make_task().retire(-1.0, 0.0, 0.0)
+
+
+class TestDemand:
+    def test_inactive_task_demands_nothing(self):
+        task = make_task(state=TaskState.PENDING)
+        assert task.demanded_fraction(HUGE) == 0.0
+        task.state = TaskState.EXITED
+        assert task.demanded_fraction(HUGE) == 0.0
+
+    def test_cpu_bound_demands_full_core(self):
+        task = make_task()
+        assert task.demanded_fraction(HUGE) == 1.0
+        assert task.demanded_fraction(SMALL) == 1.0
+
+    def test_rate_limited_demand_is_core_dependent(self):
+        phase = with_duty(COMPUTE_PHASE, duty=0.5)
+        task = make_task(behavior=steady_thread("t", phase))
+        assert task.demanded_fraction(HUGE) < task.demanded_fraction(MEDIUM)
+        assert task.demanded_fraction(MEDIUM) == pytest.approx(0.5)
+
+    def test_demand_follows_phase_progress(self):
+        light = with_duty(COMPUTE_PHASE, duty=0.2)
+        behavior = phased_thread(
+            "t", [(light, 100.0), (MEMORY_PHASE, 100.0)], cyclic=False
+        )
+        task = make_task(behavior=behavior)
+        before = task.demanded_fraction(MEDIUM)
+        task.retire(150.0, 0.001, 0.0)
+        after = task.demanded_fraction(MEDIUM)
+        assert before == pytest.approx(0.2)
+        assert after == 1.0  # MEMORY_PHASE is CPU-bound (legacy duty 1.0)
+
+
+class TestUtilization:
+    def test_ewma_converges(self):
+        task = make_task()
+        for _ in range(100):
+            task.update_utilization(0.7)
+        assert task.utilization == pytest.approx(0.7, abs=1e-6)
+
+    def test_ewma_decay_rate(self):
+        task = make_task()
+        task.update_utilization(1.0)
+        assert task.utilization == pytest.approx(1.0 - UTIL_DECAY)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_task().update_utilization(1.5)
+
+
+class TestEpochAccounting:
+    def test_reset_clears_epoch_scope_only(self):
+        task = make_task()
+        task.retire(1000.0, 0.001, 0.05)
+        task.counters.cy_busy = 42.0
+        task.reset_epoch_accounting()
+        assert task.epoch_energy_j == 0.0
+        assert task.counters.cy_busy == 0.0
+        assert task.total_energy_j == pytest.approx(0.05)
+        assert task.progress_instructions == 1000.0

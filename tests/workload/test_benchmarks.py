@@ -1,0 +1,158 @@
+"""Tests for the PARSEC models, IMBs and the random generator."""
+
+import random
+
+import pytest
+
+from repro.workload.generator import (
+    random_behavior,
+    random_phase,
+    random_thread_set,
+    training_corpus,
+)
+from repro.workload.parsec import (
+    BENCHMARKS,
+    EVALUATION_SET,
+    MIXES,
+    benchmark,
+    mix_threads,
+)
+from repro.workload.synthetic import IMB_CONFIGS, imb_threads, parse_config
+
+
+class TestParsecModels:
+    def test_all_evaluation_benchmarks_exist(self):
+        for name in EVALUATION_SET:
+            assert name in BENCHMARKS
+
+    def test_x264_variants_exist(self):
+        for rate in ("H", "L"):
+            for video in ("crew", "bow"):
+                assert f"x264_{rate}_{video}" in BENCHMARKS
+
+    def test_threads_returns_requested_count(self):
+        assert len(benchmark("bodytrack").threads(6)) == 6
+
+    def test_threads_deterministic_per_seed(self):
+        a = benchmark("bodytrack").threads(4, seed=1)
+        b = benchmark("bodytrack").threads(4, seed=1)
+        assert [t.phase_at(0.0) for t in a] == [t.phase_at(0.0) for t in b]
+
+    def test_threads_vary_across_seeds(self):
+        a = benchmark("bodytrack").threads(1, seed=1)[0]
+        b = benchmark("bodytrack").threads(1, seed=2)[0]
+        assert a.phase_at(0.0) != b.phase_at(0.0)
+
+    def test_threads_within_benchmark_jittered(self):
+        threads = benchmark("ferret").threads(4, seed=0)
+        ilps = {t.phase_at(0.0).ilp for t in threads}
+        assert len(ilps) == 4
+
+    def test_x264_h_heavier_than_l(self):
+        """High frame-rate x264 is CPU-bound; low-rate is rate-limited."""
+        high = benchmark("x264_H_crew").threads(1, 0)[0].phase_at(0.0)
+        low = benchmark("x264_L_crew").threads(1, 0)[0].phase_at(0.0)
+        assert high.work_rate_ips is None
+        assert low.work_rate_ips is not None
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark("doom")
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark("vips").threads(0)
+
+
+class TestMixes:
+    def test_table3_mix_membership(self):
+        assert MIXES["Mix1"] == ("x264_H_crew", "x264_H_bow")
+        assert MIXES["Mix5"] == ("bodytrack", "x264_H_crew")
+        assert MIXES["Mix6"] == ("bodytrack", "x264_H_crew", "x264_L_bow")
+
+    def test_six_mixes(self):
+        assert len(MIXES) == 6
+
+    def test_mix_thread_count(self):
+        assert len(mix_threads("Mix6", 2)) == 6
+        assert len(mix_threads("Mix1", 3)) == 6
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(KeyError, match="unknown mix"):
+            mix_threads("Mix9", 2)
+
+
+class TestImb:
+    def test_nine_configs(self):
+        assert len(IMB_CONFIGS) == 9
+        assert "HTHI" in IMB_CONFIGS and "LTLI" in IMB_CONFIGS
+
+    def test_parse_config(self):
+        assert parse_config("HTMI") == ("H", "M")
+
+    @pytest.mark.parametrize("bad", ["HTXI", "HH", "htHI", "HIHT", ""])
+    def test_parse_rejects_bad_labels(self, bad):
+        with pytest.raises(ValueError):
+            parse_config(bad)
+
+    def test_threads_created(self):
+        threads = imb_threads("MTMI", 5)
+        assert len(threads) == 5
+        assert all(t.name.startswith("imb-MTMI") for t in threads)
+
+    def test_interactivity_orders_duty(self):
+        """Higher interactivity = lower CPU demand on the ref core."""
+        from repro.hardware.features import MEDIUM
+        from repro.workload.demand import demanded_fraction_on
+
+        def duty(config):
+            phase = imb_threads(config, 1)[0].phase_at(0.0)
+            return demanded_fraction_on(phase, MEDIUM)
+
+        assert duty("MTHI") < duty("MTMI") < duty("MTLI")
+
+    def test_throughput_orders_ilp(self):
+        def ilp(config):
+            return imb_threads(config, 1)[0].phase_at(0.0).ilp
+
+        assert ilp("LTMI") < ilp("MTMI") < ilp("HTMI")
+
+    def test_deterministic(self):
+        a = imb_threads("HTHI", 3, seed=5)
+        b = imb_threads("HTHI", 3, seed=5)
+        assert [t.phase_at(0.0) for t in a] == [t.phase_at(0.0) for t in b]
+
+
+class TestGenerator:
+    def test_random_phase_valid(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            phase = random_phase(rng)  # __post_init__ validates
+            assert phase.ilp > 0
+
+    def test_training_corpus_size_and_determinism(self):
+        a = training_corpus(50, seed=3)
+        b = training_corpus(50, seed=3)
+        assert len(a) == 50
+        assert a == b
+
+    def test_training_corpus_spans_working_sets(self):
+        corpus = training_corpus(200, seed=1)
+        sizes = [p.working_set_kb for p in corpus]
+        assert min(sizes) < 32.0
+        assert max(sizes) > 4096.0
+
+    def test_random_behavior_segments_bounded(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            behavior = random_behavior(rng, max_segments=3)
+            assert 1 <= len(behavior.schedule.segments) <= 3
+
+    def test_random_thread_set(self):
+        threads = random_thread_set(7, seed=9)
+        assert len(threads) == 7
+        assert len({t.name for t in threads}) == 7
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            training_corpus(0)

@@ -1,0 +1,76 @@
+"""Tests for workload phase descriptions."""
+
+import pytest
+
+from repro.workload.characteristics import (
+    COMPUTE_PHASE,
+    MEMORY_PHASE,
+    PEAK_PHASE,
+    WorkloadPhase,
+)
+
+
+class TestValidation:
+    def test_valid_phase_constructs(self):
+        phase = WorkloadPhase(ilp=2.0, mem_share=0.3, branch_share=0.1,
+                              working_set_kb=64.0)
+        assert phase.ilp == 2.0
+
+    def test_zero_ilp_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(ilp=0.0, mem_share=0.3, branch_share=0.1,
+                          working_set_kb=64.0)
+
+    @pytest.mark.parametrize("field", ["mem_share", "branch_share",
+                                       "branch_entropy", "active_fraction"])
+    def test_unit_interval_fields(self, field):
+        kwargs = dict(ilp=2.0, mem_share=0.3, branch_share=0.1,
+                      working_set_kb=64.0)
+        kwargs[field] = 1.5
+        with pytest.raises(ValueError):
+            WorkloadPhase(**kwargs)
+
+    def test_shares_cannot_exceed_one(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(ilp=2.0, mem_share=0.9, branch_share=0.2,
+                          working_set_kb=64.0)
+
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(ilp=2.0, mem_share=0.3, branch_share=0.1,
+                          working_set_kb=-1.0)
+
+    def test_zero_locality_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(ilp=2.0, mem_share=0.3, branch_share=0.1,
+                          working_set_kb=64.0, data_locality=0.0)
+
+    def test_negative_work_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(ilp=2.0, mem_share=0.3, branch_share=0.1,
+                          working_set_kb=64.0, work_rate_ips=-1.0)
+
+
+class TestScaled:
+    def test_scaled_overrides(self):
+        phase = COMPUTE_PHASE.scaled(ilp=1.0)
+        assert phase.ilp == 1.0
+        assert phase.mem_share == COMPUTE_PHASE.mem_share
+
+    def test_scaled_validates(self):
+        with pytest.raises(ValueError):
+            COMPUTE_PHASE.scaled(mem_share=2.0)
+
+    def test_original_unchanged(self):
+        COMPUTE_PHASE.scaled(ilp=1.0)
+        assert COMPUTE_PHASE.ilp == 4.0
+
+
+class TestReferencePhases:
+    def test_peak_phase_is_friendly(self):
+        assert PEAK_PHASE.branch_entropy == 0.0
+        assert PEAK_PHASE.working_set_kb <= 16.0
+
+    def test_memory_phase_is_hostile(self):
+        assert MEMORY_PHASE.working_set_kb > COMPUTE_PHASE.working_set_kb
+        assert MEMORY_PHASE.mem_share > COMPUTE_PHASE.mem_share

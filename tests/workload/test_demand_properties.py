@@ -1,0 +1,112 @@
+"""Property-based tests on the demand model and hardware curves.
+
+These pin the invariants the whole reproduction leans on: demand
+monotonicity across core capability, work conservation for rate-limited
+threads, and monotone miss-rate curves.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import cache, microarch
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL, TABLE2_TYPES
+from repro.workload.characteristics import WorkloadPhase
+from repro.workload.demand import demanded_fraction_on, with_duty
+from repro.workload.generator import random_phase
+
+phases = st.builds(
+    lambda seed: random_phase(random.Random(seed)),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+duties = st.floats(min_value=0.05, max_value=0.9)
+
+
+class TestDemandProperties:
+    @given(phases)
+    @settings(max_examples=80, deadline=None)
+    def test_demand_in_unit_interval_everywhere(self, phase):
+        for core in TABLE2_TYPES:
+            demand = demanded_fraction_on(phase, core)
+            assert 0.0 <= demand <= 1.0
+
+    @given(phases, duties)
+    @settings(max_examples=60, deadline=None)
+    def test_demand_antimonotone_in_core_speed(self, phase, duty):
+        """A rate-limited thread never demands less of a slower core."""
+        anchored = with_duty(phase, duty=duty)
+        speeds = {
+            core.name: microarch.estimate(anchored, core).ips(core)
+            for core in TABLE2_TYPES
+        }
+        demands = {
+            core.name: demanded_fraction_on(anchored, core)
+            for core in TABLE2_TYPES
+        }
+        names = sorted(speeds, key=speeds.get)  # slowest first
+        for slower, faster in zip(names, names[1:]):
+            assert demands[slower] >= demands[faster] - 1e-12
+
+    @given(phases, duties)
+    @settings(max_examples=60, deadline=None)
+    def test_work_conserved_when_unsaturated(self, phase, duty):
+        """Delivered rate equals the demanded rate wherever demand < 1."""
+        anchored = with_duty(phase, duty=duty)
+        assert anchored.work_rate_ips is not None
+        for core in TABLE2_TYPES:
+            demand = demanded_fraction_on(anchored, core)
+            if demand < 1.0:
+                delivered = demand * microarch.estimate(anchored, core).ips(core)
+                assert delivered == pytest.approx(
+                    anchored.work_rate_ips, rel=1e-9
+                )
+
+
+class TestCurveProperties:
+    @given(phases, st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_dcache_monotone_in_working_set(self, phase, factor):
+        smaller = cache.dcache_miss_rate(phase, MEDIUM)
+        bigger = cache.dcache_miss_rate(
+            phase.scaled(working_set_kb=phase.working_set_kb * factor), MEDIUM
+        )
+        assert bigger >= smaller - 1e-12
+
+    @given(phases)
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_cache_never_more_misses(self, phase):
+        assert cache.dcache_miss_rate(phase, HUGE) <= (
+            cache.dcache_miss_rate(phase, SMALL) + 1e-12
+        )
+
+    @given(phases)
+    @settings(max_examples=60, deadline=None)
+    def test_ipc_positive_and_bounded(self, phase):
+        for core in TABLE2_TYPES:
+            perf = microarch.estimate(phase, core)
+            assert 0.0 < perf.ipc <= core.issue_width
+
+    @given(phases, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_warmup_never_speeds_up(self, phase, warmup):
+        warm = microarch.estimate(phase, BIG, warmup_fraction=0.0)
+        cold = microarch.estimate(phase, BIG, warmup_fraction=warmup)
+        assert cold.ipc <= warm.ipc + 1e-12
+
+    @given(phases)
+    @settings(max_examples=40, deadline=None)
+    def test_counters_roundtrip_rates(self, phase):
+        """charge_execution -> derive_rates recovers the model's rates
+        for an arbitrary random phase."""
+        from repro.hardware.counters import CounterBlock
+
+        perf = microarch.estimate(phase, MEDIUM)
+        block = CounterBlock()
+        block.charge_execution(
+            perf, MEDIUM, 0.01, phase.mem_share, phase.branch_share
+        )
+        rates = block.derive_rates()
+        assert rates.ipc == pytest.approx(perf.ipc, rel=1e-9)
+        assert rates.l1d_miss_rate == pytest.approx(perf.dcache_miss_rate, abs=1e-12)

@@ -1,0 +1,74 @@
+"""Tests for phase schedules."""
+
+import pytest
+
+from repro.workload.characteristics import COMPUTE_PHASE, MEMORY_PHASE
+from repro.workload.phases import PhaseSchedule, PhaseSegment
+
+
+def two_phase(cyclic=True) -> PhaseSchedule:
+    return PhaseSchedule(
+        [PhaseSegment(COMPUTE_PHASE, 100.0), PhaseSegment(MEMORY_PHASE, 50.0)],
+        cyclic=cyclic,
+    )
+
+
+class TestPhaseAt:
+    def test_first_segment(self):
+        assert two_phase().phase_at(0.0) is COMPUTE_PHASE
+        assert two_phase().phase_at(99.0) is COMPUTE_PHASE
+
+    def test_second_segment(self):
+        assert two_phase().phase_at(100.0) is MEMORY_PHASE
+        assert two_phase().phase_at(149.0) is MEMORY_PHASE
+
+    def test_cyclic_wraps(self):
+        schedule = two_phase(cyclic=True)
+        assert schedule.phase_at(150.0) is COMPUTE_PHASE
+        assert schedule.phase_at(1000 * 150.0 + 120.0) is MEMORY_PHASE
+
+    def test_non_cyclic_holds_last_phase(self):
+        schedule = two_phase(cyclic=False)
+        assert schedule.phase_at(1e9) is MEMORY_PHASE
+
+    def test_negative_progress_rejected(self):
+        with pytest.raises(ValueError):
+            two_phase().phase_at(-1.0)
+
+
+class TestInstructionsUntilPhaseChange:
+    def test_within_first_segment(self):
+        assert two_phase().instructions_until_phase_change(30.0) == pytest.approx(70.0)
+
+    def test_within_second_segment(self):
+        assert two_phase().instructions_until_phase_change(120.0) == pytest.approx(30.0)
+
+    def test_cyclic_wraps(self):
+        assert two_phase().instructions_until_phase_change(160.0) == pytest.approx(90.0)
+
+    def test_terminal_segment_is_infinite(self):
+        schedule = two_phase(cyclic=False)
+        assert schedule.instructions_until_phase_change(1e9) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            two_phase().instructions_until_phase_change(-5.0)
+
+
+class TestConstruction:
+    def test_steady_is_cyclic_single_phase(self):
+        schedule = PhaseSchedule.steady(COMPUTE_PHASE)
+        assert schedule.cyclic
+        for progress in (0.0, 1.0, 1e12):
+            assert schedule.phase_at(progress) is COMPUTE_PHASE
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([])
+
+    def test_zero_length_segment_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(COMPUTE_PHASE, 0.0)
+
+    def test_cycle_instructions(self):
+        assert two_phase().cycle_instructions == pytest.approx(150.0)

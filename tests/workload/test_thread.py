@@ -1,0 +1,116 @@
+"""Tests for thread behaviours and demand semantics."""
+
+import pytest
+
+from repro.hardware import microarch
+from repro.hardware.features import HUGE, MEDIUM, SMALL
+from repro.workload.characteristics import COMPUTE_PHASE, MEMORY_PHASE, WorkloadPhase
+from repro.workload.demand import (
+    CPU_BOUND_DUTY,
+    REFERENCE_CORE,
+    demanded_fraction_on,
+    reference_ips,
+    with_duty,
+)
+from repro.workload.thread import ThreadBehavior, phased_thread, steady_thread
+
+
+class TestThreadBehavior:
+    def test_steady_thread(self):
+        thread = steady_thread("t", COMPUTE_PHASE)
+        assert thread.phase_at(0.0) is COMPUTE_PHASE
+        assert thread.phase_at(1e15) is COMPUTE_PHASE
+        assert thread.total_instructions is None
+
+    def test_phased_thread_cycles(self):
+        thread = phased_thread(
+            "t", [(COMPUTE_PHASE, 100.0), (MEMORY_PHASE, 100.0)]
+        )
+        assert thread.phase_at(50.0) is COMPUTE_PHASE
+        assert thread.phase_at(150.0) is MEMORY_PHASE
+        assert thread.phase_at(250.0) is COMPUTE_PHASE
+
+    def test_invalid_total_instructions(self):
+        with pytest.raises(ValueError):
+            steady_thread("t", COMPUTE_PHASE, total_instructions=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            steady_thread("t", COMPUTE_PHASE, arrival_s=-1.0)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadBehavior(
+                name="t",
+                schedule=steady_thread("x", COMPUTE_PHASE).schedule,
+                nice_weight=0.0,
+            )
+
+
+class TestWithDuty:
+    def test_cpu_bound_duty_stays_unlimited(self):
+        phase = with_duty(COMPUTE_PHASE, duty=1.0)
+        assert phase.work_rate_ips is None
+        assert phase.active_fraction == 1.0
+
+    def test_rate_limited_duty_sets_work_rate(self):
+        phase = with_duty(COMPUTE_PHASE, duty=0.5)
+        assert phase.work_rate_ips == pytest.approx(
+            0.5 * reference_ips(COMPUTE_PHASE)
+        )
+
+    def test_duty_threshold(self):
+        below = with_duty(COMPUTE_PHASE, duty=CPU_BOUND_DUTY - 0.01)
+        at = with_duty(COMPUTE_PHASE, duty=CPU_BOUND_DUTY)
+        assert below.work_rate_ips is not None
+        assert at.work_rate_ips is None
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(ValueError):
+            with_duty(COMPUTE_PHASE, duty=0.0)
+        with pytest.raises(ValueError):
+            with_duty(COMPUTE_PHASE, duty=1.5)
+
+    def test_uses_phase_active_fraction_by_default(self):
+        phase = COMPUTE_PHASE.scaled(active_fraction=0.4)
+        anchored = with_duty(phase)
+        assert anchored.work_rate_ips == pytest.approx(
+            0.4 * reference_ips(phase)
+        )
+
+
+class TestDemandedFraction:
+    def test_reference_core_demand_equals_duty(self):
+        phase = with_duty(COMPUTE_PHASE, duty=0.5)
+        assert demanded_fraction_on(phase, REFERENCE_CORE) == pytest.approx(0.5)
+
+    def test_faster_core_demands_less(self):
+        phase = with_duty(COMPUTE_PHASE, duty=0.5)
+        assert demanded_fraction_on(phase, HUGE) < 0.5
+
+    def test_slower_core_demands_more(self):
+        phase = with_duty(COMPUTE_PHASE, duty=0.5)
+        assert demanded_fraction_on(phase, SMALL) > 0.5
+
+    def test_saturates_at_one(self):
+        phase = with_duty(COMPUTE_PHASE, duty=0.9)
+        assert demanded_fraction_on(phase, SMALL) == 1.0
+
+    def test_cpu_bound_demands_everything_everywhere(self):
+        phase = with_duty(COMPUTE_PHASE, duty=1.0)
+        for core in (HUGE, MEDIUM, SMALL):
+            assert demanded_fraction_on(phase, core) == 1.0
+
+    def test_work_conserved_across_cores(self):
+        """A rate-limited thread delivers the same instruction rate on
+        any core fast enough to serve it."""
+        phase = with_duty(COMPUTE_PHASE, duty=0.3)
+        for core in (HUGE, MEDIUM):
+            demand = demanded_fraction_on(phase, core)
+            delivered = demand * microarch.estimate(phase, core).ips(core)
+            assert delivered == pytest.approx(phase.work_rate_ips, rel=1e-9)
+
+    def test_legacy_phase_uses_active_fraction(self):
+        phase = WorkloadPhase(ilp=2.0, mem_share=0.3, branch_share=0.1,
+                              working_set_kb=64.0, active_fraction=0.6)
+        assert demanded_fraction_on(phase, HUGE) == 0.6
