@@ -7,7 +7,6 @@
 * alternative goals: performance and power-capped balancing.
 """
 
-import random
 
 import numpy as np
 import pytest
@@ -39,7 +38,6 @@ COUNTER_SETS = {
 def _prediction_error_with_counters(observed) -> float:
     sensors = train_virtual_sensors(TABLE2_TYPES, observed=observed, n_synthetic=150)
     model = default_predictor()
-    rng = random.Random(3)
     errors = []
     for bench in list(BENCHMARKS.values())[:6]:
         for thread in bench.threads(1, 77):

@@ -9,6 +9,7 @@ This module flattens a run into rows and writes standard formats.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from typing import Optional
@@ -117,6 +118,8 @@ def to_json(result: RunResult) -> str:
             for t in result.task_stats
         ],
     }
+    if result.resilience is not None:
+        document["resilience"] = dataclasses.asdict(result.resilience)
     return json.dumps(document, indent=2)
 
 

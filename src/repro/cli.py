@@ -8,6 +8,7 @@ writing Python::
     python -m repro run --platform quad --workload MTMI --threads 8 \
         --balancer smartbalance --epochs 40 --trace out.json
     python -m repro compare --workload Mix6 --threads 2
+    python -m repro run --workload MTMI --faults combined --epochs 16
     python -m repro train --output predictor.json
     python -m repro list
 """
@@ -20,6 +21,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.trace import write_trace
+from repro.faults import SCENARIOS, FaultPlan, scenario
 from repro.hardware.platform import Platform, big_little_octa, quad_hmp, scaled_hmp
 from repro.kernel.balancers.base import LoadBalancer, NullBalancer
 from repro.kernel.balancers.gts import GtsBalancer
@@ -44,12 +46,16 @@ BALANCERS = {
 }
 
 
-def _smart_balancer():
+def _smart_balancer(mitigations: bool = True):
     # Imported lazily: training the default predictor takes a moment
     # and commands like `list` should stay instant.
+    from repro.core.config import ResilienceConfig, SmartBalanceConfig
     from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
 
-    return SmartBalanceKernelAdapter()
+    resilience = ResilienceConfig() if mitigations else ResilienceConfig.disabled()
+    return SmartBalanceKernelAdapter(
+        config=SmartBalanceConfig(resilience=resilience)
+    )
 
 
 def make_platform(spec: str) -> Platform:
@@ -76,9 +82,9 @@ def make_workload(spec: str, n_threads: int, seed: int = 0):
     )
 
 
-def make_balancer(name: str) -> LoadBalancer:
+def make_balancer(name: str, mitigations: bool = True) -> LoadBalancer:
     if name == "smartbalance":
-        return _smart_balancer()
+        return _smart_balancer(mitigations)
     try:
         return BALANCERS[name]()
     except KeyError:
@@ -88,21 +94,58 @@ def make_balancer(name: str) -> LoadBalancer:
         ) from None
 
 
+def make_fault_plan(args, platform: Platform) -> "FaultPlan | None":
+    """Resolve ``--faults``/``--fault-seed`` into a plan, if requested."""
+    if not getattr(args, "faults", None):
+        return None
+    config = SimulationConfig(seed=args.seed)
+    duration_s = args.epochs * config.epoch_s
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+    return scenario(
+        args.faults,
+        seed=fault_seed,
+        n_cores=len(platform),
+        duration_s=duration_s,
+    )
+
+
+def print_resilience(result) -> None:
+    """One-line fault/defence summary of a run, when there is one."""
+    stats = result.resilience
+    if stats is None:
+        return
+    print(
+        f"faults: {stats.faults_injected} injected "
+        f"(sensor {stats.sensor_dropouts + stats.sensor_stuck + stats.sensor_spikes}, "
+        f"counter {stats.counter_wraps + stats.counter_saturations}, "
+        f"migration {stats.migrations_lost + stats.migrations_delayed}, "
+        f"hotplug {stats.hotplug_events}, throttle {stats.throttle_events}); "
+        f"defences: {stats.samples_rejected} samples rejected, "
+        f"{stats.fallback_rows_used} fallback rows, "
+        f"{stats.samples_rebaselined} re-baselined, "
+        f"{stats.watchdog_trips} watchdog trips, "
+        f"{stats.offline_placements_blocked} offline placements blocked"
+    )
+
+
 def cmd_list(_args) -> int:
     print("platforms :", ", ".join(sorted(PLATFORMS)), "+ hmp:<n>")
     print("balancers :", ", ".join(sorted(BALANCERS) + ["smartbalance"]))
     print("imb       :", ", ".join(IMB_CONFIGS))
     print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
     print("mixes     :", ", ".join(sorted(MIXES)))
+    print("faults    :", ", ".join(SCENARIOS))
     return 0
 
 
 def cmd_run(args) -> int:
     platform = make_platform(args.platform)
     workload = make_workload(args.workload, args.threads, args.seed)
-    balancer = make_balancer(args.balancer)
+    balancer = make_balancer(args.balancer, mitigations=not args.no_mitigations)
+    plan = make_fault_plan(args, platform)
     system = System(
-        platform, workload, balancer, SimulationConfig(seed=args.seed)
+        platform, workload, balancer,
+        SimulationConfig(seed=args.seed, faults=plan),
     )
     result = system.run(n_epochs=args.epochs)
     print(
@@ -111,6 +154,7 @@ def cmd_run(args) -> int:
         f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
         f"{result.migrations} migrations"
     )
+    print_resilience(result)
     if args.trace:
         write_trace(result, args.trace)
         print(f"trace written to {args.trace}")
@@ -119,13 +163,14 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     platform = make_platform(args.platform)
+    plan = make_fault_plan(args, platform)
     names = args.balancers or ["vanilla", "smartbalance"]
     results = {}
     for name in names:
         workload = make_workload(args.workload, args.threads, args.seed)
         system = System(
             platform, workload, make_balancer(name),
-            SimulationConfig(seed=args.seed),
+            SimulationConfig(seed=args.seed, faults=plan),
         )
         results[name] = system.run(n_epochs=args.epochs)
         print(f"{name:>13}: {results[name].ips_per_watt:.4e} instructions/J")
@@ -157,6 +202,7 @@ def cmd_experiments(args) -> int:
         "ext_virtual_sensing": lambda: experiments.extensions.run_virtual_sensing(),
         "ext_optimizers": lambda: experiments.extensions.run_optimizer_comparison(),
         "ext_replicated": lambda: experiments.extensions.run_replicated_headline(),
+        "resilience": lambda: experiments.resilience.run(scale),
     }
     selected = args.ids or list(registry)
     unknown = [i for i in selected if i not in registry]
@@ -202,6 +248,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epochs", type=int, default=40)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--trace", help="write per-epoch trace (.csv or .json)")
+    run.add_argument(
+        "--faults", choices=SCENARIOS,
+        help="inject a named fault scenario into the run",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault schedule (default: --seed)",
+    )
+    run.add_argument(
+        "--no-mitigations", action="store_true",
+        help="ablate every resilience defence (smartbalance only)",
+    )
 
     compare = sub.add_parser("compare", help="run several balancers on one workload")
     compare.add_argument("--platform", default="quad")
@@ -209,6 +267,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threads", type=int, default=8)
     compare.add_argument("--epochs", type=int, default=40)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--faults", choices=SCENARIOS,
+        help="inject a named fault scenario into every run",
+    )
+    compare.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault schedule (default: --seed)",
+    )
     compare.add_argument("balancers", nargs="*", metavar="balancer")
 
     experiments = sub.add_parser("experiments", help="regenerate paper artifacts")

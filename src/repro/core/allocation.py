@@ -15,7 +15,7 @@ incremental evaluator can find affected cores in O(1).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 #: Slot marker for "no thread".
 EMPTY = -1

@@ -29,7 +29,8 @@ Design notes / deliberate choices:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.allocation import Allocation
@@ -83,10 +84,21 @@ class SAConfig:
     #: Use the O(1) incremental objective (paper's optimisation) or a
     #: full re-evaluation per move (ablation).
     incremental: bool = True
+    #: Wall-clock budget (seconds) for the annealing run; the loop
+    #: checks the clock every few moves and truncates cleanly when the
+    #: budget is exhausted, returning the best allocation found so far.
+    #: ``None`` disables the budget (iteration-bounded only).  This is
+    #: the epoch-time-budget defence: the balance phase can never eat
+    #: into the next epoch no matter how large the platform is.
+    time_budget_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and self.max_iterations < 1:
             raise ValueError("max_iterations must be positive")
+        if self.time_budget_s is not None and self.time_budget_s <= 0:
+            raise ValueError(
+                f"time_budget_s must be positive, got {self.time_budget_s}"
+            )
         if not 0.0 <= self.initial_perturbation <= 1.0:
             raise ValueError("initial_perturbation must be in [0, 1]")
         for name in ("perturbation_decay", "acceptance_decay"):
@@ -107,6 +119,8 @@ class SAResult:
     iterations: int
     accepted_moves: int
     uphill_accepts: int
+    #: True when the wall-clock budget cut the run short.
+    truncated: bool = False
 
     @property
     def improvement(self) -> float:
@@ -143,8 +157,18 @@ def anneal(
     best_allocation = working.copy()
     accepted = 0
     uphill = 0
+    truncated = False
+    deadline = None
+    if config.time_budget_s is not None:
+        deadline = time.perf_counter() + config.time_budget_s
 
+    performed = 0
     for _ in range(iterations):
+        if deadline is not None and performed % 32 == 0 and performed > 0:
+            if time.perf_counter() >= deadline:
+                truncated = True
+                break
+        performed += 1
         pos = rng.randi_range(0, total_slots)
         span = math.sqrt(perturb)
         offset = rng.randi_range(-pos, total_slots - pos)
@@ -195,7 +219,8 @@ def anneal(
         best_allocation=best_allocation,
         best_value=best_value,
         initial_value=initial_value,
-        iterations=iterations,
+        iterations=performed,
         accepted_moves=accepted,
         uphill_accepts=uphill,
+        truncated=truncated,
     )

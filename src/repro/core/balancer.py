@@ -14,8 +14,9 @@ driven directly with synthetic views in tests and benchmarks.
 
 from __future__ import annotations
 
+import statistics
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -25,8 +26,7 @@ from repro.core.annealing import SAResult, anneal
 from repro.core.config import SmartBalanceConfig
 from repro.core.objective import EnergyEfficiencyObjective
 from repro.core.prediction import CharacterisationMatrices, MatrixBuilder, PredictorModel
-from repro.core.sensing import ThreadObservation, sense
-from repro.hardware.counters import DerivedRates
+from repro.core.sensing import ThreadObservation, observation_fault, sense
 from repro.kernel.view import SystemView
 
 
@@ -41,6 +41,40 @@ class PhaseTimings:
     @property
     def total_s(self) -> float:
         return self.sense_s + self.predict_s + self.balance_s
+
+
+@dataclass
+class BalancerHealth:
+    """Cumulative resilience counters of one SmartBalance instance.
+
+    The defence layer's own telemetry: how many samples it refused,
+    how often it leaned on stale rows, whether the predictor watchdog
+    ever tripped, and how often the epoch time budget bit.
+    """
+
+    samples_rejected: int = 0
+    rejects_by_reason: dict[str, int] = field(default_factory=dict)
+    #: Rejected threads kept in the optimisation via their last good row.
+    fallback_rows_used: int = 0
+    #: Rejected threads with no history, excluded for the epoch.
+    threads_dropped: int = 0
+    #: Samples accepted despite failing the checks because the same
+    #: thread had been rejected for ``rebaseline_epochs`` straight —
+    #: a persistent anomaly is treated as the new operating regime.
+    samples_rebaselined: int = 0
+    watchdog_trips: int = 0
+    #: Epochs decided by capability fallback instead of the predictor.
+    watchdog_fallback_epochs: int = 0
+    #: Epochs whose SA run was cut short by the time budget.
+    truncated_epochs: int = 0
+    #: Epochs where sensing/predicting alone exhausted the budget.
+    budget_skipped_epochs: int = 0
+    #: Epochs in which at least one core was masked out as offline.
+    hotplug_masked_epochs: int = 0
+
+    def note_reject(self, reason: str) -> None:
+        self.samples_rejected += 1
+        self.rejects_by_reason[reason] = self.rejects_by_reason.get(reason, 0) + 1
 
 
 @dataclass(frozen=True)
@@ -58,6 +92,11 @@ class BalanceDecision:
     #: Objective value of the incumbent allocation under this epoch's
     #: matrices (for convergence diagnostics).
     incumbent_value: float = 0.0
+    #: True when the watchdog had this epoch decided by capability-
+    #: aware load equalisation instead of the predictor+SA pipeline.
+    fallback: bool = False
+    #: Observations the sanity checks rejected this epoch.
+    rejected_samples: int = 0
 
 
 class SmartBalance:
@@ -73,10 +112,24 @@ class SmartBalance:
         self._builder = MatrixBuilder(predictor)
         #: Per-tid smoothed characterisation rows (EWMA across epochs,
         #: in prediction space: aligned to platform cores, so smoothing
-        #: survives migrations).
+        #: survives migrations).  Doubles as the last-good-row store
+        #: the fallback defence reads when a fresh sample is rejected.
         self._rows: dict[int, tuple] = {}
+        #: Per-tid IPS row the balancer believed last epoch, for the
+        #: predictor-divergence watchdog.
+        self._last_prediction: dict[int, np.ndarray] = {}
+        self._watchdog_strikes = 0
+        self._watchdog_recoveries = 0
+        self._watchdog_tripped = False
+        #: Per-tid consecutive epochs with a rejected sample.
+        self._reject_streak: dict[int, int] = {}
+        self.health = BalancerHealth()
 
-    def _blend(self, matrices: CharacterisationMatrices) -> CharacterisationMatrices:
+    def _blend(
+        self,
+        matrices: CharacterisationMatrices,
+        keep: "frozenset[int] | set[int]" = frozenset(),
+    ) -> CharacterisationMatrices:
         """EWMA-smooth per-thread matrix rows across epochs.
 
         Workload phases can flip faster than a migration pays off;
@@ -86,6 +139,11 @@ class SmartBalance:
         the thread's *time-averaged* behaviour.  Rows live in
         prediction space — indexed by platform core, not by where the
         thread happened to run — so smoothing survives migrations.
+
+        ``keep`` lists tids that are alive but absent from this epoch's
+        matrices (their sample was rejected); their stored rows must
+        survive the garbage collection so the last-good-row fallback
+        can read them.
         """
         beta = self.config.smoothing
         if beta >= 1.0:
@@ -101,41 +159,248 @@ class SmartBalance:
                 power[i] = (1.0 - beta) * prev_power + beta * power[i]
                 util[i] = (1.0 - beta) * prev_util + beta * util[i]
             self._rows[tid] = (ips[i].copy(), power[i].copy(), util[i].copy())
-        live = set(matrices.tids)
+        live = set(matrices.tids) | set(keep)
         for tid in list(self._rows):
             if tid not in live:
                 del self._rows[tid]
         return replace(matrices, ips=ips, power=power, utilization=util)
 
+    def _append_fallback_rows(
+        self,
+        matrices: CharacterisationMatrices,
+        fallback: list[ThreadObservation],
+    ) -> CharacterisationMatrices:
+        """Extend the matrices with stored last-good rows for threads
+        whose fresh sample was rejected (all of them must be in
+        ``self._rows``)."""
+        n = matrices.ips.shape[1]
+        ips_rows = []
+        power_rows = []
+        util_rows = []
+        for obs in fallback:
+            row_ips, row_power, row_util = self._rows[obs.tid]
+            ips_rows.append(row_ips)
+            power_rows.append(row_power)
+            util_rows.append(row_util)
+        extra = len(fallback)
+        return replace(
+            matrices,
+            tids=matrices.tids + tuple(obs.tid for obs in fallback),
+            ips=np.vstack([matrices.ips, np.array(ips_rows)]),
+            power=np.vstack([matrices.power, np.array(power_rows)]),
+            utilization=np.vstack([matrices.utilization, np.array(util_rows)]),
+            measured_mask=np.vstack(
+                [matrices.measured_mask, np.zeros((extra, n), dtype=bool)]
+            ),
+        )
+
+    def _watchdog_update(self, healthy: list[ThreadObservation]) -> None:
+        """Advance the predictor-divergence watchdog one epoch.
+
+        The check the paper cannot fail but a deployment can: compare
+        each thread's measured IPS against what the balancer *predicted*
+        for the core the thread actually ran on.  Median relative error
+        across threads is robust to one bad thread; a predictor that is
+        systematically wrong (model drift, corrupt Θ, throttled clocks
+        it cannot see) pushes the median out of band epoch after epoch.
+        """
+        errors = []
+        for obs in healthy:
+            row = self._last_prediction.get(obs.tid)
+            if row is None or not 0 <= obs.core_id < len(row):
+                continue
+            predicted = row[obs.core_id]
+            if predicted > 0:
+                errors.append(abs(obs.ips_measured - predicted) / predicted)
+        if not errors:
+            return
+        out_of_band = statistics.median(errors) > self.config.resilience.watchdog_tolerance
+        if self._watchdog_tripped:
+            if out_of_band:
+                self._watchdog_recoveries = 0
+            else:
+                self._watchdog_recoveries += 1
+                if self._watchdog_recoveries >= self.config.resilience.watchdog_recovery_epochs:
+                    self._watchdog_tripped = False
+                    self._watchdog_recoveries = 0
+        else:
+            if out_of_band:
+                self._watchdog_strikes += 1
+                if self._watchdog_strikes >= self.config.resilience.watchdog_trip_epochs:
+                    self._watchdog_tripped = True
+                    self._watchdog_strikes = 0
+                    self.health.watchdog_trips += 1
+            else:
+                self._watchdog_strikes = 0
+
+    def _capability_placement(
+        self,
+        participants: list[ThreadObservation],
+        view: SystemView,
+        allowed: Optional[np.ndarray],
+    ) -> dict[int, int]:
+        """Predictor-free fallback: capability-aware load equalisation.
+
+        Greedy worst-fit by utilisation onto the core with the lowest
+        resulting load per unit capability (``freq × issue width``) —
+        the heterogeneity-aware version of what CFS would do, needing
+        nothing from sensors or models beyond kernel bookkeeping.
+        """
+        cores = list(view.platform)
+        capability = [
+            max(c.core_type.freq_mhz * c.core_type.issue_width, 1e-9) for c in cores
+        ]
+        load = [0.0] * len(cores)
+        order = sorted(
+            range(len(participants)),
+            key=lambda i: participants[i].utilization,
+            reverse=True,
+        )
+        placement: dict[int, int] = {}
+        for i in order:
+            obs = participants[i]
+            if allowed is not None:
+                candidates = [j for j in range(len(cores)) if allowed[i, j]]
+            else:
+                candidates = list(range(len(cores)))
+            if not candidates:
+                candidates = [obs.core_id]
+            best = min(
+                candidates,
+                key=lambda j: (load[j] + obs.utilization) / capability[j],
+            )
+            load[best] += obs.utilization
+            if best != obs.core_id:
+                placement[obs.tid] = best
+        return placement
+
     def decide(self, view: SystemView) -> BalanceDecision:
         """Run one epoch's sense → predict → balance pass."""
         t0 = time.perf_counter()
+        res = self.config.resilience
         observation = sense(
             view, include_kernel_threads=self.config.include_kernel_threads
         )
         measured = list(observation.measured_threads)
+
+        # Sanity-check the samples before they touch the predictor: a
+        # corrupt observation poisons not just this epoch but (through
+        # the EWMA) several following ones.
+        healthy = measured
+        rejected: list[ThreadObservation] = []
+        if res.sanity_checks and measured:
+            healthy = []
+            for obs in measured:
+                reason = observation_fault(
+                    obs,
+                    max_ipc=res.max_ipc,
+                    min_power_w=res.min_power_w,
+                    max_power_w=res.max_power_w,
+                    clock_identity_tolerance=res.clock_identity_tolerance,
+                )
+                if reason is None:
+                    healthy.append(obs)
+                    self._reject_streak.pop(obs.tid, None)
+                    continue
+                streak = self._reject_streak.get(obs.tid, 0) + 1
+                if streak >= res.rebaseline_epochs:
+                    # The anomaly has persisted long enough that it is
+                    # the new normal (e.g. a silently throttled core):
+                    # accept the sample and re-baseline rather than
+                    # optimise against a world that no longer exists.
+                    self._reject_streak.pop(obs.tid, None)
+                    self.health.samples_rebaselined += 1
+                    healthy.append(obs)
+                else:
+                    self._reject_streak[obs.tid] = streak
+                    rejected.append(obs)
+                    self.health.note_reject(reason)
+        # Last-good-row fallback: a rejected thread with history keeps
+        # participating through its stored EWMA row; one with no
+        # history sits this epoch out.
+        fallback_obs: list[ThreadObservation] = []
+        if res.last_good_fallback:
+            for obs in rejected:
+                if obs.tid in self._rows:
+                    fallback_obs.append(obs)
+                    self.health.fallback_rows_used += 1
+                else:
+                    self.health.threads_dropped += 1
+        else:
+            self.health.threads_dropped += len(rejected)
         t1 = time.perf_counter()
 
-        if not measured:
-            # Nothing characterised yet (first epoch): keep placement.
+        if not healthy:
+            # Nothing trustworthy sensed this epoch (first epoch, or
+            # every sensor glitched at once): freeze the placement.
             timings = PhaseTimings(sense_s=t1 - t0, predict_s=0.0, balance_s=0.0)
-            return BalanceDecision(placement=None, timings=timings)
+            return BalanceDecision(
+                placement=None, timings=timings, rejected_samples=len(rejected)
+            )
 
         core_types = [core.core_type for core in view.platform]
-        matrices = self._blend(self._builder.build(measured, core_types))
+        matrices = self._blend(
+            self._builder.build(healthy, core_types),
+            keep={obs.tid for obs in fallback_obs},
+        )
+        if fallback_obs:
+            matrices = self._append_fallback_rows(matrices, fallback_obs)
+        participants = healthy + fallback_obs
+
+        if res.watchdog_enabled:
+            self._watchdog_update(healthy)
+        self._last_prediction = {
+            tid: matrices.ips[i].copy() for i, tid in enumerate(matrices.tids)
+        }
         t2 = time.perf_counter()
 
         # Affinity constraints (paper Section 5.1): build the allowed
-        # mask when any measured thread carries a cpuset.
+        # mask when any participating thread carries a cpuset.
         allowed = None
-        if any(obs.allowed_cores is not None for obs in measured):
-            allowed = np.ones((len(measured), len(core_types)), dtype=bool)
-            for i, obs in enumerate(measured):
+        if any(obs.allowed_cores is not None for obs in participants):
+            allowed = np.ones((len(participants), len(core_types)), dtype=bool)
+            for i, obs in enumerate(participants):
                 if obs.allowed_cores is not None:
                     allowed[i, :] = False
                     for core_id in obs.allowed_cores:
                         if 0 <= core_id < len(core_types):
                             allowed[i, core_id] = True
+
+        # Hotplug awareness: an offline core must never be a placement
+        # target, whatever the cpusets say.
+        if res.hotplug_aware:
+            online = np.ones(len(core_types), dtype=bool)
+            for core in view.cores:
+                if not core.online and 0 <= core.core_id < len(core_types):
+                    online[core.core_id] = False
+            if not online.all() and online.any():
+                self.health.hotplug_masked_epochs += 1
+                if allowed is None:
+                    allowed = np.ones((len(participants), len(core_types)), dtype=bool)
+                allowed &= online[None, :]
+                # A cpuset confined entirely to offline cores: staying
+                # schedulable beats honouring the cpuset.
+                stranded = ~allowed.any(axis=1)
+                if stranded.any():
+                    allowed[stranded] = online
+
+        if res.watchdog_enabled and self._watchdog_tripped:
+            # The predictor is out of band: its matrices are exactly
+            # what we must not optimise against.  Place by capability-
+            # aware load equalisation until it recovers.
+            self.health.watchdog_fallback_epochs += 1
+            placement = self._capability_placement(participants, view, allowed)
+            t3 = time.perf_counter()
+            timings = PhaseTimings(
+                sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2
+            )
+            return BalanceDecision(
+                placement=placement or None,
+                timings=timings,
+                matrices=matrices,
+                fallback=True,
+                rejected_samples=len(rejected),
+            )
 
         weights = self.config.core_weights
         if self.config.thermal_aware and observation.core_temperatures_c:
@@ -158,10 +423,35 @@ class SmartBalance:
             allowed=allowed,
         )
         incumbent = Allocation.from_mapping(
-            [obs.core_id for obs in measured], n_cores=len(core_types)
+            [obs.core_id for obs in participants], n_cores=len(core_types)
         )
         incumbent_value = objective.evaluate(incumbent)
-        result = anneal(objective, incumbent, self.config.sa)
+
+        # Epoch time budget: whatever sensing and predicting consumed
+        # is gone; the SA balance phase gets only the remainder and
+        # truncates cleanly when it runs out.
+        sa_config = self.config.sa
+        if self.config.epoch_time_budget_s is not None:
+            remaining = self.config.epoch_time_budget_s - (time.perf_counter() - t0)
+            if remaining <= 0:
+                self.health.budget_skipped_epochs += 1
+                t3 = time.perf_counter()
+                timings = PhaseTimings(
+                    sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2
+                )
+                return BalanceDecision(
+                    placement=None,
+                    timings=timings,
+                    matrices=matrices,
+                    incumbent_value=incumbent_value,
+                    rejected_samples=len(rejected),
+                )
+            if sa_config.time_budget_s is not None:
+                remaining = min(remaining, sa_config.time_budget_s)
+            sa_config = replace(sa_config, time_budget_s=remaining)
+        result = anneal(objective, incumbent, sa_config)
+        if result.truncated:
+            self.health.truncated_epochs += 1
         t3 = time.perf_counter()
 
         timings = PhaseTimings(sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2)
@@ -171,7 +461,7 @@ class SmartBalance:
         required = (
             1.0
             + self.config.min_improvement
-            + self.config.migration_penalty * len(changes) / max(len(measured), 1)
+            + self.config.migration_penalty * len(changes) / max(len(participants), 1)
         )
         if not changes or result.best_value <= incumbent_value * required:
             return BalanceDecision(
@@ -180,6 +470,7 @@ class SmartBalance:
                 sa_result=result,
                 matrices=matrices,
                 incumbent_value=incumbent_value,
+                rejected_samples=len(rejected),
             )
         placement = {matrices.tids[thread]: core for thread, core in changes.items()}
         return BalanceDecision(
@@ -188,4 +479,5 @@ class SmartBalance:
             sa_result=result,
             matrices=matrices,
             incumbent_value=incumbent_value,
+            rejected_samples=len(rejected),
         )

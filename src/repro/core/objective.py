@@ -91,6 +91,13 @@ MODES = ("global", "per_core_sum", "performance", "power_cap")
 AFFINITY_VIOLATION_PENALTY = 1e30
 #: Exponent of the power-cap violation penalty.
 POWER_CAP_PENALTY_EXPONENT = 4.0
+#: Floor (W) that zero/negative/non-finite predicted thread power is
+#: clamped to.  A predictor fed a corrupt observation can emit a
+#: non-physical power row; a zero denominator would make that thread's
+#: ratio infinite and the annealer would happily "optimise" the chip
+#: onto garbage.  Clamping to a tiny positive wattage keeps J_E finite
+#: and makes corrupt rows merely unattractive rather than explosive.
+POWER_FLOOR_W = 1e-3
 
 
 class EnergyEfficiencyObjective:
@@ -163,12 +170,16 @@ class EnergyEfficiencyObjective:
                     f"sleep power vector must have length {self.n_cores}, "
                     f"got shape {self.sleep_power.shape}"
                 )
-        if np.any(self.power <= 0) or np.any(self.idle_power <= 0):
-            raise ValueError("power entries must be positive")
+        bad_power = ~np.isfinite(self.power) | (self.power < POWER_FLOOR_W)
+        if bad_power.any():
+            self.power = np.where(bad_power, POWER_FLOOR_W, self.power)
+        if np.any(self.idle_power <= 0) or not np.isfinite(self.idle_power).all():
+            raise ValueError("idle power entries must be positive and finite")
         if np.any(self.sleep_power < 0):
             raise ValueError("sleep power entries must be non-negative")
-        if np.any(self.ips < 0):
-            raise ValueError("throughput entries must be non-negative")
+        bad_ips = ~np.isfinite(self.ips) | (self.ips < 0)
+        if bad_ips.any():
+            self.ips = np.where(bad_ips, 0.0, self.ips)
         if allowed is None:
             self.allowed = None
         else:

@@ -15,6 +15,7 @@ with utilisation only.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.hardware.counters import DerivedRates
@@ -83,6 +84,68 @@ def observe_task(task: TaskView, core_type: CoreType) -> ThreadObservation:
         busy_time_s=task.busy_time_s,
         allowed_cores=task.allowed_cores,
     )
+
+
+def observation_fault(
+    obs: ThreadObservation,
+    max_ipc: float = 16.0,
+    min_power_w: float = 1e-3,
+    max_power_w: float = 64.0,
+    clock_identity_tolerance: float = 0.5,
+) -> "str | None":
+    """Sanity-check one measured observation; returns the fault reason
+    or ``None`` when the sample is physically plausible.
+
+    The checks encode invariants no healthy sensor can violate:
+
+    * every reading is finite;
+    * IPC lies in ``(0, max_ipc]`` — no core retires more instructions
+      per cycle than a generous multiple of its issue width;
+    * per-thread power lies in ``[min_power_w, max_power_w]`` — a
+      running thread draws neither zero nor data-centre-rack power;
+    * every derived rate is a ratio of event counts and must lie in
+      [0, 1] — a memory-instruction share of 15 can only mean a
+      corrupted numerator;
+    * the cycle/clock identity holds: a thread's non-sleep cycles per
+      second of its own busy time must match the core clock
+      (``ips / ipc ~= f``), which catches counter overflow wrap — a
+      wrapped instruction or cycle count breaks the ratio even though
+      each value alone still looks plausible.
+    """
+    rates = obs.rates
+    ratio_fields = (
+        rates.mem_share,
+        rates.branch_share,
+        rates.branch_miss_rate,
+        rates.l1i_miss_rate,
+        rates.l1d_miss_rate,
+        rates.itlb_miss_rate,
+        rates.dtlb_miss_rate,
+        rates.stall_fraction,
+    )
+    values = (
+        obs.ips_measured,
+        obs.ipc_measured,
+        obs.power_measured,
+        obs.utilization,
+    ) + ratio_fields
+    if not all(math.isfinite(v) for v in values):
+        return "non-finite reading"
+    if obs.ipc_measured <= 0 or obs.ipc_measured > max_ipc:
+        return "impossible IPC"
+    if obs.power_measured < min_power_w or obs.power_measured > max_power_w:
+        return "implausible power"
+    if obs.ips_measured <= 0:
+        return "non-positive throughput"
+    if any(r < 0 or r > 1 for r in ratio_fields):
+        return "rate outside [0, 1]"
+    implied_clock_hz = obs.ips_measured / obs.ipc_measured
+    nominal_hz = obs.core_type.freq_hz
+    if nominal_hz > 0:
+        deviation = abs(implied_clock_hz - nominal_hz) / nominal_hz
+        if deviation > clock_identity_tolerance:
+            return "cycle/clock identity violated"
+    return None
 
 
 def sense(view: SystemView, include_kernel_threads: bool = False) -> EpochObservation:

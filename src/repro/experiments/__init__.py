@@ -15,6 +15,10 @@ prints the rendered result.  ``run_all()`` regenerates everything.
 | fig6    | IPC / power prediction error                       |
 | fig7    | per-phase overhead + 2-128 core scalability        |
 | fig8    | SA iterations vs distance-to-optimal + parameters  |
+
+``resilience`` is not a paper artifact: it measures IPS/W retention
+under injected faults (sensor, counter, migration, hotplug, thermal),
+mitigated vs unmitigated.
 """
 
 from repro.experiments import (
@@ -24,6 +28,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    resilience,
     table1,
     table2,
     table3,
@@ -49,6 +54,7 @@ def run_all(scale: Scale = QUICK) -> list:
         fig8.run_fig8b(),
         extensions.run_virtual_sensing(),
         extensions.run_optimizer_comparison(),
+        resilience.run(scale),
     ]
     return results
 
@@ -75,4 +81,5 @@ __all__ = [
     "fig7",
     "fig8",
     "extensions",
+    "resilience",
 ]

@@ -17,7 +17,6 @@ is kept bounded at large scale by capping SA iterations.
 from __future__ import annotations
 
 import random
-import time
 
 from repro.analysis.reporting import ExperimentResult, Finding
 from repro.analysis.stats import mean

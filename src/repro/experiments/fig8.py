@@ -13,7 +13,6 @@ iteration cap chosen for each scalability scenario;
 from __future__ import annotations
 
 import itertools
-import random
 
 import numpy as np
 
@@ -22,7 +21,6 @@ from repro.analysis.stats import mean
 from repro.core.allocation import Allocation
 from repro.core.annealing import SAConfig, anneal, default_iteration_cap
 from repro.core.objective import EnergyEfficiencyObjective
-from repro.core.training import profile_phase
 from repro.hardware import microarch
 from repro.hardware import power as power_model
 from repro.hardware.features import TABLE2_TYPES
@@ -43,7 +41,6 @@ def synthetic_problem(
     matrices use the hardware model directly (no prediction error), so
     the optimum is a property of the problem, not the predictor.
     """
-    rng = random.Random(seed)
     phases = training_corpus(n_threads, seed)
     core_types = [TABLE2_TYPES[i % len(TABLE2_TYPES)] for i in range(n_cores)]
     ips = np.zeros((n_threads, n_cores))

@@ -1,0 +1,153 @@
+"""Resilience experiment — retention under injected faults.
+
+Not a paper artifact: the paper evaluates SmartBalance on a clean
+simulator, while a deployable in-kernel balancer must survive sensor
+glitches, counter wrap, lost migrations, core hotplug and firmware
+thermal throttling.  This experiment runs every named fault scenario
+from :mod:`repro.faults` three ways —
+
+* **fault-free** — the clean baseline,
+* **mitigated** — faults injected, all :class:`ResilienceConfig`
+  defences on (the default),
+* **unmitigated** — same faults, every defence ablated off,
+
+and reports *retention*: faulty-run IPS/W as a fraction of the
+fault-free run.  The headline claim is that the mitigated balancer
+retains at least 80 % of its fault-free energy efficiency under the
+``combined`` scenario and never crashes, while the unmitigated one
+measurably degrades (or dies).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ExperimentResult, Finding
+from repro.analysis.stats import mean
+from repro.core.config import ResilienceConfig, SmartBalanceConfig
+from repro.faults import SCENARIOS, FaultPlan, scenario
+from repro.hardware.platform import quad_hmp
+from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+from repro.kernel.metrics import RunResult
+from repro.kernel.simulator import SimulationConfig, System
+from repro.workload.generator import random_thread_set
+from repro.experiments.common import QUICK, Scale
+
+#: Epochs per run — long enough for the staggered hotplug/throttle
+#: windows of the combined scenario to open and close.
+N_EPOCHS = 16
+#: Threads in the evaluation workload.
+N_THREADS = 6
+#: Workload generator seed (fixed: the workload is the controlled
+#: variable, the fault seed is the swept one).
+WORKLOAD_SEED = 42
+#: The headline acceptance bar for the combined scenario.
+RETENTION_FLOOR = 0.80
+
+
+def run_one(
+    plan: "FaultPlan | None",
+    resilience: ResilienceConfig,
+    seed: int = 0,
+    n_epochs: int = N_EPOCHS,
+) -> RunResult:
+    """One SmartBalance run on the quad HMP under a fault plan."""
+    platform = quad_hmp()
+    config = SimulationConfig(seed=seed, faults=plan)
+    balancer = SmartBalanceKernelAdapter(
+        config=SmartBalanceConfig(resilience=resilience)
+    )
+    system = System(
+        platform, random_thread_set(N_THREADS, seed=WORKLOAD_SEED), balancer, config
+    )
+    return system.run(n_epochs=n_epochs)
+
+
+def retention_under(
+    name: str, seed: int = 0, mitigated: bool = True, n_epochs: int = N_EPOCHS
+) -> "tuple[float, RunResult]":
+    """Retention (faulty / fault-free IPS/W) of one scenario run.
+
+    An unmitigated run that crashes counts as zero retention — that is
+    the deployment-relevant reading of an unhandled fault.
+    """
+    duration_s = n_epochs * SimulationConfig().epoch_s
+    plan = scenario(name, seed=seed, n_cores=4, duration_s=duration_s)
+    baseline = run_one(None, ResilienceConfig(), seed=seed, n_epochs=n_epochs)
+    resilience = ResilienceConfig() if mitigated else ResilienceConfig.disabled()
+    try:
+        faulty = run_one(plan, resilience, seed=seed, n_epochs=n_epochs)
+    except Exception:
+        if mitigated:  # the mitigated loop must never raise
+            raise
+        return 0.0, baseline
+    return faulty.ips_per_watt / baseline.ips_per_watt, faulty
+
+
+def run(scale: Scale = QUICK) -> ExperimentResult:
+    """Retention table over all fault scenarios, mitigated vs not."""
+    seeds = (0,) if scale.name == "quick" else (0, 1, 2, 3, 4)
+    rows = []
+    combined_mitigated: list[float] = []
+    combined_unmitigated: list[float] = []
+    for name in SCENARIOS:
+        mitigated, unmitigated, injected, defended = [], [], [], []
+        for seed in seeds:
+            m_ret, m_run = retention_under(name, seed=seed, mitigated=True)
+            u_ret, _ = retention_under(name, seed=seed, mitigated=False)
+            mitigated.append(m_ret)
+            unmitigated.append(u_ret)
+            stats = m_run.resilience
+            injected.append(stats.faults_injected if stats else 0)
+            defended.append(stats.samples_rejected if stats else 0)
+        if name == "combined":
+            combined_mitigated = mitigated
+            combined_unmitigated = unmitigated
+        rows.append(
+            [
+                name,
+                round(mean(mitigated), 3),
+                round(mean(unmitigated), 3),
+                round(mean(injected), 1),
+                round(mean(defended), 1),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="resilience",
+        title="Resilience: IPS/W retention under injected faults "
+        f"(quad HMP, {N_THREADS} threads, {N_EPOCHS} epochs, "
+        f"{len(seeds)} seed{'s' if len(seeds) > 1 else ''})",
+        headers=[
+            "scenario",
+            "retention (mitigated)",
+            "retention (unmitigated)",
+            "faults injected",
+            "samples rejected",
+        ],
+        rows=rows,
+        findings=(
+            Finding(
+                name="combined retention (mitigated)",
+                measured=mean(combined_mitigated),
+            ),
+            Finding(
+                name="combined retention (unmitigated)",
+                measured=mean(combined_unmitigated),
+            ),
+        ),
+        notes=(
+            "Retention = faulty-run IPS/W over the fault-free run; a "
+            "crashed unmitigated run scores 0.  Acceptance bar: "
+            f"mitigated combined retention >= {RETENTION_FLOOR} without "
+            "ever raising.  Under pure sensor noise the EWMA-smoothed "
+            "characterisation store is already robust, so the defences "
+            "pay off mainly against structural faults (hotplug, "
+            "throttle) and in never crashing."
+        ),
+    )
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

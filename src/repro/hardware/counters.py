@@ -20,7 +20,7 @@ rates, instruction shares) are computed by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.features import CoreType
 from repro.hardware.microarch import PerfEstimate
@@ -131,6 +131,59 @@ class CounterBlock:
             stall_fraction=ratio(self.cy_idle, active_cycles),
             ips=ratio(instr, self.busy_time_s),
         )
+
+
+#: Count-valued fields of a :class:`CounterBlock` — everything a real
+#: counter register holds.  ``busy_time_s`` is kernel bookkeeping, not
+#: a hardware register, and is exempt from register-width pathologies.
+COUNT_FIELDS = (
+    "cy_busy",
+    "cy_idle",
+    "cy_sleep",
+    "instructions",
+    "mem_instructions",
+    "branch_instructions",
+    "branch_mispredicts",
+    "l1i_misses",
+    "l1d_misses",
+    "itlb_misses",
+    "dtlb_misses",
+)
+
+
+def apply_overflow(block: CounterBlock, bits: int) -> int:
+    """Wrap every count field modulo ``2**bits``, in place.
+
+    Models a counter register narrower than the epoch's event count —
+    the classic unserviced-overflow failure of real PMUs.  Returns the
+    number of fields that actually wrapped.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be positive, got {bits}")
+    modulus = float(2**bits)
+    wrapped = 0
+    for name in COUNT_FIELDS:
+        value = getattr(block, name)
+        if value >= modulus:
+            setattr(block, name, value % modulus)
+            wrapped += 1
+    return wrapped
+
+
+def apply_saturation(block: CounterBlock, ceiling: float) -> int:
+    """Clamp every count field at ``ceiling``, in place.
+
+    Models saturating counters that stick at full scale instead of
+    wrapping.  Returns the number of fields clamped.
+    """
+    if ceiling <= 0:
+        raise ValueError(f"ceiling must be positive, got {ceiling}")
+    clamped = 0
+    for name in COUNT_FIELDS:
+        if getattr(block, name) > ceiling:
+            setattr(block, name, ceiling)
+            clamped += 1
+    return clamped
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ Fig. 7(b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.hardware.features import (

@@ -10,14 +10,21 @@ seeded, reproducible noise model so that:
 * the *observed* values the OS sees carry configurable error.
 
 Noise is multiplicative Gaussian, clipped to keep readings physical.
+Beyond noise, an optional :class:`~repro.faults.FaultInjector` lets a
+run inject hard sensor faults — dropout, stuck-at, spikes — on every
+channel, which the resilience layer upstream must survive.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.hardware.counters import CounterBlock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -60,7 +67,9 @@ class SensingInterface:
 
     One instance per platform; owns a private RNG so noisy readings are
     reproducible for a given seed regardless of other randomness in the
-    simulation.
+    simulation.  When a fault injector is attached, every reading also
+    passes through the active fault models *after* noise — faults
+    corrupt what the OS observes, never the simulated hardware itself.
     """
 
     def __init__(
@@ -68,17 +77,30 @@ class SensingInterface:
         counter_noise: NoiseModel = DEFAULT_COUNTER_NOISE,
         power_noise: NoiseModel = DEFAULT_POWER_NOISE,
         seed: int = 0,
+        faults: "Optional[FaultInjector]" = None,
     ) -> None:
         self.counter_noise = counter_noise
         self.power_noise = power_noise
+        self.faults = faults
         self._rng = random.Random(seed)
 
-    def read_counters(self, block: CounterBlock) -> CounterBlock:
+    def read_counters(
+        self, block: CounterBlock, owner: object = None
+    ) -> CounterBlock:
         """Return a noisy snapshot of a counter block.
 
         Each counter gets an independent noise draw, as independent
-        hardware counters would.  Timing (``busy_time_s``) is kernel
-        bookkeeping, not a hardware counter, and is read exactly.
+        hardware counters would — but the three cycle counters are then
+        rescaled so ``cy_busy + cy_idle + cy_sleep`` matches the true
+        total exactly.  The cycle budget is anchored to the core clock
+        and the epoch length; a sensor may mis-split it, it cannot
+        mint cycles, so derived utilisation fractions stay in [0, 1].
+        Timing (``busy_time_s``) is kernel bookkeeping, not a hardware
+        counter, and is read exactly.
+
+        ``owner`` is a stable identity for the counter bank (e.g. a
+        tid) used to key per-channel fault state; it defaults to the
+        block's own identity.
         """
         noisy = block.snapshot()
         for name in (
@@ -95,8 +117,22 @@ class SensingInterface:
             "dtlb_misses",
         ):
             setattr(noisy, name, self.counter_noise.apply(getattr(block, name), self._rng))
+        true_cycles = block.cy_busy + block.cy_idle + block.cy_sleep
+        noisy_cycles = noisy.cy_busy + noisy.cy_idle + noisy.cy_sleep
+        if true_cycles > 0 and noisy_cycles > 0:
+            scale = true_cycles / noisy_cycles
+            noisy.cy_busy *= scale
+            noisy.cy_idle *= scale
+            noisy.cy_sleep *= scale
+        if self.faults is not None:
+            key = owner if owner is not None else id(block)
+            self.faults.corrupt_block(key, noisy)
         return noisy
 
-    def read_power(self, true_power_w: float) -> float:
+    def read_power(self, true_power_w: float, owner: object = None) -> float:
         """Return a noisy reading from a per-core power sensor."""
-        return max(self.power_noise.apply(true_power_w, self._rng), 0.0)
+        reading = max(self.power_noise.apply(true_power_w, self._rng), 0.0)
+        if self.faults is not None:
+            key = owner if owner is not None else "power-rail"
+            reading = self.faults.corrupt_power(key, reading)
+        return reading

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.balancer import PhaseTimings, SmartBalance
+from repro.core.balancer import BalancerHealth, PhaseTimings, SmartBalance
 from repro.core.config import SmartBalanceConfig
 from repro.core.prediction import PredictorModel
 from repro.core.training import default_predictor
@@ -41,6 +41,11 @@ class SmartBalanceKernelAdapter(LoadBalancer):
         self.timings: list[PhaseTimings] = []
         #: Per-epoch migration counts proposed.
         self.proposed_migrations: list[int] = []
+
+    @property
+    def health(self) -> BalancerHealth:
+        """The engine's resilience counters (defence-side telemetry)."""
+        return self.engine.health
 
     def rebalance(self, view: SystemView) -> Optional[Placement]:
         decision = self.engine.decide(view)

@@ -54,6 +54,56 @@ class CoreStats:
 
 
 @dataclass(frozen=True)
+class ResilienceStats:
+    """Fault-injection and graceful-degradation accounting for a run.
+
+    The injection side counts what the fault models actually did; the
+    defence side counts what the resilience layer did about it.  A
+    mitigated run under faults shows both sides non-zero; a clean run
+    shows all zeros.
+    """
+
+    # -- injection side (what the FaultPlan inflicted) ----------------
+    sensor_dropouts: int = 0
+    sensor_stuck: int = 0
+    sensor_spikes: int = 0
+    counter_wraps: int = 0
+    counter_saturations: int = 0
+    migrations_lost: int = 0
+    migrations_delayed: int = 0
+    hotplug_events: int = 0
+    throttle_events: int = 0
+    # -- defence side (what the resilience layer did) -----------------
+    samples_rejected: int = 0
+    rejects_by_reason: "dict[str, int]" = field(default_factory=dict)
+    fallback_rows_used: int = 0
+    threads_dropped: int = 0
+    samples_rebaselined: int = 0
+    watchdog_trips: int = 0
+    watchdog_fallback_epochs: int = 0
+    truncated_epochs: int = 0
+    budget_skipped_epochs: int = 0
+    hotplug_masked_epochs: int = 0
+    #: Placements the kernel refused because the target was offline.
+    offline_placements_blocked: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total fault events the plan actually delivered."""
+        return (
+            self.sensor_dropouts
+            + self.sensor_stuck
+            + self.sensor_spikes
+            + self.counter_wraps
+            + self.counter_saturations
+            + self.migrations_lost
+            + self.migrations_delayed
+            + self.hotplug_events
+            + self.throttle_events
+        )
+
+
+@dataclass(frozen=True)
 class RunResult:
     """Complete outcome of one simulated run."""
 
@@ -67,6 +117,9 @@ class RunResult:
     core_stats: tuple[CoreStats, ...]
     #: Per-task (tid, name, instructions, busy_s, energy_j).
     task_stats: tuple["TaskStats", ...] = ()
+    #: Fault/defence accounting; None when the run injected no faults
+    #: and the balancer reported no health telemetry.
+    resilience: "ResilienceStats | None" = None
 
     @property
     def ips_per_watt(self) -> float:

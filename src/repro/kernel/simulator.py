@@ -19,9 +19,10 @@ scheduling periods.  At each balancer interval boundary the simulator
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+from repro.faults import DELAY, DELIVER, FaultInjector, FaultPlan
 from repro.hardware import power as power_model
 from repro.hardware.platform import Platform
 from repro.hardware.thermal import AMBIENT_C, ThermalState
@@ -33,7 +34,13 @@ from repro.hardware.sensors import (
 )
 from repro.kernel.balancers.base import LoadBalancer, Placement
 from repro.kernel.cfs import CACHE_WARMUP_S, CfsRunQueue
-from repro.kernel.metrics import CoreStats, EpochRecord, RunResult, TaskStats
+from repro.kernel.metrics import (
+    CoreStats,
+    EpochRecord,
+    ResilienceStats,
+    RunResult,
+    TaskStats,
+)
 from repro.kernel.task import Task, TaskState
 from repro.kernel.view import CoreView, SystemView, TaskView
 from repro.workload.characteristics import WorkloadPhase
@@ -64,6 +71,11 @@ class SimulationConfig:
     os_noise_tasks: int = 0
     #: Enable the per-core RC thermal model with leakage feedback.
     thermal_enabled: bool = False
+    #: Fault-injection plan (None = fault-free run).  Sensor/counter
+    #: faults corrupt observations through the sensing interface;
+    #: hotplug, throttle and migration faults are executed here on the
+    #: simulator timeline.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.period_s <= 0:
@@ -110,12 +122,33 @@ class System:
         self.platform = platform
         self.balancer = balancer
         self.config = config or SimulationConfig()
+        self.faults: Optional[FaultInjector] = None
+        if self.config.faults is not None and self.config.faults.active:
+            self.faults = FaultInjector(self.config.faults)
         self.sensing = SensingInterface(
             counter_noise=self.config.counter_noise,
             power_noise=self.config.power_noise,
             seed=self.config.seed,
+            faults=self.faults,
         )
         self.runqueues = [CfsRunQueue(core) for core in platform]
+        #: Nominal (unthrottled) core of each queue; ``queue.core`` is
+        #: swapped for a reduced-frequency clone while throttled.
+        self._base_cores = {q.core.core_id: q.core for q in self.runqueues}
+        self._online = [True] * len(platform)
+        plan = self.config.faults
+        self._hotplug_pending = sorted(
+            plan.hotplug if plan else (), key=lambda e: e.time_s
+        )
+        self._throttle_pending = sorted(
+            plan.throttle if plan else (), key=lambda e: e.time_s
+        )
+        #: core_id -> throttle end time while a throttle is active.
+        self._throttle_until: dict[int, float] = {}
+        #: Delayed migrations: (due_period, tid, core_id).
+        self._pending_migrations: list[tuple[int, int, int]] = []
+        self._period_counter = 0
+        self._offline_placements_blocked = 0
         if self.config.thermal_enabled:
             for queue in self.runqueues:
                 queue.thermal = ThermalState(core=queue.core.core_type)
@@ -202,10 +235,116 @@ class System:
                 # The kernel enforces cpusets regardless of what a
                 # balancer asks for.
                 continue
-            if task.core_id != core_id:
-                self.migrate(task, core_id)
-                moved += 1
+            if not 0 <= core_id < len(self._online) or not self._online[core_id]:
+                # The kernel refuses to migrate onto an unplugged core
+                # no matter what the balancer believes exists.
+                self._offline_placements_blocked += 1
+                continue
+            if task.core_id == core_id:
+                continue
+            fate, delay = (
+                self.faults.migration_fate() if self.faults else (DELIVER, 0)
+            )
+            if fate == DELAY:
+                self._pending_migrations.append(
+                    (self._period_counter + delay, tid, core_id)
+                )
+                continue
+            if fate != DELIVER:
+                continue  # lost in the kernel, silently
+            self.migrate(task, core_id)
+            moved += 1
         return moved
+
+    # ------------------------------------------------------------------
+    # Fault-plan timeline events
+    # ------------------------------------------------------------------
+
+    def _set_core_online(self, core_id: int, online: bool) -> None:
+        if not 0 <= core_id < len(self.runqueues):
+            return
+        if online == self._online[core_id]:
+            return
+        if not online and sum(self._online) <= 1:
+            return  # never unplug the last core
+        self._online[core_id] = online
+        if self.faults:
+            self.faults.counts.hotplug_events += 1
+        if online:
+            return
+        # Offline path: the kernel migrates the dead queue's tasks to
+        # the least-loaded online core their cpuset allows; a task
+        # allowed nowhere else stays parked (and starves) — exactly
+        # what Linux does with an impossible cpuset.
+        queue = self.runqueues[core_id]
+        for task in list(queue.tasks):
+            candidates = [
+                q
+                for q in self.runqueues
+                if self._online[q.core.core_id]
+                and q.core.core_id != core_id
+                and task.may_run_on(q.core.core_id)
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda q: q.load())
+            self.migrate(task, target.core.core_id)
+
+    def _set_throttle(self, core_id: int, freq_scale: Optional[float]) -> None:
+        """Apply (or with ``None`` lift) a thermal throttle on a core.
+
+        The clone keeps the core type's *name* so the predictor's
+        per-type Θ lookup still resolves — firmware throttling is
+        invisible to the OS, which is exactly what makes it a fault.
+        """
+        if not 0 <= core_id < len(self.runqueues):
+            return
+        base = self._base_cores[core_id]
+        queue = self.runqueues[core_id]
+        if freq_scale is None:
+            queue.core = base
+            return
+        throttled_type = replace(
+            base.core_type, freq_mhz=base.core_type.freq_mhz * freq_scale
+        )
+        queue.core = replace(base, core_type=throttled_type)
+        if self.faults:
+            self.faults.counts.throttle_events += 1
+
+    def _process_fault_events(self) -> None:
+        """Fire every timeline event due at the current simulated time."""
+        while self._hotplug_pending and self._hotplug_pending[0].time_s <= self.time_s:
+            event = self._hotplug_pending.pop(0)
+            self._set_core_online(event.core_id, event.online)
+        while (
+            self._throttle_pending
+            and self._throttle_pending[0].time_s <= self.time_s
+        ):
+            event = self._throttle_pending.pop(0)
+            self._set_throttle(event.core_id, event.freq_scale)
+            self._throttle_until[event.core_id] = max(
+                self._throttle_until.get(event.core_id, 0.0),
+                event.time_s + event.duration_s,
+            )
+        for core_id in list(self._throttle_until):
+            if self.time_s >= self._throttle_until[core_id]:
+                self._set_throttle(core_id, None)
+                del self._throttle_until[core_id]
+        due = [m for m in self._pending_migrations if m[0] <= self._period_counter]
+        if due:
+            self._pending_migrations = [
+                m for m in self._pending_migrations if m[0] > self._period_counter
+            ]
+            for _, tid, core_id in due:
+                task = self.task_by_tid(tid)
+                if (
+                    task.state is TaskState.EXITED
+                    or not task.may_run_on(core_id)
+                    or not self._online[core_id]
+                    or task.core_id == core_id
+                ):
+                    continue
+                self.migrate(task, core_id)
 
     # ------------------------------------------------------------------
     # Sensing
@@ -217,11 +356,13 @@ class System:
         for task in self.tasks:
             if task.state is TaskState.PENDING:
                 continue
-            noisy = self.sensing.read_counters(task.counters)
+            noisy = self.sensing.read_counters(task.counters, owner=("task", task.tid))
             busy = task.counters.busy_time_s
             if busy > 0:
                 true_power = task.epoch_energy_j / busy
-                measured_power = self.sensing.read_power(true_power)
+                measured_power = self.sensing.read_power(
+                    true_power, owner=("task", task.tid)
+                )
             else:
                 measured_power = 0.0
             task_views.append(
@@ -241,7 +382,10 @@ class System:
             )
         core_views = []
         for queue in self.runqueues:
-            core_type = queue.core.core_type
+            # The view reports the *nominal* core type: firmware-level
+            # thermal throttling is invisible to the OS, so a throttled
+            # core shows up only as prediction error downstream.
+            core_type = self._base_cores[queue.core.core_id].core_type
             elapsed = queue.epoch_time_s
             avg_power = queue.epoch_energy_j / elapsed if elapsed > 0 else 0.0
             # Effective cost of unused capacity: shallow idle up to the
@@ -259,15 +403,20 @@ class System:
                     core_id=queue.core.core_id,
                     core_type=core_type,
                     cluster=queue.core.cluster,
-                    power_w=self.sensing.read_power(avg_power),
+                    power_w=self.sensing.read_power(
+                        avg_power, owner=("core", queue.core.core_id)
+                    ),
                     idle_power_w=effective_idle,
                     sleep_power_w=power_model.sleep_power(core_type),
-                    counters=self.sensing.read_counters(queue.counters),
+                    counters=self.sensing.read_counters(
+                        queue.counters, owner=("core", queue.core.core_id)
+                    ),
                     nr_running=queue.nr_running(),
                     load=queue.load(),
                     temperature_c=(
                         queue.thermal.temp_c if queue.thermal else AMBIENT_C
                     ),
+                    online=self._online[queue.core.core_id],
                 )
             )
         return SystemView(
@@ -328,8 +477,10 @@ class System:
                 self._view_counter += 1
                 periods_since_rebalance = 0
 
+            self._process_fault_events()
             self._handle_arrivals()
             period_instr, period_energy = self._simulate_period()
+            self._period_counter += 1
             window_instructions += period_instr
             window_energy += period_energy
             periods_since_rebalance += 1
@@ -366,6 +517,9 @@ class System:
         instructions = 0.0
         energy = 0.0
         for queue in self.runqueues:
+            if not self._online[queue.core.core_id]:
+                # An unplugged core executes nothing and draws nothing.
+                continue
             result = queue.schedule_period(self.config.period_s)
             for sl in result.slices:
                 if sl.task.is_user:
@@ -373,8 +527,9 @@ class System:
                 self._core_instructions[queue.core.core_id] += sl.instructions
             energy += result.energy_j
         for task in self.tasks:
-            if task.state is TaskState.ACTIVE:
-                core_type = self.platform[task.core_id].core_type
+            if task.state is TaskState.ACTIVE and self._online[task.core_id]:
+                # The queue's current core reflects any active throttle.
+                core_type = self.runqueues[task.core_id].core.core_type
                 task.update_utilization(task.demanded_fraction(core_type))
         self.time_s += self.config.period_s
         return instructions, energy
@@ -407,6 +562,7 @@ class System:
         user_instructions = sum(t.instructions for t in task_stats if self.tasks[t.tid].is_user)
         total_energy = sum(c.energy_j for c in core_stats)
         return RunResult(
+            resilience=self._resilience_stats(),
             balancer_name=self.balancer.name,
             platform_name=self.platform.name,
             duration_s=self.time_s,
@@ -417,3 +573,39 @@ class System:
             core_stats=core_stats,
             task_stats=task_stats,
         )
+
+    def _resilience_stats(self) -> "ResilienceStats | None":
+        """Merge injector tallies with the balancer's health telemetry."""
+        health = getattr(self.balancer, "health", None)
+        if self.faults is None and health is None:
+            return None
+        counts = self.faults.counts if self.faults else None
+        kwargs: dict = {
+            "offline_placements_blocked": self._offline_placements_blocked
+        }
+        if counts is not None:
+            kwargs.update(
+                sensor_dropouts=counts.sensor_dropouts,
+                sensor_stuck=counts.sensor_stuck,
+                sensor_spikes=counts.sensor_spikes,
+                counter_wraps=counts.counter_wraps,
+                counter_saturations=counts.counter_saturations,
+                migrations_lost=counts.migrations_lost,
+                migrations_delayed=counts.migrations_delayed,
+                hotplug_events=counts.hotplug_events,
+                throttle_events=counts.throttle_events,
+            )
+        if health is not None:
+            kwargs.update(
+                samples_rejected=health.samples_rejected,
+                rejects_by_reason=dict(health.rejects_by_reason),
+                fallback_rows_used=health.fallback_rows_used,
+                threads_dropped=health.threads_dropped,
+                samples_rebaselined=health.samples_rebaselined,
+                watchdog_trips=health.watchdog_trips,
+                watchdog_fallback_epochs=health.watchdog_fallback_epochs,
+                truncated_epochs=health.truncated_epochs,
+                budget_skipped_epochs=health.budget_skipped_epochs,
+                hotplug_masked_epochs=health.hotplug_masked_epochs,
+            )
+        return ResilienceStats(**kwargs)

@@ -19,8 +19,7 @@ assert that no ground-truth phase objects leak through it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.hardware.counters import CounterBlock, DerivedRates
 from repro.hardware.features import CoreType
@@ -75,6 +74,9 @@ class CoreView:
     #: Core temperature (deg C) from the thermal sensor; ambient when
     #: the thermal model is disabled.
     temperature_c: float = 45.0
+    #: False while the core is hot-unplugged; an offline core schedules
+    #: nothing and must be masked out of placement searches.
+    online: bool = True
 
 
 @dataclass(frozen=True)
@@ -96,6 +98,10 @@ class SystemView:
     @property
     def user_tasks(self) -> tuple[TaskView, ...]:
         return tuple(t for t in self.tasks if t.is_user)
+
+    @property
+    def online_core_ids(self) -> frozenset[int]:
+        return frozenset(c.core_id for c in self.cores if c.online)
 
     def tasks_on_core(self, core_id: int) -> tuple[TaskView, ...]:
         return tuple(t for t in self.tasks if t.core_id == core_id)

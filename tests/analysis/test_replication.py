@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.replication import (
-    Replication,
     bootstrap_ci,
     compare_with_replication,
     replicate,

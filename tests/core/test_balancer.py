@@ -2,13 +2,11 @@
 
 import pytest
 
-from repro.core.annealing import SAConfig
 from repro.core.balancer import SmartBalance
 from repro.core.config import SmartBalanceConfig
 from repro.core.training import default_predictor
 from repro.experiments.fig7 import synthetic_view
 from repro.hardware.platform import quad_hmp
-from repro.hardware.sensors import NoiseModel
 from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
 from repro.kernel.simulator import SimulationConfig, System
 from repro.workload.synthetic import imb_threads
@@ -140,3 +138,183 @@ def _null():
     from repro.kernel.balancers.base import NullBalancer
 
     return NullBalancer()
+
+
+# ----------------------------------------------------------------------
+# Resilience layer
+# ----------------------------------------------------------------------
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.config import ResilienceConfig
+from repro.core.sensing import observation_fault, sense
+
+
+def corrupt_task(view, index=0, **overrides):
+    """Return a copy of ``view`` with one task's fields overridden."""
+    tasks = list(view.tasks)
+    tasks[index] = replace(tasks[index], **overrides)
+    return replace(view, tasks=tuple(tasks))
+
+
+def observation_from(view, index=0):
+    return sense(view).measured_threads[index]
+
+
+class TestObservationFault:
+    def test_healthy_sample_passes(self):
+        obs = observation_from(synthetic_view(4, 4, seed=1))
+        assert observation_fault(obs) is None
+
+    def test_nonfinite_rejected(self):
+        view = corrupt_task(synthetic_view(4, 4, seed=1), power_w=float("nan"))
+        assert observation_fault(observation_from(view)) == "non-finite reading"
+
+    def test_implausible_power_rejected(self):
+        view = corrupt_task(synthetic_view(4, 4, seed=1), power_w=1e9)
+        assert observation_fault(observation_from(view)) == "implausible power"
+
+    def test_impossible_ipc_rejected(self):
+        obs = observation_from(synthetic_view(4, 4, seed=1))
+        bad = replace(obs, ipc_measured=100.0, ips_measured=obs.ips_measured)
+        assert observation_fault(bad) == "impossible IPC"
+
+    def test_ratio_outside_unit_interval_rejected(self):
+        obs = observation_from(synthetic_view(4, 4, seed=1))
+        bad = replace(obs, rates=replace(obs.rates, mem_share=15.0))
+        assert observation_fault(bad) == "rate outside [0, 1]"
+
+    def test_clock_identity_violation_rejected(self):
+        """A wrapped cycle counter breaks ips/ipc ~= f even though each
+        value alone still looks plausible."""
+        obs = observation_from(synthetic_view(4, 4, seed=1))
+        # x3 keeps the IPC itself plausible while the implied clock
+        # (ips/ipc = f/3) deviates 67 % from the nominal frequency.
+        bad = replace(obs, rates=replace(obs.rates, ipc=obs.rates.ipc * 3.0))
+        bad = replace(bad, ipc_measured=bad.rates.ipc)
+        assert observation_fault(bad) == "cycle/clock identity violated"
+
+
+class TestAdversarialViews:
+    def test_empty_thread_set(self):
+        view = replace(synthetic_view(4, 4, seed=2), tasks=())
+        decision = engine().decide(view)
+        assert decision.placement is None
+        assert decision.sa_result is None
+
+    def test_single_core_platform(self):
+        decision = engine().decide(synthetic_view(1, 3, seed=3))
+        if decision.placement:
+            assert set(decision.placement.values()) == {0}
+
+    def test_all_cores_offline_but_one(self):
+        view = synthetic_view(4, 6, seed=4)
+        cores = tuple(
+            replace(c, online=(c.core_id == 1)) for c in view.cores
+        )
+        view = replace(view, cores=cores)
+        eng = engine(min_improvement=0.0)
+        decision = eng.decide(view)
+        assert eng.health.hotplug_masked_epochs == 1
+        for core_id in (decision.placement or {}).values():
+            assert core_id == 1
+
+    def test_hotplug_unaware_engine_ignores_offline(self):
+        view = synthetic_view(4, 6, seed=4)
+        cores = tuple(replace(c, online=(c.core_id == 1)) for c in view.cores)
+        view = replace(view, cores=cores)
+        eng = engine(resilience=ResilienceConfig.disabled())
+        eng.decide(view)
+        assert eng.health.hotplug_masked_epochs == 0
+
+
+class TestSanityDefences:
+    def test_rejected_thread_without_history_is_dropped(self):
+        view = corrupt_task(synthetic_view(4, 4, seed=5), power_w=1e9)
+        eng = engine()
+        decision = eng.decide(view)
+        assert decision.rejected_samples == 1
+        assert eng.health.threads_dropped == 1
+        assert eng.health.rejects_by_reason == {"implausible power": 1}
+        assert decision.matrices is not None
+        assert len(decision.matrices.tids) == 3
+
+    def test_rejected_thread_with_history_uses_fallback_row(self):
+        eng = engine()
+        eng.decide(synthetic_view(4, 4, seed=6))  # builds history
+        corrupt = corrupt_task(synthetic_view(4, 4, seed=7), power_w=1e9)
+        decision = eng.decide(corrupt)
+        assert eng.health.fallback_rows_used == 1
+        assert decision.matrices is not None
+        # The corrupt thread still participates, via its stored row.
+        assert len(decision.matrices.tids) == 4
+
+    def test_persistent_anomaly_rebaselines(self):
+        eng = engine(resilience=ResilienceConfig(rebaseline_epochs=2))
+        for seed in (8, 9):
+            view = corrupt_task(synthetic_view(4, 4, seed=seed), power_w=1e9)
+            eng.decide(view)
+        assert eng.health.samples_rejected == 1
+        assert eng.health.samples_rebaselined == 1
+
+    def test_sanity_checks_can_be_disabled(self):
+        view = corrupt_task(synthetic_view(4, 4, seed=10), power_w=1e9)
+        eng = engine(resilience=ResilienceConfig.disabled())
+        decision = eng.decide(view)
+        assert decision.rejected_samples == 0
+        assert eng.health.samples_rejected == 0
+
+
+class TestWatchdog:
+    def test_trips_on_systematic_divergence(self):
+        eng = engine(
+            resilience=ResilienceConfig(
+                watchdog_tolerance=1e-6, watchdog_trip_epochs=1
+            )
+        )
+        eng.decide(synthetic_view(4, 4, seed=11))
+        decision = eng.decide(synthetic_view(4, 4, seed=12))
+        assert eng.health.watchdog_trips == 1
+        assert decision.fallback is True
+        assert eng.health.watchdog_fallback_epochs == 1
+
+    def test_recovers_after_in_band_epochs(self):
+        eng = engine(
+            resilience=ResilienceConfig(watchdog_recovery_epochs=2)
+        )
+        view = synthetic_view(4, 4, seed=13)
+        healthy = list(sense(view).measured_threads)
+        eng._last_prediction = {
+            obs.tid: np.full(4, obs.ips_measured) for obs in healthy
+        }
+        eng._watchdog_tripped = True
+        eng._watchdog_update(healthy)
+        assert eng._watchdog_tripped  # one in-band epoch is not enough
+        eng._watchdog_update(healthy)
+        assert not eng._watchdog_tripped
+
+    def test_fallback_placement_respects_masks(self):
+        view = synthetic_view(4, 6, seed=14)
+        eng = engine()
+        healthy = list(sense(view).measured_threads)
+        allowed = np.zeros((len(healthy), 4), dtype=bool)
+        allowed[:, 2] = True
+        placement = eng._capability_placement(healthy, view, allowed)
+        for core_id in placement.values():
+            assert core_id == 2
+
+
+class TestEpochBudget:
+    def test_exhausted_budget_keeps_placement(self):
+        eng = engine(epoch_time_budget_s=1e-9, min_improvement=0.0)
+        decision = eng.decide(synthetic_view(4, 8, seed=15))
+        assert decision.placement is None
+        assert eng.health.budget_skipped_epochs == 1
+
+    def test_generous_budget_changes_nothing(self):
+        eng = engine(epoch_time_budget_s=60.0, min_improvement=0.0)
+        decision = eng.decide(synthetic_view(4, 8, seed=16))
+        assert decision.sa_result is not None
+        assert eng.health.budget_skipped_epochs == 0

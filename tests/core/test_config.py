@@ -46,3 +46,64 @@ class TestValidation:
         config = SmartBalanceConfig()
         with pytest.raises(AttributeError):
             config.min_improvement = 0.5  # type: ignore[misc]
+
+
+class TestResilienceConfig:
+    def test_defaults_all_defences_on(self):
+        from repro.core.config import ResilienceConfig
+
+        res = ResilienceConfig()
+        assert res.sanity_checks
+        assert res.last_good_fallback
+        assert res.watchdog_enabled
+        assert res.hotplug_aware
+        assert res.rebaseline_epochs >= 1
+
+    def test_disabled_turns_every_defence_off(self):
+        from repro.core.config import ResilienceConfig
+
+        res = ResilienceConfig.disabled()
+        assert not res.sanity_checks
+        assert not res.last_good_fallback
+        assert not res.watchdog_enabled
+        assert not res.hotplug_aware
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"watchdog_tolerance": 0.0},
+            {"watchdog_trip_epochs": 0},
+            {"watchdog_recovery_epochs": 0},
+            {"rebaseline_epochs": 0},
+            {"max_ipc": -1.0},
+            {"min_power_w": 0.0},
+            {"min_power_w": 10.0, "max_power_w": 5.0},
+            {"clock_identity_tolerance": 0.0},
+            {"clock_identity_tolerance": 1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        from repro.core.config import ResilienceConfig
+
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)
+
+    def test_embedded_in_smartbalance_config(self):
+        from repro.core.config import ResilienceConfig
+
+        config = SmartBalanceConfig(resilience=ResilienceConfig.disabled())
+        assert not config.resilience.sanity_checks
+        assert SmartBalanceConfig().resilience.sanity_checks
+
+
+class TestEpochTimeBudget:
+    def test_none_by_default(self):
+        assert SmartBalanceConfig().epoch_time_budget_s is None
+
+    def test_positive_accepted(self):
+        assert SmartBalanceConfig(epoch_time_budget_s=0.01).epoch_time_budget_s == 0.01
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_nonpositive_rejected(self, budget):
+        with pytest.raises(ValueError):
+            SmartBalanceConfig(epoch_time_budget_s=budget)

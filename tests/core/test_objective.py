@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.allocation import Allocation
-from repro.core.objective import EnergyEfficiencyObjective, IncrementalEvaluator
+from repro.core.objective import (
+    POWER_FLOOR_W,
+    EnergyEfficiencyObjective,
+    IncrementalEvaluator,
+)
 
 
 def make_objective(m=4, n=3, mode="global", seed=0, alpha=1.7, **kwargs):
@@ -44,11 +48,32 @@ class TestValidation:
                 utilization=[1.5], idle_power=np.ones(2),
             )
 
-    def test_nonpositive_power_rejected(self):
+    def test_nonpositive_power_clamped_to_floor(self):
+        # Zero/negative/non-finite thread power is clamped, not fatal:
+        # a corrupt predictor row must not crash the balance phase, and
+        # the clamped row must not make J_E infinite.
+        obj = EnergyEfficiencyObjective(
+            ips=np.ones((1, 2)), power=np.array([[0.0, -3.0]]),
+            utilization=[0.5], idle_power=np.ones(2),
+        )
+        assert np.all(obj.power >= POWER_FLOOR_W)
+        value = obj.evaluate_mapping([0])
+        assert np.isfinite(value)
+
+    def test_nonfinite_matrix_entries_neutralised(self):
+        obj = EnergyEfficiencyObjective(
+            ips=np.array([[np.nan, 1e9]]), power=np.array([[np.inf, 1.0]]),
+            utilization=[0.5], idle_power=np.ones(2),
+        )
+        assert obj.ips[0, 0] == 0.0
+        assert obj.power[0, 0] == POWER_FLOOR_W
+        assert np.isfinite(obj.evaluate_mapping([0]))
+
+    def test_nonpositive_idle_power_still_rejected(self):
         with pytest.raises(ValueError):
             EnergyEfficiencyObjective(
-                ips=np.ones((1, 2)), power=np.zeros((1, 2)),
-                utilization=[0.5], idle_power=np.ones(2),
+                ips=np.ones((1, 2)), power=np.ones((1, 2)),
+                utilization=[0.5], idle_power=np.zeros(2),
             )
 
     def test_bad_mode_rejected(self):

@@ -1,6 +1,5 @@
 """Tests for the shared experiment infrastructure."""
 
-import pytest
 
 from repro.experiments.common import FULL, QUICK, compare_balancers, run_balancer
 from repro.hardware.platform import quad_hmp

@@ -10,7 +10,6 @@ from repro.hardware.dvfs import (
     energy_per_instruction,
     opp_table,
     opp_variants,
-    type_at_opp,
     voltage_for_frequency,
 )
 from repro.hardware.features import BIG, MEDIUM

@@ -5,7 +5,6 @@ import pytest
 from repro.hardware.features import (
     ARM_BIG,
     ARM_LITTLE,
-    BIG,
     BUILTIN_TYPES,
     HUGE,
     MEDIUM,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.features import ARM_BIG, ARM_LITTLE, BIG, HUGE, MEDIUM, SMALL
+from repro.hardware.features import ARM_BIG, ARM_LITTLE, BIG, HUGE, SMALL
 from repro.hardware.platform import (
     Core,
     Platform,

@@ -93,3 +93,69 @@ class TestSensingInterface:
         block = charged_block()
         noisy = SensingInterface(seed=6).read_counters(block)
         assert noisy.instructions == pytest.approx(block.instructions, rel=0.3)
+
+
+# ----------------------------------------------------------------------
+# Property tests (hypothesis)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st
+
+
+class TestNoiseModelProperties:
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e12),
+        sigma=st.floats(min_value=0.0, max_value=2.0),
+        clip=st.floats(min_value=0.01, max_value=0.99),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200)
+    def test_reading_bounded_by_clip(self, value, sigma, clip, seed):
+        model = NoiseModel(sigma=sigma, clip=clip)
+        reading = model.apply(value, random.Random(seed))
+        assert (1.0 - clip) * value <= reading <= (1.0 + clip) * value
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e12),
+        sigma=st.floats(min_value=0.0, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200)
+    def test_reading_never_negative(self, value, sigma, seed):
+        reading = NoiseModel(sigma=sigma).apply(value, random.Random(seed))
+        assert reading >= 0.0
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_zero_sigma_is_exact_passthrough(self, value, seed):
+        assert NoiseModel(sigma=0.0).apply(value, random.Random(seed)) == value
+
+
+class TestCycleIdentityRepair:
+    @given(
+        busy_s=st.floats(min_value=1e-4, max_value=0.06),
+        sigma=st.floats(min_value=0.0, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_cycle_counters_preserve_total(self, busy_s, sigma, seed):
+        """Independent noise draws must not mint or destroy cycles:
+        the read-out rescales the three cycle counters so their sum
+        matches the true total, keeping derived utilisation in [0, 1]."""
+        block = CounterBlock()
+        perf = microarch.estimate(COMPUTE_PHASE, BIG)
+        block.charge_execution(perf, BIG, busy_s, 0.3, 0.1)
+        block.cy_idle = 0.25 * block.cy_busy
+        block.cy_sleep = 0.10 * block.cy_busy
+        sensing = SensingInterface(
+            counter_noise=NoiseModel(sigma=sigma), seed=seed
+        )
+        noisy = sensing.read_counters(block)
+        true_total = block.cy_busy + block.cy_idle + block.cy_sleep
+        noisy_total = noisy.cy_busy + noisy.cy_idle + noisy.cy_sleep
+        assert noisy_total == pytest.approx(true_total, rel=1e-9)
+        share = noisy.cy_busy / noisy_total
+        assert 0.0 <= share <= 1.0

@@ -8,7 +8,7 @@ migration -> CFS) must reproduce the paper's orderings.
 import pytest
 
 from repro.hardware.platform import big_little_octa, build_platform, quad_hmp
-from repro.hardware.features import BIG, MEDIUM, SMALL
+from repro.hardware.features import MEDIUM, SMALL
 from repro.kernel.balancers.base import NullBalancer
 from repro.kernel.balancers.gts import GtsBalancer
 from repro.kernel.balancers.iks import IksBalancer

@@ -9,7 +9,7 @@ catastrophically below the capability-blind baseline.
 
 import pytest
 
-from repro.hardware.features import BIG, SMALL
+from repro.hardware.features import BIG
 from repro.hardware.platform import build_platform, quad_hmp
 from repro.hardware.sensors import NoiseModel
 from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
@@ -98,7 +98,6 @@ class TestPathologicalWorkloads:
         result = System(
             quad_hmp(), threads, SmartBalanceKernelAdapter()
         ).run(n_epochs=10)
-        from repro.kernel.task import TaskState
 
         # All work finished; the system idles through the remaining
         # epochs without dividing by zero anywhere.

@@ -7,7 +7,6 @@ their module functions (full runs live in the examples themselves).
 
 import importlib.util
 import os
-import sys
 
 import pytest
 
@@ -22,6 +21,7 @@ EXAMPLE_FILES = [
     "dvfs_platform.py",
     "power_cap.py",
     "thermal_aware.py",
+    "resilience.py",
 ]
 
 

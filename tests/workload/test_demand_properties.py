@@ -12,7 +12,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.hardware import cache, microarch
 from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL, TABLE2_TYPES
-from repro.workload.characteristics import WorkloadPhase
 from repro.workload.demand import demanded_fraction_on, with_duty
 from repro.workload.generator import random_phase
 
