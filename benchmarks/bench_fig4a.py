@@ -33,11 +33,16 @@ def bench_fig4a_single_case(benchmark):
     assert gain > 0
 
 
-def bench_fig4a_full_figure(benchmark, save_artifact):
-    """Regenerate the whole Fig. 4(a) grid (quick scale)."""
+def bench_fig4a_full_figure(benchmark, save_artifact, runner_jobs):
+    """Regenerate the whole Fig. 4(a) grid (quick scale).
+
+    Runs through the parallel sweep runner; ``REPRO_JOBS`` controls the
+    worker count without changing a single output bit.
+    """
     result = benchmark.pedantic(
-        lambda: fig4.run_fig4a(QUICK), rounds=1, iterations=1
+        lambda: fig4.run_fig4a(QUICK, jobs=runner_jobs), rounds=1, iterations=1
     )
+    benchmark.extra_info["jobs"] = runner_jobs
     save_artifact(result)
     finding = result.finding("average IMB improvement")
     benchmark.extra_info["average_improvement_pct"] = finding.measured

@@ -29,11 +29,12 @@ def bench_fig4b_single_mix(benchmark):
     benchmark.extra_info["mix6_gain_pct"] = gain
 
 
-def bench_fig4b_full_figure(benchmark, save_artifact):
-    """Regenerate the whole Fig. 4(b) set (quick scale)."""
+def bench_fig4b_full_figure(benchmark, save_artifact, runner_jobs):
+    """Regenerate the whole Fig. 4(b) set (quick scale) via the runner."""
     result = benchmark.pedantic(
-        lambda: fig4.run_fig4b(QUICK), rounds=1, iterations=1
+        lambda: fig4.run_fig4b(QUICK, jobs=runner_jobs), rounds=1, iterations=1
     )
+    benchmark.extra_info["jobs"] = runner_jobs
     save_artifact(result)
     finding = result.finding("average PARSEC improvement")
     benchmark.extra_info["average_improvement_pct"] = finding.measured

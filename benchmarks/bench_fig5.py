@@ -29,8 +29,11 @@ def bench_fig5_single_case(benchmark):
     benchmark.extra_info["gain_over_gts_pct"] = gain
 
 
-def bench_fig5_full_figure(benchmark, save_artifact):
-    result = benchmark.pedantic(lambda: fig5.run(QUICK), rounds=1, iterations=1)
+def bench_fig5_full_figure(benchmark, save_artifact, runner_jobs):
+    result = benchmark.pedantic(
+        lambda: fig5.run(QUICK, jobs=runner_jobs), rounds=1, iterations=1
+    )
+    benchmark.extra_info["jobs"] = runner_jobs
     save_artifact(result)
     finding = result.finding("average gain over GTS")
     benchmark.extra_info["average_gain_over_gts_pct"] = finding.measured

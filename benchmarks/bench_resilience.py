@@ -68,11 +68,17 @@ def bench_resilience_seed_reproducibility(benchmark):
     benchmark.extra_info["faults_injected"] = first.resilience.faults_injected
 
 
-def bench_resilience_scenario_table(benchmark, save_artifact):
-    """The full retention table across every named scenario."""
+def bench_resilience_scenario_table(benchmark, save_artifact, runner_jobs):
+    """The full retention table across every named scenario.
+
+    The sweep goes through the parallel runner with crash tolerance
+    (``on_error="none"``): an unmitigated run that dies scores zero
+    retention instead of killing its worker.
+    """
     result = benchmark.pedantic(
-        lambda: resilience_exp.run(), rounds=1, iterations=1
+        lambda: resilience_exp.run(jobs=runner_jobs), rounds=1, iterations=1
     )
+    benchmark.extra_info["jobs"] = runner_jobs
     save_artifact(result)
     assert [row[0] for row in result.rows] == list(SCENARIOS)
     finding = result.finding("combined retention (mitigated)")

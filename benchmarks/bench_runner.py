@@ -1,0 +1,76 @@
+"""Benchmarks for the parallel sweep engine itself.
+
+Three claims the runner makes, measured directly:
+
+1. dispatching a quick-scale grid over 2 workers is not slower than
+   serial (asserted only when the host actually has >= 2 CPUs — on a
+   single-core box the fork overhead is pure cost);
+2. a warm cache short-circuits execution entirely;
+3. neither worker count nor caching changes a single output bit.
+
+The speedup benchmark is the CI smoke job for the parallel path.
+"""
+
+import os
+import time
+
+from repro.experiments.common import QUICK
+from repro.runner import ResultCache, RunSpec, metrics_digest, run_specs
+
+#: Quick-scale fig4a-style grid: 3 IMB configs x 2 thread counts x
+#: 2 balancers = 12 independent jobs.
+GRID = [
+    RunSpec(workload=w, threads=t, balancer=b, n_epochs=QUICK.n_epochs)
+    for w in ("HTHI", "MTMI", "LTLI")
+    for t in (2, 8)
+    for b in ("vanilla", "smartbalance")
+]
+
+
+def _digests(results):
+    return [metrics_digest(r) for r in results]
+
+
+def bench_runner_parallel_speedup(benchmark):
+    """Serial vs 2-worker wall clock on the same grid, same outputs."""
+
+    def measure():
+        t0 = time.perf_counter()
+        serial = run_specs(GRID, jobs=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_specs(GRID, jobs=2)
+        t_parallel = time.perf_counter() - t0
+        return serial, parallel, t_serial, t_parallel
+
+    serial, parallel, t_serial, t_parallel = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert _digests(serial) == _digests(parallel), (
+        "worker count changed results"
+    )
+    benchmark.extra_info["t_serial_s"] = t_serial
+    benchmark.extra_info["t_parallel_s"] = t_parallel
+    benchmark.extra_info["speedup"] = t_serial / t_parallel
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    if (os.cpu_count() or 1) >= 2:
+        # CI smoke: with real parallelism available, 2 workers must not
+        # be slower than serial (10 % slack for pool startup).
+        assert t_parallel <= t_serial * 1.10, (
+            f"parallel {t_parallel:.2f}s slower than serial {t_serial:.2f}s"
+        )
+
+
+def bench_runner_warm_cache(benchmark, tmp_path):
+    """A warm cache answers the whole grid without executing anything."""
+    cache = ResultCache(tmp_path)
+    cold = run_specs(GRID, cache=cache)
+    assert cache.misses == len(GRID)
+
+    def warm():
+        return run_specs(GRID, cache=cache)
+
+    warmed = benchmark(warm)
+    assert cache.hits >= len(GRID)
+    assert _digests(cold) == _digests(warmed), "cache changed results"
+    benchmark.extra_info["entries"] = len(cache)

@@ -20,6 +20,19 @@ def artifact_dir() -> str:
     return ARTIFACT_DIR
 
 
+@pytest.fixture(scope="session")
+def runner_jobs() -> int:
+    """Worker count for sweep-backed benchmarks.
+
+    Honours the ``REPRO_JOBS`` environment variable (default: serial),
+    so ``REPRO_JOBS=4 pytest benchmarks/`` parallelises every sweep
+    without touching the benchmark code.
+    """
+    from repro.runner import resolve_jobs
+
+    return resolve_jobs()
+
+
 @pytest.fixture
 def save_artifact(artifact_dir):
     """Write a rendered experiment result to benchmarks/out/<id>.txt."""

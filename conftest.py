@@ -7,3 +7,14 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace fixtures under "
+        "tests/fixtures/golden/ from the current simulator instead of "
+        "comparing against them",
+    )

@@ -5,6 +5,8 @@ writing Python::
 
     python -m repro experiments --scale quick          # everything
     python -m repro experiments fig4a fig6             # selected
+    python -m repro experiments fig4a --jobs 4 --cache # parallel + cached
+    python -m repro sweep --scale quick --jobs 4       # shared-pool sweep
     python -m repro run --platform quad --workload MTMI --threads 8 \
         --balancer smartbalance --epochs 40 --trace out.json
     python -m repro compare --workload Mix6 --threads 2
@@ -22,76 +24,17 @@ from typing import Optional, Sequence
 
 from repro.analysis.trace import write_trace
 from repro.faults import SCENARIOS, FaultPlan, scenario
-from repro.hardware.platform import Platform, big_little_octa, quad_hmp, scaled_hmp
-from repro.kernel.balancers.base import LoadBalancer, NullBalancer
-from repro.kernel.balancers.gts import GtsBalancer
-from repro.kernel.balancers.iks import IksBalancer
-from repro.kernel.balancers.vanilla import VanillaBalancer
+from repro.hardware.platform import Platform
 from repro.kernel.simulator import SimulationConfig, System
-from repro.workload.parsec import BENCHMARKS, MIXES, benchmark, mix_threads
-from repro.workload.synthetic import IMB_CONFIGS, imb_threads
-
-#: Platform presets reachable from the CLI.
-PLATFORMS = {
-    "quad": quad_hmp,
-    "biglittle": big_little_octa,
-}
-
-#: Balancer factories reachable from the CLI.
-BALANCERS = {
-    "none": NullBalancer,
-    "vanilla": VanillaBalancer,
-    "gts": GtsBalancer,
-    "iks": IksBalancer,
-}
-
-
-def _smart_balancer(mitigations: bool = True):
-    # Imported lazily: training the default predictor takes a moment
-    # and commands like `list` should stay instant.
-    from repro.core.config import ResilienceConfig, SmartBalanceConfig
-    from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
-
-    resilience = ResilienceConfig() if mitigations else ResilienceConfig.disabled()
-    return SmartBalanceKernelAdapter(
-        config=SmartBalanceConfig(resilience=resilience)
-    )
-
-
-def make_platform(spec: str) -> Platform:
-    """Resolve a platform spec: a preset name or ``hmp:<n>``."""
-    if spec in PLATFORMS:
-        return PLATFORMS[spec]()
-    if spec.startswith("hmp:"):
-        return scaled_hmp(int(spec.split(":", 1)[1]))
-    raise SystemExit(
-        f"unknown platform {spec!r}; use one of {sorted(PLATFORMS)} or hmp:<n>"
-    )
-
-
-def make_workload(spec: str, n_threads: int, seed: int = 0):
-    """Resolve a workload spec: an IMB config, benchmark or mix name."""
-    if spec in IMB_CONFIGS:
-        return imb_threads(spec, n_threads, seed)
-    if spec in BENCHMARKS:
-        return benchmark(spec).threads(n_threads, seed)
-    if spec in MIXES:
-        return mix_threads(spec, max(n_threads, 1), seed)
-    raise SystemExit(
-        f"unknown workload {spec!r}; see `python -m repro list`"
-    )
-
-
-def make_balancer(name: str, mitigations: bool = True) -> LoadBalancer:
-    if name == "smartbalance":
-        return _smart_balancer(mitigations)
-    try:
-        return BALANCERS[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown balancer {name!r}; use one of "
-            f"{sorted(BALANCERS) + ['smartbalance']}"
-        ) from None
+from repro.runner.factories import (
+    BALANCERS,
+    PLATFORMS,
+    make_balancer,
+    make_platform,
+    make_workload,
+)
+from repro.workload.parsec import BENCHMARKS, MIXES
+from repro.workload.synthetic import IMB_CONFIGS
 
 
 def make_fault_plan(args, platform: Platform) -> "FaultPlan | None":
@@ -181,19 +124,32 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _experiment_cache(args):
+    """Resolve ``--cache``/``--cache-dir`` into a ResultCache, if any."""
+    from repro.runner import ResultCache
+
+    if getattr(args, "cache_dir", None):
+        return ResultCache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return ResultCache()
+    return None
+
+
 def cmd_experiments(args) -> int:
     from repro import experiments
-    from repro.experiments.common import FULL, QUICK
+    from repro.experiments.common import scale_by_name
 
-    scale = FULL if args.scale == "full" else QUICK
+    scale = scale_by_name(args.scale)
+    jobs = args.jobs
+    cache = _experiment_cache(args)
     registry = {
         "table1": lambda: experiments.table1.run(),
         "table2": lambda: experiments.table2.run(),
         "table3": lambda: experiments.table3.run(),
         "table4": lambda: experiments.table4.run(),
-        "fig4a": lambda: experiments.fig4.run_fig4a(scale),
-        "fig4b": lambda: experiments.fig4.run_fig4b(scale),
-        "fig5": lambda: experiments.fig5.run(scale),
+        "fig4a": lambda: experiments.fig4.run_fig4a(scale, jobs=jobs, cache=cache),
+        "fig4b": lambda: experiments.fig4.run_fig4b(scale, jobs=jobs, cache=cache),
+        "fig5": lambda: experiments.fig5.run(scale, jobs=jobs, cache=cache),
         "fig6": lambda: experiments.fig6.run(),
         "fig7a": lambda: experiments.fig7.run_fig7a(scale),
         "fig7b": lambda: experiments.fig7.run_fig7b(),
@@ -202,7 +158,7 @@ def cmd_experiments(args) -> int:
         "ext_virtual_sensing": lambda: experiments.extensions.run_virtual_sensing(),
         "ext_optimizers": lambda: experiments.extensions.run_optimizer_comparison(),
         "ext_replicated": lambda: experiments.extensions.run_replicated_headline(),
-        "resilience": lambda: experiments.resilience.run(scale),
+        "resilience": lambda: experiments.resilience.run(scale, jobs=jobs, cache=cache),
     }
     selected = args.ids or list(registry)
     unknown = [i for i in selected if i not in registry]
@@ -211,6 +167,64 @@ def cmd_experiments(args) -> int:
     for exp_id in selected:
         print(registry[exp_id]().render())
         print()
+    return 0
+
+
+#: Experiments that decompose into RunSpec jobs (see `sweep`).
+SWEEP_IDS = ("fig4a", "fig4b", "fig5", "resilience")
+
+
+def cmd_sweep(args) -> int:
+    """Run the sweep-decomposable experiments through one shared pool."""
+    import time
+
+    from repro import experiments
+    from repro.experiments.common import scale_by_name
+    from repro.runner import ResultCache, resolve_jobs, run_sweep
+
+    scale = scale_by_name(args.scale)
+    selected = args.ids or list(SWEEP_IDS)
+    unknown = [i for i in selected if i not in SWEEP_IDS]
+    if unknown:
+        raise SystemExit(
+            f"unknown sweep ids {unknown}; known: {list(SWEEP_IDS)}"
+        )
+    catalogue = {}
+    for module in (experiments.fig4, experiments.fig5, experiments.resilience):
+        for sweep_exp in module.sweep_experiments():
+            catalogue[sweep_exp.experiment_id] = sweep_exp
+    chosen = [catalogue[i] for i in selected]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    jobs = resolve_jobs(args.jobs)
+    n_jobs = len({
+        spec for experiment in chosen for spec in experiment.specs(scale)
+    })
+    started = time.perf_counter()
+    # Resilience tolerates crashed unmitigated runs (scored as zero
+    # retention); outside it a worker crash should propagate.
+    on_error = "none" if "resilience" in selected else "raise"
+    reports = run_sweep(
+        chosen,
+        scale,
+        jobs=jobs,
+        cache=cache,
+        base_seed=args.base_seed,
+        on_error=on_error,
+    )
+    elapsed = time.perf_counter() - started
+    for report in reports:
+        print(report.render())
+        print()
+    summary = (
+        f"sweep: {len(chosen)} experiment(s), {n_jobs} distinct job(s), "
+        f"{jobs} worker(s), {elapsed:.1f}s"
+    )
+    if cache is not None:
+        summary += (
+            f"; cache {cache.root}: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es)"
+        )
+    print(summary)
     return 0
 
 
@@ -280,6 +294,45 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="regenerate paper artifacts")
     experiments.add_argument("ids", nargs="*", metavar="id")
     experiments.add_argument("--scale", choices=("quick", "full"), default="quick")
+    experiments.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for sweep-decomposable experiments "
+        "(default: REPRO_JOBS or serial)",
+    )
+    experiments.add_argument(
+        "--cache", action="store_true",
+        help="serve repeated runs from the on-disk result cache",
+    )
+    experiments.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (implies --cache; "
+        "default benchmarks/out/cache)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the sweep-decomposable experiments through one shared pool",
+    )
+    sweep.add_argument("ids", nargs="*", metavar="id",
+                       help=f"subset of {', '.join(SWEEP_IDS)} (default: all)")
+    sweep.add_argument("--scale", choices=("quick", "full"), default="quick")
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or serial)",
+    )
+    sweep.add_argument(
+        "--base-seed", type=int, default=None,
+        help="re-seed every job as hash(base_seed, spec) — replication sweeps",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (on by default)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default benchmarks/out/cache, "
+        "override with REPRO_CACHE_DIR)",
+    )
 
     train = sub.add_parser("train", help="train and export the Θ predictor")
     train.add_argument("--output", default="predictor.json")
@@ -295,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "experiments": cmd_experiments,
+        "sweep": cmd_sweep,
         "train": cmd_train,
     }
     return handlers[args.command](args)

@@ -151,13 +151,17 @@ class SmartBalance:
         ips = matrices.ips.copy()
         power = matrices.power.copy()
         util = matrices.utilization.copy()
+        # Blend all threads with history in one vectorized pass.
+        prev = [self._rows.get(tid) for tid in matrices.tids]
+        known = [i for i, row in enumerate(prev) if row is not None]
+        if known:
+            prev_ips = np.array([prev[i][0] for i in known])
+            prev_power = np.array([prev[i][1] for i in known])
+            prev_util = np.array([prev[i][2] for i in known])
+            ips[known] = (1.0 - beta) * prev_ips + beta * ips[known]
+            power[known] = (1.0 - beta) * prev_power + beta * power[known]
+            util[known] = (1.0 - beta) * prev_util + beta * util[known]
         for i, tid in enumerate(matrices.tids):
-            prev = self._rows.get(tid)
-            if prev is not None:
-                prev_ips, prev_power, prev_util = prev
-                ips[i] = (1.0 - beta) * prev_ips + beta * ips[i]
-                power[i] = (1.0 - beta) * prev_power + beta * power[i]
-                util[i] = (1.0 - beta) * prev_util + beta * util[i]
             self._rows[tid] = (ips[i].copy(), power[i].copy(), util[i].copy())
         live = set(matrices.tids) | set(keep)
         for tid in list(self._rows):

@@ -204,6 +204,13 @@ class EnergyEfficiencyObjective:
                     f"weights must have length {self.n_cores}, "
                     f"got shape {self.weights.shape}"
                 )
+        # Cached per-thread demand-weighted IPS/power vectors.  Every
+        # objective term only ever consumes ``u·ips`` and ``u·p``;
+        # materialising the products once per epoch means the annealer's
+        # O(1) move updates and the full evaluation both reduce to
+        # lookups instead of re-multiplying per move.
+        self._uips = self.utilization * self.ips
+        self._up = self.utilization * self.power
 
     # ------------------------------------------------------------------
 
@@ -252,35 +259,59 @@ class EnergyEfficiencyObjective:
             return 0.0
         return weighted_ips ** self.throughput_exponent / total_power
 
+    def _mapping_array(self, allocation: Allocation) -> np.ndarray:
+        """``thread index -> core id`` as an index array."""
+        return np.fromiter(
+            (allocation.core_of(t) for t in range(self.n_threads)),
+            dtype=np.intp,
+            count=self.n_threads,
+        )
+
     def violations(self, allocation: Allocation) -> int:
         """Number of threads placed on cores their affinity forbids."""
         if self.allowed is None:
             return 0
-        count = 0
-        for thread in range(self.n_threads):
-            if not self.allowed[thread, allocation.core_of(thread)]:
-                count += 1
-        return count
+        mapping = self._mapping_array(allocation)
+        return int(
+            (~self.allowed[np.arange(self.n_threads), mapping]).sum()
+        )
 
     def evaluate(self, allocation: Allocation) -> float:
-        """Full O(m + n) evaluation of ``J_E``."""
+        """Full O(m + n) evaluation of ``J_E`` (vectorized).
+
+        Gathers each thread's demand/IPS/power on its assigned core and
+        reduces per core with ``bincount`` — no Python-level per-core
+        loop.  The per-core (throughput, power) terms then come from
+        the same branch structure as :meth:`core_terms`.
+        """
         self._check_allocation(allocation)
-        core_ips = np.zeros(self.n_cores)
-        core_power = np.zeros(self.n_cores)
-        for core in range(self.n_cores):
-            threads = allocation.threads_on(core)
-            sum_u = sum(self.utilization[t, core] for t in threads)
-            sum_uips = sum(
-                self.utilization[t, core] * self.ips[t, core] for t in threads
-            )
-            sum_up = sum(
-                self.utilization[t, core] * self.power[t, core] for t in threads
-            )
-            core_ips[core], core_power[core] = self.core_terms(
-                core, sum_u, sum_uips, sum_up
-            )
+        mapping = self._mapping_array(allocation)
+        rows = np.arange(self.n_threads)
+        sum_u = np.bincount(
+            mapping, weights=self.utilization[rows, mapping], minlength=self.n_cores
+        )
+        sum_uips = np.bincount(
+            mapping, weights=self._uips[rows, mapping], minlength=self.n_cores
+        )
+        sum_up = np.bincount(
+            mapping, weights=self._up[rows, mapping], minlength=self.n_cores
+        )
+        occupied = sum_u > 1e-9
+        compressed = sum_u > 1.0
+        safe_u = np.maximum(sum_u, 1e-30)
+        core_ips = np.where(compressed, sum_uips / safe_u, sum_uips)
+        core_power = np.where(
+            compressed,
+            sum_up / safe_u,
+            sum_up + (1.0 - sum_u) * self.idle_power,
+        )
+        core_ips = np.where(occupied, core_ips, 0.0)
+        core_power = np.where(occupied, core_power, self.sleep_power)
         value = self.combine(core_ips, core_power)
-        return value - AFFINITY_VIOLATION_PENALTY * self.violations(allocation)
+        violations = 0
+        if self.allowed is not None:
+            violations = int((~self.allowed[rows, mapping]).sum())
+        return value - AFFINITY_VIOLATION_PENALTY * violations
 
     def evaluate_mapping(self, thread_cores: Sequence[int]) -> float:
         """Evaluate a plain ``thread -> core`` list (for brute force)."""
@@ -346,10 +377,12 @@ class IncrementalEvaluator:
         return value - AFFINITY_VIOLATION_PENALTY * self._violations
 
     def _account(self, thread: int, core: int, sign: float) -> None:
-        u = self.objective.utilization[thread, core]
-        self._sum_u[core] += sign * u
-        self._sum_uips[core] += sign * u * self.objective.ips[thread, core]
-        self._sum_up[core] += sign * u * self.objective.power[thread, core]
+        obj = self.objective
+        self._sum_u[core] += sign * obj.utilization[thread, core]
+        # Reuse the objective's cached u·ips / u·p vectors instead of
+        # re-multiplying on every annealer move.
+        self._sum_uips[core] += sign * obj._uips[thread, core]
+        self._sum_up[core] += sign * obj._up[thread, core]
 
     def _refresh_core(self, core: int) -> None:
         obj = self.objective

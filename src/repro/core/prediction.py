@@ -47,6 +47,13 @@ def design_vector(features: np.ndarray) -> np.ndarray:
     return x
 
 
+def design_matrix(features: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`design_vector` over a ``(k, n_features)`` batch."""
+    x = np.array(features, dtype=float, copy=True, ndmin=2)
+    x[:, IPC_FEATURE_INDEX] = 1.0 / np.maximum(x[:, IPC_FEATURE_INDEX], 1e-6)
+    return x
+
+
 @dataclass(frozen=True)
 class PowerLine:
     """Eq. 9's per-core-type affine IPC→power map."""
@@ -83,6 +90,11 @@ class PredictorModel:
                 raise ValueError(
                     f"theta[{pair}] must have {N_FEATURES} coefficients"
                 )
+        # Memo store for the stacked per-source coefficient/bound/power
+        # matrices of the batched Eq. 8/9 path (built lazily, keyed on
+        # the target-type tuple).  ``object.__setattr__`` because the
+        # dataclass is frozen; the cache is derived state, not identity.
+        object.__setattr__(self, "_batch_cache", {})
 
     def predict_ipc(self, src_type: str, dst_type: str, features: np.ndarray) -> float:
         """Eq. 8: predicted IPC of the thread on ``dst_type``."""
@@ -100,6 +112,105 @@ class PredictorModel:
         raw = 1.0 / max(cpi, 1e-3)
         lo, hi = self.ipc_range[dst_type]
         return min(max(raw, lo), hi)
+
+    # ------------------------------------------------------------------
+    # Batched Eq. 8/9 (the epoch-loop hot path)
+    # ------------------------------------------------------------------
+
+    def _batch_tables(
+        self, src_type: str, dst_types: "tuple[str, ...]"
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Memoized stacked tables for one (source → target set) pair.
+
+        Returns ``(theta_matrix, same_mask, ipc_lo, ipc_hi, alpha1,
+        alpha0)``: the Θ rows for every target type stacked into one
+        ``(d, n_features)`` matrix (zero rows where target == source,
+        masked out after the multiply), the per-target IPC clip band
+        and the Eq. 9 power-line coefficients.  Built once per predictor
+        and target-type tuple, then reused every epoch.
+        """
+        key = (src_type, dst_types)
+        cached = self._batch_cache.get(key)
+        if cached is not None:
+            return cached
+        coeff_rows = np.zeros((len(dst_types), N_FEATURES))
+        same_mask = np.zeros(len(dst_types), dtype=bool)
+        ipc_lo = np.empty(len(dst_types))
+        ipc_hi = np.empty(len(dst_types))
+        for j, dst in enumerate(dst_types):
+            if dst == src_type:
+                same_mask[j] = True
+                ipc_lo[j], ipc_hi[j] = 0.0, np.inf
+                continue
+            try:
+                coeff_rows[j] = self.theta[(src_type, dst)]
+            except KeyError:
+                raise KeyError(
+                    f"predictor has no coefficients for {src_type} -> {dst}; "
+                    f"trained types: {self.type_names}"
+                ) from None
+            ipc_lo[j], ipc_hi[j] = self.ipc_range[dst]
+        tables = (coeff_rows, same_mask, ipc_lo, ipc_hi)
+        self._batch_cache[key] = tables
+        return tables
+
+    def _power_tables(
+        self, dst_types: "tuple[str, ...]"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Memoized ``(alpha1, alpha0)`` vectors over a target tuple."""
+        key = ("__power__", dst_types)
+        cached = self._batch_cache.get(key)
+        if cached is not None:
+            return cached
+        alpha1 = np.empty(len(dst_types))
+        alpha0 = np.empty(len(dst_types))
+        for j, dst in enumerate(dst_types):
+            try:
+                line = self.power_lines[dst]
+            except KeyError:
+                raise KeyError(
+                    f"predictor has no power line for {dst!r}; "
+                    f"trained types: {self.type_names}"
+                ) from None
+            alpha1[j], alpha0[j] = line.alpha1, line.alpha0
+        tables = (alpha1, alpha0)
+        self._batch_cache[key] = tables
+        return tables
+
+    def predict_ipc_batch(
+        self,
+        src_type: str,
+        dst_types: "tuple[str, ...]",
+        features: np.ndarray,
+        measured_ipc: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Eq. 8 for a batch: ``(k, len(dst_types))`` predicted IPC.
+
+        One matrix multiply covers every (thread, target-type) pair for
+        a common source type, replacing the per-thread scalar loop.
+        Where target == source the measurement itself is used
+        (``measured_ipc``, defaulting to the source-IPC feature), as in
+        the scalar path.
+        """
+        features = np.array(features, dtype=float, copy=False, ndmin=2)
+        coeff_rows, same_mask, ipc_lo, ipc_hi = self._batch_tables(
+            src_type, dst_types
+        )
+        cpi = design_matrix(features) @ coeff_rows.T
+        raw = 1.0 / np.maximum(cpi, 1e-3)
+        ipc = np.clip(raw, ipc_lo[None, :], ipc_hi[None, :])
+        if same_mask.any():
+            if measured_ipc is None:
+                measured_ipc = features[:, IPC_FEATURE_INDEX]
+            ipc[:, same_mask] = np.asarray(measured_ipc, dtype=float)[:, None]
+        return ipc
+
+    def predict_power_batch(
+        self, dst_types: "tuple[str, ...]", ipc: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 9 for a batch: per-type affine map over ``(k, d)`` IPC."""
+        alpha1, alpha0 = self._power_tables(dst_types)
+        return np.maximum(alpha1[None, :] * ipc + alpha0[None, :], 1e-6)
 
     def predict_power(self, dst_type: str, ipc: float) -> float:
         """Eq. 9: predicted power (W) of the thread on ``dst_type``."""
@@ -204,6 +315,87 @@ class MatrixBuilder:
 
         Every observation must carry a measurement (filter with
         ``EpochObservation.measured_threads`` first).
+
+        This is the vectorized epoch hot path: threads are grouped by
+        source core type and each group's Eq. 8 predictions for *all*
+        target types come from one matrix multiply against the
+        memoized Θ stack, instead of a per-(thread, target) Python
+        loop.  :meth:`build_scalar` keeps the literal per-thread
+        formulation as the equivalence-tested reference.
+        """
+        m, n = len(observations), len(cores)
+        if m == 0:
+            raise ValueError("need at least one measured thread")
+        features = np.empty((m, len(FEATURE_NAMES)))
+        for i, obs in enumerate(observations):
+            if not obs.has_measurement:
+                raise ValueError(
+                    f"thread {obs.tid} ({obs.name}) has no measurement"
+                )
+            features[i] = feature_vector(obs)
+        src_names = [obs.core_type.name for obs in observations]
+        ipc_meas = np.array([obs.ipc_measured for obs in observations])
+        power_meas = np.array([obs.power_measured for obs in observations])
+        util_obs = np.array([obs.utilization for obs in observations])
+        core_ids = np.array([obs.core_id for obs in observations], dtype=np.intp)
+
+        # Distinct target types, in first-appearance platform order.
+        core_type_names = [core.name for core in cores]
+        dst_types = tuple(dict.fromkeys(core_type_names))
+        type_index = {name: j for j, name in enumerate(dst_types)}
+        #: Column map: core j -> its type's column in the (m, d) tables.
+        core_type_col = np.array(
+            [type_index[name] for name in core_type_names], dtype=np.intp
+        )
+        freq_hz = np.array([core.freq_hz for core in cores])
+
+        # Eq. 8, one matmul per distinct source type.
+        ipc_by_type = np.empty((m, len(dst_types)))
+        for src in dict.fromkeys(src_names):
+            rows = np.array(
+                [i for i, name in enumerate(src_names) if name == src],
+                dtype=np.intp,
+            )
+            ipc_by_type[rows] = self.model.predict_ipc_batch(
+                src, dst_types, features[rows], measured_ipc=ipc_meas[rows]
+            )
+        # Eq. 9, one affine map over the whole batch.
+        power_by_type = self.model.predict_power_batch(dst_types, ipc_by_type)
+
+        ips = ipc_by_type[:, core_type_col] * freq_hz[None, :]
+        power = power_by_type[:, core_type_col]
+        # Same-type entries are measurements, not predictions.
+        src_type_col = np.array(
+            [type_index[name] for name in src_names], dtype=np.intp
+        )
+        measured = core_type_col[None, :] == src_type_col[:, None]
+        power = np.where(measured, np.maximum(power_meas, 1e-6)[:, None], power)
+
+        # Demand translation across cores (see class docstring).
+        delivered_rate = util_obs * ips[np.arange(m), core_ids]
+        with np.errstate(divide="ignore"):
+            util = np.minimum(
+                delivered_rate[:, None] / np.maximum(ips, 1e-9), 1.0
+            )
+        util[util_obs >= CPU_BOUND_UTILIZATION] = 1.0
+
+        return CharacterisationMatrices(
+            tids=tuple(obs.tid for obs in observations),
+            ips=ips,
+            power=power,
+            utilization=util,
+            measured_mask=measured,
+        )
+
+    def build_scalar(
+        self,
+        observations: list[ThreadObservation],
+        cores: list[CoreType],
+    ) -> CharacterisationMatrices:
+        """Reference per-thread scalar formulation of :meth:`build`.
+
+        Kept for the vectorization-equivalence property tests and the
+        ablation benchmark; semantics are the paper's, entry by entry.
         """
         m, n = len(observations), len(cores)
         if m == 0:

@@ -9,7 +9,7 @@ who wins, by roughly what factor — hold at both scales.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.hardware.platform import Platform
 from repro.kernel.balancers.base import LoadBalancer
@@ -58,6 +58,48 @@ FULL = Scale(
     ),
     mixes=("Mix1", "Mix2", "Mix3", "Mix4", "Mix5", "Mix6"),
 )
+
+
+#: Scale lookup used by the CLI and the benchmark harness.
+SCALES = {QUICK.name: QUICK, FULL.name: FULL}
+
+
+def scale_by_name(name: str) -> Scale:
+    """Resolve a scale name (``quick``/``full``)."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; known: {sorted(SCALES)}"
+        ) from None
+
+
+def run_cases(
+    specs: Sequence["RunSpec"],
+    jobs: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
+    base_seed: Optional[int] = None,
+    on_error: str = "raise",
+) -> "list[RunResult | None]":
+    """Execute experiment jobs through the parallel sweep engine.
+
+    Thin wrapper over :func:`repro.runner.run_specs` so experiment
+    modules share one entry point for the ``--jobs`` / ``REPRO_JOBS``
+    knob and the on-disk result cache.
+    """
+    from repro.runner import run_specs
+
+    return run_specs(
+        specs, jobs=jobs, cache=cache, base_seed=base_seed, on_error=on_error
+    )
+
+
+def result_table(
+    specs: Sequence["RunSpec"],
+    results: Sequence["RunResult | None"],
+) -> "Mapping[RunSpec, RunResult | None]":
+    """Positional results → spec-keyed mapping for report builders."""
+    return dict(zip(specs, results))
 
 
 def run_balancer(

@@ -7,53 +7,105 @@ parallelisation levels); the figure reports the percent energy-
 efficiency (IPS/Watt) improvement of SmartBalance over the vanilla
 balancer on identical workloads.
 
+Both panels decompose into independent :class:`~repro.runner.RunSpec`
+jobs (one per workload x thread-count x balancer cell), so the whole
+figure parallelises across a worker pool and individual cells are
+served from the on-disk result cache on re-runs.
+
 Paper headline: 50.02 % average for the IMBs, 52 % for PARSEC and the
 mixes, "over 50 % across all benchmarks".
 """
 
 from __future__ import annotations
 
+from typing import Mapping, Optional
+
 from repro.analysis.reporting import ExperimentResult, Finding
 from repro.analysis.stats import mean
-from repro.experiments.common import FULL, Scale, compare_balancers
-from repro.hardware.platform import quad_hmp
-from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
-from repro.kernel.balancers.vanilla import VanillaBalancer
-from repro.workload.parsec import benchmark, mix_threads
-from repro.workload.synthetic import imb_threads
+from repro.experiments.common import FULL, Scale, run_cases, result_table
+from repro.kernel.metrics import RunResult
+from repro.runner.spec import RunSpec
 
 #: Paper-reported average improvements.
 PAPER_IMB_AVG_PCT = 50.02
 PAPER_PARSEC_AVG_PCT = 52.0
 
-_BALANCERS = (VanillaBalancer, SmartBalanceKernelAdapter)
+_BALANCER_NAMES = ("vanilla", "smartbalance")
 
 
-def _case_improvement(make_threads, n_epochs: int) -> tuple[float, float]:
-    """(improvement %, instruction ratio) for one workload case."""
-    results = compare_balancers(
-        quad_hmp(), make_threads, _BALANCERS, n_epochs=n_epochs
-    )
-    smart = results["smartbalance"]
-    vanilla = results["vanilla"]
-    return (
-        smart.improvement_over(vanilla),
-        smart.instructions / max(vanilla.instructions, 1.0),
-    )
+# Cases are (row label, threads column value, workload spec, simulated
+# thread count) tuples: everything a panel row needs beyond the runs.
+def _fig4a_cases(scale: Scale) -> "list[tuple[str, object, str, int]]":
+    return [
+        (config, n_threads, config, n_threads)
+        for config in scale.imb_configs
+        for n_threads in scale.thread_counts
+    ]
 
 
-def run_fig4a(scale: Scale = FULL) -> ExperimentResult:
-    """Fig. 4(a): IMB energy-efficiency gains over vanilla."""
-    rows = []
-    improvements = []
-    for config in scale.imb_configs:
+def _fig4b_cases(scale: Scale) -> "list[tuple[str, object, str, int]]":
+    cases: "list[tuple[str, object, str, int]]" = [
+        (bench_name, n_threads, bench_name, n_threads)
+        for bench_name in scale.parsec_benchmarks
+        for n_threads in scale.thread_counts
+    ]
+    for mix_name in scale.mixes:
         for n_threads in scale.thread_counts:
-            imp, instr_ratio = _case_improvement(
-                lambda c=config, n=n_threads: imb_threads(c, n),
-                scale.n_epochs,
-            )
-            improvements.append(imp)
-            rows.append([config, n_threads, round(imp, 1), round(instr_ratio, 2)])
+            per_member = max(n_threads // 2, 1)
+            cases.append((mix_name, f"{per_member}/bench", mix_name, per_member))
+    return cases
+
+
+def _case_spec(workload: str, threads: int, balancer: str, scale: Scale) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        platform="quad",
+        threads=threads,
+        balancer=balancer,
+        n_epochs=scale.n_epochs,
+    )
+
+
+def _specs_from_cases(cases, scale: Scale) -> "list[RunSpec]":
+    return [
+        _case_spec(workload, threads, balancer, scale)
+        for (_, _, workload, threads) in cases
+        for balancer in _BALANCER_NAMES
+    ]
+
+
+def fig4a_specs(scale: Scale = FULL) -> "list[RunSpec]":
+    """The jobs Fig. 4(a) needs, one per (IMB, threads, balancer)."""
+    return _specs_from_cases(_fig4a_cases(scale), scale)
+
+
+def fig4b_specs(scale: Scale = FULL) -> "list[RunSpec]":
+    """The jobs Fig. 4(b) needs, one per (PARSEC/mix, threads, balancer)."""
+    return _specs_from_cases(_fig4b_cases(scale), scale)
+
+
+def _build_panel(
+    cases,
+    scale: Scale,
+    results: "Mapping[RunSpec, RunResult]",
+) -> "tuple[list[list[object]], list[float]]":
+    rows: "list[list[object]]" = []
+    improvements: "list[float]" = []
+    for label, threads_column, workload, threads in cases:
+        smart = results[_case_spec(workload, threads, "smartbalance", scale)]
+        vanilla = results[_case_spec(workload, threads, "vanilla", scale)]
+        imp = smart.improvement_over(vanilla)
+        instr_ratio = smart.instructions / max(vanilla.instructions, 1.0)
+        improvements.append(imp)
+        rows.append([label, threads_column, round(imp, 1), round(instr_ratio, 2)])
+    return rows, improvements
+
+
+def fig4a_build(
+    scale: Scale, results: "Mapping[RunSpec, RunResult]"
+) -> ExperimentResult:
+    """Assemble the Fig. 4(a) report from executed jobs."""
+    rows, improvements = _build_panel(_fig4a_cases(scale), scale, results)
     return ExperimentResult(
         experiment_id="fig4a",
         title="Fig. 4(a): SmartBalance vs vanilla — interactive microbenchmarks",
@@ -74,29 +126,11 @@ def run_fig4a(scale: Scale = FULL) -> ExperimentResult:
     )
 
 
-def run_fig4b(scale: Scale = FULL) -> ExperimentResult:
-    """Fig. 4(b): PARSEC + mixes energy-efficiency gains over vanilla."""
-    rows = []
-    improvements = []
-    for bench_name in scale.parsec_benchmarks:
-        for n_threads in scale.thread_counts:
-            imp, instr_ratio = _case_improvement(
-                lambda b=bench_name, n=n_threads: benchmark(b).threads(n),
-                scale.n_epochs,
-            )
-            improvements.append(imp)
-            rows.append([bench_name, n_threads, round(imp, 1), round(instr_ratio, 2)])
-    for mix_name in scale.mixes:
-        for n_threads in scale.thread_counts:
-            per_member = max(n_threads // 2, 1)
-            imp, instr_ratio = _case_improvement(
-                lambda m=mix_name, n=per_member: mix_threads(m, n),
-                scale.n_epochs,
-            )
-            improvements.append(imp)
-            rows.append(
-                [mix_name, f"{per_member}/bench", round(imp, 1), round(instr_ratio, 2)]
-            )
+def fig4b_build(
+    scale: Scale, results: "Mapping[RunSpec, RunResult]"
+) -> ExperimentResult:
+    """Assemble the Fig. 4(b) report from executed jobs."""
+    rows, improvements = _build_panel(_fig4b_cases(scale), scale, results)
     return ExperimentResult(
         experiment_id="fig4b",
         title="Fig. 4(b): SmartBalance vs vanilla — PARSEC benchmarks and mixes",
@@ -111,6 +145,38 @@ def run_fig4b(scale: Scale = FULL) -> ExperimentResult:
             ),
         ),
     )
+
+
+def run_fig4a(
+    scale: Scale = FULL,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> ExperimentResult:
+    """Fig. 4(a): IMB energy-efficiency gains over vanilla."""
+    specs = fig4a_specs(scale)
+    results = run_cases(specs, jobs=jobs, cache=cache)
+    return fig4a_build(scale, result_table(specs, results))
+
+
+def run_fig4b(
+    scale: Scale = FULL,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> ExperimentResult:
+    """Fig. 4(b): PARSEC + mixes energy-efficiency gains over vanilla."""
+    specs = fig4b_specs(scale)
+    results = run_cases(specs, jobs=jobs, cache=cache)
+    return fig4b_build(scale, result_table(specs, results))
+
+
+def sweep_experiments() -> "list":
+    """Sweep-engine descriptors for both panels (shared-pool execution)."""
+    from repro.runner import SweepExperiment
+
+    return [
+        SweepExperiment("fig4a", fig4a_specs, fig4a_build),
+        SweepExperiment("fig4b", fig4b_specs, fig4b_build),
+    ]
 
 
 def main() -> None:

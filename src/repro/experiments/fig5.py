@@ -8,51 +8,79 @@ binary big/little selection by ~20 %.
 
 We additionally report Linaro IKS (the coarser cluster switcher GTS
 improved upon) for context.
+
+Every (workload, balancer) cell is an independent
+:class:`~repro.runner.RunSpec` job, so the figure parallelises across
+a worker pool and re-runs are served from the result cache.
 """
 
 from __future__ import annotations
 
+from typing import Mapping, Optional
+
 from repro.analysis.reporting import ExperimentResult, Finding
 from repro.analysis.stats import mean
-from repro.experiments.common import FULL, Scale, compare_balancers
-from repro.hardware.platform import big_little_octa
-from repro.kernel.balancers.gts import GtsBalancer
-from repro.kernel.balancers.iks import IksBalancer
-from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
-from repro.kernel.balancers.vanilla import VanillaBalancer
-from repro.workload.parsec import benchmark
-from repro.workload.synthetic import imb_threads
+from repro.experiments.common import FULL, Scale, run_cases, result_table
+from repro.kernel.metrics import RunResult
+from repro.runner.spec import RunSpec
 
 #: Paper headline: ~20 % over GTS.
 PAPER_GAIN_OVER_GTS_PCT = 20.0
 
-_BALANCERS = (VanillaBalancer, IksBalancer, GtsBalancer, SmartBalanceKernelAdapter)
+_BALANCER_NAMES = ("vanilla", "iks", "gts", "smartbalance")
 
 
-def run(scale: Scale = FULL) -> ExperimentResult:
-    """Fig. 5: normalised IPS/Watt per balancer on big.LITTLE."""
-    platform = big_little_octa()
-    rows = []
-    gains_over_gts = []
+def _cases(scale: Scale) -> "list[tuple[str, str, int]]":
+    """(row label, workload spec, thread count) per figure row."""
     cases = [
-        (name, lambda b=name, n=n: benchmark(b).threads(n))
-        for name in scale.parsec_benchmarks
-        for n in scale.thread_counts
+        (bench_name, bench_name, n_threads)
+        for bench_name in scale.parsec_benchmarks
+        for n_threads in scale.thread_counts
     ]
     cases += [
-        (f"imb-{c}", lambda c=c, n=n: imb_threads(c, n))
-        for c in scale.imb_configs[:3]
-        for n in scale.thread_counts[-1:]
+        (f"imb-{config}", config, n_threads)
+        for config in scale.imb_configs[:3]
+        for n_threads in scale.thread_counts[-1:]
     ]
-    for case_name, factory in cases:
-        results = compare_balancers(
-            platform, factory, _BALANCERS, n_epochs=scale.n_epochs
-        )
-        gts = results["gts"].ips_per_watt
+    return cases
+
+
+def _case_spec(workload: str, threads: int, balancer: str, scale: Scale) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        platform="biglittle",
+        threads=threads,
+        balancer=balancer,
+        n_epochs=scale.n_epochs,
+    )
+
+
+def fig5_specs(scale: Scale = FULL) -> "list[RunSpec]":
+    """The jobs Fig. 5 needs, one per (workload, threads, balancer)."""
+    return [
+        _case_spec(workload, threads, balancer, scale)
+        for (_, workload, threads) in _cases(scale)
+        for balancer in _BALANCER_NAMES
+    ]
+
+
+def fig5_build(
+    scale: Scale, results: "Mapping[RunSpec, RunResult]"
+) -> ExperimentResult:
+    """Assemble the Fig. 5 report from executed jobs."""
+    rows = []
+    gains_over_gts = []
+    for case_name, workload, threads in _cases(scale):
+        per_balancer = {
+            name: results[_case_spec(workload, threads, name, scale)]
+            for name in _BALANCER_NAMES
+        }
+        gts = per_balancer["gts"].ips_per_watt
         if gts <= 0:
             continue
         normalised = {
-            name: result.ips_per_watt / gts for name, result in results.items()
+            name: result.ips_per_watt / gts
+            for name, result in per_balancer.items()
         }
         gains_over_gts.append(100.0 * (normalised["smartbalance"] - 1.0))
         rows.append(
@@ -79,6 +107,24 @@ def run(scale: Scale = FULL) -> ExperimentResult:
             ),
         ),
     )
+
+
+def run(
+    scale: Scale = FULL,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> ExperimentResult:
+    """Fig. 5: normalised IPS/Watt per balancer on big.LITTLE."""
+    specs = fig5_specs(scale)
+    results = run_cases(specs, jobs=jobs, cache=cache)
+    return fig5_build(scale, result_table(specs, results))
+
+
+def sweep_experiments() -> "list":
+    """Sweep-engine descriptor (shared-pool execution)."""
+    from repro.runner import SweepExperiment
+
+    return [SweepExperiment("fig5", fig5_specs, fig5_build)]
 
 
 def main() -> None:

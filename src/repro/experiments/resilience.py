@@ -29,7 +29,8 @@ from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
 from repro.kernel.metrics import RunResult
 from repro.kernel.simulator import SimulationConfig, System
 from repro.workload.generator import random_thread_set
-from repro.experiments.common import QUICK, Scale
+from repro.experiments.common import QUICK, Scale, run_cases, result_table
+from repro.runner.spec import RunSpec
 
 #: Epochs per run — long enough for the staggered hotplug/throttle
 #: windows of the combined scenario to open and close.
@@ -82,19 +83,69 @@ def retention_under(
     return faulty.ips_per_watt / baseline.ips_per_watt, faulty
 
 
-def run(scale: Scale = QUICK) -> ExperimentResult:
-    """Retention table over all fault scenarios, mitigated vs not."""
-    seeds = (0,) if scale.name == "quick" else (0, 1, 2, 3, 4)
+def _seeds_for(scale: Scale) -> "tuple[int, ...]":
+    return (0,) if scale.name == "quick" else (0, 1, 2, 3, 4)
+
+
+def _spec(scenario_name: "str | None", seed: int, mitigated: bool = True) -> RunSpec:
+    """One resilience job; ``scenario_name=None`` is the fault-free baseline."""
+    return RunSpec(
+        workload="random",
+        platform="quad",
+        threads=N_THREADS,
+        balancer="smartbalance",
+        n_epochs=N_EPOCHS,
+        seed=seed,
+        workload_seed=WORKLOAD_SEED,
+        faults=scenario_name,
+        mitigations=mitigated,
+    )
+
+
+def resilience_specs(scale: Scale = QUICK) -> "list[RunSpec]":
+    """All jobs the retention table needs.
+
+    Per (scenario, seed): one mitigated and one unmitigated faulty run,
+    plus the shared fault-free baseline (deduplicated by the engine, so
+    it executes once per seed rather than once per scenario).
+    """
+    specs: "list[RunSpec]" = []
+    for seed in _seeds_for(scale):
+        specs.append(_spec(None, seed))
+        for name in SCENARIOS:
+            specs.append(_spec(name, seed, mitigated=True))
+            specs.append(_spec(name, seed, mitigated=False))
+    return specs
+
+
+def resilience_build(scale: Scale, results) -> ExperimentResult:
+    """Assemble the retention table from executed jobs.
+
+    A crashed unmitigated run arrives as ``None`` (the engine runs this
+    sweep with ``on_error="none"``) and scores zero retention; a crashed
+    baseline or mitigated run violates the never-crash contract and
+    raises.
+    """
+    seeds = _seeds_for(scale)
     rows = []
     combined_mitigated: list[float] = []
     combined_unmitigated: list[float] = []
     for name in SCENARIOS:
         mitigated, unmitigated, injected, defended = [], [], [], []
         for seed in seeds:
-            m_ret, m_run = retention_under(name, seed=seed, mitigated=True)
-            u_ret, _ = retention_under(name, seed=seed, mitigated=False)
-            mitigated.append(m_ret)
-            unmitigated.append(u_ret)
+            baseline = results[_spec(None, seed)]
+            m_run = results[_spec(name, seed, mitigated=True)]
+            if baseline is None or m_run is None:
+                raise RuntimeError(
+                    f"{'baseline' if baseline is None else 'mitigated'} run "
+                    f"crashed for scenario {name!r}, seed {seed} — the "
+                    "mitigated loop must never raise"
+                )
+            u_run = results[_spec(name, seed, mitigated=False)]
+            mitigated.append(m_run.ips_per_watt / baseline.ips_per_watt)
+            unmitigated.append(
+                0.0 if u_run is None else u_run.ips_per_watt / baseline.ips_per_watt
+            )
             stats = m_run.resilience
             injected.append(stats.faults_injected if stats else 0)
             defended.append(stats.samples_rejected if stats else 0)
@@ -143,6 +194,24 @@ def run(scale: Scale = QUICK) -> ExperimentResult:
             "throttle) and in never crashing."
         ),
     )
+
+
+def run(
+    scale: Scale = QUICK,
+    jobs: "int | None" = None,
+    cache=None,
+) -> ExperimentResult:
+    """Retention table over all fault scenarios, mitigated vs not."""
+    specs = resilience_specs(scale)
+    results = run_cases(specs, jobs=jobs, cache=cache, on_error="none")
+    return resilience_build(scale, result_table(specs, results))
+
+
+def sweep_experiments() -> "list":
+    """Sweep-engine descriptor (run with ``on_error="none"``)."""
+    from repro.runner import SweepExperiment
+
+    return [SweepExperiment("resilience", resilience_specs, resilience_build)]
 
 
 def main() -> None:

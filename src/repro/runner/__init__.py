@@ -1,0 +1,60 @@
+"""Parallel experiment runner: hashable jobs, derived seeds, caching.
+
+The sweep engine decomposes experiments into independent
+:class:`RunSpec` jobs and executes them across a ``multiprocessing``
+pool (``--jobs N`` / ``REPRO_JOBS``), with results cached on disk
+under ``benchmarks/out/cache/`` keyed by spec + simulator config +
+package version.  See :mod:`repro.runner.engine` for the execution
+model and the determinism guarantees the test suite enforces.
+"""
+
+from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runner.engine import (
+    JOBS_ENV,
+    SweepExperiment,
+    execute_spec,
+    resolve_jobs,
+    run_spec,
+    run_specs,
+    run_sweep,
+)
+from repro.runner.factories import (
+    BALANCERS,
+    PLATFORMS,
+    make_balancer,
+    make_platform,
+    make_workload,
+)
+from repro.runner.serialize import (
+    metrics_dict,
+    metrics_digest,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.runner.spec import CACHE_FORMAT, RunSpec, config_fingerprint, derive_seed
+
+__all__ = [
+    "RunSpec",
+    "SweepExperiment",
+    "ResultCache",
+    "run_spec",
+    "run_specs",
+    "run_sweep",
+    "execute_spec",
+    "resolve_jobs",
+    "derive_seed",
+    "config_fingerprint",
+    "metrics_dict",
+    "metrics_digest",
+    "result_to_dict",
+    "result_from_dict",
+    "default_cache_dir",
+    "make_platform",
+    "make_workload",
+    "make_balancer",
+    "PLATFORMS",
+    "BALANCERS",
+    "JOBS_ENV",
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT",
+]

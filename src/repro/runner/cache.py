@@ -1,0 +1,110 @@
+"""On-disk result cache for the sweep engine.
+
+One JSON file per run under ``benchmarks/out/cache/`` (overridable via
+``REPRO_CACHE_DIR``), named by the spec key of
+:meth:`~repro.runner.spec.RunSpec.spec_key`.  Because the key folds in
+the package version, the cache format revision and the complete
+simulator configuration, a changed ``SimulationConfig`` field, a
+version bump or a layout change each produce a clean miss — stale hits
+are structurally impossible rather than policed.
+
+Writes are atomic (temp file + rename) so a killed worker can never
+leave a half-written entry behind; unreadable entries are treated as
+misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.kernel.metrics import RunResult
+from repro.runner.serialize import result_from_dict, result_to_dict
+from repro.runner.spec import RunSpec
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join("benchmarks", "out", "cache")
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (env override, else the default)."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Spec-keyed store of serialized :class:`RunResult` objects."""
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.spec_key()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+            result = result_from_dict(document["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, KeyError, TypeError, ValueError):
+            # Corrupt or foreign file: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Persist ``result`` under ``spec``'s key (atomic)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        document = {
+            "key": spec.spec_key(),
+            "spec": spec.canonical(),
+            "result": result_to_dict(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

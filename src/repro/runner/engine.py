@@ -1,0 +1,236 @@
+"""The parallel sweep engine.
+
+Experiments decompose into independent :class:`RunSpec` jobs;
+:func:`run_specs` executes a batch of them — deduplicated, cached and
+(optionally) spread across a ``multiprocessing`` pool — and returns
+results in request order.  Determinism is structural: each job seeds
+its own simulator from its spec alone and shares no mutable state with
+its siblings, so worker count and scheduling order cannot influence
+any simulated quantity (the determinism test suite pins this down).
+
+Worker-count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then serial execution.  The same
+knob is exposed as ``--jobs`` on the CLI and threaded through the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.kernel.metrics import RunResult
+from repro.kernel.simulator import System
+from repro.runner.cache import ResultCache
+from repro.runner.factories import make_balancer, make_platform, make_workload
+from repro.runner.spec import RunSpec
+
+#: Environment knob for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            return 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one job: resolve the spec and simulate it to completion."""
+    platform = make_platform(spec.platform)
+    workload_seed = spec.workload_seed if spec.workload_seed is not None else spec.seed
+    workload = make_workload(spec.workload, spec.threads, workload_seed)
+    balancer = make_balancer(spec.balancer, mitigations=spec.mitigations)
+    plan = None
+    if spec.faults is not None:
+        from repro.faults import scenario
+
+        fault_seed = spec.fault_seed if spec.fault_seed is not None else spec.seed
+        plan = scenario(
+            spec.faults,
+            seed=fault_seed,
+            n_cores=len(platform),
+            duration_s=spec.n_epochs * spec.config.epoch_s,
+        )
+    config = dataclasses.replace(spec.config, seed=spec.seed, faults=plan)
+    system = System(platform, workload, balancer, config)
+    return system.run(n_epochs=spec.n_epochs)
+
+
+def _warm_shared_state() -> None:
+    """Train the default predictor once per process.
+
+    Called in the parent before the pool forks (so fork-start workers
+    inherit the LRU-cached model for free) and again in each worker's
+    initializer (a no-op under fork, a one-off cost under spawn).
+    """
+    from repro.core.training import default_predictor
+
+    default_predictor()
+
+
+@dataclasses.dataclass(frozen=True)
+class _JobError:
+    """A job that raised, carried back to the parent for disposition."""
+
+    label: str
+    error: str
+
+
+def _execute_indexed(item: "tuple[int, RunSpec]") -> "tuple[int, object]":
+    index, spec = item
+    try:
+        return index, execute_spec(spec)
+    # SystemExit included: the factories raise it for unresolvable
+    # names, and it must not tear down a pool worker.
+    except (Exception, SystemExit) as exc:  # disposed of via on_error
+        return index, _JobError(label=spec.label(), error=f"{type(exc).__name__}: {exc}")
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    base_seed: Optional[int] = None,
+    on_error: str = "raise",
+) -> "list[RunResult]":
+    """Execute a batch of jobs; results come back in request order.
+
+    * ``jobs`` — worker processes (see :func:`resolve_jobs`).
+    * ``cache`` — optional :class:`ResultCache`; hits skip execution,
+      fresh results are persisted.
+    * ``base_seed`` — when given, every spec is re-seeded as
+      ``hash(base_seed, spec)`` before execution (replicated sweeps).
+    * ``on_error`` — ``"raise"`` propagates a worker crash;
+      ``"none"`` maps the crashed job's result to ``None`` (used by the
+      resilience experiment, where an unmitigated run is *allowed* to
+      die and scores zero retention).
+
+    Identical specs are executed once and fanned back out to every
+    requesting position.
+    """
+    if on_error not in ("raise", "none"):
+        raise ValueError(f"on_error must be 'raise' or 'none', got {on_error!r}")
+    ordered = list(specs)
+    if base_seed is not None:
+        ordered = [spec.with_derived_seed(base_seed) for spec in ordered]
+    jobs = resolve_jobs(jobs)
+
+    results: "dict[int, RunResult]" = {}
+    # Deduplicate: first position of each distinct spec runs, the rest
+    # share its result.
+    first_position: "dict[RunSpec, int]" = {}
+    duplicates: "dict[int, int]" = {}
+    pending: "list[tuple[int, RunSpec]]" = []
+    for index, spec in enumerate(ordered):
+        if spec in first_position:
+            duplicates[index] = first_position[spec]
+            continue
+        first_position[spec] = index
+        if cache is not None:
+            hit = cache.get(spec)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append((index, spec))
+
+    if pending:
+        needs_predictor = any(s.balancer == "smartbalance" for _, s in pending)
+        if jobs > 1 and len(pending) > 1:
+            if needs_predictor:
+                _warm_shared_state()
+            with multiprocessing.Pool(
+                processes=min(jobs, len(pending)),
+                initializer=_warm_shared_state if needs_predictor else None,
+            ) as pool:
+                for index, result in pool.imap_unordered(
+                    _execute_indexed, pending, chunksize=1
+                ):
+                    results[index] = result
+        else:
+            for index, spec in pending:
+                results[index] = _execute_indexed((index, spec))[1]
+        for index, spec in pending:
+            outcome = results[index]
+            if isinstance(outcome, _JobError):
+                if on_error == "raise":
+                    raise RuntimeError(
+                        f"job {outcome.label} failed: {outcome.error}"
+                    )
+                results[index] = None
+            elif cache is not None:
+                cache.put(spec, outcome)
+
+    for index, source in duplicates.items():
+        results[index] = results[source]
+    return [results[index] for index in range(len(ordered))]
+
+
+def run_spec(
+    spec: RunSpec,
+    cache: Optional[ResultCache] = None,
+) -> RunResult:
+    """Convenience wrapper: one job, serial, optionally cached."""
+    return run_specs([spec], jobs=1, cache=cache)[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepExperiment:
+    """A sweep-decomposable experiment.
+
+    ``specs(scale)`` enumerates the jobs the experiment needs;
+    ``build(scale, results)`` assembles the report from a
+    ``RunSpec -> RunResult`` mapping.  Keeping the two sides pure lets
+    the engine union jobs from several experiments into one pool and
+    share duplicated runs between them.
+    """
+
+    experiment_id: str
+    specs: Callable[..., Sequence[RunSpec]]
+    build: Callable[..., object]
+
+
+def run_sweep(
+    experiments: Sequence[SweepExperiment],
+    scale,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    base_seed: Optional[int] = None,
+    on_error: str = "raise",
+) -> "list[object]":
+    """Run several experiments' jobs through one shared pool.
+
+    Returns one built report per experiment, in input order.
+    """
+    per_experiment: "list[list[RunSpec]]" = [
+        list(experiment.specs(scale)) for experiment in experiments
+    ]
+    union: "list[RunSpec]" = []
+    seen: "set[RunSpec]" = set()
+    for spec_list in per_experiment:
+        for spec in spec_list:
+            if spec not in seen:
+                seen.add(spec)
+                union.append(spec)
+    results = run_specs(
+        union, jobs=jobs, cache=cache, base_seed=base_seed, on_error=on_error
+    )
+    # run_specs returns results positionally for the specs it was
+    # handed, so builders can look up by the identities they emitted
+    # even when the engine re-seeded the actual runs.
+    table: Mapping[RunSpec, RunResult] = dict(zip(union, results))
+    return [experiment.build(scale, table) for experiment in experiments]

@@ -1,0 +1,91 @@
+"""Name → object resolution shared by the CLI and the sweep engine.
+
+A :class:`~repro.runner.spec.RunSpec` describes a run entirely with
+strings and scalars so it can be hashed, pickled to worker processes
+and used as a cache key.  This module turns those strings back into
+live objects: platforms, workloads and balancers.  The CLI re-exports
+these resolvers, so ``python -m repro run --workload MTMI`` and a
+``RunSpec(workload="MTMI")`` job resolve identically.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.platform import Platform, big_little_octa, quad_hmp, scaled_hmp
+from repro.kernel.balancers.base import LoadBalancer, NullBalancer
+from repro.kernel.balancers.gts import GtsBalancer
+from repro.kernel.balancers.iks import IksBalancer
+from repro.kernel.balancers.vanilla import VanillaBalancer
+from repro.workload.parsec import BENCHMARKS, MIXES, benchmark, mix_threads
+from repro.workload.synthetic import IMB_CONFIGS, imb_threads
+
+#: Platform presets reachable from the CLI and from RunSpecs.
+PLATFORMS = {
+    "quad": quad_hmp,
+    "biglittle": big_little_octa,
+}
+
+#: Balancer factories reachable from the CLI and from RunSpecs.
+BALANCERS = {
+    "none": NullBalancer,
+    "vanilla": VanillaBalancer,
+    "gts": GtsBalancer,
+    "iks": IksBalancer,
+}
+
+#: Workload spec prefix for the seeded random thread sets used by the
+#: resilience experiment and integration tests.
+RANDOM_WORKLOAD = "random"
+
+
+def _smart_balancer(mitigations: bool = True) -> LoadBalancer:
+    # Imported lazily: training the default predictor takes a moment
+    # and commands like `list` should stay instant.
+    from repro.core.config import ResilienceConfig, SmartBalanceConfig
+    from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+
+    resilience = ResilienceConfig() if mitigations else ResilienceConfig.disabled()
+    return SmartBalanceKernelAdapter(
+        config=SmartBalanceConfig(resilience=resilience)
+    )
+
+
+def make_platform(spec: str) -> Platform:
+    """Resolve a platform spec: a preset name or ``hmp:<n>``."""
+    if spec in PLATFORMS:
+        return PLATFORMS[spec]()
+    if spec.startswith("hmp:"):
+        return scaled_hmp(int(spec.split(":", 1)[1]))
+    raise SystemExit(
+        f"unknown platform {spec!r}; use one of {sorted(PLATFORMS)} or hmp:<n>"
+    )
+
+
+def make_workload(spec: str, n_threads: int, seed: int = 0):
+    """Resolve a workload spec: an IMB config, benchmark, mix name or
+    ``random`` (a seeded random thread set)."""
+    if spec in IMB_CONFIGS:
+        return imb_threads(spec, n_threads, seed)
+    if spec in BENCHMARKS:
+        return benchmark(spec).threads(n_threads, seed)
+    if spec in MIXES:
+        return mix_threads(spec, max(n_threads, 1), seed)
+    if spec == RANDOM_WORKLOAD:
+        from repro.workload.generator import random_thread_set
+
+        return random_thread_set(n_threads, seed=seed)
+    raise SystemExit(
+        f"unknown workload {spec!r}; see `python -m repro list`"
+    )
+
+
+def make_balancer(name: str, mitigations: bool = True) -> LoadBalancer:
+    """Resolve a balancer name, including ``smartbalance``."""
+    if name == "smartbalance":
+        return _smart_balancer(mitigations)
+    try:
+        return BALANCERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown balancer {name!r}; use one of "
+            f"{sorted(BALANCERS) + ['smartbalance']}"
+        ) from None

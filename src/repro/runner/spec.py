@@ -1,0 +1,178 @@
+"""Hashable run descriptions for the parallel sweep engine.
+
+A :class:`RunSpec` pins down one simulation completely — platform,
+workload, balancer, scale, seeds, fault scenario and simulator knobs —
+using only strings and scalars, so it can be
+
+* **hashed** into a stable cache key (:meth:`RunSpec.spec_key`) that
+  also folds in the package version and the full
+  :class:`~repro.kernel.simulator.SimulationConfig` contents, making
+  stale cache hits after a config or code change impossible;
+* **pickled** across a ``multiprocessing`` pool boundary;
+* **compared** for deduplication when several experiments request the
+  same run inside one sweep.
+
+Per-job seeds for replicated sweeps derive from a base seed and the
+spec identity (:func:`derive_seed`): jobs are decorrelated from each
+other yet fully reproducible, independent of worker scheduling order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.simulator import SimulationConfig
+
+#: Bumped whenever the cached result layout changes shape; part of the
+#: cache key, so old cache files simply miss instead of misparsing.
+CACHE_FORMAT = 1
+
+
+def _code_version() -> str:
+    """The package version folded into every cache key."""
+    import repro
+
+    return repro.__version__
+
+
+def config_fingerprint(config: SimulationConfig) -> dict:
+    """Canonical JSON-ready view of a :class:`SimulationConfig`.
+
+    ``seed`` and ``faults`` are excluded: both are owned by the
+    :class:`RunSpec` (the seed is a spec field, faults are named
+    scenarios regenerated at execution time).  Everything else — epoch
+    timing, noise models, OS noise, thermal flag — participates, so
+    *any* changed field changes the fingerprint and therefore the
+    cache key.
+    """
+    data = dataclasses.asdict(config)
+    data.pop("seed", None)
+    data.pop("faults", None)
+    return data
+
+
+def stable_hash(payload: dict, length: int = 40) -> str:
+    """Deterministic hex digest of a JSON-serialisable payload.
+
+    ``json.dumps(sort_keys=True)`` gives a canonical byte string
+    (Python float repr is shortest-round-trip, hence stable), and
+    SHA-256 — unlike the builtin ``hash`` — does not vary with
+    ``PYTHONHASHSEED`` or the process.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (platform, workload, balancer, scale, seed, faults) job.
+
+    Field semantics match the CLI flags of ``python -m repro run``;
+    resolution happens through :mod:`repro.runner.factories`, so a spec
+    and the equivalent command line produce identical runs.
+    """
+
+    #: Workload name: IMB config, PARSEC benchmark, mix or ``random``.
+    workload: str
+    platform: str = "quad"
+    threads: int = 8
+    balancer: str = "smartbalance"
+    n_epochs: int = 12
+    #: Simulation (sensing-noise) seed.
+    seed: int = 0
+    #: Workload instantiation seed; ``None`` follows ``seed``.
+    workload_seed: Optional[int] = None
+    #: Named fault scenario from :mod:`repro.faults`; ``None`` = clean.
+    faults: Optional[str] = None
+    #: Fault-schedule seed; ``None`` follows ``seed``.
+    fault_seed: Optional[int] = None
+    #: SmartBalance resilience defences on/off (smartbalance only).
+    mitigations: bool = True
+    #: Simulator knobs.  ``config.seed`` and ``config.faults`` are
+    #: ignored in favour of the spec's own fields.
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {self.n_epochs}")
+        if self.config.faults is not None:
+            raise ValueError(
+                "RunSpec.config must not embed a FaultPlan; name the "
+                "scenario via RunSpec.faults so the spec stays hashable"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """JSON-ready canonical form (the hashed identity)."""
+        return {
+            "workload": self.workload,
+            "platform": self.platform,
+            "threads": self.threads,
+            "balancer": self.balancer,
+            "n_epochs": self.n_epochs,
+            "seed": self.seed,
+            "workload_seed": self.workload_seed,
+            "faults": self.faults,
+            "fault_seed": self.fault_seed,
+            "mitigations": self.mitigations,
+            "config": config_fingerprint(self.config),
+        }
+
+    def spec_key(self) -> str:
+        """Stable cache key: spec identity + config + code version."""
+        return stable_hash(
+            {
+                "format": CACHE_FORMAT,
+                "code": _code_version(),
+                "spec": self.canonical(),
+            }
+        )
+
+    def label(self) -> str:
+        """Compact human-readable id for logs and progress lines."""
+        parts = [self.platform, self.workload, f"x{self.threads}", self.balancer]
+        if self.faults:
+            parts.append(f"faults={self.faults}")
+        parts.append(f"seed={self.seed}")
+        return "/".join(parts)
+
+    # ------------------------------------------------------------------
+    # Derived seeds
+    # ------------------------------------------------------------------
+
+    def with_derived_seed(self, base_seed: int) -> "RunSpec":
+        """The same job re-seeded as ``hash(base_seed, spec)``.
+
+        Used by replicated sweeps: every job draws an independent,
+        reproducible seed that depends only on the base seed and the
+        job's identity — never on pool scheduling order.
+        """
+        return dataclasses.replace(self, seed=derive_seed(base_seed, self))
+
+
+def derive_seed(base_seed: int, spec: RunSpec) -> int:
+    """Per-job seed ``hash(base_seed, spec)`` (31-bit, deterministic).
+
+    The spec's own ``seed`` field is excluded from the hash so the
+    derivation is idempotent: re-deriving from an already-derived spec
+    yields the same seed.
+    """
+    identity = spec.canonical()
+    identity.pop("seed")
+    digest = hashlib.sha256(
+        json.dumps(
+            {"base_seed": base_seed, "spec": identity},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF

@@ -1,0 +1,121 @@
+"""Golden-trace regression tests.
+
+Each fixture under ``tests/fixtures/golden/`` pins the per-epoch
+energy-efficiency (J_E = instructions/Joule), IPS and power trace of
+one QUICK-scale run per balancer.  Any change to the sense→predict→
+balance pipeline that shifts a single epoch of a single run beyond
+1e-9 relative error fails here — deliberate behaviour changes must
+regenerate the fixtures and justify the diff in review:
+
+    PYTHONPATH=src python -m pytest tests/runner/test_golden.py --update-golden
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import QUICK
+from repro.runner import RunSpec, run_specs
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+
+#: One golden workload, three balancers (the paper's subject plus both
+#: reference policies).
+BALANCERS = ("vanilla", "gts", "smartbalance")
+WORKLOAD, THREADS = "MTMI", 4
+
+#: Relative tolerance: loose enough to absorb BLAS summation-order
+#: differences across hosts (~1e-16), tight enough that any real
+#: behaviour change trips it.
+RTOL = 1e-9
+
+
+def golden_path(balancer: str) -> Path:
+    return GOLDEN_DIR / f"biglittle_{WORKLOAD}_x{THREADS}_{balancer}.json"
+
+
+def spec_for(balancer: str) -> RunSpec:
+    return RunSpec(
+        workload=WORKLOAD,
+        platform="biglittle",
+        threads=THREADS,
+        balancer=balancer,
+        n_epochs=QUICK.n_epochs,
+    )
+
+
+def trace_of(result) -> dict:
+    return {
+        "balancer": result.balancer_name,
+        "platform": result.platform_name,
+        "totals": {
+            "instructions": result.instructions,
+            "energy_j": result.energy_j,
+            "ips_per_watt": result.ips_per_watt,
+            "migrations": result.migrations,
+        },
+        "epochs": [
+            {
+                "ips": e.instructions / e.duration_s,
+                "power_w": e.energy_j / e.duration_s,
+                "ips_per_watt": e.ips_per_watt,
+            }
+            for e in result.epochs
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def traces():
+    specs = [spec_for(b) for b in BALANCERS]
+    results = run_specs(specs, jobs=1)
+    return {b: trace_of(r) for b, r in zip(BALANCERS, results)}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def maybe_update(request, traces):
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        for balancer, trace in traces.items():
+            golden_path(balancer).write_text(
+                json.dumps(trace, indent=2, sort_keys=True) + "\n"
+            )
+
+
+def assert_close(actual, expected, path):
+    if isinstance(expected, dict):
+        assert set(actual) == set(expected), f"{path}: key mismatch"
+        for key in expected:
+            assert_close(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(actual) == len(expected), f"{path}: length mismatch"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_close(a, e, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        assert math.isclose(actual, expected, rel_tol=RTOL, abs_tol=1e-12), (
+            f"{path}: {actual!r} != {expected!r} (rel err "
+            f"{abs(actual - expected) / max(abs(expected), 1e-300):.3e})"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("balancer", BALANCERS)
+def test_trace_matches_golden(traces, balancer):
+    path = golden_path(balancer)
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        "`python -m pytest tests/runner/test_golden.py --update-golden`"
+    )
+    expected = json.loads(path.read_text())
+    assert_close(traces[balancer], expected, balancer)
+
+
+@pytest.mark.parametrize("balancer", BALANCERS)
+def test_golden_traces_are_nontrivial(traces, balancer):
+    trace = traces[balancer]
+    assert len(trace["epochs"]) == QUICK.n_epochs
+    assert trace["totals"]["ips_per_watt"] > 0
+    assert all(e["power_w"] > 0 for e in trace["epochs"])

@@ -1,0 +1,101 @@
+"""On-disk result cache: round-trips, staleness, corruption handling."""
+
+import dataclasses
+import json
+
+import repro
+from repro.kernel.simulator import SimulationConfig
+from repro.runner import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    RunSpec,
+    default_cache_dir,
+    metrics_digest,
+    run_spec,
+    run_specs,
+)
+from repro.runner.engine import execute_spec
+
+#: A deliberately tiny job — vanilla needs no predictor training.
+TINY = RunSpec(workload="MTMI", threads=2, balancer="vanilla", n_epochs=2)
+
+
+def test_default_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    cache = ResultCache()
+    assert cache.root == tmp_path / "elsewhere"
+
+
+def test_roundtrip_preserves_every_metric(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = execute_spec(TINY)
+    cache.put(TINY, result)
+    loaded = cache.get(TINY)
+    assert loaded is not None
+    assert metrics_digest(loaded) == metrics_digest(result)
+    assert loaded.ips_per_watt == result.ips_per_watt
+    assert cache.hits == 1 and cache.misses == 0 and len(cache) == 1
+
+
+def test_miss_on_absent_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(TINY) is None
+    assert cache.misses == 1
+
+
+def test_corrupt_entry_is_dropped_and_missed(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(TINY, execute_spec(TINY))
+    (path,) = list(tmp_path.glob("*.json"))
+    path.write_text("{ not json")
+    assert cache.get(TINY) is None
+    assert not path.exists(), "corrupt entry should be unlinked"
+
+
+def test_entry_records_spec_and_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(TINY, execute_spec(TINY))
+    (path,) = list(tmp_path.glob("*.json"))
+    payload = json.loads(path.read_text())
+    assert payload["key"] == TINY.spec_key()
+    assert payload["spec"] == TINY.canonical()
+
+
+def test_changed_simulation_config_misses_the_cache(tmp_path):
+    """Satellite: stale-cache fix — a config change must not hit."""
+    cache = ResultCache(tmp_path)
+    run_spec(TINY, cache=cache)
+    assert cache.misses == 1
+
+    changed = dataclasses.replace(TINY.config, periods_per_epoch=5)
+    varied = dataclasses.replace(TINY, config=changed)
+    before_hits = cache.hits
+    run_spec(varied, cache=cache)
+    assert cache.hits == before_hits, "changed config silently hit the cache"
+    assert cache.misses == 2
+    assert len(cache) == 2
+
+
+def test_version_bump_misses_the_cache(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    run_spec(TINY, cache=cache)
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    run_spec(TINY, cache=cache)
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_warm_cache_skips_execution_and_matches(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = run_specs([TINY], cache=cache)[0]
+    warm = run_specs([TINY], cache=cache)[0]
+    assert cache.hits == 1
+    assert metrics_digest(cold) == metrics_digest(warm)
+
+
+def test_clear_empties_the_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(TINY, execute_spec(TINY))
+    assert len(cache) == 1
+    cache.clear()
+    assert len(cache) == 0
