@@ -26,6 +26,7 @@ EPOCH_COLUMNS = (
     "ips_per_watt",
     "migrations",
     "balancer_time_s",
+    "degenerate",
 )
 
 #: Columns of the per-core summary.
@@ -55,6 +56,7 @@ def epoch_rows(result: RunResult) -> list[dict]:
                 "ips_per_watt": epoch.ips_per_watt,
                 "migrations": epoch.migrations,
                 "balancer_time_s": epoch.balancer_time_s,
+                "degenerate": epoch.degenerate,
             }
         )
     return rows

@@ -11,8 +11,13 @@ writing Python::
         --balancer smartbalance --epochs 40 --trace out.json
     python -m repro compare --workload Mix6 --threads 2
     python -m repro run --workload MTMI --faults combined --epochs 16
+    python -m repro run --workload Mix1 --trace-out run.trace.json  # Perfetto
+    python -m repro report run.jsonl                   # trace diagnostics
     python -m repro train --output predictor.json
     python -m repro list
+
+Diagnostics go to ``logging`` (stderr, ``--log-level``); results and
+reports stay on stdout.
 """
 
 from __future__ import annotations
@@ -26,6 +31,19 @@ from repro.analysis.trace import write_trace
 from repro.faults import SCENARIOS, FaultPlan, scenario
 from repro.hardware.platform import Platform
 from repro.kernel.simulator import SimulationConfig, System
+from repro.obs import (
+    LOG_LEVELS,
+    ObsContext,
+    build_report,
+    configure_logging,
+    get_logger,
+    render_report,
+    user_output,
+    validate_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.export import read_jsonl
 from repro.runner.factories import (
     BALANCERS,
     PLATFORMS,
@@ -35,6 +53,8 @@ from repro.runner.factories import (
 )
 from repro.workload.parsec import BENCHMARKS, MIXES
 from repro.workload.synthetic import IMB_CONFIGS
+
+_log = get_logger("cli")
 
 
 def make_fault_plan(args, platform: Platform) -> "FaultPlan | None":
@@ -57,7 +77,7 @@ def print_resilience(result) -> None:
     stats = result.resilience
     if stats is None:
         return
-    print(
+    user_output(
         f"faults: {stats.faults_injected} injected "
         f"(sensor {stats.sensor_dropouts + stats.sensor_stuck + stats.sensor_spikes}, "
         f"counter {stats.counter_wraps + stats.counter_saturations}, "
@@ -72,12 +92,12 @@ def print_resilience(result) -> None:
 
 
 def cmd_list(_args) -> int:
-    print("platforms :", ", ".join(sorted(PLATFORMS)), "+ hmp:<n>")
-    print("balancers :", ", ".join(sorted(BALANCERS) + ["smartbalance"]))
-    print("imb       :", ", ".join(IMB_CONFIGS))
-    print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
-    print("mixes     :", ", ".join(sorted(MIXES)))
-    print("faults    :", ", ".join(SCENARIOS))
+    user_output("platforms :", ", ".join(sorted(PLATFORMS)), "+ hmp:<n>")
+    user_output("balancers :", ", ".join(sorted(BALANCERS) + ["smartbalance"]))
+    user_output("imb       :", ", ".join(IMB_CONFIGS))
+    user_output("benchmarks:", ", ".join(sorted(BENCHMARKS)))
+    user_output("mixes     :", ", ".join(sorted(MIXES)))
+    user_output("faults    :", ", ".join(SCENARIOS))
     return 0
 
 
@@ -86,21 +106,40 @@ def cmd_run(args) -> int:
     workload = make_workload(args.workload, args.threads, args.seed)
     balancer = make_balancer(args.balancer, mitigations=not args.no_mitigations)
     plan = make_fault_plan(args, platform)
+    obs = ObsContext() if args.trace_out else None
     system = System(
         platform, workload, balancer,
         SimulationConfig(seed=args.seed, faults=plan),
+        obs=obs,
     )
     result = system.run(n_epochs=args.epochs)
-    print(
+    user_output(
         f"{result.balancer_name} on {result.platform_name}: "
         f"{result.ips_per_watt:.4e} instructions/J, "
         f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
         f"{result.migrations} migrations"
     )
     print_resilience(result)
+    if result.degenerate_epochs:
+        _log.warning("%d degenerate epoch(s) (zero energy) in this run",
+                     result.degenerate_epochs)
     if args.trace:
         write_trace(result, args.trace)
-        print(f"trace written to {args.trace}")
+        user_output(f"trace written to {args.trace}")
+    if args.trace_out:
+        events = obs.tracer.events
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(events, args.trace_out)
+            user_output(
+                f"event trace ({len(events)} events) written to "
+                f"{args.trace_out}"
+            )
+        else:
+            write_chrome_trace(events, args.trace_out)
+            user_output(
+                f"Chrome trace written to {args.trace_out} "
+                "(load in Perfetto / chrome://tracing)"
+            )
     return 0
 
 
@@ -116,11 +155,11 @@ def cmd_compare(args) -> int:
             SimulationConfig(seed=args.seed, faults=plan),
         )
         results[name] = system.run(n_epochs=args.epochs)
-        print(f"{name:>13}: {results[name].ips_per_watt:.4e} instructions/J")
+        user_output(f"{name:>13}: {results[name].ips_per_watt:.4e} instructions/J")
     baseline = results[names[0]]
     for name in names[1:]:
         gain = results[name].improvement_over(baseline)
-        print(f"{name} vs {names[0]}: {gain:+.1f} %")
+        user_output(f"{name} vs {names[0]}: {gain:+.1f} %")
     return 0
 
 
@@ -165,8 +204,8 @@ def cmd_experiments(args) -> int:
     if unknown:
         raise SystemExit(f"unknown experiment ids {unknown}; known: {list(registry)}")
     for exp_id in selected:
-        print(registry[exp_id]().render())
-        print()
+        user_output(registry[exp_id]().render())
+        user_output()
     return 0
 
 
@@ -195,6 +234,9 @@ def cmd_sweep(args) -> int:
             catalogue[sweep_exp.experiment_id] = sweep_exp
     chosen = [catalogue[i] for i in selected]
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.trace_dir and cache is not None:
+        _log.info("tracing requested; result cache bypassed for this sweep")
+        cache = None
     jobs = resolve_jobs(args.jobs)
     n_jobs = len({
         spec for experiment in chosen for spec in experiment.specs(scale)
@@ -210,11 +252,12 @@ def cmd_sweep(args) -> int:
         cache=cache,
         base_seed=args.base_seed,
         on_error=on_error,
+        trace_dir=args.trace_dir,
     )
     elapsed = time.perf_counter() - started
     for report in reports:
-        print(report.render())
-        print()
+        user_output(report.render())
+        user_output()
     summary = (
         f"sweep: {len(chosen)} experiment(s), {n_jobs} distinct job(s), "
         f"{jobs} worker(s), {elapsed:.1f}s"
@@ -224,7 +267,33 @@ def cmd_sweep(args) -> int:
             f"; cache {cache.root}: {cache.hits} hit(s), "
             f"{cache.misses} miss(es)"
         )
-    print(summary)
+    if args.trace_dir:
+        summary += f"; traces in {args.trace_dir}"
+    user_output(summary)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the diagnostics report of a JSONL event trace."""
+    try:
+        events = read_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace: {exc}") from None
+    if args.validate:
+        errors = validate_events(events)
+        if errors:
+            for error in errors[:20]:
+                _log.error("%s", error)
+            raise SystemExit(
+                f"trace {args.path} failed schema validation "
+                f"({len(errors)} error(s))"
+            )
+        _log.info("%d events, schema valid", len(events))
+    user_output(render_report(build_report(events)), end="")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(build_report(events), handle, indent=2, sort_keys=True)
+        user_output(f"report JSON written to {args.json}")
     return 0
 
 
@@ -237,7 +306,7 @@ def cmd_train(args) -> int:
     with open(args.output, "w") as handle:
         json.dump(model.to_dict(), handle, indent=2)
     mean_err = sum(model.fit_error.values()) / len(model.fit_error)
-    print(
+    user_output(
         f"trained predictor over {len(types)} types "
         f"({len(model.theta)} pairs, mean fit error {100 * mean_err:.2f} %) "
         f"-> {args.output}"
@@ -249,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SmartBalance reproduction (DAC 2015)",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="diagnostic verbosity on stderr (default: info)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -262,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epochs", type=int, default=40)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--trace", help="write per-epoch trace (.csv or .json)")
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a structured event trace: .jsonl for the raw "
+        "event stream (repro report input), anything else for a "
+        "Chrome/Perfetto trace",
+    )
     run.add_argument(
         "--faults", choices=SCENARIOS,
         help="inject a named fault scenario into the run",
@@ -333,6 +412,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default benchmarks/out/cache, "
         "override with REPRO_CACHE_DIR)",
     )
+    sweep.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace every job: <spec_key>.jsonl + <spec_key>.metrics.json "
+        "per job (bypasses the result cache)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="summarise a JSONL event trace (prediction accuracy, "
+        "annealer convergence, faults/defences)",
+    )
+    report.add_argument("path", metavar="TRACE.jsonl")
+    report.add_argument(
+        "--validate", action="store_true",
+        help="schema-check every event before reporting",
+    )
+    report.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the report as JSON",
+    )
 
     train = sub.add_parser("train", help="train and export the Θ predictor")
     train.add_argument("--output", default="predictor.json")
@@ -343,12 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
         "compare": cmd_compare,
         "experiments": cmd_experiments,
         "sweep": cmd_sweep,
+        "report": cmd_report,
         "train": cmd_train,
     }
     return handlers[args.command](args)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.allocation import Allocation
@@ -109,6 +109,44 @@ class SAConfig:
             raise ValueError("initial_acceptance must be positive")
 
 
+#: Convergence-trace samples kept per annealing run; the sampling
+#: stride adapts so long runs stay at this resolution.
+TRACE_SAMPLES = 32
+
+
+@dataclass
+class SATrace:
+    """Sampled convergence trace of one annealing run (Fig. 8 data).
+
+    Sampling is iteration-indexed (every ``stride`` moves plus the
+    final state), so the trace is deterministic for a given seed and
+    bounded at roughly :data:`TRACE_SAMPLES` points however long the
+    run is.  Each sample records the walk's current/best objective and
+    the two cooling schedules.
+    """
+
+    stride: int = 1
+    samples: "list[dict]" = field(default_factory=list)
+
+    def record(
+        self,
+        iteration: int,
+        current: float,
+        best: float,
+        perturbation: float,
+        acceptance: float,
+    ) -> None:
+        self.samples.append(
+            {
+                "iteration": iteration,
+                "current": current,
+                "best": best,
+                "perturbation": perturbation,
+                "acceptance": acceptance,
+            }
+        )
+
+
 @dataclass
 class SAResult:
     """Outcome of one annealing run."""
@@ -121,6 +159,8 @@ class SAResult:
     uphill_accepts: int
     #: True when the wall-clock budget cut the run short.
     truncated: bool = False
+    #: Sampled convergence trace; None unless the caller asked for one.
+    trace: Optional[SATrace] = None
 
     @property
     def improvement(self) -> float:
@@ -134,12 +174,15 @@ def anneal(
     objective: EnergyEfficiencyObjective,
     initial: Allocation,
     config: SAConfig = SAConfig(),
+    keep_trace: bool = False,
 ) -> SAResult:
     """Run Algorithm 1 from ``initial`` and return the best allocation.
 
     ``initial`` is not mutated.  The returned allocation is the best
     one *visited* (tracking the best costs nothing and dominates
-    returning the final state).
+    returning the final state).  With ``keep_trace`` the result carries
+    a sampled :class:`SATrace` of the walk — observability only, the
+    search itself is identical either way.
     """
     working = initial.copy()
     evaluator = IncrementalEvaluator(objective, working)
@@ -161,6 +204,10 @@ def anneal(
     deadline = None
     if config.time_budget_s is not None:
         deadline = time.perf_counter() + config.time_budget_s
+    trace = None
+    if keep_trace:
+        trace = SATrace(stride=max(iterations // TRACE_SAMPLES, 1))
+        trace.record(0, current, best_value, perturb, accept)
 
     performed = 0
     for _ in range(iterations):
@@ -214,7 +261,11 @@ def anneal(
 
         perturb *= config.perturbation_decay
         accept *= config.acceptance_decay
+        if trace is not None and performed % trace.stride == 0:
+            trace.record(performed, current, best_value, perturb, accept)
 
+    if trace is not None and trace.samples[-1]["iteration"] != performed:
+        trace.record(performed, current, best_value, perturb, accept)
     return SAResult(
         best_allocation=best_allocation,
         best_value=best_value,
@@ -223,4 +274,5 @@ def anneal(
         accepted_moves=accepted,
         uphill_accepts=uphill,
         truncated=truncated,
+        trace=trace,
     )

@@ -28,6 +28,8 @@ from repro.core.objective import EnergyEfficiencyObjective
 from repro.core.prediction import CharacterisationMatrices, MatrixBuilder, PredictorModel
 from repro.core.sensing import ThreadObservation, observation_fault, sense
 from repro.kernel.view import SystemView
+from repro.obs import NULL_OBS, ObsContext
+from repro.obs import events as obs_events
 
 
 @dataclass(frozen=True)
@@ -106,9 +108,13 @@ class SmartBalance:
         self,
         predictor: PredictorModel,
         config: SmartBalanceConfig | None = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.predictor = predictor
         self.config = config or SmartBalanceConfig()
+        #: Observability sink; the shared disabled context by default,
+        #: so every emission below is one attribute check when off.
+        self.obs = obs if obs is not None else NULL_OBS
         self._builder = MatrixBuilder(predictor)
         #: Per-tid smoothed characterisation rows (EWMA across epochs,
         #: in prediction space: aligned to platform cores, so smoothing
@@ -124,6 +130,13 @@ class SmartBalance:
         #: Per-tid consecutive epochs with a rejected sample.
         self._reject_streak: dict[int, int] = {}
         self.health = BalancerHealth()
+        #: Observability-only prediction provenance, maintained only
+        #: while ``obs.enabled`` (the simulation never reads these):
+        #: the core-type name each thread ran on when the last
+        #: prediction was made, and the predicted power row — together
+        #: they turn next epoch's measurement into a Table 4 sample.
+        self._obs_src_type: dict[int, str] = {}
+        self._obs_power_prediction: dict[int, np.ndarray] = {}
 
     def _blend(
         self,
@@ -198,7 +211,9 @@ class SmartBalance:
             ),
         )
 
-    def _watchdog_update(self, healthy: list[ThreadObservation]) -> None:
+    def _watchdog_update(
+        self, healthy: list[ThreadObservation], t_s: float = 0.0
+    ) -> None:
         """Advance the predictor-divergence watchdog one epoch.
 
         The check the paper cannot fail but a deployment can: compare
@@ -227,6 +242,13 @@ class SmartBalance:
                 if self._watchdog_recoveries >= self.config.resilience.watchdog_recovery_epochs:
                     self._watchdog_tripped = False
                     self._watchdog_recoveries = 0
+                    if self.obs.enabled:
+                        self.obs.tracer.emit(
+                            obs_events.DEGRADATION,
+                            t_s,
+                            state="watchdog_recovered",
+                            cause="prediction_error_back_in_band",
+                        )
         else:
             if out_of_band:
                 self._watchdog_strikes += 1
@@ -234,6 +256,14 @@ class SmartBalance:
                     self._watchdog_tripped = True
                     self._watchdog_strikes = 0
                     self.health.watchdog_trips += 1
+                    if self.obs.enabled:
+                        self.obs.tracer.emit(
+                            obs_events.DEGRADATION,
+                            t_s,
+                            state="watchdog_tripped",
+                            cause="median_prediction_error_out_of_band",
+                        )
+                        self.obs.metrics.inc("balancer.watchdog_trips")
             else:
                 self._watchdog_strikes = 0
 
@@ -278,210 +308,411 @@ class SmartBalance:
                 placement[obs.tid] = best
         return placement
 
+    def _emit_prediction_checks(self, healthy: list[ThreadObservation], t_s: float) -> None:
+        """Score last epoch's per-thread predictions against this
+        epoch's realised measurements (the Table 4 accuracy data).
+
+        Reads the *previous* ``_last_prediction``/``_obs_power_prediction``
+        rows, so it must run before this epoch overwrites them.  Only
+        called while ``obs.enabled``; touches no simulation state.
+        """
+        oc = self.obs
+        for obs in healthy:
+            row = self._last_prediction.get(obs.tid)
+            if row is None or not 0 <= obs.core_id < len(row):
+                continue
+            predicted = float(row[obs.core_id])
+            measured = obs.ips_measured
+            src_type = self._obs_src_type.get(obs.tid)
+            if predicted <= 0 or measured <= 0 or src_type is None:
+                continue
+            dst_type = obs.core_type.name
+            ipc_error = abs(measured - predicted) / measured * 100.0
+            payload: dict = {
+                "tid": obs.tid,
+                "src_type": src_type,
+                "dst_type": dst_type,
+                "core": obs.core_id,
+                "predicted_ips": predicted,
+                "measured_ips": measured,
+                "ipc_abs_pct_error": ipc_error,
+            }
+            power_row = self._obs_power_prediction.get(obs.tid)
+            if power_row is not None and 0 <= obs.core_id < len(power_row):
+                predicted_power = float(power_row[obs.core_id])
+                measured_power = obs.power_measured
+                if predicted_power > 0 and measured_power > 0:
+                    payload["predicted_power_w"] = predicted_power
+                    payload["measured_power_w"] = measured_power
+                    payload["power_abs_pct_error"] = (
+                        abs(measured_power - predicted_power) / measured_power * 100.0
+                    )
+            oc.tracer.emit(obs_events.PREDICTION_CHECK, t_s, **payload)
+            pair = f"{src_type}->{dst_type}"
+            oc.metrics.observe(f"prediction.ipc.abs_pct_error[{pair}]", ipc_error)
+            if "power_abs_pct_error" in payload:
+                oc.metrics.observe(
+                    f"prediction.power.abs_pct_error[{pair}]",
+                    payload["power_abs_pct_error"],
+                )
+
+    def _finish(self, view: SystemView, decision: BalanceDecision) -> BalanceDecision:
+        """Emit the epoch's ``decision`` event and pass it through."""
+        oc = self.obs
+        if oc.enabled:
+            oc.tracer.emit(
+                obs_events.DECISION,
+                view.time_s,
+                epoch=view.epoch_index,
+                migrations=len(decision.placement) if decision.placement else 0,
+                fallback=decision.fallback,
+                rejected=decision.rejected_samples,
+                incumbent_value=decision.incumbent_value,
+                best_value=(
+                    decision.sa_result.best_value if decision.sa_result else None
+                ),
+            )
+            oc.metrics.inc("balancer.epochs")
+            if decision.placement:
+                oc.metrics.inc(
+                    "balancer.proposed_migrations", len(decision.placement)
+                )
+        return decision
+
     def decide(self, view: SystemView) -> BalanceDecision:
         """Run one epoch's sense → predict → balance pass."""
+        oc = self.obs
+        t_s = view.time_s
         t0 = time.perf_counter()
         res = self.config.resilience
-        observation = sense(
-            view, include_kernel_threads=self.config.include_kernel_threads
-        )
-        measured = list(observation.measured_threads)
+        with oc.span("sense") as sense_span:
+            observation = sense(
+                view, include_kernel_threads=self.config.include_kernel_threads
+            )
+            measured = list(observation.measured_threads)
 
-        # Sanity-check the samples before they touch the predictor: a
-        # corrupt observation poisons not just this epoch but (through
-        # the EWMA) several following ones.
-        healthy = measured
-        rejected: list[ThreadObservation] = []
-        if res.sanity_checks and measured:
-            healthy = []
-            for obs in measured:
-                reason = observation_fault(
-                    obs,
-                    max_ipc=res.max_ipc,
-                    min_power_w=res.min_power_w,
-                    max_power_w=res.max_power_w,
-                    clock_identity_tolerance=res.clock_identity_tolerance,
+            # Sanity-check the samples before they touch the predictor:
+            # a corrupt observation poisons not just this epoch but
+            # (through the EWMA) several following ones.
+            healthy = measured
+            rejected: list[ThreadObservation] = []
+            reject_reasons: dict[int, str] = {}
+            rebaselined: list[ThreadObservation] = []
+            if res.sanity_checks and measured:
+                healthy = []
+                for obs in measured:
+                    reason = observation_fault(
+                        obs,
+                        max_ipc=res.max_ipc,
+                        min_power_w=res.min_power_w,
+                        max_power_w=res.max_power_w,
+                        clock_identity_tolerance=res.clock_identity_tolerance,
+                    )
+                    if reason is None:
+                        healthy.append(obs)
+                        self._reject_streak.pop(obs.tid, None)
+                        continue
+                    streak = self._reject_streak.get(obs.tid, 0) + 1
+                    if streak >= res.rebaseline_epochs:
+                        # The anomaly has persisted long enough that it
+                        # is the new normal (e.g. a silently throttled
+                        # core): accept the sample and re-baseline
+                        # rather than optimise against a world that no
+                        # longer exists.
+                        self._reject_streak.pop(obs.tid, None)
+                        self.health.samples_rebaselined += 1
+                        rebaselined.append(obs)
+                        healthy.append(obs)
+                    else:
+                        self._reject_streak[obs.tid] = streak
+                        rejected.append(obs)
+                        reject_reasons[obs.tid] = reason
+                        self.health.note_reject(reason)
+            # Last-good-row fallback: a rejected thread with history
+            # keeps participating through its stored EWMA row; one with
+            # no history sits this epoch out.
+            fallback_obs: list[ThreadObservation] = []
+            dropped: list[ThreadObservation] = []
+            if res.last_good_fallback:
+                for obs in rejected:
+                    if obs.tid in self._rows:
+                        fallback_obs.append(obs)
+                        self.health.fallback_rows_used += 1
+                    else:
+                        dropped.append(obs)
+                        self.health.threads_dropped += 1
+            else:
+                dropped = list(rejected)
+                self.health.threads_dropped += len(rejected)
+
+        if oc.enabled:
+            oc.tracer.emit(
+                obs_events.SENSE,
+                t_s,
+                epoch=view.epoch_index,
+                window_s=view.window_s,
+                threads=len(view.tasks),
+                measured=len(measured),
+                healthy=len(healthy),
+                rejected=len(rejected),
+                fallback_rows=len(fallback_obs),
+            )
+            for obs in rebaselined:
+                oc.tracer.emit(
+                    obs_events.MITIGATION,
+                    t_s,
+                    kind="rebaseline",
+                    cause="persistent_anomaly",
+                    tid=obs.tid,
                 )
-                if reason is None:
-                    healthy.append(obs)
-                    self._reject_streak.pop(obs.tid, None)
-                    continue
-                streak = self._reject_streak.get(obs.tid, 0) + 1
-                if streak >= res.rebaseline_epochs:
-                    # The anomaly has persisted long enough that it is
-                    # the new normal (e.g. a silently throttled core):
-                    # accept the sample and re-baseline rather than
-                    # optimise against a world that no longer exists.
-                    self._reject_streak.pop(obs.tid, None)
-                    self.health.samples_rebaselined += 1
-                    healthy.append(obs)
-                else:
-                    self._reject_streak[obs.tid] = streak
-                    rejected.append(obs)
-                    self.health.note_reject(reason)
-        # Last-good-row fallback: a rejected thread with history keeps
-        # participating through its stored EWMA row; one with no
-        # history sits this epoch out.
-        fallback_obs: list[ThreadObservation] = []
-        if res.last_good_fallback:
+                oc.metrics.inc("balancer.samples_rebaselined")
             for obs in rejected:
-                if obs.tid in self._rows:
-                    fallback_obs.append(obs)
-                    self.health.fallback_rows_used += 1
-                else:
-                    self.health.threads_dropped += 1
-        else:
-            self.health.threads_dropped += len(rejected)
-        t1 = time.perf_counter()
+                reason = reject_reasons.get(obs.tid, "unknown")
+                oc.tracer.emit(
+                    obs_events.MITIGATION,
+                    t_s,
+                    kind="sample_rejected",
+                    cause=reason,
+                    tid=obs.tid,
+                )
+                oc.metrics.inc(f"balancer.samples_rejected[{reason}]")
+            for obs in fallback_obs:
+                oc.tracer.emit(
+                    obs_events.MITIGATION,
+                    t_s,
+                    kind="fallback_row",
+                    cause="sample_rejected",
+                    tid=obs.tid,
+                )
+                oc.metrics.inc("balancer.fallback_rows_used")
+            for obs in dropped:
+                oc.tracer.emit(
+                    obs_events.MITIGATION,
+                    t_s,
+                    kind="thread_dropped",
+                    cause="sample_rejected_no_history",
+                    tid=obs.tid,
+                )
+                oc.metrics.inc("balancer.threads_dropped")
 
         if not healthy:
             # Nothing trustworthy sensed this epoch (first epoch, or
             # every sensor glitched at once): freeze the placement.
-            timings = PhaseTimings(sense_s=t1 - t0, predict_s=0.0, balance_s=0.0)
-            return BalanceDecision(
-                placement=None, timings=timings, rejected_samples=len(rejected)
-            )
-
-        core_types = [core.core_type for core in view.platform]
-        matrices = self._blend(
-            self._builder.build(healthy, core_types),
-            keep={obs.tid for obs in fallback_obs},
-        )
-        if fallback_obs:
-            matrices = self._append_fallback_rows(matrices, fallback_obs)
-        participants = healthy + fallback_obs
-
-        if res.watchdog_enabled:
-            self._watchdog_update(healthy)
-        self._last_prediction = {
-            tid: matrices.ips[i].copy() for i, tid in enumerate(matrices.tids)
-        }
-        t2 = time.perf_counter()
-
-        # Affinity constraints (paper Section 5.1): build the allowed
-        # mask when any participating thread carries a cpuset.
-        allowed = None
-        if any(obs.allowed_cores is not None for obs in participants):
-            allowed = np.ones((len(participants), len(core_types)), dtype=bool)
-            for i, obs in enumerate(participants):
-                if obs.allowed_cores is not None:
-                    allowed[i, :] = False
-                    for core_id in obs.allowed_cores:
-                        if 0 <= core_id < len(core_types):
-                            allowed[i, core_id] = True
-
-        # Hotplug awareness: an offline core must never be a placement
-        # target, whatever the cpusets say.
-        if res.hotplug_aware:
-            online = np.ones(len(core_types), dtype=bool)
-            for core in view.cores:
-                if not core.online and 0 <= core.core_id < len(core_types):
-                    online[core.core_id] = False
-            if not online.all() and online.any():
-                self.health.hotplug_masked_epochs += 1
-                if allowed is None:
-                    allowed = np.ones((len(participants), len(core_types)), dtype=bool)
-                allowed &= online[None, :]
-                # A cpuset confined entirely to offline cores: staying
-                # schedulable beats honouring the cpuset.
-                stranded = ~allowed.any(axis=1)
-                if stranded.any():
-                    allowed[stranded] = online
-
-        if res.watchdog_enabled and self._watchdog_tripped:
-            # The predictor is out of band: its matrices are exactly
-            # what we must not optimise against.  Place by capability-
-            # aware load equalisation until it recovers.
-            self.health.watchdog_fallback_epochs += 1
-            placement = self._capability_placement(participants, view, allowed)
-            t3 = time.perf_counter()
             timings = PhaseTimings(
-                sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2
+                sense_s=sense_span.elapsed_s, predict_s=0.0, balance_s=0.0
             )
-            return BalanceDecision(
+            return self._finish(
+                view,
+                BalanceDecision(
+                    placement=None, timings=timings, rejected_samples=len(rejected)
+                ),
+            )
+
+        with oc.span("predict") as predict_span:
+            if oc.enabled:
+                # Before this epoch's rows overwrite the prediction
+                # state, score last epoch's predictions (Table 4 data).
+                self._emit_prediction_checks(healthy, t_s)
+            core_types = [core.core_type for core in view.platform]
+            matrices = self._blend(
+                self._builder.build(healthy, core_types),
+                keep={obs.tid for obs in fallback_obs},
+            )
+            if fallback_obs:
+                matrices = self._append_fallback_rows(matrices, fallback_obs)
+            participants = healthy + fallback_obs
+
+            if res.watchdog_enabled:
+                self._watchdog_update(healthy, t_s=t_s)
+            self._last_prediction = {
+                tid: matrices.ips[i].copy() for i, tid in enumerate(matrices.tids)
+            }
+            if oc.enabled:
+                self._obs_power_prediction = {
+                    tid: matrices.power[i].copy()
+                    for i, tid in enumerate(matrices.tids)
+                }
+                for obs in participants:
+                    self._obs_src_type[obs.tid] = obs.core_type.name
+
+        with oc.span("balance") as balance_span:
+            # Affinity constraints (paper Section 5.1): build the
+            # allowed mask when any participating thread carries a
+            # cpuset.
+            allowed = None
+            if any(obs.allowed_cores is not None for obs in participants):
+                allowed = np.ones((len(participants), len(core_types)), dtype=bool)
+                for i, obs in enumerate(participants):
+                    if obs.allowed_cores is not None:
+                        allowed[i, :] = False
+                        for core_id in obs.allowed_cores:
+                            if 0 <= core_id < len(core_types):
+                                allowed[i, core_id] = True
+
+            # Hotplug awareness: an offline core must never be a
+            # placement target, whatever the cpusets say.
+            if res.hotplug_aware:
+                online = np.ones(len(core_types), dtype=bool)
+                for core in view.cores:
+                    if not core.online and 0 <= core.core_id < len(core_types):
+                        online[core.core_id] = False
+                if not online.all() and online.any():
+                    self.health.hotplug_masked_epochs += 1
+                    if oc.enabled:
+                        oc.tracer.emit(
+                            obs_events.MITIGATION,
+                            t_s,
+                            kind="hotplug_mask",
+                            cause="core_offline",
+                        )
+                        oc.metrics.inc("balancer.hotplug_masked_epochs")
+                    if allowed is None:
+                        allowed = np.ones(
+                            (len(participants), len(core_types)), dtype=bool
+                        )
+                    allowed &= online[None, :]
+                    # A cpuset confined entirely to offline cores:
+                    # staying schedulable beats honouring the cpuset.
+                    stranded = ~allowed.any(axis=1)
+                    if stranded.any():
+                        allowed[stranded] = online
+
+            placement: Optional[dict[int, int]] = None
+            sa_result: Optional[SAResult] = None
+            incumbent_value = 0.0
+            fallback_mode = False
+            if res.watchdog_enabled and self._watchdog_tripped:
+                # The predictor is out of band: its matrices are
+                # exactly what we must not optimise against.  Place by
+                # capability-aware load equalisation until it recovers.
+                self.health.watchdog_fallback_epochs += 1
+                if oc.enabled:
+                    oc.tracer.emit(
+                        obs_events.MITIGATION,
+                        t_s,
+                        kind="watchdog_fallback",
+                        cause="predictor_divergence",
+                    )
+                    oc.metrics.inc("balancer.watchdog_fallback_epochs")
+                placement = self._capability_placement(participants, view, allowed)
+                fallback_mode = True
+            else:
+                weights = self.config.core_weights
+                if self.config.thermal_aware and observation.core_temperatures_c:
+                    from repro.hardware.thermal import thermal_weights
+
+                    weights = thermal_weights(
+                        list(observation.core_temperatures_c),
+                        knee_c=self.config.thermal_knee_c,
+                        zero_c=self.config.thermal_zero_c,
+                    )
+                objective = EnergyEfficiencyObjective(
+                    ips=matrices.ips,
+                    power=matrices.power,
+                    utilization=matrices.utilization,
+                    idle_power=list(observation.idle_power_w),
+                    sleep_power=list(observation.sleep_power_w),
+                    weights=weights,
+                    mode=self.config.objective_mode,
+                    throughput_exponent=self.config.throughput_exponent,
+                    allowed=allowed,
+                )
+                incumbent = Allocation.from_mapping(
+                    [obs.core_id for obs in participants], n_cores=len(core_types)
+                )
+                incumbent_value = objective.evaluate(incumbent)
+
+                # Epoch time budget: whatever sensing and predicting
+                # consumed is gone; the SA balance phase gets only the
+                # remainder and truncates cleanly when it runs out.
+                sa_config = self.config.sa
+                skipped = False
+                if self.config.epoch_time_budget_s is not None:
+                    remaining = self.config.epoch_time_budget_s - (
+                        time.perf_counter() - t0
+                    )
+                    if remaining <= 0:
+                        self.health.budget_skipped_epochs += 1
+                        if oc.enabled:
+                            oc.tracer.emit(
+                                obs_events.MITIGATION,
+                                t_s,
+                                kind="budget_skip",
+                                cause="epoch_budget_exhausted",
+                            )
+                            oc.metrics.inc("balancer.epoch_budget_overruns")
+                        skipped = True
+                    else:
+                        if sa_config.time_budget_s is not None:
+                            remaining = min(remaining, sa_config.time_budget_s)
+                        sa_config = replace(sa_config, time_budget_s=remaining)
+                if not skipped:
+                    result = anneal(
+                        objective, incumbent, sa_config, keep_trace=oc.enabled
+                    )
+                    sa_result = result
+                    if result.truncated:
+                        self.health.truncated_epochs += 1
+                        if oc.enabled:
+                            oc.tracer.emit(
+                                obs_events.MITIGATION,
+                                t_s,
+                                kind="sa_truncated",
+                                cause="sa_time_budget",
+                            )
+                            oc.metrics.inc("balancer.truncated_epochs")
+                    if oc.enabled:
+                        oc.tracer.emit(
+                            obs_events.ANNEAL,
+                            t_s,
+                            epoch=view.epoch_index,
+                            iterations=result.iterations,
+                            accepted=result.accepted_moves,
+                            uphill=result.uphill_accepts,
+                            truncated=result.truncated,
+                            initial_value=result.initial_value,
+                            best_value=result.best_value,
+                            improvement_pct=result.improvement * 100.0,
+                            samples=(
+                                result.trace.samples if result.trace else None
+                            ),
+                        )
+                        oc.metrics.inc("annealer.runs")
+                        oc.metrics.inc("annealer.iterations", result.iterations)
+                        oc.metrics.inc(
+                            "annealer.accepted_moves", result.accepted_moves
+                        )
+                    changes = incumbent.diff(result.best_allocation)
+                    # Adoption gate: the predicted gain must clear both
+                    # the churn threshold and the warm-up cost of the
+                    # migrations it needs.
+                    required = (
+                        1.0
+                        + self.config.min_improvement
+                        + self.config.migration_penalty
+                        * len(changes)
+                        / max(len(participants), 1)
+                    )
+                    if changes and result.best_value > incumbent_value * required:
+                        placement = {
+                            matrices.tids[thread]: core
+                            for thread, core in changes.items()
+                        }
+
+        timings = PhaseTimings(
+            sense_s=sense_span.elapsed_s,
+            predict_s=predict_span.elapsed_s,
+            balance_s=balance_span.elapsed_s,
+        )
+        return self._finish(
+            view,
+            BalanceDecision(
                 placement=placement or None,
                 timings=timings,
-                matrices=matrices,
-                fallback=True,
-                rejected_samples=len(rejected),
-            )
-
-        weights = self.config.core_weights
-        if self.config.thermal_aware and observation.core_temperatures_c:
-            from repro.hardware.thermal import thermal_weights
-
-            weights = thermal_weights(
-                list(observation.core_temperatures_c),
-                knee_c=self.config.thermal_knee_c,
-                zero_c=self.config.thermal_zero_c,
-            )
-        objective = EnergyEfficiencyObjective(
-            ips=matrices.ips,
-            power=matrices.power,
-            utilization=matrices.utilization,
-            idle_power=list(observation.idle_power_w),
-            sleep_power=list(observation.sleep_power_w),
-            weights=weights,
-            mode=self.config.objective_mode,
-            throughput_exponent=self.config.throughput_exponent,
-            allowed=allowed,
-        )
-        incumbent = Allocation.from_mapping(
-            [obs.core_id for obs in participants], n_cores=len(core_types)
-        )
-        incumbent_value = objective.evaluate(incumbent)
-
-        # Epoch time budget: whatever sensing and predicting consumed
-        # is gone; the SA balance phase gets only the remainder and
-        # truncates cleanly when it runs out.
-        sa_config = self.config.sa
-        if self.config.epoch_time_budget_s is not None:
-            remaining = self.config.epoch_time_budget_s - (time.perf_counter() - t0)
-            if remaining <= 0:
-                self.health.budget_skipped_epochs += 1
-                t3 = time.perf_counter()
-                timings = PhaseTimings(
-                    sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2
-                )
-                return BalanceDecision(
-                    placement=None,
-                    timings=timings,
-                    matrices=matrices,
-                    incumbent_value=incumbent_value,
-                    rejected_samples=len(rejected),
-                )
-            if sa_config.time_budget_s is not None:
-                remaining = min(remaining, sa_config.time_budget_s)
-            sa_config = replace(sa_config, time_budget_s=remaining)
-        result = anneal(objective, incumbent, sa_config)
-        if result.truncated:
-            self.health.truncated_epochs += 1
-        t3 = time.perf_counter()
-
-        timings = PhaseTimings(sense_s=t1 - t0, predict_s=t2 - t1, balance_s=t3 - t2)
-        changes = incumbent.diff(result.best_allocation)
-        # Adoption gate: the predicted gain must clear both the churn
-        # threshold and the warm-up cost of the migrations it needs.
-        required = (
-            1.0
-            + self.config.min_improvement
-            + self.config.migration_penalty * len(changes) / max(len(participants), 1)
-        )
-        if not changes or result.best_value <= incumbent_value * required:
-            return BalanceDecision(
-                placement=None,
-                timings=timings,
-                sa_result=result,
+                sa_result=sa_result,
                 matrices=matrices,
                 incumbent_value=incumbent_value,
+                fallback=fallback_mode,
                 rejected_samples=len(rejected),
-            )
-        placement = {matrices.tids[thread]: core for thread, core in changes.items()}
-        return BalanceDecision(
-            placement=placement or None,
-            timings=timings,
-            sa_result=result,
-            matrices=matrices,
-            incumbent_value=incumbent_value,
-            rejected_samples=len(rejected),
+            ),
         )

@@ -35,6 +35,7 @@ from repro.experiments import (
     table4,
 )
 from repro.experiments.common import FULL, QUICK, Scale
+from repro.obs import user_output
 
 
 def run_all(scale: Scale = QUICK) -> list:
@@ -61,8 +62,8 @@ def run_all(scale: Scale = QUICK) -> list:
 
 def main() -> None:
     for result in run_all():
-        print(result.render())
-        print()
+        user_output(result.render())
+        user_output()
 
 
 __all__ = [

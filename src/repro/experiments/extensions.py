@@ -29,6 +29,7 @@ from repro.core.virtual_sensing import (
 from repro.experiments.fig8 import brute_force_optimum, synthetic_problem
 from repro.hardware import microarch
 from repro.hardware.features import TABLE2_TYPES
+from repro.obs import user_output
 from repro.workload.parsec import BENCHMARKS
 
 #: Physical counter subsets swept, minimal -> full.
@@ -213,11 +214,11 @@ def run_replicated_headline(
 
 
 def main() -> None:
-    print(run_virtual_sensing().render())
-    print()
-    print(run_optimizer_comparison().render())
-    print()
-    print(run_replicated_headline().render())
+    user_output(run_virtual_sensing().render())
+    user_output()
+    user_output(run_optimizer_comparison().render())
+    user_output()
+    user_output(run_replicated_headline().render())
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.analysis.reporting import ExperimentResult, Finding
 from repro.analysis.stats import mean
 from repro.experiments.common import FULL, Scale, run_cases, result_table
 from repro.kernel.metrics import RunResult
+from repro.obs import user_output
 from repro.runner.spec import RunSpec
 
 #: Paper-reported average improvements.
@@ -180,9 +181,9 @@ def sweep_experiments() -> "list":
 
 
 def main() -> None:
-    print(run_fig4a().render())
-    print()
-    print(run_fig4b().render())
+    user_output(run_fig4a().render())
+    user_output()
+    user_output(run_fig4b().render())
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from repro.analysis.reporting import ExperimentResult, Finding
 from repro.analysis.stats import mean
 from repro.experiments.common import FULL, Scale, run_cases, result_table
 from repro.kernel.metrics import RunResult
+from repro.obs import user_output
 from repro.runner.spec import RunSpec
 
 #: Paper headline: ~20 % over GTS.
@@ -128,7 +129,7 @@ def sweep_experiments() -> "list":
 
 
 def main() -> None:
-    print(run().render())
+    user_output(run().render())
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from repro.hardware import microarch
 from repro.hardware import power as power_model
 from repro.hardware.features import TABLE2_TYPES
 from repro.hardware.sensors import NoiseModel
+from repro.obs import user_output
 from repro.workload.parsec import BENCHMARKS
 
 PAPER_IPC_ERROR_PCT = 4.2
@@ -95,7 +96,7 @@ def run(model: PredictorModel | None = None) -> ExperimentResult:
 
 
 def main() -> None:
-    print(run().render())
+    user_output(run().render())
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.hardware.counters import CounterBlock
 from repro.hardware.platform import quad_hmp, scaled_hmp
 from repro.kernel.simulator import MIGRATION_KERNEL_COST_S
 from repro.kernel.view import CoreView, SystemView, TaskView
+from repro.obs import user_output
 from repro.workload.demand import demanded_fraction_on
 from repro.workload.generator import random_phase
 
@@ -205,9 +206,9 @@ def run_fig7b(scenarios=SCALING_SCENARIOS, n_epochs: int = 3) -> ExperimentResul
 
 
 def main() -> None:
-    print(run_fig7a().render())
-    print()
-    print(run_fig7b().render())
+    user_output(run_fig7a().render())
+    user_output()
+    user_output(run_fig7b().render())
 
 
 if __name__ == "__main__":

@@ -21,12 +21,13 @@ from repro.analysis.stats import mean
 from repro.core.allocation import Allocation
 from repro.core.annealing import SAConfig, anneal, default_iteration_cap
 from repro.core.objective import EnergyEfficiencyObjective
+from repro.experiments.fig7 import SCALING_SCENARIOS
 from repro.hardware import microarch
 from repro.hardware import power as power_model
 from repro.hardware.features import TABLE2_TYPES
-from repro.workload.generator import training_corpus
+from repro.obs import user_output
 from repro.workload.demand import demanded_fraction_on
-from repro.experiments.fig7 import SCALING_SCENARIOS
+from repro.workload.generator import training_corpus
 
 #: Iteration caps swept in Fig. 8(a).
 ITERATION_SWEEP = (10, 30, 100, 300, 1000, 3000)
@@ -144,9 +145,9 @@ def run_fig8b() -> ExperimentResult:
 
 
 def main() -> None:
-    print(run_fig8a().render())
-    print()
-    print(run_fig8b().render())
+    user_output(run_fig8a().render())
+    user_output()
+    user_output(run_fig8b().render())
 
 
 if __name__ == "__main__":

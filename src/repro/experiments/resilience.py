@@ -23,14 +23,15 @@ from __future__ import annotations
 from repro.analysis.reporting import ExperimentResult, Finding
 from repro.analysis.stats import mean
 from repro.core.config import ResilienceConfig, SmartBalanceConfig
+from repro.experiments.common import QUICK, Scale, run_cases, result_table
 from repro.faults import SCENARIOS, FaultPlan, scenario
 from repro.hardware.platform import quad_hmp
 from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
 from repro.kernel.metrics import RunResult
 from repro.kernel.simulator import SimulationConfig, System
-from repro.workload.generator import random_thread_set
-from repro.experiments.common import QUICK, Scale, run_cases, result_table
+from repro.obs import user_output
 from repro.runner.spec import RunSpec
+from repro.workload.generator import random_thread_set
 
 #: Epochs per run — long enough for the staggered hotplug/throttle
 #: windows of the combined scenario to open and close.
@@ -215,7 +216,7 @@ def sweep_experiments() -> "list":
 
 
 def main() -> None:
-    print(run().render())
+    user_output(run().render())
 
 
 if __name__ == "__main__":

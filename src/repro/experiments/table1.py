@@ -9,6 +9,7 @@ the test-suite exercises (noted in the rightmost column).
 from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
+from repro.obs import user_output
 
 #: (reference, >2 core types, thread:core > 1, per-thread IPC,
 #:  per-thread power, per-thread util, per-core IPC, per-core power,
@@ -60,7 +61,7 @@ def run() -> ExperimentResult:
 
 
 def main() -> None:
-    print(run().render())
+    user_output(run().render())
 
 
 if __name__ == "__main__":

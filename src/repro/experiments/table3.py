@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.reporting import ExperimentResult
 from repro.hardware.features import MEDIUM
+from repro.obs import user_output
 from repro.workload.demand import demanded_fraction_on
 from repro.workload.parsec import MIXES, mix_threads
 
@@ -43,7 +44,7 @@ def run(threads_per_benchmark: int = 2, seed: int = 0) -> ExperimentResult:
 
 
 def main() -> None:
-    print(run().render())
+    user_output(run().render())
 
 
 if __name__ == "__main__":

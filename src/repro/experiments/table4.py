@@ -16,6 +16,7 @@ from repro.core.estimation import FEATURE_NAMES
 from repro.core.prediction import PredictorModel
 from repro.core.training import default_predictor
 from repro.hardware.features import TABLE2_TYPES
+from repro.obs import user_output
 
 
 def run(model: PredictorModel | None = None) -> ExperimentResult:
@@ -57,7 +58,7 @@ def run(model: PredictorModel | None = None) -> ExperimentResult:
 
 
 def main() -> None:
-    print(run().render())
+    user_output(run().render())
 
 
 if __name__ == "__main__":

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.hardware.counters import CounterBlock, apply_overflow, apply_saturation
+from repro.obs import NULL_OBS
+from repro.obs.events import FAULT_INJECTED
 
 #: Named fault scenarios reachable from the CLI / experiments.
 SCENARIOS = ("sensor", "counter", "hotplug", "thermal", "migration", "combined")
@@ -203,6 +205,21 @@ SENSOR_CHANNELS = (
 DELIVER, LOSE, DELAY = "deliver", "lose", "delay"
 
 
+def _channel_str(channel: object) -> str:
+    """Flatten a (possibly nested) channel key into ``task:3:power``."""
+    parts: list[str] = []
+
+    def walk(node: object) -> None:
+        if isinstance(node, tuple):
+            for item in node:
+                walk(item)
+        else:
+            parts.append(str(node))
+
+    walk(channel)
+    return ":".join(parts)
+
+
 @dataclass
 class InjectionCounts:
     """Mutable tally of every fault actually injected."""
@@ -247,6 +264,26 @@ class FaultInjector:
         #: channel key -> (latched value, reads remaining).
         self._stuck: dict[object, tuple[float, int]] = {}
         self.counts = InjectionCounts()
+        #: Observability sink plus a clock returning the current
+        #: *simulated* time; the owning simulator assigns both so every
+        #: injected fault emits a timestamped ``fault_injected`` event.
+        #: The fault draws themselves never consult either, so traced
+        #: and untraced runs inject bit-identical fault schedules.
+        self.obs = NULL_OBS
+        self.clock = None
+
+    def _emit(self, kind: str, channel: object = None, **extra: object) -> None:
+        """Record one delivered fault as an event + metrics counter."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        t_s = self.clock() if self.clock is not None else 0.0
+        payload: dict = {"kind": kind}
+        if channel is not None:
+            payload["channel"] = _channel_str(channel)
+        payload.update(extra)
+        obs.tracer.emit(FAULT_INJECTED, t_s, **payload)
+        obs.metrics.inc(f"faults.injected[{kind}]")
 
     # -- sensor channel faults -----------------------------------------
 
@@ -263,19 +300,23 @@ class FaultInjector:
             else:
                 del self._stuck[channel]
             self.counts.sensor_stuck += 1
+            self._emit("sensor_stuck", channel, detail="latched_replay")
             return stuck_value
         roll = self._sensor_rng.random()
         if roll < model.dropout_rate:
             self.counts.sensor_dropouts += 1
+            self._emit("sensor_dropout", channel)
             return 0.0
         roll -= model.dropout_rate
         if roll < model.stuck_rate:
             self._stuck[channel] = (value, model.stuck_reads)
             self.counts.sensor_stuck += 1
+            self._emit("sensor_stuck", channel, detail="latched")
             return value
         roll -= model.stuck_rate
         if roll < model.spike_rate:
             self.counts.sensor_spikes += 1
+            self._emit("sensor_spike", channel)
             return value * model.spike_magnitude
         return value
 
@@ -287,11 +328,15 @@ class FaultInjector:
                 setattr(block, name, corrupted)
         model = self.plan.counter
         if model.overflow_bits is not None:
-            self.counts.counter_wraps += apply_overflow(block, model.overflow_bits)
+            wrapped = apply_overflow(block, model.overflow_bits)
+            self.counts.counter_wraps += wrapped
+            if wrapped:
+                self._emit("counter_wrap", owner, count=wrapped)
         if model.saturate_at is not None:
-            self.counts.counter_saturations += apply_saturation(
-                block, model.saturate_at
-            )
+            saturated = apply_saturation(block, model.saturate_at)
+            self.counts.counter_saturations += saturated
+            if saturated:
+                self._emit("counter_saturation", owner, count=saturated)
 
     def corrupt_power(self, owner: object, value: float) -> float:
         """Pass one power-sensor reading through the fault model."""
@@ -311,9 +356,11 @@ class FaultInjector:
         roll = self._migration_rng.random()
         if roll < model.loss_rate:
             self.counts.migrations_lost += 1
+            self._emit("migration_lost")
             return LOSE, 0
         if roll < model.loss_rate + model.delay_rate:
             self.counts.migrations_delayed += 1
+            self._emit("migration_delayed", detail=model.delay_periods)
             return DELAY, model.delay_periods
         return DELIVER, 0
 

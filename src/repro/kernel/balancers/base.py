@@ -23,6 +23,7 @@ import abc
 from typing import Optional
 
 from repro.kernel.view import SystemView
+from repro.obs import NULL_OBS, ObsContext
 
 #: Placement delta returned by a balancer: task id -> target core id.
 Placement = dict[int, int]
@@ -35,6 +36,10 @@ class LoadBalancer(abc.ABC):
     name: str = "abstract"
     #: CFS periods between rebalance calls.
     interval_periods: int = 1
+    #: Observability sink; the simulator assigns its own context here
+    #: before the run starts.  Balancers that trace must guard every
+    #: emission with ``self.obs.enabled``.
+    obs: ObsContext = NULL_OBS
 
     @abc.abstractmethod
     def rebalance(self, view: SystemView) -> Optional[Placement]:

@@ -47,6 +47,16 @@ class SmartBalanceKernelAdapter(LoadBalancer):
         """The engine's resilience counters (defence-side telemetry)."""
         return self.engine.health
 
+    @property
+    def obs(self):
+        """Observability context, forwarded to the inner engine (the
+        engine emits the sense/predict/anneal/mitigation events)."""
+        return self.engine.obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self.engine.obs = value
+
     def rebalance(self, view: SystemView) -> Optional[Placement]:
         decision = self.engine.decide(view)
         self.timings.append(decision.timings)

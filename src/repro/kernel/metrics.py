@@ -27,8 +27,24 @@ class EpochRecord:
     balancer_time_s: float
 
     @property
+    def degenerate(self) -> bool:
+        """True when the epoch's energy accounting is unusable.
+
+        ``energy_j <= 0`` (every core offline, or a zero-length window)
+        makes ``ips_per_watt`` report 0.0 — a value that must not be
+        averaged into efficiency figures as if the chip did work for
+        free.  Consumers filter on this flag; the observability layer
+        counts and flags such epochs instead of silently zeroing them.
+        """
+        return self.energy_j <= 0
+
+    @property
     def ips_per_watt(self) -> float:
-        """Energy efficiency over the epoch (instructions per Joule)."""
+        """Energy efficiency over the epoch (instructions per Joule).
+
+        0.0 for degenerate epochs — check :attr:`degenerate` before
+        treating that as a real efficiency.
+        """
         return self.instructions / self.energy_j if self.energy_j > 0 else 0.0
 
 
@@ -120,6 +136,11 @@ class RunResult:
     #: Fault/defence accounting; None when the run injected no faults
     #: and the balancer reported no health telemetry.
     resilience: "ResilienceStats | None" = None
+    #: Wall-clock balancer phase breakdown, ``((phase, seconds), ...)``
+    #: — e.g. sense/predict/balance for SmartBalance (Fig. 7).  Host
+    #: time, not simulation time: excluded from the determinism
+    #: fingerprint like ``EpochRecord.balancer_time_s``.
+    phase_times: tuple[tuple[str, float], ...] = ()
 
     @property
     def ips_per_watt(self) -> float:
@@ -142,6 +163,12 @@ class RunResult:
     def balancer_overhead_s(self) -> float:
         """Total wall-clock time spent inside the balancer."""
         return sum(e.balancer_time_s for e in self.epochs)
+
+    @property
+    def degenerate_epochs(self) -> int:
+        """Epochs whose energy accounting was unusable (see
+        :attr:`EpochRecord.degenerate`)."""
+        return sum(1 for e in self.epochs if e.degenerate)
 
     def improvement_over(self, baseline: "RunResult") -> float:
         """Percent energy-efficiency improvement relative to ``baseline``."""

@@ -43,8 +43,13 @@ from repro.kernel.metrics import (
 )
 from repro.kernel.task import Task, TaskState
 from repro.kernel.view import CoreView, SystemView, TaskView
+from repro.obs import NULL_OBS, ObsContext
+from repro.obs import events as obs_events
+from repro.obs.log import get_logger
 from repro.workload.characteristics import WorkloadPhase
 from repro.workload.thread import ThreadBehavior, steady_thread
+
+_log = get_logger("kernel.simulator")
 
 #: Scheduler-side cost per migration (seconds) charged to the migrated
 #: task's next slice via warm-up; matches the paper's assumption that
@@ -116,15 +121,25 @@ class System:
         behaviors: Sequence[ThreadBehavior],
         balancer: LoadBalancer,
         config: SimulationConfig | None = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if not behaviors:
             raise ValueError("need at least one thread behaviour")
         self.platform = platform
         self.balancer = balancer
         self.config = config or SimulationConfig()
+        self.obs = obs if obs is not None else NULL_OBS
+        if obs is not None:
+            # Thread the context through the balancer too, so the
+            # sense/predict/anneal events land in the same trace.  A
+            # balancer configured with its own context keeps it when
+            # the simulator was not given one.
+            self.balancer.obs = self.obs
         self.faults: Optional[FaultInjector] = None
         if self.config.faults is not None and self.config.faults.active:
             self.faults = FaultInjector(self.config.faults)
+            self.faults.obs = self.obs
+            self.faults.clock = lambda: self.time_s
         self.sensing = SensingInterface(
             counter_noise=self.config.counter_noise,
             power_noise=self.config.power_noise,
@@ -162,6 +177,10 @@ class System:
         self._epoch_records: list[EpochRecord] = []
         self._view_counter = 0
         self._core_instructions = [0.0] * len(platform)
+        #: Per-core (instructions, energy, busy) totals at the current
+        #: epoch's start; maintained only while ``obs.enabled`` so the
+        #: trace can carry per-core epoch deltas (the Perfetto tracks).
+        self._obs_epoch_snapshot: "list[tuple[float, float, float]] | None" = None
 
         all_behaviors = list(behaviors) + [
             _os_noise_behavior(i) for i in range(self.config.os_noise_tasks)
@@ -201,11 +220,13 @@ class System:
     def task_by_tid(self, tid: int) -> Task:
         return self.tasks[tid]
 
-    def migrate(self, task: Task, core_id: int) -> None:
+    def migrate(self, task: Task, core_id: int, cause: str = "balancer") -> None:
         """Move a task to another core (``set_cpus_allowed_ptr`` path).
 
         Charges the kernel-side cost and starts the cache warm-up
-        window on the destination core.
+        window on the destination core.  ``cause`` records why the
+        migration happened (``balancer``, ``hotplug``, ``fault_delay``)
+        in the event trace.
         """
         if not 0 <= core_id < len(self.runqueues):
             raise ValueError(f"invalid destination core {core_id}")
@@ -216,13 +237,24 @@ class System:
             )
         if core_id == task.core_id:
             return
-        self.runqueues[task.core_id].dequeue(task)
+        from_core = task.core_id
+        self.runqueues[from_core].dequeue(task)
         self.runqueues[core_id].enqueue(task)
         task.warmup_remaining_s = CACHE_WARMUP_S + MIGRATION_KERNEL_COST_S
         task.migrations += 1
         self.total_migrations += 1
         self._window_migrations += 1
         self._epoch_migrations += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                obs_events.MIGRATION,
+                self.time_s,
+                tid=task.tid,
+                from_core=from_core,
+                to_core=core_id,
+                cause=cause,
+            )
+            self.obs.metrics.inc(f"migrations.applied[{cause}]")
 
     def apply_placement(self, placement: Placement) -> int:
         """Apply a balancer's placement delta; returns migration count."""
@@ -239,6 +271,16 @@ class System:
                 # The kernel refuses to migrate onto an unplugged core
                 # no matter what the balancer believes exists.
                 self._offline_placements_blocked += 1
+                if self.obs.enabled:
+                    self.obs.tracer.emit(
+                        obs_events.MITIGATION,
+                        self.time_s,
+                        kind="offline_placement_blocked",
+                        cause="target_core_offline",
+                        tid=tid,
+                        core=core_id,
+                    )
+                    self.obs.metrics.inc("kernel.offline_placements_blocked")
                 continue
             if task.core_id == core_id:
                 continue
@@ -270,6 +312,9 @@ class System:
         self._online[core_id] = online
         if self.faults:
             self.faults.counts.hotplug_events += 1
+            self.faults._emit(
+                "hotplug", core=core_id, detail="online" if online else "offline"
+            )
         if online:
             return
         # Offline path: the kernel migrates the dead queue's tasks to
@@ -288,7 +333,7 @@ class System:
             if not candidates:
                 continue
             target = min(candidates, key=lambda q: q.load())
-            self.migrate(task, target.core.core_id)
+            self.migrate(task, target.core.core_id, cause="hotplug")
 
     def _set_throttle(self, core_id: int, freq_scale: Optional[float]) -> None:
         """Apply (or with ``None`` lift) a thermal throttle on a core.
@@ -310,6 +355,7 @@ class System:
         queue.core = replace(base, core_type=throttled_type)
         if self.faults:
             self.faults.counts.throttle_events += 1
+            self.faults._emit("throttle", core=core_id, detail=freq_scale)
 
     def _process_fault_events(self) -> None:
         """Fire every timeline event due at the current simulated time."""
@@ -344,7 +390,7 @@ class System:
                     or task.core_id == core_id
                 ):
                     continue
-                self.migrate(task, core_id)
+                self.migrate(task, core_id, cause="fault_delay")
 
     # ------------------------------------------------------------------
     # Sensing
@@ -452,6 +498,24 @@ class System:
         interval = max(self.balancer.interval_periods, 1)
         periods_total = n_epochs * self.config.periods_per_epoch
 
+        obs = self.obs
+        if obs.enabled:
+            plan = self.config.faults
+            obs.tracer.emit(
+                obs_events.RUN_START,
+                self.time_s,
+                balancer=self.balancer.name,
+                platform=self.platform.name,
+                n_tasks=len(self.tasks),
+                n_cores=len(self.runqueues),
+                core_types=[
+                    self._base_cores[q.core.core_id].core_type.name
+                    for q in self.runqueues
+                ],
+                seed=self.config.seed,
+                faults=bool(plan is not None and plan.active),
+            )
+
         window_instructions = 0.0
         window_energy = 0.0
         window_start = self.time_s
@@ -459,6 +523,13 @@ class System:
         periods_since_rebalance = 0
 
         for period_index in range(periods_total):
+            if obs.enabled and period_index % self.config.periods_per_epoch == 0:
+                obs.tracer.emit(
+                    obs_events.EPOCH_START,
+                    self.time_s,
+                    epoch=len(self._epoch_records),
+                )
+                self._obs_epoch_snapshot = self._core_snapshot()
             # Rebalance at interval boundaries, including t=0 (the
             # first call sees an empty window, as a real kernel would).
             if period_index % interval == 0:
@@ -488,24 +559,107 @@ class System:
             # Epoch bookkeeping for metrics (independent of the
             # balancer's own interval so results are comparable).
             if (period_index + 1) % self.config.periods_per_epoch == 0:
-                self._epoch_records.append(
-                    EpochRecord(
-                        epoch_index=len(self._epoch_records),
-                        start_time_s=window_start,
-                        duration_s=self.time_s - window_start,
-                        instructions=window_instructions,
-                        energy_j=window_energy,
-                        migrations=self._epoch_migrations,
-                        balancer_time_s=window_balancer_time,
-                    )
+                record = EpochRecord(
+                    epoch_index=len(self._epoch_records),
+                    start_time_s=window_start,
+                    duration_s=self.time_s - window_start,
+                    instructions=window_instructions,
+                    energy_j=window_energy,
+                    migrations=self._epoch_migrations,
+                    balancer_time_s=window_balancer_time,
                 )
+                self._epoch_records.append(record)
+                if record.degenerate:
+                    # ips_per_watt reads 0.0 for this epoch — flag it
+                    # loudly instead of letting the zero get averaged
+                    # into efficiency figures as if it were real.
+                    _log.warning(
+                        "epoch %d is degenerate (energy_j=%g <= 0); "
+                        "its ips_per_watt of 0.0 is not a real efficiency",
+                        record.epoch_index,
+                        record.energy_j,
+                    )
+                if obs.enabled:
+                    self._emit_epoch_end(record)
                 window_instructions = 0.0
                 window_energy = 0.0
                 window_balancer_time = 0.0
                 window_start = self.time_s
                 self._epoch_migrations = 0
 
-        return self._result()
+        result = self._result()
+        if obs.enabled:
+            obs.tracer.emit(
+                obs_events.RUN_END,
+                self.time_s,
+                duration_s=result.duration_s,
+                instructions=result.instructions,
+                energy_j=result.energy_j,
+                migrations=result.migrations,
+                ips_per_watt=result.ips_per_watt,
+            )
+            if result.phase_times:
+                obs.tracer.emit(
+                    obs_events.PHASE_PROFILE,
+                    self.time_s,
+                    phases=dict(result.phase_times),
+                )
+            obs.metrics.set_gauge("run.ips_per_watt", result.ips_per_watt)
+            obs.metrics.set_gauge("run.energy_j", result.energy_j)
+            obs.metrics.set_gauge("run.instructions", result.instructions)
+        return result
+
+    def _core_snapshot(self) -> "list[tuple[float, float, float]]":
+        """Per-core cumulative (instructions, energy_j, busy_s)."""
+        return [
+            (
+                self._core_instructions[q.core.core_id],
+                q.total_energy_j,
+                q.total_busy_s,
+            )
+            for q in self.runqueues
+        ]
+
+    def _emit_epoch_end(self, record: EpochRecord) -> None:
+        """Emit the epoch's trace events (per-core deltas included)."""
+        obs = self.obs
+        per_core = []
+        if self._obs_epoch_snapshot is not None:
+            current = self._core_snapshot()
+            for core_id, (now, then) in enumerate(
+                zip(current, self._obs_epoch_snapshot)
+            ):
+                per_core.append(
+                    {
+                        "core": core_id,
+                        "instructions": now[0] - then[0],
+                        "energy_j": now[1] - then[1],
+                        "busy_s": now[2] - then[2],
+                    }
+                )
+        obs.tracer.emit(
+            obs_events.EPOCH_END,
+            self.time_s,
+            epoch=record.epoch_index,
+            duration_s=record.duration_s,
+            instructions=record.instructions,
+            energy_j=record.energy_j,
+            migrations=record.migrations,
+            ips_per_watt=record.ips_per_watt,
+            degenerate=record.degenerate,
+            per_core=per_core,
+        )
+        obs.metrics.inc("epochs.total")
+        if record.degenerate:
+            obs.metrics.inc("balancer.epochs_degenerate")
+            obs.tracer.emit(
+                obs_events.DEGENERATE_EPOCH,
+                self.time_s,
+                epoch=record.epoch_index,
+                duration_s=record.duration_s,
+                instructions=record.instructions,
+                energy_j=record.energy_j,
+            )
 
     def _handle_arrivals(self) -> None:
         for task in self.tasks:
@@ -561,8 +715,19 @@ class System:
         )
         user_instructions = sum(t.instructions for t in task_stats if self.tasks[t.tid].is_user)
         total_energy = sum(c.energy_j for c in core_stats)
+        # Per-phase wall-clock breakdown when the balancer keeps one
+        # (the SmartBalance adapter does; kernel baselines do not).
+        phase_records = getattr(self.balancer, "timings", None)
+        phase_times: tuple[tuple[str, float], ...] = ()
+        if phase_records:
+            phase_times = (
+                ("sense", sum(t.sense_s for t in phase_records)),
+                ("predict", sum(t.predict_s for t in phase_records)),
+                ("balance", sum(t.balance_s for t in phase_records)),
+            )
         return RunResult(
             resilience=self._resilience_stats(),
+            phase_times=phase_times,
             balancer_name=self.balancer.name,
             platform_name=self.platform.name,
             duration_s=self.time_s,

@@ -1,0 +1,211 @@
+"""Typed event catalogue of the observability subsystem.
+
+Every event a :class:`~repro.obs.tracer.Tracer` records is a flat JSON
+object with two universal fields — ``type`` (one of :data:`EVENT_TYPES`)
+and ``t_s`` (the *simulated* time it happened at, seconds) — plus the
+per-type payload described in :data:`EVENT_SCHEMA`.  Keeping the schema
+as data rather than classes means a trace written by one version can be
+validated and rendered by another, and the JSONL files stay greppable.
+
+Timestamps are simulation time on purpose: wall-clock durations live in
+the metrics registry's timing section and in the single
+``phase_profile`` summary event, so the rest of the stream is
+bit-deterministic for a given :class:`~repro.runner.spec.RunSpec` (the
+determinism suite compares streams with
+:func:`deterministic_events`).
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Iterable
+
+# ---------------------------------------------------------------------------
+# Event types
+# ---------------------------------------------------------------------------
+
+#: Lifecycle of a run.
+RUN_START = "run_start"
+RUN_END = "run_end"
+#: Metrics-epoch boundaries (independent of the balancer interval).
+EPOCH_START = "epoch_start"
+EPOCH_END = "epoch_end"
+#: An epoch whose energy accounting is degenerate (``energy_j <= 0``):
+#: its ``ips_per_watt`` is meaningless and must not be averaged in.
+DEGENERATE_EPOCH = "degenerate_epoch"
+#: One sense phase: what the balancer observed and what it trusted.
+SENSE = "sense"
+#: Last epoch's per-thread prediction checked against this epoch's
+#: realised measurement (the Table 4 accuracy data).
+PREDICTION_CHECK = "prediction_check"
+#: One simulated-annealing run (Algorithm 1) with a sampled trace.
+ANNEAL = "anneal"
+#: Outcome of one sense→predict→balance pass.
+DECISION = "decision"
+#: One applied thread migration, with its cause.
+MIGRATION = "migration"
+#: One fault the injection layer actually delivered.
+FAULT_INJECTED = "fault_injected"
+#: One defensive action of the graceful-degradation layer.
+MITIGATION = "mitigation"
+#: A state transition of the degradation machinery (watchdog).
+DEGRADATION = "degradation"
+#: Wall-clock per-phase time breakdown (one per run; nondeterministic).
+PHASE_PROFILE = "phase_profile"
+
+EVENT_TYPES = (
+    RUN_START,
+    RUN_END,
+    EPOCH_START,
+    EPOCH_END,
+    DEGENERATE_EPOCH,
+    SENSE,
+    PREDICTION_CHECK,
+    ANNEAL,
+    DECISION,
+    MIGRATION,
+    FAULT_INJECTED,
+    MITIGATION,
+    DEGRADATION,
+    PHASE_PROFILE,
+)
+
+#: Event types whose payload depends only on the simulation (never on
+#: the host's wall clock); these must be byte-identical across runs of
+#: the same spec.
+DETERMINISTIC_TYPES = tuple(t for t in EVENT_TYPES if t != PHASE_PROFILE)
+
+#: Kinds a ``fault_injected`` event may carry.
+FAULT_KINDS = (
+    "sensor_dropout",
+    "sensor_stuck",
+    "sensor_spike",
+    "counter_wrap",
+    "counter_saturation",
+    "migration_lost",
+    "migration_delayed",
+    "hotplug",
+    "throttle",
+)
+
+#: Kinds a ``mitigation`` event may carry.
+MITIGATION_KINDS = (
+    "sample_rejected",
+    "fallback_row",
+    "thread_dropped",
+    "rebaseline",
+    "watchdog_fallback",
+    "budget_skip",
+    "sa_truncated",
+    "hotplug_mask",
+    "offline_placement_blocked",
+)
+
+#: Known causes of a thread migration.
+MIGRATION_CAUSES = ("balancer", "hotplug", "fault_delay")
+
+# ---------------------------------------------------------------------------
+# Schema: required / optional payload fields per type
+# ---------------------------------------------------------------------------
+
+#: ``type -> (required fields, optional fields)`` beyond the universal
+#: ``type`` and ``t_s``.
+EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
+    RUN_START: (
+        ("balancer", "platform", "n_tasks", "n_cores"),
+        ("core_types", "seed", "faults"),
+    ),
+    RUN_END: (
+        ("duration_s", "instructions", "energy_j", "migrations"),
+        ("ips_per_watt",),
+    ),
+    EPOCH_START: (("epoch",), ()),
+    EPOCH_END: (
+        ("epoch", "duration_s", "instructions", "energy_j", "migrations"),
+        ("ips_per_watt", "degenerate", "per_core"),
+    ),
+    DEGENERATE_EPOCH: (("epoch", "duration_s", "instructions"), ("energy_j",)),
+    SENSE: (
+        ("epoch", "window_s", "threads", "measured", "healthy", "rejected"),
+        ("fallback_rows",),
+    ),
+    PREDICTION_CHECK: (
+        (
+            "tid",
+            "src_type",
+            "dst_type",
+            "core",
+            "predicted_ips",
+            "measured_ips",
+            "ipc_abs_pct_error",
+        ),
+        ("predicted_power_w", "measured_power_w", "power_abs_pct_error"),
+    ),
+    ANNEAL: (
+        (
+            "epoch",
+            "iterations",
+            "accepted",
+            "uphill",
+            "truncated",
+            "initial_value",
+            "best_value",
+        ),
+        ("improvement_pct", "samples"),
+    ),
+    DECISION: (
+        ("epoch", "migrations", "fallback", "rejected"),
+        ("incumbent_value", "best_value"),
+    ),
+    MIGRATION: (("tid", "from_core", "to_core", "cause"), ()),
+    FAULT_INJECTED: (("kind",), ("channel", "tid", "core", "count", "detail")),
+    MITIGATION: (("kind", "cause"), ("tid", "core")),
+    DEGRADATION: (("state", "cause"), ()),
+    PHASE_PROFILE: (("phases",), ()),
+}
+
+
+def validate_event(event: object) -> "str | None":
+    """Check one event against the schema; returns the error or None."""
+    if not isinstance(event, dict):
+        return f"event must be an object, got {type(event).__name__}"
+    etype = event.get("type")
+    if etype not in EVENT_SCHEMA:
+        return f"unknown event type {etype!r}"
+    t_s = event.get("t_s")
+    if not isinstance(t_s, Number) or isinstance(t_s, bool) or t_s < 0:
+        return f"{etype}: t_s must be a non-negative number, got {t_s!r}"
+    required, optional = EVENT_SCHEMA[etype]
+    missing = [name for name in required if name not in event]
+    if missing:
+        return f"{etype}: missing required field(s) {missing}"
+    allowed = {"type", "t_s", *required, *optional}
+    unknown = [name for name in event if name not in allowed]
+    if unknown:
+        return f"{etype}: unknown field(s) {unknown}"
+    if etype == FAULT_INJECTED and event["kind"] not in FAULT_KINDS:
+        return f"{etype}: unknown kind {event['kind']!r}"
+    if etype == MITIGATION:
+        if event["kind"] not in MITIGATION_KINDS:
+            return f"{etype}: unknown kind {event['kind']!r}"
+        if not isinstance(event["cause"], str) or not event["cause"]:
+            return f"{etype}: cause must be a non-empty string"
+    if etype == MIGRATION and not isinstance(event["cause"], str):
+        return f"{etype}: cause must be a string"
+    return None
+
+
+def validate_events(events: Iterable[object]) -> "list[str]":
+    """Validate a stream; returns one ``line N: error`` entry per bad
+    event (empty list = schema-clean)."""
+    errors = []
+    for index, event in enumerate(events):
+        error = validate_event(event)
+        if error is not None:
+            errors.append(f"event {index}: {error}")
+    return errors
+
+
+def deterministic_events(events: Iterable[dict]) -> "list[dict]":
+    """The sub-stream that must be identical across reruns of a spec."""
+    return [e for e in events if e.get("type") in DETERMINISTIC_TYPES]

@@ -1,0 +1,89 @@
+"""Structured logging for the ``repro.*`` hierarchy.
+
+All diagnostic output of the package flows through stdlib ``logging``
+under the ``repro`` root logger: ``repro.cli``, ``repro.kernel.*``,
+``repro.core.*``, ``repro.experiments.*`` and so on.  User-facing
+*results* (tables, run summaries — the things a shell pipeline consumes)
+go to stdout through :func:`user_output`; everything that merely
+narrates what the tool is doing goes to a logger and lands on stderr.
+
+:func:`configure_logging` is idempotent and only ever touches the
+``repro`` root logger, so embedding applications keep full control of
+their own logging configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the package logger hierarchy.
+ROOT_LOGGER = "repro"
+
+#: CLI-facing level names.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``get_logger("cli")``).
+
+    Accepts either a bare suffix (``"runner.engine"``) or an already
+    qualified ``repro.*`` name (``__name__`` inside this package).
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    level: "str | int | None" = None, stream=None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger (once).
+
+    ``level`` accepts the names of :data:`LOG_LEVELS` or a stdlib
+    numeric level; None keeps the current level (INFO on first call).
+    Repeated calls only adjust the level — the handler is never
+    duplicated.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(
+                f"unknown log level {level!r}; use one of {LOG_LEVELS}"
+            )
+        level = resolved
+    marker = "_repro_cli_handler"
+    handler = next(
+        (h for h in logger.handlers if getattr(h, marker, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        setattr(handler, marker, True)
+        logger.addHandler(handler)
+        if level is None:
+            level = logging.INFO
+    if level is not None:
+        logger.setLevel(level)
+    return logger
+
+
+def user_output(*args, file=None, **kwargs) -> None:
+    """Print user-facing output (results, tables) to stdout.
+
+    The single sanctioned ``print`` of the package: everything else is
+    a diagnostic and belongs on a ``repro.*`` logger.
+    """
+    print(*args, file=file if file is not None else sys.stdout, **kwargs)
+
+
+__all__ = [
+    "ROOT_LOGGER",
+    "LOG_LEVELS",
+    "get_logger",
+    "configure_logging",
+    "user_output",
+]

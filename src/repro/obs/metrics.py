@@ -1,0 +1,183 @@
+"""Lightweight metrics registry: counters, gauges, histograms, timings.
+
+The registry is the *aggregated* side of observability: where the
+tracer records what happened, the registry records how often and how
+large.  Everything is plain Python — no background threads, no
+sampling — and a snapshot is an ordinary dict with deterministically
+sorted keys so two identical runs produce byte-identical snapshots.
+
+Wall-clock timings live in their own section (``timings``): they
+measure the host, not the simulation, and are excluded from
+:meth:`MetricsRegistry.deterministic_snapshot` — the form the
+determinism suite compares across worker counts.
+
+Metric naming convention: dotted hierarchy, with an optional label in
+square brackets, e.g. ``prediction.ipc.abs_pct_error[big->LITTLE]``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with lazy creation and a snapshot dump."""
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+        #: name -> [count, total_seconds] of wall-clock span timings.
+        self._timings: "dict[str, list]" = {}
+
+    # -- access / convenience -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        """Accumulate one wall-clock span duration under ``name``."""
+        entry = self._timings.get(name)
+        if entry is None:
+            self._timings[name] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Full state as a JSON-ready dict (keys sorted)."""
+        data = self.deterministic_snapshot()
+        data["timings"] = {
+            name: {"count": entry[0], "total_s": entry[1]}
+            for name, entry in sorted(self._timings.items())
+        }
+        return data
+
+    def deterministic_snapshot(self) -> dict:
+        """Snapshot without the wall-clock ``timings`` section.
+
+        Two runs of the same spec must agree on this dict byte for
+        byte, regardless of worker count or host load.
+        """
+        return {
+            "counters": {
+                name: metric.value for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.summary()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        """Human-readable dump, one metric per line."""
+        lines = []
+        for name, metric in sorted(self._counters.items()):
+            lines.append(f"counter   {name} = {metric.value:g}")
+        for name, metric in sorted(self._gauges.items()):
+            lines.append(f"gauge     {name} = {metric.value:g}")
+        for name, metric in sorted(self._histograms.items()):
+            s = metric.summary()
+            lines.append(
+                f"histogram {name}: count={s['count']} mean={s['mean']:.6g} "
+                f"min={s['min'] if s['min'] is None else format(s['min'], '.6g')} "
+                f"max={s['max'] if s['max'] is None else format(s['max'], '.6g')}"
+            )
+        for name, entry in sorted(self._timings.items()):
+            lines.append(
+                f"timing    {name}: count={entry[0]} total={entry[1]:.6f}s"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)

@@ -1,0 +1,223 @@
+"""Diagnostic report rendered from a structured event stream.
+
+Turns a JSONL trace (the raw events of :mod:`repro.obs.events`) into
+the paper's headline diagnostics:
+
+* **Prediction accuracy** — mean absolute percentage error of the
+  cross-core IPS and power predictions (Eqs. 8–9), broken down per
+  (source type -> target type) pair like Table 4 of the paper.
+* **Annealer convergence** — iteration/acceptance/uphill statistics of
+  the simulated-annealing search (Algorithm 1) and how much the
+  objective improved per invocation.
+* **Migration causality** — how many migrations each cause produced.
+* **Resilience pairing** — injected-fault and mitigation counts by kind.
+* **Epoch health** — degenerate-epoch count (epochs whose energy
+  accounting made ``ips_per_watt`` meaningless).
+* **Phase overhead** — the wall-clock sense/predict/balance breakdown
+  when the trace carries a ``phase_profile`` event (Fig. 7 data).
+
+:func:`build_report` produces a plain dict (JSON-ready, fully
+deterministic given a deterministic event stream); :func:`render_report`
+formats it as the fixed-width text the ``repro report`` subcommand
+prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs import events as ev
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _pair_key(src: str, dst: str) -> str:
+    return f"{src}->{dst}"
+
+
+def build_prediction_accuracy(events: Iterable[dict]) -> "dict[str, dict]":
+    """Per-(source,target) core-type-pair prediction error summary."""
+    pairs: "dict[str, dict]" = {}
+    for event in events:
+        if event.get("type") != ev.PREDICTION_CHECK:
+            continue
+        key = _pair_key(str(event["src_type"]), str(event["dst_type"]))
+        bucket = pairs.setdefault(key, {"ipc": [], "power": []})
+        bucket["ipc"].append(float(event["ipc_abs_pct_error"]))
+        power_err = event.get("power_abs_pct_error")
+        if power_err is not None:
+            bucket["power"].append(float(power_err))
+    report = {}
+    for key in sorted(pairs):
+        bucket = pairs[key]
+        report[key] = {
+            "samples": len(bucket["ipc"]),
+            "ipc_mean_abs_pct_error": _mean(bucket["ipc"]),
+            "ipc_max_abs_pct_error": max(bucket["ipc"]) if bucket["ipc"] else 0.0,
+            "power_samples": len(bucket["power"]),
+            "power_mean_abs_pct_error": _mean(bucket["power"]),
+        }
+    return report
+
+
+def build_annealer_summary(events: Iterable[dict]) -> dict:
+    runs = [e for e in events if e.get("type") == ev.ANNEAL]
+    if not runs:
+        return {"runs": 0}
+    iterations = [int(e["iterations"]) for e in runs]
+    accepted = [int(e["accepted"]) for e in runs]
+    uphill = [int(e["uphill"]) for e in runs]
+    improvements = [
+        float(e["improvement_pct"]) for e in runs if e.get("improvement_pct") is not None
+    ]
+    return {
+        "runs": len(runs),
+        "iterations_total": sum(iterations),
+        "iterations_mean": _mean(iterations),
+        "accepted_total": sum(accepted),
+        "uphill_total": sum(uphill),
+        "acceptance_rate": (
+            sum(accepted) / sum(iterations) if sum(iterations) else 0.0
+        ),
+        "truncated_runs": sum(1 for e in runs if e.get("truncated")),
+        "improvement_pct_mean": _mean(improvements),
+    }
+
+
+def _count_by(events: Iterable[dict], etype: str, field: str) -> "dict[str, int]":
+    counts: "dict[str, int]" = {}
+    for event in events:
+        if event.get("type") != etype:
+            continue
+        key = str(event.get(field))
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def build_report(events: Sequence[dict]) -> dict:
+    """Aggregate one event stream into the full diagnostic report."""
+    run_end = next((e for e in events if e.get("type") == ev.RUN_END), None)
+    phase_profile = next(
+        (e for e in events if e.get("type") == ev.PHASE_PROFILE), None
+    )
+    epochs = sum(1 for e in events if e.get("type") == ev.EPOCH_END)
+    degenerate = sum(1 for e in events if e.get("type") == ev.DEGENERATE_EPOCH)
+    report = {
+        "events": len(events),
+        "epochs": epochs,
+        "degenerate_epochs": degenerate,
+        "run": None
+        if run_end is None
+        else {
+            "duration_s": run_end.get("duration_s"),
+            "instructions": run_end.get("instructions"),
+            "energy_j": run_end.get("energy_j"),
+            "migrations": run_end.get("migrations"),
+            "ips_per_watt": run_end.get("ips_per_watt"),
+        },
+        "prediction_accuracy": build_prediction_accuracy(events),
+        "annealer": build_annealer_summary(events),
+        "migration_causes": _count_by(events, ev.MIGRATION, "cause"),
+        "faults_injected": _count_by(events, ev.FAULT_INJECTED, "kind"),
+        "mitigations": _count_by(events, ev.MITIGATION, "kind"),
+        "degradation_transitions": _count_by(events, ev.DEGRADATION, "state"),
+        "phase_profile": None
+        if phase_profile is None
+        else dict(phase_profile.get("phases") or {}),
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Text rendering
+# ---------------------------------------------------------------------------
+
+
+def _section(title: str) -> "list[str]":
+    return ["", title, "-" * len(title)]
+
+
+def render_report(report: dict) -> str:
+    """Format a :func:`build_report` dict as fixed-width text."""
+    lines = ["SmartBalance trace report", "========================="]
+    lines.append(
+        f"events: {report['events']}   epochs: {report['epochs']}   "
+        f"degenerate epochs: {report['degenerate_epochs']}"
+    )
+
+    run = report.get("run")
+    if run:
+        lines += _section("Run summary")
+        lines.append(f"  duration      {run['duration_s']:.6g} s")
+        lines.append(f"  instructions  {run['instructions']:.6g}")
+        lines.append(f"  energy        {run['energy_j']:.6g} J")
+        lines.append(f"  migrations    {run['migrations']}")
+        if run.get("ips_per_watt") is not None:
+            lines.append(f"  IPS/Watt      {run['ips_per_watt']:.6g}")
+
+    accuracy = report.get("prediction_accuracy") or {}
+    lines += _section("Prediction accuracy (abs % error, Table 4)")
+    if accuracy:
+        header = (
+            f"  {'pair':<18} {'samples':>7} {'ipc mean':>9} {'ipc max':>9} "
+            f"{'power mean':>10}"
+        )
+        lines.append(header)
+        for pair, row in accuracy.items():
+            power = (
+                f"{row['power_mean_abs_pct_error']:>10.2f}"
+                if row["power_samples"]
+                else f"{'-':>10}"
+            )
+            lines.append(
+                f"  {pair:<18} {row['samples']:>7} "
+                f"{row['ipc_mean_abs_pct_error']:>9.2f} "
+                f"{row['ipc_max_abs_pct_error']:>9.2f} {power}"
+            )
+    else:
+        lines.append("  (no prediction_check events in trace)")
+
+    annealer = report.get("annealer") or {}
+    lines += _section("Annealer convergence (Algorithm 1)")
+    if annealer.get("runs"):
+        lines.append(f"  runs              {annealer['runs']}")
+        lines.append(
+            f"  iterations        total={annealer['iterations_total']} "
+            f"mean={annealer['iterations_mean']:.1f}"
+        )
+        lines.append(
+            f"  accepted          {annealer['accepted_total']} "
+            f"(rate {annealer['acceptance_rate']:.1%}, "
+            f"uphill {annealer['uphill_total']})"
+        )
+        lines.append(f"  truncated runs    {annealer['truncated_runs']}")
+        lines.append(
+            f"  mean improvement  {annealer['improvement_pct_mean']:.2f}%"
+        )
+    else:
+        lines.append("  (no anneal events in trace)")
+
+    for title, key in (
+        ("Migrations by cause", "migration_causes"),
+        ("Faults injected by kind", "faults_injected"),
+        ("Mitigations by kind", "mitigations"),
+        ("Degradation transitions", "degradation_transitions"),
+    ):
+        counts = report.get(key) or {}
+        if counts:
+            lines += _section(title)
+            for name, count in counts.items():
+                lines.append(f"  {name:<26} {count}")
+
+    phases = report.get("phase_profile")
+    if phases:
+        lines += _section("Phase overhead (wall clock, Fig. 7)")
+        total = sum(float(v) for v in phases.values()) or 1.0
+        for name, seconds in sorted(phases.items()):
+            lines.append(
+                f"  {name:<10} {float(seconds):>10.6f} s "
+                f"({float(seconds) / total:.1%})"
+            )
+    return "\n".join(lines) + "\n"

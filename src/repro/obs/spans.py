@@ -1,0 +1,56 @@
+"""Timing spans: context-managed wall-clock phase measurement.
+
+A :class:`Span` wraps one phase of the epoch loop (sense, predict,
+balance, migrate, …), measures its wall-clock duration and — when a
+metrics registry is attached — folds the duration into the registry's
+timing section under ``span.<name>``.  The measured ``elapsed_s`` is
+always available afterwards, so callers that need the number themselves
+(e.g. :class:`~repro.core.balancer.PhaseTimings`, the Fig. 7 overhead
+data) read it from the span instead of timing twice.
+
+Wall-clock durations never enter the structured event stream; they are
+aggregated here and surfaced through the metrics snapshot and the
+single ``phase_profile`` summary event, keeping the rest of the trace
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Registry prefix for span timings.
+SPAN_PREFIX = "span."
+
+
+class Span:
+    """One timed phase; use as a context manager.
+
+    ``metrics`` may be None (measurement only, nothing recorded) — the
+    disabled-observability path still needs the elapsed time for the
+    paper's overhead accounting.
+    """
+
+    __slots__ = ("name", "metrics", "elapsed_s", "_t0")
+
+    def __init__(self, name: str, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.name = name
+        self.metrics = metrics
+        self.elapsed_s = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed_s = time.perf_counter() - self._t0
+        if self.metrics is not None:
+            self.metrics.observe_time(SPAN_PREFIX + self.name, self.elapsed_s)
+
+
+def span(name: str, metrics: Optional[MetricsRegistry] = None) -> Span:
+    """Convenience constructor mirroring ``ObsContext.span``."""
+    return Span(name, metrics)

@@ -1,0 +1,55 @@
+"""The structured event tracer.
+
+A :class:`Tracer` is an in-process, append-only buffer of the typed
+events of :mod:`repro.obs.events`.  It is deliberately tiny: emitting
+is one attribute check, one dict build and one list append, and a
+*disabled* tracer returns before building anything — the epoch loop can
+call it unconditionally without measurable overhead (the no-op suite
+pins byte-identical simulation results with tracing on, off and
+absent).
+
+Buffered events are exported through :mod:`repro.obs.export` (JSONL or
+Chrome ``trace_event``) and rendered by :mod:`repro.obs.report`.
+"""
+
+from __future__ import annotations
+
+
+class Tracer:
+    """Buffered structured-event recorder."""
+
+    __slots__ = ("enabled", "events")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: "list[dict]" = []
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def emit(self, etype: str, t_s: float, **payload: object) -> None:
+        """Record one event at simulated time ``t_s``.
+
+        Payload values must be JSON-serialisable (numbers, strings,
+        bools, lists, dicts, None).
+        """
+        if not self.enabled:
+            return
+        event: dict = {"type": etype, "t_s": t_s}
+        event.update(payload)
+        self.events.append(event)
+
+    def by_type(self, etype: str) -> "list[dict]":
+        """All buffered events of one type, in emission order."""
+        return [e for e in self.events if e["type"] == etype]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: Shared disabled tracer for code paths that run without observability
+#: (it never buffers, so sharing one instance is safe).
+NULL_TRACER = Tracer(enabled=False)

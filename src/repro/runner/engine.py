@@ -49,8 +49,14 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one job: resolve the spec and simulate it to completion."""
+def execute_spec(spec: RunSpec, obs=None) -> RunResult:
+    """Run one job: resolve the spec and simulate it to completion.
+
+    ``obs`` is an optional :class:`repro.obs.ObsContext`; when given it
+    is threaded through the simulator, balancer and fault injector so
+    the run leaves a structured event trace.  Tracing never changes
+    simulated results (the no-op suite pins digest identity).
+    """
     platform = make_platform(spec.platform)
     workload_seed = spec.workload_seed if spec.workload_seed is not None else spec.seed
     workload = make_workload(spec.workload, spec.threads, workload_seed)
@@ -67,7 +73,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
             duration_s=spec.n_epochs * spec.config.epoch_s,
         )
     config = dataclasses.replace(spec.config, seed=spec.seed, faults=plan)
-    system = System(platform, workload, balancer, config)
+    system = System(platform, workload, balancer, config, obs=obs)
     return system.run(n_epochs=spec.n_epochs)
 
 
@@ -91,14 +97,44 @@ class _JobError:
     error: str
 
 
-def _execute_indexed(item: "tuple[int, RunSpec]") -> "tuple[int, object]":
-    index, spec = item
+def _execute_indexed(
+    item: "tuple[int, RunSpec] | tuple[int, RunSpec, str | None]",
+) -> "tuple[int, object]":
+    index, spec = item[0], item[1]
+    trace_dir = item[2] if len(item) > 2 else None
     try:
-        return index, execute_spec(spec)
+        if trace_dir is None:
+            return index, execute_spec(spec)
+        return index, _execute_traced(spec, trace_dir)
     # SystemExit included: the factories raise it for unresolvable
     # names, and it must not tear down a pool worker.
     except (Exception, SystemExit) as exc:  # disposed of via on_error
         return index, _JobError(label=spec.label(), error=f"{type(exc).__name__}: {exc}")
+
+
+def _execute_traced(spec: RunSpec, trace_dir: str) -> RunResult:
+    """Run one job with tracing on and drop its artefacts in
+    ``trace_dir``: ``<spec_key>.jsonl`` (event stream) and
+    ``<spec_key>.metrics.json`` (deterministic metrics snapshot).
+
+    Written worker-side because tracer buffers cannot cross the
+    process boundary; file names are spec-keyed, so the artefact set
+    is identical whatever the worker count.
+    """
+    import json
+
+    from repro.obs import ObsContext, write_jsonl
+
+    obs = ObsContext()
+    result = execute_spec(spec, obs=obs)
+    key = spec.spec_key()
+    os.makedirs(trace_dir, exist_ok=True)
+    write_jsonl(obs.tracer.events, os.path.join(trace_dir, f"{key}.jsonl"))
+    with open(os.path.join(trace_dir, f"{key}.metrics.json"), "w") as handle:
+        json.dump(
+            obs.metrics.deterministic_snapshot(), handle, indent=2, sort_keys=True
+        )
+    return result
 
 
 def run_specs(
@@ -107,6 +143,7 @@ def run_specs(
     cache: Optional[ResultCache] = None,
     base_seed: Optional[int] = None,
     on_error: str = "raise",
+    trace_dir: Optional[str] = None,
 ) -> "list[RunResult]":
     """Execute a batch of jobs; results come back in request order.
 
@@ -119,12 +156,20 @@ def run_specs(
       ``"none"`` maps the crashed job's result to ``None`` (used by the
       resilience experiment, where an unmitigated run is *allowed* to
       die and scores zero retention).
+    * ``trace_dir`` — when given, every executed job runs with
+      observability on and writes ``<spec_key>.jsonl`` +
+      ``<spec_key>.metrics.json`` into the directory (worker-side, so
+      it works across the pool).  Tracing changes no simulated result.
+      The cache is bypassed while tracing — a cache hit would produce
+      no trace, and a traced batch is asking for traces.
 
     Identical specs are executed once and fanned back out to every
     requesting position.
     """
     if on_error not in ("raise", "none"):
         raise ValueError(f"on_error must be 'raise' or 'none', got {on_error!r}")
+    if trace_dir is not None:
+        cache = None
     ordered = list(specs)
     if base_seed is not None:
         ordered = [spec.with_derived_seed(base_seed) for spec in ordered]
@@ -135,7 +180,7 @@ def run_specs(
     # share its result.
     first_position: "dict[RunSpec, int]" = {}
     duplicates: "dict[int, int]" = {}
-    pending: "list[tuple[int, RunSpec]]" = []
+    pending: "list[tuple[int, RunSpec, Optional[str]]]" = []
     for index, spec in enumerate(ordered):
         if spec in first_position:
             duplicates[index] = first_position[spec]
@@ -146,10 +191,10 @@ def run_specs(
             if hit is not None:
                 results[index] = hit
                 continue
-        pending.append((index, spec))
+        pending.append((index, spec, trace_dir))
 
     if pending:
-        needs_predictor = any(s.balancer == "smartbalance" for _, s in pending)
+        needs_predictor = any(s.balancer == "smartbalance" for _, s, _ in pending)
         if jobs > 1 and len(pending) > 1:
             if needs_predictor:
                 _warm_shared_state()
@@ -162,9 +207,9 @@ def run_specs(
                 ):
                     results[index] = result
         else:
-            for index, spec in pending:
-                results[index] = _execute_indexed((index, spec))[1]
-        for index, spec in pending:
+            for item in pending:
+                results[item[0]] = _execute_indexed(item)[1]
+        for index, spec, _ in pending:
             outcome = results[index]
             if isinstance(outcome, _JobError):
                 if on_error == "raise":
@@ -211,10 +256,13 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     base_seed: Optional[int] = None,
     on_error: str = "raise",
+    trace_dir: Optional[str] = None,
 ) -> "list[object]":
     """Run several experiments' jobs through one shared pool.
 
     Returns one built report per experiment, in input order.
+    ``trace_dir`` is forwarded to :func:`run_specs` (per-job event
+    traces; bypasses the cache).
     """
     per_experiment: "list[list[RunSpec]]" = [
         list(experiment.specs(scale)) for experiment in experiments
@@ -227,7 +275,8 @@ def run_sweep(
                 seen.add(spec)
                 union.append(spec)
     results = run_specs(
-        union, jobs=jobs, cache=cache, base_seed=base_seed, on_error=on_error
+        union, jobs=jobs, cache=cache, base_seed=base_seed,
+        on_error=on_error, trace_dir=trace_dir,
     )
     # run_specs returns results positionally for the specs it was
     # handed, so builders can look up by the identities they emitted

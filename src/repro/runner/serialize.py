@@ -42,6 +42,7 @@ def result_to_dict(result: RunResult) -> dict:
             if result.resilience is not None
             else None
         ),
+        "phase_times": [[name, seconds] for name, seconds in result.phase_times],
     }
 
 
@@ -62,6 +63,10 @@ def result_from_dict(data: dict) -> RunResult:
             if data.get("resilience") is not None
             else None
         ),
+        phase_times=tuple(
+            (str(name), float(seconds))
+            for name, seconds in data.get("phase_times") or ()
+        ),
     )
 
 
@@ -75,6 +80,8 @@ def metrics_dict(result: RunResult) -> dict:
     data = result_to_dict(result)
     for epoch in data["epochs"]:
         epoch.pop("balancer_time_s", None)
+    # Balancer phase times are wall clock too (Fig. 7 overhead data).
+    data.pop("phase_times", None)
     return data
 
 

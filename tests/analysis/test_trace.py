@@ -36,6 +36,9 @@ class TestRows:
             result.instructions
         )
 
+    def test_healthy_epochs_are_not_degenerate(self, result):
+        assert all(r["degenerate"] is False for r in epoch_rows(result))
+
     def test_core_rows_cover_platform(self, result):
         rows = core_rows(result)
         assert len(rows) == 4

@@ -1,0 +1,43 @@
+"""Shared fixtures for the observability suite.
+
+One traced SmartBalance run (with the combined fault scenario, so
+fault/mitigation/migration events all appear) is executed once and
+shared across every test module in this package.
+"""
+
+import pytest
+
+from repro.obs import ObsContext
+from repro.runner.engine import execute_spec
+from repro.runner.spec import RunSpec
+
+#: The reference traced job: small enough to run in ~1 s, rich enough
+#: to exercise every event type except degradation-free paths.
+TRACED_SPEC = RunSpec(
+    workload="Mix1",
+    platform="biglittle",
+    threads=6,
+    balancer="smartbalance",
+    n_epochs=6,
+    seed=3,
+    faults="combined",
+)
+
+
+@pytest.fixture(scope="package")
+def traced_spec():
+    """The reference spec itself (for digest-comparison reruns)."""
+    return TRACED_SPEC
+
+
+@pytest.fixture(scope="package")
+def traced():
+    """(ObsContext, RunResult) of the reference traced run."""
+    obs = ObsContext()
+    result = execute_spec(TRACED_SPEC, obs=obs)
+    return obs, result
+
+
+@pytest.fixture(scope="package")
+def traced_events(traced):
+    return traced[0].tracer.events

@@ -1,0 +1,136 @@
+"""JSONL and Chrome ``trace_event`` export.
+
+The JSONL stream must round-trip exactly; the Chrome trace must be a
+structurally valid ``trace_event`` document (Perfetto-loadable): every
+record carries ``ph``/``pid``/``tid``/``ts``, slices have durations,
+per-core tracks are named, counters chart IPS/Watt and migrations.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    deterministic_events,
+    to_chrome_trace,
+    validate_events,
+)
+from repro.obs.export import (
+    CORE_TRACK_BASE,
+    dumps_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+class TestJsonl:
+    def test_round_trip_is_exact(self, traced_events, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(traced_events, str(path))
+        assert read_jsonl(str(path)) == traced_events
+
+    def test_one_compact_line_per_event(self, traced_events):
+        text = dumps_jsonl(traced_events)
+        lines = text.strip().split("\n")
+        assert len(lines) == len(traced_events)
+        # Compact separators, sorted keys.
+        assert ": " not in lines[0]
+        parsed = json.loads(lines[0])
+        assert list(parsed) == sorted(parsed)
+
+    def test_blank_lines_ignored(self, traced_events, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(dumps_jsonl(traced_events[:3]) + "\n\n")
+        assert len(read_jsonl(str(path))) == 3
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "run_end", "t_s": 0.0}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2: invalid JSON"):
+            read_jsonl(str(path))
+
+
+class TestSchemaValidation:
+    def test_real_trace_is_clean(self, traced_events):
+        assert validate_events(traced_events) == []
+
+    def test_unknown_type_rejected(self):
+        errors = validate_events([{"type": "quantum_leap", "t_s": 0.0}])
+        assert len(errors) == 1
+        assert "quantum_leap" in errors[0]
+
+    def test_missing_required_field_rejected(self):
+        errors = validate_events(
+            [{"type": "migration", "t_s": 0.0, "tid": 1, "from_core": 0}]
+        )
+        assert errors and "to_core" in errors[0]
+
+    def test_error_carries_event_index(self):
+        errors = validate_events(
+            [
+                {"type": "run_end", "t_s": 0.0, "duration_s": 1.0,
+                 "instructions": 1, "energy_j": 1.0, "migrations": 0},
+                {"type": "nope", "t_s": 0.0},
+            ]
+        )
+        assert errors[0].startswith("event 1")
+
+    def test_deterministic_events_drops_wall_clock(self, traced_events):
+        filtered = deterministic_events(traced_events)
+        assert all(e["type"] != "phase_profile" for e in filtered)
+        assert len(filtered) == len(traced_events) - 1
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def chrome(self, traced_events):
+        return to_chrome_trace(traced_events)
+
+    def test_document_shape(self, chrome):
+        assert set(chrome) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(chrome["traceEvents"], list)
+        # Must survive JSON serialisation (what write_chrome_trace does).
+        json.dumps(chrome)
+
+    def test_every_record_is_well_formed(self, chrome):
+        for record in chrome["traceEvents"]:
+            assert {"ph", "pid", "name"} <= set(record)
+            if record["ph"] in ("X", "i"):
+                # Slices and instants live on a concrete track.
+                assert "tid" in record
+            if record["ph"] != "M":
+                assert record["ts"] >= 0
+            if record["ph"] == "X":
+                assert record["dur"] > 0
+
+    def test_per_core_tracks_are_named(self, chrome):
+        names = [r for r in chrome["traceEvents"] if r["ph"] == "M"]
+        thread_names = {
+            r["tid"]: r["args"]["name"]
+            for r in names
+            if r["name"] == "thread_name"
+        }
+        # 8 cores on big.LITTLE plus the balancer track.
+        core_tracks = [t for t in thread_names if t >= CORE_TRACK_BASE]
+        assert len(core_tracks) == 8
+        assert any("A15" in thread_names[t] for t in core_tracks)
+        assert any("A7" in thread_names[t] for t in core_tracks)
+
+    def test_epoch_slices_cover_all_cores(self, chrome):
+        slices = [r for r in chrome["traceEvents"] if r["ph"] == "X"]
+        # 6 epochs x 8 per-core rows.
+        assert len(slices) == 48
+        assert {r["tid"] for r in slices} == {
+            CORE_TRACK_BASE + core for core in range(8)
+        }
+
+    def test_counters_chart_efficiency_and_migrations(self, chrome):
+        counters = [r for r in chrome["traceEvents"] if r["ph"] == "C"]
+        names = {r["name"] for r in counters}
+        assert "ips_per_watt" in names
+        assert "migrations" in names
+
+    def test_instants_cover_balancer_faults_and_defences(self, chrome):
+        instants = [r for r in chrome["traceEvents"] if r["ph"] == "i"]
+        categories = {r["cat"] for r in instants}
+        assert {"balancer", "fault", "defence", "migration"} <= categories

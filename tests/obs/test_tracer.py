@@ -1,0 +1,126 @@
+"""Tracer semantics and the no-op guarantee.
+
+The headline contract of ``repro.obs``: enabling tracing must not
+change a single simulated quantity.  ``metrics_digest`` (which already
+excludes wall-clock fields) is compared between a traced and an
+untraced run of the same spec.
+"""
+
+from repro.obs import NULL_OBS, ObsContext, Tracer, validate_events
+from repro.obs.tracer import NULL_TRACER
+from repro.runner.engine import execute_spec
+from repro.runner.serialize import metrics_digest
+
+
+class TestTracer:
+    def test_emit_records_type_and_timestamp(self):
+        tracer = Tracer()
+        tracer.emit("run_start", 0.0, balancer="none")
+        assert tracer.events == [
+            {"type": "run_start", "t_s": 0.0, "balancer": "none"}
+        ]
+
+    def test_disabled_tracer_buffers_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit("run_start", 0.0, balancer="none")
+        assert tracer.events == []
+        assert len(tracer) == 0
+        assert not tracer
+
+    def test_null_tracer_is_shared_and_inert(self):
+        before = len(NULL_TRACER)
+        NULL_TRACER.emit("epoch_start", 1.0, epoch=0)
+        assert len(NULL_TRACER) == before == 0
+
+    def test_by_type_groups(self):
+        tracer = Tracer()
+        tracer.emit("epoch_start", 0.0, epoch=0)
+        tracer.emit("epoch_end", 0.1, epoch=0)
+        tracer.emit("epoch_start", 0.1, epoch=1)
+        assert len(tracer.by_type("epoch_start")) == 2
+        assert len(tracer.by_type("epoch_end")) == 1
+
+    def test_clear_empties_buffer(self):
+        tracer = Tracer()
+        tracer.emit("epoch_start", 0.0, epoch=0)
+        tracer.clear()
+        assert tracer.events == []
+
+
+class TestObsContext:
+    def test_default_context_is_enabled(self):
+        obs = ObsContext()
+        assert obs.enabled and bool(obs)
+        assert obs.tracer.enabled
+
+    def test_null_obs_is_disabled(self):
+        assert not NULL_OBS.enabled
+        assert not NULL_OBS
+        assert not NULL_OBS.tracer.enabled
+
+    def test_disabled_span_skips_metrics(self):
+        obs = ObsContext(enabled=False)
+        with obs.span("sense"):
+            pass
+        assert obs.metrics.snapshot()["timings"] == {}
+
+    def test_enabled_span_records_timing(self):
+        obs = ObsContext()
+        with obs.span("sense") as span:
+            pass
+        assert span.elapsed_s >= 0.0
+        assert "span.sense" in obs.metrics.snapshot()["timings"]
+
+
+class TestNoOpGuarantee:
+    """Tracing on vs tracing off: identical simulated results."""
+
+    def test_traced_run_matches_untraced_digest(self, traced, traced_spec):
+        obs, traced_result = traced
+        untraced_result = execute_spec(traced_spec)
+        assert metrics_digest(traced_result) == metrics_digest(untraced_result)
+        # And the trace itself is substantial + schema-clean.
+        assert len(obs.tracer.events) > 50
+        assert validate_events(obs.tracer.events) == []
+
+    def test_untraced_run_leaves_null_obs_empty(self, traced_spec):
+        execute_spec(traced_spec)
+        assert len(NULL_OBS.tracer) == 0
+        assert NULL_OBS.metrics.snapshot()["counters"] == {}
+
+
+class TestEventStream:
+    def test_stream_brackets_run(self, traced_events):
+        assert traced_events[0]["type"] == "run_start"
+        types = [e["type"] for e in traced_events]
+        assert "run_end" in types
+        assert types.index("run_end") > types.index("epoch_end")
+
+    def test_timestamps_use_simulation_time(self, traced_events):
+        # 6 epochs x 10 periods x 5 ms: every timestamp inside [0, 0.4].
+        for event in traced_events:
+            assert 0.0 <= event["t_s"] <= 0.4
+
+    def test_epoch_events_pair_up(self, traced_events):
+        starts = [e for e in traced_events if e["type"] == "epoch_start"]
+        ends = [e for e in traced_events if e["type"] == "epoch_end"]
+        assert len(starts) == len(ends) == 6
+        assert [e["epoch"] for e in ends] == list(range(6))
+
+    def test_epoch_end_carries_per_core_breakdown(self, traced_events):
+        end = next(e for e in traced_events if e["type"] == "epoch_end")
+        assert len(end["per_core"]) == 8  # big.LITTLE octa
+        for row in end["per_core"]:
+            assert set(row) == {"core", "instructions", "energy_j", "busy_s"}
+
+    def test_anneal_events_sample_convergence(self, traced_events):
+        anneals = [e for e in traced_events if e["type"] == "anneal"]
+        assert anneals, "expected at least one anneal event"
+        for event in anneals:
+            samples = event.get("samples")
+            assert samples, "anneal event should carry convergence samples"
+            assert samples[0]["iteration"] == 0
+            assert samples[-1]["iteration"] == event["iterations"]
+            bests = [s["best"] for s in samples]
+            # best-so-far is monotonically non-decreasing (maximisation).
+            assert all(b2 >= b1 for b1, b2 in zip(bests, bests[1:]))

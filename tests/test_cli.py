@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.cli import main, make_balancer, make_platform, make_workload
+from repro.obs import validate_events
+from repro.obs.export import read_jsonl
 
 
 class TestResolvers:
@@ -82,3 +84,59 @@ class TestCommands:
         assert main(["train", "--output", str(out)]) == 0
         model = json.loads(out.read_text())
         assert "theta" in model and "power_lines" in model
+
+
+class TestObservability:
+    RUN_ARGS = [
+        "run", "--workload", "MTMI", "--threads", "4",
+        "--platform", "biglittle", "--balancer", "smartbalance",
+        "--epochs", "3",
+    ]
+
+    def test_log_level_flag_accepted(self, capsys):
+        assert main(["--log-level", "debug", "list"]) == 0
+
+    def test_trace_out_jsonl_is_schema_clean(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(self.RUN_ARGS + ["--trace-out", str(trace)]) == 0
+        events = read_jsonl(str(trace))
+        assert events[0]["type"] == "run_start"
+        assert validate_events(events) == []
+        assert "event trace" in capsys.readouterr().out
+
+    def test_trace_out_json_is_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.trace.json"
+        assert main(self.RUN_ARGS + ["--trace-out", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert any(r["ph"] == "X" for r in doc["traceEvents"])
+        assert "Chrome trace" in capsys.readouterr().out
+
+    def test_report_renders_prediction_table(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(self.RUN_ARGS + ["--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["report", str(trace), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "SmartBalance trace report" in out
+        assert "Prediction accuracy (abs % error, Table 4)" in out
+        assert "Annealer convergence (Algorithm 1)" in out
+
+    def test_report_writes_json(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        main(self.RUN_ARGS + ["--trace-out", str(trace)])
+        report_path = tmp_path / "report.json"
+        assert main(["report", str(trace), "--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["epochs"] == 3
+        assert "prediction_accuracy" in report
+
+    def test_report_validate_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "warp_drive", "t_s": 0.0}\n')
+        with pytest.raises(SystemExit, match="schema validation"):
+            main(["report", str(bad), "--validate"])
+
+    def test_report_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["report", str(tmp_path / "absent.jsonl")])
