@@ -1,0 +1,113 @@
+"""Benchmarks for the job-service layer.
+
+Two claims the service makes, measured against a live in-process
+server:
+
+1. the service adds bounded overhead over direct execution — the HTTP
+   + queue + process-per-job path must stay within a small multiple of
+   a bare ``run_specs`` call on the same grid;
+2. coalescing does its job — N clients racing to submit one spec cost
+   one execution, and a warm result cache answers submissions without
+   starting any worker at all.
+"""
+
+import threading
+import time
+
+from repro.runner import ResultCache, RunSpec, metrics_digest, run_specs
+from repro.service import Client, serve_in_thread
+
+#: A small grid: 2 workloads x 2 balancers at a modest epoch count.
+GRID = [
+    RunSpec(workload=w, threads=4, balancer=b, n_epochs=8)
+    for w in ("MTMI", "HTHI")
+    for b in ("vanilla", "smartbalance")
+]
+
+
+def bench_service_vs_direct(benchmark, runner_jobs):
+    """Wall clock of the grid through the service vs direct run_specs."""
+    t0 = time.perf_counter()
+    direct = run_specs(GRID, jobs=runner_jobs)
+    t_direct = time.perf_counter() - t0
+
+    def through_service():
+        with serve_in_thread(jobs=runner_jobs, linger_s=0) as handle:
+            client = Client(port=handle.port)
+            jobs = client.submit(GRID)
+            return [client.wait_result(job["id"], timeout_s=300)
+                    for job in jobs]
+
+    t0 = time.perf_counter()
+    served = benchmark.pedantic(through_service, rounds=1, iterations=1)
+    t_service = time.perf_counter() - t0
+
+    assert [metrics_digest(r) for r in served] == \
+           [metrics_digest(r) for r in direct], "service changed results"
+    benchmark.extra_info["t_direct_s"] = t_direct
+    benchmark.extra_info["t_service_s"] = t_service
+    benchmark.extra_info["overhead_x"] = t_service / t_direct
+    # Process-per-job + HTTP polling must stay within a small multiple
+    # of the bare engine on a real grid (generous bound: CI boxes are
+    # noisy and the grid is deliberately small).
+    assert t_service <= t_direct * 3 + 2.0, (
+        f"service path {t_service:.2f}s vs direct {t_direct:.2f}s"
+    )
+
+
+def bench_service_coalescing(benchmark):
+    """8 racing clients, one execution: dedup under concurrent load."""
+    spec = RunSpec(workload="MTMI", threads=4, balancer="vanilla",
+                   n_epochs=8, seed=17)
+    blocker = RunSpec(workload="MTMI", threads=8, balancer="vanilla",
+                      n_epochs=4000, seed=18)
+
+    def race():
+        with serve_in_thread(jobs=1, linger_s=0) as handle:
+            client = Client(port=handle.port)
+            # Occupy the single slot so every racing submission lands
+            # while the target spec is queued.
+            (occupier,) = client.submit(blocker)
+            barrier = threading.Barrier(8)
+            jobs = []
+
+            def submit():
+                c = Client(port=handle.port)
+                barrier.wait(timeout=30)
+                jobs.extend(c.submit(spec))
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            client.cancel(occupier["id"])
+            results = [client.wait_result(job["id"], timeout_s=300)
+                       for job in jobs]
+            return results, client.metrics()["counters"]
+
+    results, counters = benchmark.pedantic(race, rounds=1, iterations=1)
+    assert len({metrics_digest(r) for r in results}) == 1
+    assert counters["service.executions.started"] == 2  # blocker + spec
+    assert counters["service.jobs.coalesced"] == 7
+    benchmark.extra_info["coalesced"] = counters["service.jobs.coalesced"]
+
+
+def bench_service_warm_cache(benchmark, tmp_path):
+    """A warm shared cache answers submissions with zero executions."""
+    cache_dir = tmp_path / "cache"
+    run_specs(GRID, cache=ResultCache(cache_dir))  # pre-warm directly
+
+    def warm():
+        with serve_in_thread(jobs=1, cache=ResultCache(cache_dir),
+                             linger_s=0) as handle:
+            client = Client(port=handle.port)
+            jobs = client.submit(GRID)
+            assert all(job["from_cache"] for job in jobs)
+            results = [client.result(job["id"]) for job in jobs]
+            return results, client.metrics()["counters"]
+
+    results, counters = benchmark.pedantic(warm, rounds=1, iterations=1)
+    assert counters["service.cache.hits"] == len(GRID)
+    assert counters.get("service.executions.started", 0) == 0
+    assert len(results) == len(GRID)

@@ -91,7 +91,12 @@ def print_resilience(result) -> None:
     )
 
 
-def cmd_list(_args) -> int:
+def cmd_list(args) -> int:
+    from repro.runner.factories import catalogue
+
+    if getattr(args, "json", False):
+        user_output(json.dumps(catalogue(), indent=2, sort_keys=True))
+        return 0
     user_output("platforms :", ", ".join(sorted(PLATFORMS)), "+ hmp:<n>")
     user_output("balancers :", ", ".join(sorted(BALANCERS) + ["smartbalance"]))
     user_output("imb       :", ", ".join(IMB_CONFIGS))
@@ -297,6 +302,123 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _spec_payload_from_args(args) -> dict:
+    """The job payload equivalent to ``repro run``'s flags."""
+    payload = {
+        "workload": args.workload,
+        "platform": args.platform,
+        "threads": args.threads,
+        "balancer": args.balancer,
+        "n_epochs": args.epochs,
+        "seed": args.seed,
+        "mitigations": not args.no_mitigations,
+    }
+    if args.faults:
+        payload["faults"] = args.faults
+        if args.fault_seed is not None:
+            payload["fault_seed"] = args.fault_seed
+    return payload
+
+
+def cmd_serve(args) -> int:
+    """Run the job service until SIGTERM/SIGINT, then drain."""
+    from repro.runner import resolve_jobs
+    from repro.service.lifecycle import run_service
+
+    return run_service(
+        host=args.host,
+        port=args.port,
+        jobs=resolve_jobs(args.jobs),
+        queue_depth=args.queue_depth,
+        cache=_experiment_cache(args),
+        trace_dir=args.trace_dir,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running service; optionally wait/follow."""
+    from repro.service.client import Client, ServiceError
+
+    client = Client(host=args.host, port=args.port)
+    try:
+        (job,) = client.submit(
+            _spec_payload_from_args(args),
+            priority=args.priority,
+            timeout_s=args.timeout,
+        )
+    except ServiceError as exc:
+        if exc.status == 429 and exc.retry_after_s is not None:
+            _log.error("%s (Retry-After: %.0fs)", exc, exc.retry_after_s)
+        else:
+            _log.error("%s", exc)
+        return 1
+    user_output(f"submitted {job['id']} ({job['label']}, "
+                f"status {job['status']})")
+    if args.follow:
+        for event in client.events(job["id"]):
+            user_output(json.dumps(event, sort_keys=True))
+    if args.wait or args.follow:
+        final = client.wait(job["id"], timeout_s=args.wait_timeout)
+        if final["status"] != "done":
+            _log.error("job %s ended %s: %s",
+                       job["id"], final["status"], final.get("error"))
+            return 1
+        from repro.runner.serialize import result_from_dict
+
+        result = result_from_dict(final["result"])
+        user_output(
+            f"{result.balancer_name} on {result.platform_name}: "
+            f"{result.ips_per_watt:.4e} instructions/J, "
+            f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
+            f"{result.migrations} migrations "
+            f"(attempts {result.attempts})"
+        )
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Show one job (or all jobs) of a running service."""
+    from repro.service.client import Client, ServiceError
+
+    client = Client(host=args.host, port=args.port)
+    try:
+        if args.job_id is None:
+            jobs = client.jobs()
+            if args.json:
+                user_output(json.dumps({"jobs": jobs}, indent=2, sort_keys=True))
+                return 0
+            health = client.health()
+            user_output(
+                f"service {health['state']}: {health['queued']} queued, "
+                f"{health['running']} running, "
+                f"queue depth {health['queue_depth']}, "
+                f"{health['worker_slots']} worker slot(s)"
+            )
+            for job in jobs:
+                user_output(
+                    f"  {job['id']}  {job['status']:<9}  {job['label']}"
+                    + (f"  [{job['error']}]" if job.get("error") else "")
+                )
+            return 0
+        if args.cancel:
+            job = client.cancel(args.job_id)
+        else:
+            job = client.status(args.job_id)
+    except ServiceError as exc:
+        _log.error("%s", exc)
+        return 1
+    if args.json:
+        user_output(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        line = (f"{job['id']}  {job['status']}  {job['label']}  "
+                f"attempts={job['attempts']}")
+        if job.get("error"):
+            line += f"  error={job['error']}"
+        user_output(line)
+    return 0
+
+
 def cmd_train(args) -> int:
     from repro.core.training import train_predictor
     from repro.hardware.features import BUILTIN_TYPES
@@ -325,7 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list platforms, balancers and workloads")
+    lst = sub.add_parser("list", help="list platforms, balancers and workloads")
+    lst.add_argument(
+        "--json", action="store_true",
+        help="machine-readable catalogue (the same source of truth the "
+        "job-service API validates against)",
+    )
 
     run = sub.add_parser("run", help="simulate one workload under one balancer")
     run.add_argument("--platform", default="quad")
@@ -437,6 +564,97 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--output", default="predictor.json")
     train.add_argument("--seed", type=int, default=7)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async job service (HTTP/JSON API over the runner)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listen port (default: REPRO_SERVICE_PORT or 8642; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker slots (default: REPRO_JOBS or serial)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="admission bound; a full queue answers HTTP 429 "
+        "(default: REPRO_SERVICE_QUEUE_DEPTH or 64)",
+    )
+    serve.add_argument(
+        "--cache", action="store_true",
+        help="serve repeated specs from the on-disk result cache",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (implies --cache)",
+    )
+    serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="flush per-spec event traces here on shutdown",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=300.0,
+        help="seconds to wait for in-flight jobs on SIGTERM/SIGINT "
+        "before terminating them (default: 300)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running `repro serve`"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument(
+        "--port", type=int, default=None,
+        help="service port (default: REPRO_SERVICE_PORT or 8642)",
+    )
+    submit.add_argument("--platform", default="quad")
+    submit.add_argument("--workload", required=True)
+    submit.add_argument("--threads", type=int, default=8)
+    submit.add_argument("--balancer", default="smartbalance")
+    submit.add_argument("--epochs", type=int, default=40)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--faults", choices=SCENARIOS,
+        help="inject a named fault scenario into the run",
+    )
+    submit.add_argument("--fault-seed", type=int, default=None)
+    submit.add_argument("--no-mitigations", action="store_true")
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduling priority (higher runs first)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job execution timeout in seconds",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its summary",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's NDJSON events to stdout (implies --wait)",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=None,
+        help="give up waiting after this many seconds",
+    )
+
+    status = sub.add_parser(
+        "status", help="inspect jobs on a running `repro serve`"
+    )
+    status.add_argument("job_id", nargs="?", default=None, metavar="JOB_ID")
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument(
+        "--port", type=int, default=None,
+        help="service port (default: REPRO_SERVICE_PORT or 8642)",
+    )
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    status.add_argument("--cancel", action="store_true",
+                        help="cancel the given job")
+
     return parser
 
 
@@ -451,6 +669,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "report": cmd_report,
         "train": cmd_train,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
     }
     return handlers[args.command](args)
 

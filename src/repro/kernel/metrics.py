@@ -141,6 +141,11 @@ class RunResult:
     #: time, not simulation time: excluded from the determinism
     #: fingerprint like ``EpochRecord.balancer_time_s``.
     phase_times: tuple[tuple[str, float], ...] = ()
+    #: How many executions it took to produce this result (1 = first
+    #: try; >1 means ``on_error="retry"`` recovered a crashed worker).
+    #: Host-side execution telemetry, excluded from the determinism
+    #: fingerprint like ``phase_times``.
+    attempts: int = 1
 
     @property
     def ips_per_watt(self) -> float:

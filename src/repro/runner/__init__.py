@@ -8,22 +8,37 @@ package version.  See :mod:`repro.runner.engine` for the execution
 model and the determinism guarantees the test suite enforces.
 """
 
-from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.engine import (
-    JOBS_ENV,
+    DEFAULT_RETRIES,
     SweepExperiment,
     execute_spec,
-    resolve_jobs,
+    retry_delays,
     run_spec,
     run_specs,
     run_sweep,
 )
+from repro.runner.env import (
+    CACHE_DIR_ENV,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SERVICE_PORT,
+    JOBS_ENV,
+    SERVICE_PORT_ENV,
+    SERVICE_QUEUE_DEPTH_ENV,
+    env_int,
+    env_str,
+    resolve_jobs,
+    resolve_queue_depth,
+    resolve_service_port,
+)
 from repro.runner.factories import (
     BALANCERS,
     PLATFORMS,
+    catalogue,
     make_balancer,
     make_platform,
     make_workload,
+    workload_names,
 )
 from repro.runner.serialize import (
     metrics_dict,
@@ -42,6 +57,10 @@ __all__ = [
     "run_sweep",
     "execute_spec",
     "resolve_jobs",
+    "resolve_service_port",
+    "resolve_queue_depth",
+    "retry_delays",
+    "DEFAULT_RETRIES",
     "derive_seed",
     "config_fingerprint",
     "metrics_dict",
@@ -52,9 +71,17 @@ __all__ = [
     "make_platform",
     "make_workload",
     "make_balancer",
+    "catalogue",
+    "workload_names",
     "PLATFORMS",
     "BALANCERS",
     "JOBS_ENV",
     "CACHE_DIR_ENV",
+    "SERVICE_PORT_ENV",
+    "SERVICE_QUEUE_DEPTH_ENV",
+    "DEFAULT_SERVICE_PORT",
+    "DEFAULT_QUEUE_DEPTH",
+    "env_int",
+    "env_str",
     "CACHE_FORMAT",
 ]

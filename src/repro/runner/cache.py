@@ -22,18 +22,20 @@ from pathlib import Path
 from typing import Optional
 
 from repro.kernel.metrics import RunResult
+from repro.obs.log import get_logger
+from repro.runner.env import CACHE_DIR_ENV, env_str  # noqa: F401 (re-export)
 from repro.runner.serialize import result_from_dict, result_to_dict
 from repro.runner.spec import RunSpec
 
-#: Environment override for the cache location.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+_log = get_logger("runner.cache")
+
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("benchmarks", "out", "cache")
 
 
 def default_cache_dir() -> Path:
     """Resolve the cache directory (env override, else the default)."""
-    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+    return Path(env_str(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
 class ResultCache:
@@ -57,8 +59,14 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, KeyError, TypeError, ValueError):
-            # Corrupt or foreign file: drop it and treat as a miss.
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            # Corrupt, truncated or foreign file: a bad entry must
+            # never crash a sweep.  Log it, evict it and recompute.
+            _log.warning(
+                "evicting unreadable cache entry %s (%s: %s); "
+                "the result will be recomputed",
+                path, type(exc).__name__, exc,
+            )
             try:
                 path.unlink()
             except OSError:

@@ -19,34 +19,42 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import time
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.kernel.metrics import RunResult
 from repro.kernel.simulator import System
+from repro.obs.log import get_logger
 from repro.runner.cache import ResultCache
+from repro.runner.env import JOBS_ENV, resolve_jobs  # noqa: F401 (re-export)
 from repro.runner.factories import make_balancer, make_platform, make_workload
 from repro.runner.spec import RunSpec
 
-#: Environment knob for the default worker count.
-JOBS_ENV = "REPRO_JOBS"
+_log = get_logger("runner.engine")
+
+#: Default number of *re*-executions after a first failure under
+#: ``on_error="retry"`` (so a job runs at most ``1 + DEFAULT_RETRIES``
+#: times).
+DEFAULT_RETRIES = 2
+#: First retry delay; doubles on every subsequent attempt.
+RETRY_BASE_DELAY_S = 0.05
+RETRY_BACKOFF_FACTOR = 2.0
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: explicit arg > ``REPRO_JOBS`` env > 1."""
-    if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        if raw:
-            try:
-                jobs = int(raw)
-            except ValueError:
-                raise ValueError(
-                    f"{JOBS_ENV} must be an integer, got {raw!r}"
-                ) from None
-        else:
-            return 1
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
+def retry_delays(
+    retries: int,
+    base_s: float = RETRY_BASE_DELAY_S,
+    factor: float = RETRY_BACKOFF_FACTOR,
+) -> "list[float]":
+    """The deterministic exponential-backoff schedule for ``retries``
+    re-executions: ``[base, base*factor, base*factor**2, ...]``.
+
+    Pure function of its arguments — no jitter — so tests, the sweep
+    engine and the job service all agree on the exact waits.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    return [base_s * factor**i for i in range(retries)]
 
 
 def execute_spec(spec: RunSpec, obs=None) -> RunResult:
@@ -137,6 +145,37 @@ def _execute_traced(spec: RunSpec, trace_dir: str) -> RunResult:
     return result
 
 
+def _retry_job(
+    spec: RunSpec,
+    first_error: _JobError,
+    trace_dir: Optional[str],
+    retries: int,
+) -> RunResult:
+    """Re-execute a failed job with exponential backoff.
+
+    Runs serially in the parent (crashes are rare, so the lost
+    parallelism is negligible) and returns the recovered result with
+    its ``attempts`` count stamped in; raises ``RuntimeError`` once the
+    attempt budget is exhausted.
+    """
+    error = first_error
+    attempt = 1
+    for delay in retry_delays(retries):
+        _log.warning(
+            "job %s failed on attempt %d (%s); retrying in %.3fs",
+            spec.label(), attempt, error.error, delay,
+        )
+        time.sleep(delay)
+        attempt += 1
+        outcome = _execute_indexed((0, spec, trace_dir))[1]
+        if not isinstance(outcome, _JobError):
+            return dataclasses.replace(outcome, attempts=attempt)
+        error = outcome
+    raise RuntimeError(
+        f"job {error.label} failed after {attempt} attempt(s): {error.error}"
+    )
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
@@ -144,6 +183,7 @@ def run_specs(
     base_seed: Optional[int] = None,
     on_error: str = "raise",
     trace_dir: Optional[str] = None,
+    retries: int = DEFAULT_RETRIES,
 ) -> "list[RunResult]":
     """Execute a batch of jobs; results come back in request order.
 
@@ -155,7 +195,11 @@ def run_specs(
     * ``on_error`` — ``"raise"`` propagates a worker crash;
       ``"none"`` maps the crashed job's result to ``None`` (used by the
       resilience experiment, where an unmitigated run is *allowed* to
-      die and scores zero retention).
+      die and scores zero retention); ``"retry"`` re-executes a failed
+      job up to ``retries`` more times with deterministic exponential
+      backoff (:func:`retry_delays`) before giving up with the usual
+      ``RuntimeError``.  The attempt count of every job is reported in
+      ``RunResult.attempts``.
     * ``trace_dir`` — when given, every executed job runs with
       observability on and writes ``<spec_key>.jsonl`` +
       ``<spec_key>.metrics.json`` into the directory (worker-side, so
@@ -166,8 +210,10 @@ def run_specs(
     Identical specs are executed once and fanned back out to every
     requesting position.
     """
-    if on_error not in ("raise", "none"):
-        raise ValueError(f"on_error must be 'raise' or 'none', got {on_error!r}")
+    if on_error not in ("raise", "none", "retry"):
+        raise ValueError(
+            f"on_error must be 'raise', 'none' or 'retry', got {on_error!r}"
+        )
     if trace_dir is not None:
         cache = None
     ordered = list(specs)
@@ -216,6 +262,12 @@ def run_specs(
                     raise RuntimeError(
                         f"job {outcome.label} failed: {outcome.error}"
                     )
+                if on_error == "retry":
+                    recovered = _retry_job(spec, outcome, trace_dir, retries)
+                    results[index] = recovered
+                    if cache is not None:
+                        cache.put(spec, recovered)
+                    continue
                 results[index] = None
             elif cache is not None:
                 cache.put(spec, outcome)

@@ -1,0 +1,111 @@
+"""One home for every ``REPRO_*`` environment knob.
+
+The runner, the CLI, the benchmark fixtures and the job service all
+read their defaults from the process environment.  Before this module
+each consumer parsed its own variable (and disagreed subtly about
+error handling); now the variable names and the parsing rules live
+here and everyone shares them:
+
+========================== ===========================================
+``REPRO_JOBS``             default worker count of the sweep engine
+``REPRO_CACHE_DIR``        on-disk result-cache location
+``REPRO_SERVICE_PORT``     default port of ``repro serve`` / clients
+``REPRO_SERVICE_QUEUE_DEPTH``  admission-control bound of the service
+========================== ===========================================
+
+Parsing is strict on purpose: a malformed value raises ``ValueError``
+naming the variable instead of silently falling back — a typo in CI
+should fail loudly, not serialise a sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Environment knob for the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+#: Environment override for the result-cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment knob for the job-service port.
+SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
+#: Environment knob for the job-service queue bound.
+SERVICE_QUEUE_DEPTH_ENV = "REPRO_SERVICE_QUEUE_DEPTH"
+
+#: Port ``repro serve`` binds when neither ``--port`` nor the
+#: environment says otherwise.
+DEFAULT_SERVICE_PORT = 8642
+#: Queued-job bound when neither ``--queue-depth`` nor the environment
+#: says otherwise (admissions beyond it are refused with HTTP 429).
+DEFAULT_QUEUE_DEPTH = 64
+
+
+def env_int(
+    name: str, default: Optional[int] = None, minimum: Optional[int] = None
+) -> Optional[int]:
+    """Parse an integer environment variable.
+
+    Unset or blank returns ``default``; a malformed or out-of-range
+    value raises ``ValueError`` naming the variable.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """An environment string, or ``default`` when unset/blank."""
+    raw = os.environ.get(name, "").strip()
+    return raw if raw else default
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        jobs = env_int(JOBS_ENV, default=1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_service_port(port: Optional[int] = None) -> int:
+    """Service port: explicit arg > ``REPRO_SERVICE_PORT`` > default.
+
+    ``0`` is allowed and means "bind an ephemeral port" (tests use it).
+    """
+    if port is None:
+        port = env_int(SERVICE_PORT_ENV, default=DEFAULT_SERVICE_PORT)
+    if port < 0 or port > 65535:
+        raise ValueError(f"service port must be in [0, 65535], got {port}")
+    return port
+
+
+def resolve_queue_depth(depth: Optional[int] = None) -> int:
+    """Queue bound: explicit arg > ``REPRO_SERVICE_QUEUE_DEPTH`` > default."""
+    if depth is None:
+        depth = env_int(SERVICE_QUEUE_DEPTH_ENV, default=DEFAULT_QUEUE_DEPTH)
+    if depth < 1:
+        raise ValueError(f"queue depth must be >= 1, got {depth}")
+    return depth
+
+
+__all__ = [
+    "JOBS_ENV",
+    "CACHE_DIR_ENV",
+    "SERVICE_PORT_ENV",
+    "SERVICE_QUEUE_DEPTH_ENV",
+    "DEFAULT_SERVICE_PORT",
+    "DEFAULT_QUEUE_DEPTH",
+    "env_int",
+    "env_str",
+    "resolve_jobs",
+    "resolve_service_port",
+    "resolve_queue_depth",
+]

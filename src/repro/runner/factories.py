@@ -78,6 +78,38 @@ def make_workload(spec: str, n_threads: int, seed: int = 0):
     )
 
 
+def catalogue() -> dict:
+    """Machine-readable inventory of every resolvable name.
+
+    The single source of truth shared by ``repro list --json``, the
+    job-service API validation and the service client: anything listed
+    here resolves through :func:`make_platform` /
+    :func:`make_workload` / :func:`make_balancer`, and nothing else
+    does (plus the ``hmp:<n>`` platform pattern, described under
+    ``platform_patterns``).
+    """
+    from repro.faults import SCENARIOS
+
+    return {
+        "platforms": sorted(PLATFORMS),
+        "platform_patterns": ["hmp:<n>"],
+        "balancers": sorted(BALANCERS) + ["smartbalance"],
+        "workloads": {
+            "imb": list(IMB_CONFIGS),
+            "benchmarks": sorted(BENCHMARKS),
+            "mixes": sorted(MIXES),
+            "special": [RANDOM_WORKLOAD],
+        },
+        "faults": list(SCENARIOS),
+    }
+
+
+def workload_names() -> "set[str]":
+    """Every valid workload spec string (flat view of the catalogue)."""
+    names = catalogue()["workloads"]
+    return set().union(*names.values())
+
+
 def make_balancer(name: str, mitigations: bool = True) -> LoadBalancer:
     """Resolve a balancer name, including ``smartbalance``."""
     if name == "smartbalance":

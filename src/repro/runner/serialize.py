@@ -43,6 +43,7 @@ def result_to_dict(result: RunResult) -> dict:
             else None
         ),
         "phase_times": [[name, seconds] for name, seconds in result.phase_times],
+        "attempts": result.attempts,
     }
 
 
@@ -67,6 +68,7 @@ def result_from_dict(data: dict) -> RunResult:
             (str(name), float(seconds))
             for name, seconds in data.get("phase_times") or ()
         ),
+        attempts=int(data.get("attempts", 1)),
     )
 
 
@@ -80,8 +82,11 @@ def metrics_dict(result: RunResult) -> dict:
     data = result_to_dict(result)
     for epoch in data["epochs"]:
         epoch.pop("balancer_time_s", None)
-    # Balancer phase times are wall clock too (Fig. 7 overhead data).
+    # Balancer phase times are wall clock too (Fig. 7 overhead data),
+    # and the retry attempt count depends on host crashes, not on the
+    # simulation.
     data.pop("phase_times", None)
+    data.pop("attempts", None)
     return data
 
 

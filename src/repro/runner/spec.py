@@ -29,7 +29,7 @@ from repro.kernel.simulator import SimulationConfig
 
 #: Bumped whenever the cached result layout changes shape; part of the
 #: cache key, so old cache files simply miss instead of misparsing.
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
 
 
 def _code_version() -> str:

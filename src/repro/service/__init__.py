@@ -1,0 +1,48 @@
+"""``repro.service`` — the async job service on top of the runner.
+
+Where :func:`repro.runner.run_specs` is a one-shot in-process call,
+the service is the long-lived, multi-client front end: an HTTP/JSON
+API over asyncio that accepts :class:`~repro.runner.spec.RunSpec`
+-shaped jobs, schedules them on a bounded worker pool, coalesces
+duplicate specs onto one execution, serves finished specs straight
+from the :class:`~repro.runner.cache.ResultCache`, streams per-job
+:mod:`repro.obs` events as NDJSON, and drains gracefully on
+SIGTERM/SIGINT.  Everything is stdlib-only — asyncio sockets, no web
+framework — so ``repro serve`` adds no dependencies.
+
+Layers (one module each):
+
+* :mod:`repro.service.api` — request validation and payload <-> spec
+  translation, sharing one catalogue with ``repro list --json``;
+* :mod:`repro.service.jobqueue` — the bounded priority queue behind
+  admission control (full queue -> HTTP 429);
+* :mod:`repro.service.scheduler` — job registry, dedup/coalescing,
+  cache integration, the per-job worker processes with timeout,
+  cancellation and crash retry;
+* :mod:`repro.service.server` — the asyncio HTTP server and routes;
+* :mod:`repro.service.lifecycle` — signal handling and graceful
+  drain, plus the thread-hosted server used by tests and examples;
+* :mod:`repro.service.client` — the synchronous client the CLI verbs
+  (``repro submit`` / ``repro status``) and benchmarks use.
+"""
+
+from repro.service.api import ApiError, payload_from_spec, spec_from_payload
+from repro.service.client import Client, ServiceError
+from repro.service.jobqueue import BoundedPriorityQueue, QueueFull
+from repro.service.lifecycle import serve_in_thread
+from repro.service.scheduler import Job, Scheduler
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "ApiError",
+    "BoundedPriorityQueue",
+    "Client",
+    "Job",
+    "QueueFull",
+    "Scheduler",
+    "ServiceError",
+    "ServiceServer",
+    "payload_from_spec",
+    "serve_in_thread",
+    "spec_from_payload",
+]

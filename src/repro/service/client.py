@@ -1,0 +1,214 @@
+"""Thin synchronous client for the job service.
+
+Stdlib ``http.client`` only — the client side must be as
+dependency-free as the server.  One request per connection (matching
+the server's ``Connection: close`` policy); the NDJSON event stream is
+exposed as a plain generator of dicts.
+
+Typical use::
+
+    from repro.runner import RunSpec
+    from repro.service import Client
+
+    client = Client(port=8642)
+    (job,) = client.submit(RunSpec(workload="MTMI", threads=4))
+    result = client.wait_result(job["id"])      # a real RunResult
+    for event in client.events(job["id"]):      # or stream while it runs
+        ...
+
+Errors surface as :class:`ServiceError` carrying the HTTP status and
+the server's JSON error body — a 429 additionally exposes
+``retry_after_s`` so callers can implement polite backoff.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.kernel.metrics import RunResult
+from repro.runner.env import resolve_service_port
+from repro.runner.serialize import result_from_dict
+from repro.runner.spec import RunSpec
+from repro.service.api import payload_from_spec
+from repro.service.scheduler import TERMINAL_STATES
+
+SpecLike = Union[RunSpec, dict]
+
+
+class ServiceError(Exception):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, payload: object,
+                 retry_after_s: Optional[float] = None) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after_s = retry_after_s
+
+
+class Client:
+    """Synchronous HTTP client bound to one service address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = resolve_service_port(port)
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        connection = self._connection()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                document = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    response.status, document,
+                    retry_after_s=float(retry_after) if retry_after else None,
+                )
+            return document
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(self, specs: Union[SpecLike, Sequence[SpecLike]],
+               priority: int = 0,
+               timeout_s: Optional[float] = None) -> "list[dict]":
+        """Submit one spec or a sweep; returns the accepted job dicts.
+
+        A full queue raises :class:`ServiceError` with status 429 and
+        ``retry_after_s`` set — sweeps refused part-way report the
+        already-accepted jobs in ``error.payload["accepted"]``.
+        """
+        if isinstance(specs, (RunSpec, dict)):
+            specs = [specs]
+        payloads = [
+            payload_from_spec(s) if isinstance(s, RunSpec) else s
+            for s in specs
+        ]
+        body: dict = {"priority": priority}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        if len(payloads) == 1:
+            body["spec"] = payloads[0]
+        else:
+            body["specs"] = payloads
+        return self._request("POST", "/v1/jobs", body)["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """Current job dict (includes ``result`` once done)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> "list[dict]":
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout_s: Optional[float] = None,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its final dict."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            document = self.status(job_id)
+            if document["status"] in TERMINAL_STATES:
+                return document
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document['status']} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def result(self, job_id: str) -> RunResult:
+        """The finished job's :class:`RunResult` (raises if not done)."""
+        document = self.status(job_id)
+        if document["status"] != "done":
+            raise ServiceError(
+                409, {"error": f"job {job_id} is {document['status']}, "
+                               f"not done ({document.get('error')})"}
+            )
+        return result_from_dict(document["result"])
+
+    def wait_result(self, job_id: str,
+                    timeout_s: Optional[float] = None) -> RunResult:
+        """Block until done and decode the result in one call."""
+        document = self.wait(job_id, timeout_s=timeout_s)
+        if document["status"] != "done":
+            raise ServiceError(
+                409, {"error": f"job {job_id} ended {document['status']}: "
+                               f"{document.get('error')}"}
+            )
+        return result_from_dict(document["result"])
+
+    def run(self, spec: SpecLike, priority: int = 0,
+            timeout_s: Optional[float] = None,
+            wait_timeout_s: Optional[float] = None) -> RunResult:
+        """Submit one spec and block for its result."""
+        (job,) = self.submit(spec, priority=priority, timeout_s=timeout_s)
+        return self.wait_result(job["id"], timeout_s=wait_timeout_s)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's NDJSON event feed (buffered + live)."""
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    document = json.loads(raw)
+                except json.JSONDecodeError:
+                    document = {"error": raw.decode("utf-8", "replace")}
+                raise ServiceError(response.status, document)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """The service MetricsRegistry snapshot (JSON form)."""
+        return self._request("GET", "/metricz?format=json")
+
+    def catalogue(self) -> dict:
+        """Resolvable names, as served by ``GET /v1/catalogue``."""
+        return self._request("GET", "/v1/catalogue")

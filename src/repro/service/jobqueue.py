@@ -1,0 +1,79 @@
+"""The bounded priority queue behind the service's admission control.
+
+Deliberately not an ``asyncio.Queue``: the scheduler runs in a single
+event loop, so the queue needs no locking — what it needs is a *hard
+bound* with a loud refusal (:class:`QueueFull` maps to HTTP 429 with
+``Retry-After``), priority ordering with FIFO tie-breaking, and lazy
+removal of cancelled entries.
+
+Ordering: higher ``priority`` pops first; within one priority, first
+pushed pops first (a monotonic sequence number breaks ties, so two
+entries never compare by payload).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+
+class QueueFull(Exception):
+    """Admission refused: the queue is at its configured bound."""
+
+    def __init__(self, depth: int, bound: int) -> None:
+        super().__init__(
+            f"job queue full ({depth}/{bound} queued); retry later"
+        )
+        self.depth = depth
+        self.bound = bound
+
+
+class BoundedPriorityQueue:
+    """Max-priority queue with a hard admission bound."""
+
+    def __init__(self, bound: int) -> None:
+        if bound < 1:
+            raise ValueError(f"queue bound must be >= 1, got {bound}")
+        self.bound = bound
+        #: Entries are ``[-priority, seq, item]``; ``item`` is set to
+        #: ``None`` when removed (lazy deletion keeps pop O(log n)).
+        self._heap: "list[list]" = []
+        self._entries: "dict[int, list]" = {}
+        self._seq = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, item: object, priority: int = 0) -> None:
+        """Admit ``item``, or raise :class:`QueueFull` at the bound."""
+        if self._size >= self.bound:
+            raise QueueFull(self._size, self.bound)
+        entry = [-priority, self._seq, item]
+        self._entries[id(item)] = entry
+        self._seq += 1
+        self._size += 1
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> Optional[object]:
+        """Highest-priority oldest item, or ``None`` when empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            item = entry[2]
+            if item is not None:
+                del self._entries[id(item)]
+                self._size -= 1
+                return item
+        return None
+
+    def remove(self, item: object) -> bool:
+        """Drop a queued item (e.g. a job cancelled before it ran)."""
+        entry = self._entries.pop(id(item), None)
+        if entry is None:
+            return False
+        entry[2] = None
+        self._size -= 1
+        return True
+
+    def __contains__(self, item: object) -> bool:
+        return id(item) in self._entries

@@ -1,0 +1,160 @@
+"""Service lifecycle: signals, graceful drain, embedding helpers.
+
+``repro serve`` runs :func:`run_service`, which owns the event loop:
+it boots a :class:`~repro.service.server.ServiceServer`, installs
+SIGTERM/SIGINT handlers and, on the first signal, performs the
+**graceful drain** — stop admitting (new submissions get 503), let
+queued and running jobs finish (bounded by ``drain_timeout_s``), flush
+event traces, close the listener and return exit code 0.  A second
+signal escalates to a hard stop.
+
+:func:`serve_in_thread` hosts the same server on a daemon thread and
+hands back a :class:`ServiceHandle` — how the test-suite, benchmarks
+and examples embed a live service inside one process without shelling
+out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from typing import Optional
+
+from repro.obs.log import get_logger
+from repro.service.server import ServiceServer
+
+_log = get_logger("service.lifecycle")
+
+#: Default bound on the graceful drain before jobs are terminated.
+DEFAULT_DRAIN_TIMEOUT_S = 300.0
+
+
+async def serve_until_signalled(
+    server: ServiceServer,
+    drain_timeout_s: Optional[float] = DEFAULT_DRAIN_TIMEOUT_S,
+    signals: "tuple[int, ...]" = (signal.SIGTERM, signal.SIGINT),
+) -> int:
+    """Run ``server`` until a shutdown signal, then drain.
+
+    Returns the process exit code: 0 for a clean drain (including
+    "drained after the timeout killed stragglers" — the service kept
+    its contract), 1 only if shutdown itself failed.
+    """
+    await server.start()
+    loop = asyncio.get_event_loop()
+    stop = asyncio.Event()
+    received: "list[int]" = []
+
+    def _on_signal(signum: int) -> None:
+        if received:
+            _log.warning("second signal (%s); hard stop", signum)
+            server.scheduler.close()
+        else:
+            _log.info("received signal %s; draining", signum)
+        received.append(signum)
+        stop.set()
+
+    for signum in signals:
+        loop.add_signal_handler(signum, _on_signal, signum)
+    try:
+        await stop.wait()
+        await server.drain_and_stop(drain_timeout_s)
+    finally:
+        for signum in signals:
+            loop.remove_signal_handler(signum)
+    return 0
+
+
+def run_service(
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    jobs: int = 1,
+    queue_depth: Optional[int] = None,
+    cache=None,
+    retries: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+    drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+) -> int:
+    """Blocking entry point behind ``repro serve``."""
+    from repro.runner.engine import DEFAULT_RETRIES
+
+    server = ServiceServer(
+        host=host,
+        port=port,
+        jobs=jobs,
+        queue_depth=queue_depth,
+        cache=cache,
+        retries=DEFAULT_RETRIES if retries is None else retries,
+        trace_dir=trace_dir,
+    )
+    return asyncio.run(serve_until_signalled(server, drain_timeout_s))
+
+
+class ServiceHandle:
+    """A live in-process service hosted on a background thread."""
+
+    def __init__(self, server: ServiceServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def run_coroutine(self, coroutine):
+        """Run a coroutine on the service loop, blocking for its result."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    def stop(self, drain_timeout_s: Optional[float] = 30.0) -> bool:
+        """Drain and stop the service, then join its thread."""
+        if self._thread.is_alive():
+            clean = self.run_coroutine(
+                self.server.drain_and_stop(drain_timeout_s)
+            )
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            return clean
+        return True
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def serve_in_thread(**server_kwargs) -> ServiceHandle:
+    """Boot a service on a daemon thread; returns once it is listening.
+
+    ``port`` defaults to 0 here (ephemeral) so embedded services never
+    collide — pass an explicit port to pin one.
+    """
+    server_kwargs.setdefault("port", 0)
+    started = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = ServiceServer(**server_kwargs)
+        loop.run_until_complete(server.start())
+        box["server"] = server
+        box["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("service failed to start within 30s")
+    return ServiceHandle(box["server"], box["loop"], thread)

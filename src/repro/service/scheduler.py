@@ -1,0 +1,523 @@
+"""Job registry and worker-pool scheduler of the service.
+
+Execution model: every distinct spec gets at most one *execution* at a
+time.  Submissions of a spec that is already queued or running attach
+to the live execution (**coalescing** — N clients, one simulation);
+submissions of a spec the :class:`ResultCache` already holds complete
+immediately without touching the pool.  Fresh executions wait in the
+:class:`~repro.service.jobqueue.BoundedPriorityQueue` for one of
+``jobs`` worker slots, then run ``execute_spec`` in a dedicated child
+process with observability on, streaming every :mod:`repro.obs` event
+back over a pipe — that live stream is what ``GET
+/v1/jobs/{id}/events`` serves, and it is also how cancellation and
+timeouts can kill a job *mid-epoch* (``Process.terminate`` needs no
+cooperation from the simulator).
+
+Crash handling mirrors the sweep engine's ``on_error="retry"``: a
+worker that dies or reports an error is re-executed up to ``retries``
+times on the deterministic backoff schedule of
+:func:`repro.runner.engine.retry_delays`; the attempt count lands in
+the job's result telemetry exactly like ``RunResult.attempts``.
+
+Everything here runs on one asyncio event loop; the only concurrency
+is the worker processes, which share no state with the parent beyond
+their result pipe.  Determinism therefore holds end to end: a result
+produced through the service is byte-identical to the same spec run
+through ``run_specs`` (the e2e suite pins this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from typing import Optional
+
+from repro.obs import ObsContext
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.runner.cache import ResultCache
+from repro.runner.engine import DEFAULT_RETRIES, execute_spec, retry_delays
+from repro.runner.serialize import result_to_dict
+from repro.runner.spec import RunSpec
+from repro.service.jobqueue import BoundedPriorityQueue, QueueFull  # noqa: F401
+
+_log = get_logger("service.scheduler")
+
+#: Terminal jobs retained for status queries before being evicted
+#: (oldest first) — keeps a long-lived service's memory bounded.
+RETAIN_TERMINAL_JOBS = 1024
+
+#: Job / execution states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: Execution seam, monkeypatchable in tests (fork-started workers
+#: inherit the patched binding).
+_EXECUTE = execute_spec
+
+
+def _mp_context():
+    """Fork where available (fast, inherits the warmed predictor);
+    the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class _StreamingTracer(Tracer):
+    """A tracer that forwards every event over the worker's pipe as it
+    is recorded, so the parent can fan it out to live subscribers."""
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn) -> None:
+        super().__init__(enabled=True)
+        self._conn = conn
+
+    def emit(self, etype: str, t_s: float, **payload: object) -> None:
+        super().emit(etype, t_s, **payload)
+        try:
+            self._conn.send(("event", self.events[-1]))
+        except (OSError, ValueError):
+            pass  # parent went away; keep simulating, result send will fail loudly
+
+
+def _job_worker(conn, spec: RunSpec) -> None:
+    """Child-process body: run one spec, stream events, send the result."""
+    try:
+        obs = ObsContext(tracer=_StreamingTracer(conn))
+        result = _EXECUTE(spec, obs=obs)
+        conn.send((
+            "result",
+            result_to_dict(result),
+            obs.metrics.deterministic_snapshot(),
+        ))
+    except BaseException as exc:  # noqa: BLE001 — disposition is the parent's
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+class _Execution:
+    """One in-flight run of one distinct spec (possibly many jobs)."""
+
+    def __init__(self, spec: RunSpec, priority: int,
+                 timeout_s: Optional[float]) -> None:
+        self.spec = spec
+        self.spec_key = spec.spec_key()
+        self.priority = priority
+        self.timeout_s = timeout_s
+        self.state = QUEUED
+        self.attempts = 0
+        self.error: Optional[str] = None
+        self.result: Optional[dict] = None
+        self.run_metrics: Optional[dict] = None
+        self.events: "list[dict]" = []
+        self.jobs: "list[Job]" = []
+        self.subscribers: "set[asyncio.Queue]" = set()
+        self.process = None
+        self.conn = None
+        self.timeout_handle = None
+        self.cancel_requested = False
+        self.timed_out = False
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+
+
+class Job:
+    """One client submission, attached to an execution."""
+
+    def __init__(self, job_id: str, execution: _Execution,
+                 coalesced: bool, from_cache: bool) -> None:
+        self.id = job_id
+        self.execution = execution
+        self.coalesced = coalesced
+        self.from_cache = from_cache
+        self.created_s = time.time()
+
+    @property
+    def spec(self) -> RunSpec:
+        return self.execution.spec
+
+    @property
+    def state(self) -> str:
+        return self.execution.state
+
+    def to_dict(self, with_result: bool = True) -> dict:
+        """JSON view served by ``GET /v1/jobs[/{id}]``."""
+        from repro.service.api import spec_to_dict
+
+        execution = self.execution
+        data = {
+            "id": self.id,
+            "status": execution.state,
+            "spec_key": execution.spec_key,
+            "spec": spec_to_dict(execution.spec),
+            "label": execution.spec.label(),
+            "priority": execution.priority,
+            "timeout_s": execution.timeout_s,
+            "attempts": execution.attempts,
+            "coalesced": self.coalesced,
+            "from_cache": self.from_cache,
+            "created_s": self.created_s,
+            "started_s": execution.started_s,
+            "finished_s": execution.finished_s,
+            "n_events": len(execution.events),
+            "error": execution.error,
+        }
+        if with_result and execution.state == DONE:
+            data["result"] = execution.result
+            data["run_metrics"] = execution.run_metrics
+        return data
+
+
+class Scheduler:
+    """The event-loop-resident job scheduler (see module docstring)."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        queue_depth: int = 64,
+        cache: Optional[ResultCache] = None,
+        retries: int = DEFAULT_RETRIES,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.slots = jobs
+        self.queue = BoundedPriorityQueue(queue_depth)
+        self.cache = cache
+        self.retries = retries
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.draining = False
+        self._closed = False
+        self._mp = _mp_context()
+        self._jobs: "dict[str, Job]" = {}
+        self._terminal_order: "list[str]" = []
+        self._active: "dict[str, _Execution]" = {}
+        self._running: "set[_Execution]" = set()
+        self._counter = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Submission / registry
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: RunSpec, priority: int = 0,
+               timeout_s: Optional[float] = None) -> Job:
+        """Admit one job; raises :class:`QueueFull` at the bound and
+        ``RuntimeError`` while draining."""
+        if self.draining:
+            raise RuntimeError("service is draining; not admitting jobs")
+        self.metrics.inc("service.jobs.submitted")
+        key = spec.spec_key()
+
+        execution = self._active.get(key)
+        if execution is not None:
+            job = self._register(Job(self._next_id(), execution,
+                                     coalesced=True, from_cache=False))
+            execution.jobs.append(job)
+            self.metrics.inc("service.jobs.coalesced")
+            return job
+
+        if self.cache is not None:
+            hit = self.cache.get(spec)
+            if hit is not None:
+                self.metrics.inc("service.cache.hits")
+                execution = _Execution(spec, priority, timeout_s)
+                execution.state = DONE
+                execution.attempts = hit.attempts
+                execution.result = result_to_dict(hit)
+                execution.finished_s = time.time()
+                job = self._register(Job(self._next_id(), execution,
+                                         coalesced=False, from_cache=True))
+                execution.jobs.append(job)
+                self._note_terminal(job)
+                self.metrics.inc("service.jobs.completed")
+                return job
+            self.metrics.inc("service.cache.misses")
+
+        execution = _Execution(spec, priority, timeout_s)
+        try:
+            self.queue.push(execution, priority)
+        except QueueFull:
+            self.metrics.inc("service.jobs.rejected")
+            raise
+        self._active[key] = execution
+        self._idle.clear()
+        job = self._register(Job(self._next_id(), execution,
+                                 coalesced=False, from_cache=False))
+        execution.jobs.append(job)
+        self.metrics.set_gauge("service.queue.depth", len(self.queue))
+        self._dispatch()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> "list[Job]":
+        return list(self._jobs.values())
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"j{self._counter:06d}"
+
+    def _register(self, job: Job) -> Job:
+        self._jobs[job.id] = job
+        return job
+
+    def _note_terminal(self, job: Job) -> None:
+        self._terminal_order.append(job.id)
+        while len(self._terminal_order) > RETAIN_TERMINAL_JOBS:
+            evicted = self._terminal_order.pop(0)
+            self._jobs.pop(evicted, None)
+
+    # ------------------------------------------------------------------
+    # Dispatch / worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        if self._closed:
+            return
+        while len(self._running) < self.slots:
+            execution = self.queue.pop()
+            self.metrics.set_gauge("service.queue.depth", len(self.queue))
+            if execution is None:
+                return
+            self._running.add(execution)
+            self._start(execution)
+
+    def _start(self, execution: _Execution) -> None:
+        if execution.cancel_requested or self._closed:
+            execution.cancel_requested = True
+            self._finalize(execution)
+            return
+        execution.state = RUNNING
+        execution.attempts += 1
+        if execution.started_s is None:
+            execution.started_s = time.time()
+        self.metrics.inc("service.executions.started")
+        self.metrics.set_gauge("service.jobs.running", len(self._running))
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_job_worker, args=(child_conn, execution.spec), daemon=True
+        )
+        execution.process = process
+        execution.conn = parent_conn
+        process.start()
+        child_conn.close()
+        loop = asyncio.get_event_loop()
+        loop.add_reader(parent_conn.fileno(), self._on_readable, execution)
+        if execution.timeout_s is not None:
+            execution.timeout_handle = loop.call_later(
+                execution.timeout_s, self._on_timeout, execution
+            )
+        _log.info(
+            "started %s (%s, attempt %d)",
+            execution.jobs[0].id if execution.jobs else "?",
+            execution.spec.label(), execution.attempts,
+        )
+
+    def _on_readable(self, execution: _Execution) -> None:
+        conn = execution.conn
+        try:
+            while conn.poll():
+                message = conn.recv()
+                kind = message[0]
+                if kind == "event":
+                    self._fan_out(execution, message[1])
+                elif kind == "result":
+                    execution.result = message[1]
+                    execution.run_metrics = message[2]
+                elif kind == "error":
+                    execution.error = message[1]
+        except (EOFError, OSError):
+            self._reap(execution)
+
+    def _fan_out(self, execution: _Execution, event: dict) -> None:
+        execution.events.append(event)
+        self.metrics.inc("service.events.streamed")
+        for queue in list(execution.subscribers):
+            try:
+                queue.put_nowait(event)
+            except asyncio.QueueFull:
+                execution.subscribers.discard(queue)
+
+    def _on_timeout(self, execution: _Execution) -> None:
+        if execution.state != RUNNING:
+            return
+        execution.timed_out = True
+        _log.warning(
+            "job %s exceeded its %.1fs timeout; terminating",
+            execution.spec.label(), execution.timeout_s,
+        )
+        self._terminate(execution)
+
+    def _terminate(self, execution: _Execution) -> None:
+        process = execution.process
+        if process is not None and process.is_alive():
+            process.terminate()
+        # The pipe EOF triggers _reap, which settles the final state.
+
+    def _reap(self, execution: _Execution) -> None:
+        """Pipe hit EOF: the worker exited.  Settle or retry."""
+        loop = asyncio.get_event_loop()
+        if execution.conn is not None:
+            loop.remove_reader(execution.conn.fileno())
+            execution.conn.close()
+            execution.conn = None
+        if execution.timeout_handle is not None:
+            execution.timeout_handle.cancel()
+            execution.timeout_handle = None
+        if execution.process is not None:
+            execution.process.join(timeout=1.0)
+            execution.process = None
+
+        if execution.result is not None:
+            execution.result["attempts"] = execution.attempts
+            if self.cache is not None:
+                from repro.runner.serialize import result_from_dict
+
+                try:
+                    self.cache.put(
+                        execution.spec, result_from_dict(execution.result)
+                    )
+                except (OSError, TypeError, ValueError) as exc:
+                    _log.warning("could not cache %s: %s",
+                                 execution.spec_key, exc)
+            self._finalize(execution)
+            return
+        if execution.cancel_requested or execution.timed_out:
+            self._finalize(execution)
+            return
+
+        # Crashed (reported error or abnormal death): retry on the
+        # engine's deterministic backoff schedule, then give up.
+        delays = retry_delays(self.retries)
+        failed_attempts = execution.attempts
+        if failed_attempts <= len(delays):
+            delay = delays[failed_attempts - 1]
+            self.metrics.inc("service.jobs.retried")
+            _log.warning(
+                "job %s attempt %d failed (%s); retrying in %.3fs",
+                execution.spec.label(), failed_attempts,
+                execution.error or "worker died", delay,
+            )
+            execution.error = None
+            loop.call_later(delay, self._start, execution)
+            return
+        execution.error = (
+            f"failed after {failed_attempts} attempt(s): "
+            f"{execution.error or 'worker died'}"
+        )
+        self._finalize(execution)
+
+    def _finalize(self, execution: _Execution) -> None:
+        if execution.cancel_requested:
+            execution.state = CANCELLED
+            self.metrics.inc("service.jobs.cancelled", len(execution.jobs))
+        elif execution.result is not None:
+            execution.state = DONE
+            self.metrics.inc("service.executions.completed")
+            self.metrics.inc("service.jobs.completed", len(execution.jobs))
+        else:
+            if execution.timed_out and execution.error is None:
+                execution.error = (
+                    f"timed out after {execution.timeout_s}s"
+                )
+            execution.state = FAILED
+            self.metrics.inc("service.jobs.failed", len(execution.jobs))
+        execution.finished_s = time.time()
+        self._active.pop(execution.spec_key, None)
+        self._running.discard(execution)
+        self.metrics.set_gauge("service.jobs.running", len(self._running))
+        for job in execution.jobs:
+            self._note_terminal(job)
+        for queue in list(execution.subscribers):
+            try:
+                queue.put_nowait(None)
+            except asyncio.QueueFull:
+                pass
+        execution.subscribers.clear()
+        _log.info("job %s -> %s", execution.spec.label(), execution.state)
+        self._dispatch()
+        if not self._active:
+            self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Cancellation / event streams / drain
+    # ------------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job (and its execution, which every coalesced
+        sibling shares).  Returns the job, or ``None`` if unknown;
+        cancelling a terminal job is a no-op."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        execution = job.execution
+        if execution.state in TERMINAL_STATES:
+            return job
+        execution.cancel_requested = True
+        if execution.state == QUEUED:
+            self.queue.remove(execution)
+            self.metrics.set_gauge("service.queue.depth", len(self.queue))
+            self._finalize(execution)
+        else:
+            self._terminate(execution)
+        return job
+
+    def subscribe(self, job: Job) -> "asyncio.Queue":
+        """An event queue for ``job``: buffered events are replayed
+        first, live ones follow, ``None`` marks the end of stream."""
+        queue: "asyncio.Queue" = asyncio.Queue()
+        for event in job.execution.events:
+            queue.put_nowait(event)
+        if job.execution.state in TERMINAL_STATES:
+            queue.put_nowait(None)
+        else:
+            job.execution.subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, job: Job, queue: "asyncio.Queue") -> None:
+        job.execution.subscribers.discard(queue)
+
+    async def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight work to finish.
+
+        Queued executions still run (they were admitted); returns True
+        once idle, False if ``timeout_s`` expired first — callers then
+        escalate to :meth:`close`.
+        """
+        self.draining = True
+        try:
+            if timeout_s is None:
+                await self._idle.wait()
+            else:
+                await asyncio.wait_for(self._idle.wait(), timeout_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def close(self) -> None:
+        """Hard stop: cancel the queue, terminate running workers."""
+        self.draining = True
+        self._closed = True
+        while True:
+            execution = self.queue.pop()
+            if execution is None:
+                break
+            execution.cancel_requested = True
+            self._finalize(execution)
+        for execution in list(self._running):
+            execution.cancel_requested = True
+            self._terminate(execution)

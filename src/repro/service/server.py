@@ -1,0 +1,365 @@
+"""The asyncio HTTP front end of the job service.
+
+A deliberately small HTTP/1.1 implementation over
+``asyncio.start_server`` — request line, headers, ``Content-Length``
+body, one request per connection — because the service's API surface
+doesn't need a framework and the repo takes no new dependencies.
+
+Routes::
+
+    GET  /healthz                  liveness + lifecycle state
+    GET  /metricz                  MetricsRegistry (text; ?format=json)
+    GET  /v1/catalogue             resolvable names (= repro list --json)
+    POST /v1/jobs                  submit one spec or a sweep of specs
+    GET  /v1/jobs                  list known jobs (no result payloads)
+    GET  /v1/jobs/{id}             job status (+ result when done)
+    GET  /v1/jobs/{id}/events      NDJSON stream of the job's obs events
+    POST /v1/jobs/{id}/cancel      cancel (DELETE /v1/jobs/{id} works too)
+
+Backpressure contract: a full queue answers ``429`` with a
+``Retry-After`` header; a draining service answers ``503``.  Both are
+JSON bodies, so clients never need to scrape HTML error pages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.cache import ResultCache
+from repro.runner.engine import DEFAULT_RETRIES
+from repro.runner.env import resolve_queue_depth, resolve_service_port
+from repro.runner.factories import catalogue
+from repro.service.api import ApiError, specs_from_request
+from repro.service.jobqueue import QueueFull
+from repro.service.scheduler import Scheduler
+
+_log = get_logger("service.server")
+
+#: Submission bodies above this size are refused (413).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Seconds clients are told to wait after a 429.
+RETRY_AFTER_S = 1
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(status: int, body: bytes, content_type: str,
+              extra_headers: "tuple[tuple[str, str], ...]" = ()) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, payload: object,
+                   extra_headers: "tuple[tuple[str, str], ...]" = ()) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return _response(status, body, "application/json", extra_headers)
+
+
+class ServiceServer:
+    """One service instance: scheduler + HTTP listener + lifecycle."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        jobs: int = 1,
+        queue_depth: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        retries: int = DEFAULT_RETRIES,
+        trace_dir: Optional[str] = None,
+        linger_s: float = 1.0,
+    ) -> None:
+        self.host = host
+        self.port = resolve_service_port(port)
+        self.jobs = jobs
+        self.queue_depth = resolve_queue_depth(queue_depth)
+        self.cache = cache
+        self.retries = retries
+        self.trace_dir = trace_dir
+        #: How long the listener keeps answering status reads after the
+        #: drain finishes, so clients polling for a result that
+        #: completed during the drain can still collect it.
+        self.linger_s = linger_s
+        self.metrics = MetricsRegistry()
+        self.state = "starting"
+        self.scheduler: Optional[Scheduler] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (resolves ``self.port`` when it was 0)."""
+        self.scheduler = Scheduler(
+            jobs=self.jobs,
+            queue_depth=self.queue_depth,
+            cache=self.cache,
+            retries=self.retries,
+            metrics=self.metrics,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.state = "running"
+        _log.info(
+            "serving on http://%s:%d (%d worker slot(s), queue depth %d, "
+            "cache %s)",
+            self.host, self.port, self.jobs, self.queue_depth,
+            self.cache.root if self.cache is not None else "off",
+        )
+
+    async def drain_and_stop(self, timeout_s: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new jobs, finish in-flight ones,
+        flush traces, close the listener.  Returns False when the
+        drain timed out and running jobs had to be killed."""
+        if self.state == "stopped":
+            return True
+        self.state = "draining"
+        _log.info("draining: %d queued, %d running",
+                  len(self.scheduler.queue), len(self.scheduler._running))
+        clean = await self.scheduler.drain(timeout_s)
+        if not clean:
+            _log.warning("drain timed out; terminating remaining jobs")
+            self.scheduler.close()
+        self._flush_traces()
+        if self.linger_s > 0:
+            await asyncio.sleep(self.linger_s)
+        self._server.close()
+        await self._server.wait_closed()
+        self.state = "stopped"
+        _log.info("service stopped (drain %s)", "clean" if clean else "forced")
+        return clean
+
+    def _flush_traces(self) -> None:
+        """Write every completed execution's event stream to
+        ``trace_dir`` (spec-keyed, like ``run_specs(trace_dir=...)``)."""
+        if self.trace_dir is None or self.scheduler is None:
+            return
+        import os
+
+        from repro.obs import write_jsonl
+
+        os.makedirs(self.trace_dir, exist_ok=True)
+        flushed = 0
+        seen: "set[str]" = set()
+        for job in self.scheduler.jobs():
+            execution = job.execution
+            if execution.spec_key in seen or not execution.events:
+                continue
+            seen.add(execution.spec_key)
+            write_jsonl(
+                execution.events,
+                os.path.join(self.trace_dir, f"{execution.spec_key}.jsonl"),
+            )
+            flushed += 1
+        if flushed:
+            _log.info("flushed %d event trace(s) to %s", flushed, self.trace_dir)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:  # noqa: BLE001 — a handler bug must not kill the loop
+            _log.exception("unhandled error in request handler")
+            try:
+                writer.write(_json_response(500, {"error": "internal error"}))
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _handle_request(self, reader, writer) -> None:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return
+        parts = request_line.split()
+        if len(parts) != 3:
+            writer.write(_json_response(400, {"error": "malformed request line"}))
+            return
+        method, target, _version = parts
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            writer.write(_json_response(413, {"error": "request body too large"}))
+            return
+        if length:
+            body = await reader.readexactly(length)
+
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        self.metrics.inc(f"service.http.requests[{method} {path.split('/')[1] or '/'}]")
+        await self._route(method, path, query, body, writer)
+
+    async def _route(self, method: str, path: str, query: dict,
+                     body: bytes, writer) -> None:
+        if path == "/healthz" and method == "GET":
+            writer.write(self._healthz())
+            return
+        if path == "/metricz" and method == "GET":
+            writer.write(self._metricz(query))
+            return
+        if path == "/v1/catalogue" and method == "GET":
+            writer.write(_json_response(200, catalogue()))
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                writer.write(self._submit(body))
+                return
+            if method == "GET":
+                jobs = [j.to_dict(with_result=False)
+                        for j in self.scheduler.jobs()]
+                jobs.sort(key=lambda j: j["id"])
+                writer.write(_json_response(200, {"jobs": jobs}))
+                return
+            writer.write(_json_response(405, {"error": f"{method} not allowed"}))
+            return
+        if path.startswith("/v1/jobs/"):
+            await self._route_job(method, path, writer)
+            return
+        writer.write(_json_response(404, {"error": f"no route {path}"}))
+
+    async def _route_job(self, method: str, path: str, writer) -> None:
+        segments = path.split("/")[3:]  # after /v1/jobs/
+        job = self.scheduler.get(segments[0]) if segments else None
+        if job is None:
+            writer.write(_json_response(
+                404, {"error": f"unknown job {segments[0] if segments else ''!r}"}
+            ))
+            return
+        if len(segments) == 1:
+            if method == "GET":
+                writer.write(_json_response(200, job.to_dict()))
+            elif method == "DELETE":
+                self.scheduler.cancel(job.id)
+                writer.write(_json_response(200, job.to_dict(with_result=False)))
+            else:
+                writer.write(_json_response(405, {"error": f"{method} not allowed"}))
+            return
+        if len(segments) == 2 and segments[1] == "cancel" and method == "POST":
+            self.scheduler.cancel(job.id)
+            writer.write(_json_response(200, job.to_dict(with_result=False)))
+            return
+        if len(segments) == 2 and segments[1] == "events" and method == "GET":
+            await self._stream_events(job, writer)
+            return
+        writer.write(_json_response(404, {"error": f"no route {path}"}))
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _healthz(self) -> bytes:
+        scheduler = self.scheduler
+        return _json_response(200, {
+            "status": "ok" if self.state == "running" else self.state,
+            "state": self.state,
+            "queued": len(scheduler.queue) if scheduler else 0,
+            "running": len(scheduler._running) if scheduler else 0,
+            "queue_depth": self.queue_depth,
+            "worker_slots": self.jobs,
+            "cache": str(self.cache.root) if self.cache is not None else None,
+        })
+
+    def _metricz(self, query: dict) -> bytes:
+        if query.get("format") == "json":
+            return _json_response(200, self.metrics.snapshot())
+        text = self.metrics.render_text() + "\n"
+        return _response(200, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _submit(self, body: bytes) -> bytes:
+        if self.state != "running" or self.scheduler.draining:
+            state = "draining" if self.scheduler.draining else self.state
+            return _json_response(
+                503, {"error": f"service is {state}; not admitting jobs"}
+            )
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _json_response(400, {"error": f"invalid JSON body: {exc}"})
+        try:
+            specs, options = specs_from_request(request)
+        except ApiError as exc:
+            return _json_response(exc.status, exc.to_dict())
+        accepted = []
+        try:
+            for spec in specs:
+                accepted.append(self.scheduler.submit(
+                    spec,
+                    priority=options["priority"],
+                    timeout_s=options["timeout_s"],
+                ))
+        except QueueFull as exc:
+            # Partial sweeps roll forward: already-accepted jobs stay
+            # admitted and are reported alongside the refusal.
+            return _json_response(
+                429,
+                {
+                    "error": str(exc),
+                    "accepted": [j.to_dict(with_result=False) for j in accepted],
+                },
+                extra_headers=(("Retry-After", str(RETRY_AFTER_S)),),
+            )
+        return _json_response(
+            202, {"jobs": [j.to_dict(with_result=False) for j in accepted]}
+        )
+
+    async def _stream_events(self, job, writer) -> None:
+        """NDJSON: replayed buffered events, then live ones, until the
+        job reaches a terminal state."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head)
+        queue = self.scheduler.subscribe(job)
+        try:
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            self.scheduler.unsubscribe(job, queue)

@@ -1,0 +1,87 @@
+"""The shared ``REPRO_*`` environment-knob parsing."""
+
+import pytest
+
+from repro.runner.env import (
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_SERVICE_PORT,
+    JOBS_ENV,
+    SERVICE_PORT_ENV,
+    SERVICE_QUEUE_DEPTH_ENV,
+    env_int,
+    env_str,
+    resolve_jobs,
+    resolve_queue_depth,
+    resolve_service_port,
+)
+
+
+class TestEnvInt:
+    def test_unset_and_blank_return_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert env_int("REPRO_TEST_KNOB", default=7) == 7
+        monkeypatch.setenv("REPRO_TEST_KNOB", "   ")
+        assert env_int("REPRO_TEST_KNOB", default=7) == 7
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", " 42 ")
+        assert env_int("REPRO_TEST_KNOB") == 42
+
+    def test_malformed_value_fails_loudly_naming_the_variable(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "fast")
+        with pytest.raises(ValueError, match="REPRO_TEST_KNOB"):
+            env_int("REPRO_TEST_KNOB", default=1)
+
+    def test_minimum_is_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "0")
+        with pytest.raises(ValueError, match="REPRO_TEST_KNOB"):
+            env_int("REPRO_TEST_KNOB", minimum=1)
+
+
+class TestEnvStr:
+    def test_blank_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "")
+        assert env_str("REPRO_TEST_KNOB", default="x") == "x"
+        monkeypatch.setenv("REPRO_TEST_KNOB", " path ")
+        assert env_str("REPRO_TEST_KNOB") == "path"
+
+
+class TestResolvers:
+    def test_jobs_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "4")
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs() == 4
+        monkeypatch.delenv(JOBS_ENV)
+        assert resolve_jobs() == 1
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_service_port_resolution_order(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_PORT_ENV, raising=False)
+        assert resolve_service_port() == DEFAULT_SERVICE_PORT
+        monkeypatch.setenv(SERVICE_PORT_ENV, "9000")
+        assert resolve_service_port() == 9000
+        assert resolve_service_port(8001) == 8001
+        # 0 is a real value (ephemeral port), not "use the default".
+        assert resolve_service_port(0) == 0
+
+    def test_service_port_range(self):
+        with pytest.raises(ValueError):
+            resolve_service_port(65536)
+        with pytest.raises(ValueError):
+            resolve_service_port(-1)
+
+    def test_queue_depth_resolution_order(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_QUEUE_DEPTH_ENV, raising=False)
+        assert resolve_queue_depth() == DEFAULT_QUEUE_DEPTH
+        monkeypatch.setenv(SERVICE_QUEUE_DEPTH_ENV, "3")
+        assert resolve_queue_depth() == 3
+        assert resolve_queue_depth(9) == 9
+
+    def test_queue_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            resolve_queue_depth(0)

@@ -53,6 +53,31 @@ def test_corrupt_entry_is_dropped_and_missed(tmp_path):
     assert not path.exists(), "corrupt entry should be unlinked"
 
 
+def test_truncated_entry_is_logged_evicted_and_recomputed(tmp_path, caplog):
+    """Satellite: a half-written entry (e.g. a killed process) must be
+    reported through the ``repro.*`` logging channel, evicted, and the
+    result silently recomputed on the next run."""
+    cache = ResultCache(tmp_path)
+    run_spec(TINY, cache=cache)
+    (path,) = list(tmp_path.glob("*.json"))
+    intact = path.read_text()
+    path.write_text(intact[: len(intact) // 2])
+
+    with caplog.at_level("WARNING", logger="repro.runner.cache"):
+        recomputed = run_spec(TINY, cache=cache)
+
+    warnings = [record for record in caplog.records
+                if record.name == "repro.runner.cache"]
+    assert warnings, "eviction must be logged, not silent"
+    assert "evicting unreadable cache entry" in warnings[0].getMessage()
+    assert cache.misses == 2 and cache.hits == 0
+    # The recomputed result replaced the truncated entry on disk.
+    fresh = ResultCache(tmp_path)
+    hit = fresh.get(TINY)
+    assert hit is not None
+    assert metrics_digest(hit) == metrics_digest(recomputed)
+
+
 def test_entry_records_spec_and_key(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(TINY, execute_spec(TINY))

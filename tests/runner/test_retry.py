@@ -1,0 +1,112 @@
+"""``on_error="retry"``: backoff schedule, recovery, exhaustion."""
+
+import dataclasses
+
+import pytest
+
+import repro.runner.engine as engine
+from repro.runner import (
+    DEFAULT_RETRIES,
+    ResultCache,
+    RunSpec,
+    metrics_digest,
+    retry_delays,
+    run_specs,
+)
+from repro.runner.serialize import result_from_dict, result_to_dict
+
+TINY = RunSpec(workload="MTMI", threads=2, balancer="vanilla", n_epochs=2)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_exponential_schedule(self):
+        assert retry_delays(0) == []
+        assert retry_delays(3) == [0.05, 0.1, 0.2]
+        assert retry_delays(2, base_s=1.0, factor=3.0) == [1.0, 3.0]
+        # Pure function: two calls agree exactly (no jitter).
+        assert retry_delays(4) == retry_delays(4)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            retry_delays(-1)
+
+    def test_default_budget_is_two_reexecutions(self):
+        assert DEFAULT_RETRIES == 2
+        assert len(retry_delays(DEFAULT_RETRIES)) == 2
+
+
+def make_flaky(real_execute, failures):
+    """An ``execute_spec`` stand-in that raises ``failures`` times."""
+    calls = {"n": 0}
+
+    def flaky(spec, obs=None):
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise RuntimeError(f"injected crash #{calls['n']}")
+        return real_execute(spec, obs=obs)
+
+    return flaky, calls
+
+
+class TestRetryDisposition:
+    def test_retry_recovers_and_stamps_attempts(self, monkeypatch):
+        flaky, calls = make_flaky(engine.execute_spec, failures=2)
+        monkeypatch.setattr(engine, "execute_spec", flaky)
+        (result,) = run_specs([TINY], jobs=1, on_error="retry", retries=2)
+        assert result.attempts == 3
+        assert calls["n"] == 3
+        assert len(result.epochs) == 2
+
+    def test_first_try_success_reports_one_attempt(self):
+        (result,) = run_specs([TINY], jobs=1, on_error="retry")
+        assert result.attempts == 1
+
+    def test_exhausted_budget_raises_with_attempt_count(self, monkeypatch):
+        flaky, _ = make_flaky(engine.execute_spec, failures=99)
+        monkeypatch.setattr(engine, "execute_spec", flaky)
+        with pytest.raises(RuntimeError,
+                           match=r"failed after 2 attempt\(s\)"):
+            run_specs([TINY], jobs=1, on_error="retry", retries=1)
+
+    def test_retry_logs_each_attempt(self, monkeypatch, caplog):
+        flaky, _ = make_flaky(engine.execute_spec, failures=1)
+        monkeypatch.setattr(engine, "execute_spec", flaky)
+        with caplog.at_level("WARNING", logger="repro.runner.engine"):
+            run_specs([TINY], jobs=1, on_error="retry")
+        assert any("retrying in" in record.getMessage()
+                   for record in caplog.records)
+
+    def test_recovered_result_lands_in_the_cache(self, tmp_path,
+                                                 monkeypatch):
+        flaky, _ = make_flaky(engine.execute_spec, failures=1)
+        monkeypatch.setattr(engine, "execute_spec", flaky)
+        cache = ResultCache(tmp_path)
+        (recovered,) = run_specs([TINY], jobs=1, on_error="retry",
+                                 cache=cache)
+        assert recovered.attempts == 2
+        hit = cache.get(TINY)
+        assert hit is not None
+        assert metrics_digest(hit) == metrics_digest(recovered)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_specs([TINY], jobs=1, on_error="shrug")
+
+
+class TestAttemptsTelemetry:
+    def test_attempts_excluded_from_determinism_fingerprint(self):
+        (result,) = run_specs([TINY], jobs=1)
+        retried = dataclasses.replace(result, attempts=3)
+        assert metrics_digest(retried) == metrics_digest(result)
+
+    def test_attempts_survive_serialization(self):
+        (result,) = run_specs([TINY], jobs=1)
+        stamped = dataclasses.replace(result, attempts=2)
+        assert result_from_dict(result_to_dict(stamped)).attempts == 2
+
+    def test_missing_attempts_defaults_to_one(self):
+        """Entries serialized before the field existed must load."""
+        (result,) = run_specs([TINY], jobs=1)
+        data = result_to_dict(result)
+        data.pop("attempts")
+        assert result_from_dict(data).attempts == 1

@@ -1,0 +1,54 @@
+"""Bounded priority queue: ordering, the hard bound, lazy removal."""
+
+import pytest
+
+from repro.service.jobqueue import BoundedPriorityQueue, QueueFull
+
+
+def test_priority_orders_pops():
+    queue = BoundedPriorityQueue(bound=8)
+    queue.push("low", priority=-1)
+    queue.push("mid", priority=0)
+    queue.push("high", priority=5)
+    assert [queue.pop(), queue.pop(), queue.pop()] == ["high", "mid", "low"]
+    assert queue.pop() is None
+
+
+def test_fifo_within_one_priority():
+    queue = BoundedPriorityQueue(bound=8)
+    for name in ("a", "b", "c"):
+        queue.push(name, priority=1)
+    assert [queue.pop(), queue.pop(), queue.pop()] == ["a", "b", "c"]
+
+
+def test_bound_raises_queue_full():
+    queue = BoundedPriorityQueue(bound=2)
+    queue.push("a")
+    queue.push("b")
+    with pytest.raises(QueueFull) as excinfo:
+        queue.push("c")
+    assert excinfo.value.depth == 2 and excinfo.value.bound == 2
+    assert len(queue) == 2
+
+
+def test_remove_frees_a_slot():
+    queue = BoundedPriorityQueue(bound=2)
+    queue.push("a")
+    queue.push("b")
+    assert queue.remove("a") is True
+    assert "a" not in queue and "b" in queue
+    queue.push("c")  # the removed entry's slot is reusable
+    assert len(queue) == 2
+    # Lazy deletion: the tombstone is skipped on pop.
+    assert [queue.pop(), queue.pop()] == ["b", "c"]
+    assert len(queue) == 0
+
+
+def test_remove_unknown_item_is_a_noop():
+    queue = BoundedPriorityQueue(bound=2)
+    assert queue.remove("ghost") is False
+
+
+def test_bound_must_be_positive():
+    with pytest.raises(ValueError):
+        BoundedPriorityQueue(bound=0)

@@ -1,0 +1,378 @@
+"""End-to-end service tests against a live in-process server.
+
+Each test boots its own ephemeral-port service via
+:func:`repro.service.serve_in_thread` (cheap: one thread, one event
+loop) so metric-counter assertions never bleed between tests.  The
+acceptance pins of the service PR live here: concurrent submissions of
+one spec coalesce into exactly one execution whose result is
+byte-identical to a direct ``run_specs`` call, a full queue refuses
+with 429 + Retry-After, cancellation kills a job mid-run, and the
+event stream validates against ``EVENT_SCHEMA``.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import validate_events
+from repro.runner import ResultCache, RunSpec, metrics_digest, run_specs
+from repro.runner.engine import execute_spec
+from repro.runner.factories import catalogue
+from repro.service import Client, ServiceError, serve_in_thread
+from repro.service import scheduler as scheduler_module
+
+#: Fast job — vanilla needs no predictor training.
+TINY = RunSpec(workload="MTMI", threads=2, balancer="vanilla", n_epochs=2)
+#: A job long enough to still be running while a test pokes at it.
+LONG = RunSpec(workload="MTMI", threads=8, balancer="vanilla", n_epochs=5000)
+
+
+def boot(**kwargs):
+    kwargs.setdefault("linger_s", 0)
+    kwargs.setdefault("jobs", 1)
+    return serve_in_thread(**kwargs)
+
+
+def wait_for(client, predicate, timeout_s=30.0, poll_s=0.02):
+    """Poll ``predicate(client)`` until truthy; fail the test on timeout."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate(client)
+        if value:
+            return value
+        time.sleep(poll_s)
+    pytest.fail("condition not reached within timeout")
+
+
+class TestSubmitAndResults:
+    def test_run_round_trip_matches_direct_execution(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            via_service = client.run(TINY, wait_timeout_s=60)
+        direct = run_specs([TINY], jobs=1)[0]
+        assert metrics_digest(via_service) == metrics_digest(direct)
+
+    def test_concurrent_submits_coalesce_to_one_execution(self):
+        """Acceptance pin: 8 concurrent clients, one simulation, and a
+        result byte-identical to the direct engine run.
+
+        A long blocker occupies the single worker slot first, so every
+        one of the 8 submissions of the target spec deterministically
+        lands while the target is queued — they must all attach to the
+        same execution.
+        """
+        target = RunSpec(workload="MTMI", threads=4, balancer="vanilla",
+                         n_epochs=3, seed=7)
+        with boot() as handle:
+            blocker_client = Client(port=handle.port)
+            (blocker,) = blocker_client.submit(LONG)
+
+            barrier = threading.Barrier(8)
+            jobs, errors = [], []
+
+            def submit():
+                client = Client(port=handle.port)
+                barrier.wait(timeout=30)
+                try:
+                    jobs.extend(client.submit(target))
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors and len(jobs) == 8
+
+            blocker_client.cancel(blocker["id"])
+            client = Client(port=handle.port)
+            results = [
+                client.wait_result(job["id"], timeout_s=60) for job in jobs
+            ]
+            counters = client.metrics()["counters"]
+
+        direct = run_specs([target], jobs=1)[0]
+        digests = {metrics_digest(result) for result in results}
+        assert digests == {metrics_digest(direct)}
+        # Exactly one execution of the target (plus the blocker).
+        assert counters["service.executions.started"] == 2
+        assert counters["service.jobs.coalesced"] == 7
+        assert counters["service.jobs.submitted"] == 9
+
+    def test_sweep_submission_returns_one_job_per_spec(self):
+        specs = [TINY, RunSpec(workload="HTHI", threads=2,
+                               balancer="vanilla", n_epochs=2)]
+        with boot(jobs=2) as handle:
+            client = Client(port=handle.port)
+            jobs = client.submit(specs)
+            assert len(jobs) == 2
+            results = [
+                client.wait_result(job["id"], timeout_s=60) for job in jobs
+            ]
+        assert all(len(result.epochs) == 2 for result in results)
+
+    def test_priority_orders_queued_executions(self):
+        low = RunSpec(workload="MTMI", threads=2, balancer="vanilla",
+                      n_epochs=2, seed=1)
+        high = RunSpec(workload="MTMI", threads=2, balancer="vanilla",
+                       n_epochs=2, seed=2)
+        with boot() as handle:
+            client = Client(port=handle.port)
+            (blocker,) = client.submit(LONG)
+            (low_job,) = client.submit(low, priority=0)
+            (high_job,) = client.submit(high, priority=5)
+            client.cancel(blocker["id"])
+            low_doc = client.wait(low_job["id"], timeout_s=60)
+            high_doc = client.wait(high_job["id"], timeout_s=60)
+        assert high_doc["started_s"] < low_doc["started_s"]
+
+
+class TestBackpressure:
+    def test_queue_full_returns_429_with_retry_after(self):
+        """Acceptance pin: overflowing the queue refuses politely."""
+        queued = RunSpec(workload="MTMI", threads=2, balancer="vanilla",
+                         n_epochs=2, seed=11)
+        overflow = RunSpec(workload="MTMI", threads=2, balancer="vanilla",
+                           n_epochs=2, seed=12)
+        with boot(queue_depth=1) as handle:
+            client = Client(port=handle.port)
+            (blocker,) = client.submit(LONG)
+            wait_for(client,
+                     lambda c: c.status(blocker["id"])["status"] == "running")
+            (queued_job,) = client.submit(queued)  # fills the queue
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(overflow)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after_s is not None
+            assert excinfo.value.retry_after_s > 0
+            counters = client.metrics()["counters"]
+            assert counters["service.jobs.rejected"] == 1
+            client.cancel(queued_job["id"])
+            client.cancel(blocker["id"])
+
+    def test_resubmitting_a_coalescable_spec_is_not_rejected(self):
+        """Coalesced submissions bypass the queue bound — only *new*
+        executions consume admission slots."""
+        with boot(queue_depth=1) as handle:
+            client = Client(port=handle.port)
+            (first,) = client.submit(LONG)
+            (second,) = client.submit(LONG)  # queue is full, but coalesces
+            assert second["coalesced"] is True
+            assert second["spec_key"] == first["spec_key"]
+            client.cancel(first["id"])
+
+    def test_draining_service_refuses_with_503(self):
+        with boot() as handle:
+            handle.run_coroutine(handle.server.scheduler.drain(timeout_s=1))
+            client = Client(port=handle.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(TINY)
+            assert excinfo.value.status == 503
+
+
+class TestCancellation:
+    def test_cancel_kills_a_running_job_mid_run(self):
+        """Acceptance pin: cancellation terminates the worker process
+        while it is mid-simulation — no cooperation required."""
+        with boot() as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(LONG)
+            # Streamed events prove the simulation is genuinely mid-run.
+            wait_for(
+                client,
+                lambda c: (lambda d: d["status"] == "running"
+                           and d["n_events"] > 0)(c.status(job["id"])),
+            )
+            client.cancel(job["id"])
+            final = client.wait(job["id"], timeout_s=30)
+            counters = client.metrics()["counters"]
+        assert final["status"] == "cancelled"
+        assert counters["service.jobs.cancelled"] == 1
+
+    def test_cancel_queued_job_never_starts(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            (blocker,) = client.submit(LONG)
+            (queued_job,) = client.submit(TINY)
+            client.cancel(queued_job["id"])
+            final = client.wait(queued_job["id"], timeout_s=30)
+            assert final["status"] == "cancelled"
+            assert final["started_s"] is None
+            client.cancel(blocker["id"])
+
+    def test_timeout_terminates_and_fails_the_job(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(LONG, timeout_s=0.3)
+            final = client.wait(job["id"], timeout_s=30)
+        assert final["status"] == "failed"
+        assert "timed out" in final["error"]
+
+
+class TestEventStream:
+    def test_stream_validates_against_event_schema(self):
+        """Acceptance pin: the NDJSON feed is schema-valid obs events."""
+        with boot() as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(TINY)
+            events = list(client.events(job["id"]))
+            final = client.wait(job["id"], timeout_s=30)
+        assert final["status"] == "done"
+        assert events, "a traced run must emit events"
+        assert validate_events(events) == []
+        types = {event["type"] for event in events}
+        assert "epoch_start" in types
+
+    def test_stream_replays_for_finished_jobs(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(TINY)
+            client.wait(job["id"], timeout_s=30)
+            live = list(client.events(job["id"]))
+            replay = list(client.events(job["id"]))
+        assert replay == live
+
+    def test_stream_for_unknown_job_is_404(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            with pytest.raises(ServiceError) as excinfo:
+                list(client.events("j999999"))
+            assert excinfo.value.status == 404
+
+
+class TestCacheIntegration:
+    def test_cache_hit_completes_without_execution(self, tmp_path):
+        with boot(cache=ResultCache(tmp_path)) as handle:
+            client = Client(port=handle.port)
+            cold = client.run(TINY, wait_timeout_s=60)
+            (warm_job,) = client.submit(TINY)
+            assert warm_job["from_cache"] is True
+            assert warm_job["status"] == "done"
+            warm = client.result(warm_job["id"])
+            counters = client.metrics()["counters"]
+        assert metrics_digest(cold) == metrics_digest(warm)
+        assert counters["service.cache.hits"] == 1
+        assert counters["service.executions.started"] == 1
+
+    def test_service_results_land_in_the_shared_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with boot(cache=cache) as handle:
+            Client(port=handle.port).run(TINY, wait_timeout_s=60)
+        # The engine sees the service's work: a direct run now hits.
+        direct_cache = ResultCache(tmp_path)
+        assert direct_cache.get(TINY) is not None
+
+
+class TestRetry:
+    def test_crashing_worker_is_retried_and_recovers(self, tmp_path,
+                                                     monkeypatch):
+        """First attempt raises, second succeeds: the job must end
+        ``done`` with ``attempts == 2`` (fork workers inherit the
+        patched execution seam)."""
+        marker = tmp_path / "crashed-once"
+
+        def flaky(spec, obs=None):
+            if not marker.exists():
+                marker.write_text("x")
+                raise RuntimeError("injected crash")
+            return execute_spec(spec, obs=obs)
+
+        monkeypatch.setattr(scheduler_module, "_EXECUTE", flaky)
+        with boot(retries=2) as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(TINY)
+            final = client.wait(job["id"], timeout_s=60)
+            counters = client.metrics()["counters"]
+        assert final["status"] == "done"
+        assert final["attempts"] == 2
+        assert final["result"]["attempts"] == 2
+        assert counters["service.jobs.retried"] == 1
+
+    def test_retry_budget_exhaustion_fails_the_job(self, monkeypatch):
+        def doomed(spec, obs=None):
+            raise RuntimeError("always broken")
+
+        monkeypatch.setattr(scheduler_module, "_EXECUTE", doomed)
+        with boot(retries=1) as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(TINY)
+            final = client.wait(job["id"], timeout_s=60)
+        assert final["status"] == "failed"
+        assert "failed after 2 attempt(s)" in final["error"]
+        assert "always broken" in final["error"]
+
+    def test_worker_hard_death_is_reported(self, monkeypatch):
+        """A worker that dies without reporting (no traceback crosses
+        the pipe) still fails loudly after its retry budget."""
+        import os
+
+        def vanishes(spec, obs=None):
+            os._exit(3)
+
+        monkeypatch.setattr(scheduler_module, "_EXECUTE", vanishes)
+        with boot(retries=1) as handle:
+            client = Client(port=handle.port)
+            (job,) = client.submit(TINY)
+            final = client.wait(job["id"], timeout_s=60)
+        assert final["status"] == "failed"
+        assert "worker died" in final["error"]
+
+
+class TestIntrospection:
+    def test_healthz_reports_capacity(self):
+        with boot(jobs=3, queue_depth=5) as handle:
+            health = Client(port=handle.port).health()
+        assert health["state"] == "running"
+        assert health["worker_slots"] == 3
+        assert health["queue_depth"] == 5
+
+    def test_metricz_renders_text_and_json(self):
+        import json
+        import urllib.request
+
+        with boot() as handle:
+            client = Client(port=handle.port)
+            client.run(TINY, wait_timeout_s=60)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{handle.port}/metricz"
+            ) as response:
+                text = response.read().decode()
+            snapshot = client.metrics()
+        assert "counter" in text and "service.jobs.submitted" in text
+        assert snapshot["counters"]["service.jobs.completed"] == 1
+        json.dumps(snapshot)  # JSON-ready by construction
+
+    def test_catalogue_endpoint_matches_the_factories(self):
+        with boot() as handle:
+            served = Client(port=handle.port).catalogue()
+        assert served == catalogue()
+
+    def test_unknown_job_is_404(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.status("j424242")
+            assert excinfo.value.status == 404
+
+    def test_invalid_payload_is_400_with_field(self):
+        with boot() as handle:
+            client = Client(port=handle.port)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"workload": "doom"})
+            assert excinfo.value.status == 400
+            assert excinfo.value.payload["field"] == "workload"
+
+    def test_jobs_listing_covers_all_submissions(self):
+        with boot(jobs=2) as handle:
+            client = Client(port=handle.port)
+            jobs = client.submit([TINY, RunSpec(workload="HTHI", threads=2,
+                                                balancer="vanilla",
+                                                n_epochs=2)])
+            for job in jobs:
+                client.wait(job["id"], timeout_s=60)
+            listed = client.jobs()
+        assert {job["id"] for job in jobs} <= {job["id"] for job in listed}
+        assert all("result" not in job for job in listed)

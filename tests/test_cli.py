@@ -45,6 +45,19 @@ class TestCommands:
         assert "bodytrack" in out
         assert "smartbalance" in out
 
+    def test_list_json_is_machine_readable(self, capsys):
+        """Satellite: `repro list --json` mirrors the factories'
+        catalogue — the same source of truth the service API validates
+        against."""
+        from repro.runner.factories import catalogue
+
+        assert main(["list", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == catalogue()
+        assert "vanilla" in document["balancers"]
+        assert "bodytrack" in document["workloads"]["benchmarks"]
+        assert document["platform_patterns"] == ["hmp:<n>"]
+
     def test_run_prints_result(self, capsys):
         code = main(
             ["run", "--workload", "MTMI", "--threads", "4",

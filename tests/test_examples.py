@@ -22,6 +22,7 @@ EXAMPLE_FILES = [
     "power_cap.py",
     "thermal_aware.py",
     "resilience.py",
+    "service_demo.py",
 ]
 
 
