@@ -1,0 +1,103 @@
+"""Windowed prediction-error drift detection (Page–Hinkley style).
+
+The balancer's cross-core predictions produce a per-epoch stream of
+relative errors per (source, target) core-type pair.  On a stationary
+workload those errors hover around the offline fit error (paper
+Table 4: up to ~20 % per pair); when the runtime workload drifts away
+from the characterisation corpus the errors *grow and stay grown*.
+
+A re-fit must trigger on the second situation only — refitting on
+noise would churn the model registry and destabilise placements.  The
+classic sequential test for a sustained positive mean shift is
+Page–Hinkley: accumulate the deviations of each error from the running
+mean (minus a slack ``delta``), track the running minimum of that
+cumulative sum, and alarm when the current sum exceeds the minimum by
+more than ``threshold``.  Noise around a stable mean keeps the sum
+near its minimum; a genuine upward shift walks it away linearly.
+
+The detector is pure float arithmetic over the sample stream — no
+randomness, no wall clock — so it is deterministic for a given spec.
+"""
+
+from __future__ import annotations
+
+
+class PageHinkley:
+    """Sequential detector for a sustained *increase* of a mean.
+
+    Parameters
+    ----------
+    delta:
+        Slack per sample: deviations smaller than ``delta`` above the
+        running mean are treated as noise.  Keeps slow jitter from
+        accumulating.
+    threshold:
+        Alarm level ``lam`` on the Page–Hinkley statistic.  Larger
+        values tolerate bigger transients before firing.
+    min_samples:
+        Samples required before the detector may alarm — the running
+        mean is meaningless on the first few observations.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.01,
+        threshold: float = 1.0,
+        min_samples: int = 8,
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all history (called after a model re-fit: the error
+        regime the detector learned no longer exists)."""
+        self.samples = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+        self._forced = False
+
+    def latch(self) -> None:
+        """Force the alarm on until :meth:`reset`.
+
+        Used on registry rollback: the re-fit that reset this detector
+        was undone, so the sustained shift it had flagged is back and
+        unexplained — but the restored model's error is now constant-
+        high, which shows no *growth* and could never re-fire the test
+        statistic on its own.
+        """
+        self._forced = True
+
+    @property
+    def statistic(self) -> float:
+        """Current Page–Hinkley statistic ``PH = cum - min(cum)``."""
+        return self._cum - self._cum_min
+
+    def update(self, error: float) -> bool:
+        """Fold one error sample in; True when drift is detected.
+
+        The caller is expected to :meth:`reset` after acting on a
+        detection; until then the detector keeps reporting True.
+        """
+        error = float(error)
+        self.samples += 1
+        # Running mean *including* this sample (Welford step).
+        self._mean += (error - self._mean) / self.samples
+        self._cum += error - self._mean - self.delta
+        self._cum_min = min(self._cum_min, self._cum)
+        return self.drifted
+
+    @property
+    def drifted(self) -> bool:
+        return self._forced or (
+            self.samples >= self.min_samples
+            and self.statistic > self.threshold
+        )

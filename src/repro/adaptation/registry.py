@@ -1,0 +1,141 @@
+"""Versioned predictor-model snapshots with provenance and rollback.
+
+Every model the adaptation loop activates — the initial offline-trained
+one and each committed online re-fit — is recorded as an immutable
+:class:`ModelSnapshot` carrying provenance: which epoch produced it,
+why (``drift`` / ``watchdog`` / ``initial``), which version it derives
+from, its held-out per-pair error at commit time, and a deterministic
+content fingerprint.  The registry is what makes online adaptation
+*safe*: a committed candidate that turns out to worsen held-out epoch
+error is rolled back to its parent, restoring the previous coefficient
+set byte-for-byte (pinned by the registry tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.prediction import PredictorModel
+
+
+def model_fingerprint(model: PredictorModel, length: int = 16) -> str:
+    """Deterministic content hash of a predictor's parameters.
+
+    Canonical-JSON over :meth:`PredictorModel.to_dict` (sorted keys,
+    shortest-round-trip float repr), SHA-256 truncated to ``length``
+    hex chars — stable across processes and ``PYTHONHASHSEED``.
+    """
+    blob = json.dumps(model.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """One registered predictor version with its provenance."""
+
+    version: int
+    model: PredictorModel
+    #: Simulation epoch the version was activated at (0 for the initial
+    #: offline model).
+    epoch: int
+    #: Why it was committed: ``initial``, ``drift`` or ``watchdog``.
+    cause: str
+    fingerprint: str
+    #: Version this one was fitted from; None for the initial model.
+    parent: Optional[int] = None
+    #: Held-out mean absolute relative IPC error per (src, dst) pair at
+    #: commit time (the evidence the commit gate accepted).
+    pair_errors: "dict[tuple[str, str], float]" = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Append-only store of model versions with an active pointer.
+
+    ``commit`` appends a snapshot and activates it; ``rollback``
+    re-activates the active version's parent (the model object itself,
+    not a reconstruction — coefficients come back byte-identical).
+    History is never deleted, so a trace of ``model_update`` /
+    ``model_rollback`` events can always be replayed against it.
+    """
+
+    def __init__(self, initial: PredictorModel, epoch: int = 0) -> None:
+        snapshot = ModelSnapshot(
+            version=0,
+            model=initial,
+            epoch=epoch,
+            cause="initial",
+            fingerprint=model_fingerprint(initial),
+        )
+        self._snapshots: "list[ModelSnapshot]" = [snapshot]
+        self._active = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> ModelSnapshot:
+        return self._snapshots[self._active]
+
+    @property
+    def model(self) -> PredictorModel:
+        return self.active.model
+
+    @property
+    def versions(self) -> "tuple[int, ...]":
+        return tuple(s.version for s in self._snapshots)
+
+    def get(self, version: int) -> ModelSnapshot:
+        for snapshot in self._snapshots:
+            if snapshot.version == version:
+                return snapshot
+        raise KeyError(f"no model version {version}; have {self.versions}")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def commit(
+        self,
+        model: PredictorModel,
+        epoch: int,
+        cause: str,
+        pair_errors: "dict[tuple[str, str], float] | None" = None,
+    ) -> ModelSnapshot:
+        """Register ``model`` as a new version and activate it."""
+        snapshot = ModelSnapshot(
+            version=self._snapshots[-1].version + 1,
+            model=model,
+            epoch=epoch,
+            cause=cause,
+            fingerprint=model_fingerprint(model),
+            parent=self.active.version,
+            pair_errors=dict(pair_errors or {}),
+        )
+        self._snapshots.append(snapshot)
+        self._active = len(self._snapshots) - 1
+        return snapshot
+
+    def rollback(self) -> ModelSnapshot:
+        """Re-activate the active version's parent and return it.
+
+        The rolled-back-to snapshot is the *original* object committed
+        earlier; its coefficient arrays are untouched by the failed
+        candidate's lifetime.
+        """
+        parent = self.active.parent
+        if parent is None:
+            raise RuntimeError(
+                "cannot roll back: the initial model has no parent"
+            )
+        for index, snapshot in enumerate(self._snapshots):
+            if snapshot.version == parent:
+                self._active = index
+                return snapshot
+        raise RuntimeError(
+            f"active version {self.active.version} references missing "
+            f"parent {parent}"
+        )

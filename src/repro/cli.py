@@ -89,6 +89,13 @@ def print_resilience(result) -> None:
         f"{stats.watchdog_trips} watchdog trips, "
         f"{stats.offline_placements_blocked} offline placements blocked"
     )
+    if stats.drift_detections or stats.model_updates or stats.model_rollbacks:
+        user_output(
+            f"adaptation: {stats.drift_detections} drift detections, "
+            f"{stats.model_updates} model updates, "
+            f"{stats.model_rollbacks} rollbacks, "
+            f"{stats.watchdog_repairs} watchdog repairs"
+        )
 
 
 def cmd_list(args) -> int:
@@ -109,7 +116,11 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     platform = make_platform(args.platform)
     workload = make_workload(args.workload, args.threads, args.seed)
-    balancer = make_balancer(args.balancer, mitigations=not args.no_mitigations)
+    balancer = make_balancer(
+        args.balancer,
+        mitigations=not args.no_mitigations,
+        adaptation=args.adapt,
+    )
     plan = make_fault_plan(args, platform)
     obs = ObsContext() if args.trace_out else None
     system = System(
@@ -203,6 +214,8 @@ def cmd_experiments(args) -> int:
         "ext_optimizers": lambda: experiments.extensions.run_optimizer_comparison(),
         "ext_replicated": lambda: experiments.extensions.run_replicated_headline(),
         "resilience": lambda: experiments.resilience.run(scale, jobs=jobs, cache=cache),
+        "table4_adapted": lambda: experiments.table4.run_adapted(scale),
+        "drift": lambda: experiments.drift.run(scale),
     }
     selected = args.ids or list(registry)
     unknown = [i for i in selected if i not in registry]
@@ -312,6 +325,7 @@ def _spec_payload_from_args(args) -> dict:
         "n_epochs": args.epochs,
         "seed": args.seed,
         "mitigations": not args.no_mitigations,
+        "adaptation": args.adapt,
     }
     if args.faults:
         payload["faults"] = args.faults
@@ -480,6 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-mitigations", action="store_true",
         help="ablate every resilience defence (smartbalance only)",
     )
+    run.add_argument(
+        "--adapt", action=argparse.BooleanOptionalAction, default=False,
+        help="online model maintenance: drift-triggered RLS re-fits "
+        "with registry rollback (smartbalance only; default off)",
+    )
 
     compare = sub.add_parser("compare", help="run several balancers on one workload")
     compare.add_argument("--platform", default="quad")
@@ -620,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--fault-seed", type=int, default=None)
     submit.add_argument("--no-mitigations", action="store_true")
+    submit.add_argument(
+        "--adapt", action=argparse.BooleanOptionalAction, default=False,
+        help="online model maintenance (smartbalance only; default off)",
+    )
     submit.add_argument(
         "--priority", type=int, default=0,
         help="scheduling priority (higher runs first)",

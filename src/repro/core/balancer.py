@@ -21,9 +21,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro.adaptation.controller import (
+    AdaptationController,
+    PairSample,
+    PowerSample,
+)
 from repro.core.allocation import Allocation
 from repro.core.annealing import SAResult, anneal
 from repro.core.config import SmartBalanceConfig
+from repro.core.estimation import feature_vector
 from repro.core.objective import EnergyEfficiencyObjective
 from repro.core.prediction import CharacterisationMatrices, MatrixBuilder, PredictorModel
 from repro.core.sensing import ThreadObservation, observation_fault, sense
@@ -73,6 +79,13 @@ class BalancerHealth:
     budget_skipped_epochs: int = 0
     #: Epochs in which at least one core was masked out as offline.
     hotplug_masked_epochs: int = 0
+    #: Adaptation-layer telemetry (zero while adaptation is disabled).
+    drift_detections: int = 0
+    model_updates: int = 0
+    model_rollbacks: int = 0
+    #: Watchdog trips resolved by an online re-fit instead of falling
+    #: back to capability placement (repair before fallback).
+    watchdog_repairs: int = 0
 
     def note_reject(self, reason: str) -> None:
         self.samples_rejected += 1
@@ -137,6 +150,105 @@ class SmartBalance:
         #: they turn next epoch's measurement into a Table 4 sample.
         self._obs_src_type: dict[int, str] = {}
         self._obs_power_prediction: dict[int, np.ndarray] = {}
+        #: Online model maintenance (None unless opted in): the
+        #: controller owns the model registry; the balancer feeds it
+        #: the epoch's observations and swaps its own predictor when a
+        #: re-fit commits or rolls back.
+        self._adaptation: Optional[AdaptationController] = None
+        if self.config.adaptation.enabled:
+            self._adaptation = AdaptationController(
+                predictor, self.config.adaptation
+            )
+        #: Per-tid ``(core-type name, feature vector)`` of the previous
+        #: epoch's measurement, kept only while adaptation is on: a
+        #: thread measured on type A one epoch and on type B the next is
+        #: one supervised sample for the A→B regression.
+        self._adapt_prev: dict[int, tuple[str, np.ndarray]] = {}
+
+    @property
+    def adaptation(self) -> Optional[AdaptationController]:
+        """The online-maintenance controller (None when disabled)."""
+        return self._adaptation
+
+    def _swap_model(self, model: PredictorModel) -> None:
+        """Activate a different predictor (commit or rollback)."""
+        self.predictor = model
+        self._builder = MatrixBuilder(model)
+
+    def _adaptation_step(self, healthy: list[ThreadObservation], view, t_s: float) -> None:
+        """Feed this epoch's observations to the adaptation controller
+        and adopt whatever model it decides is active afterwards.
+
+        Runs in the predict phase *before* the characterisation
+        matrices are built, so a committed re-fit (or rollback) takes
+        effect in the same epoch that triggered it.
+        """
+        ctrl = self._adaptation
+        ipc_samples: list[PairSample] = []
+        power_samples: list[PowerSample] = []
+        for obs in healthy:
+            dst = obs.core_type.name
+            prev = self._adapt_prev.get(obs.tid)
+            if prev is not None and prev[0] != dst and obs.ipc_measured > 0:
+                ipc_samples.append(
+                    PairSample(
+                        src=prev[0], dst=dst, features=prev[1], ipc=obs.ipc_measured
+                    )
+                )
+            if obs.ipc_measured > 0 and obs.power_measured > 0:
+                power_samples.append(
+                    PowerSample(
+                        type_name=dst,
+                        ipc=obs.ipc_measured,
+                        power_w=obs.power_measured,
+                    )
+                )
+        report = ctrl.observe_epoch(
+            ipc_samples,
+            power_samples,
+            epoch=view.epoch_index,
+            t_s=t_s,
+            obs=self.obs,
+        )
+        if report.model_changed:
+            self._swap_model(ctrl.model)
+        # Mirror the controller's totals into the health counters the
+        # simulator folds into ResilienceStats.
+        self.health.drift_detections = ctrl.drift_detections
+        self.health.model_updates = ctrl.model_updates
+        self.health.model_rollbacks = ctrl.model_rollbacks
+        # Remember this epoch's measurement context for next epoch's
+        # cross-type samples; forget threads that no longer exist.
+        for obs in healthy:
+            self._adapt_prev[obs.tid] = (obs.core_type.name, feature_vector(obs))
+        live = {task.tid for task in view.tasks}
+        for tid in list(self._adapt_prev):
+            if tid not in live:
+                del self._adapt_prev[tid]
+
+    def _attempt_watchdog_repair(self, view, t_s: float) -> bool:
+        """Watchdog handoff: ask the adaptation layer for a confident
+        re-fit before surrendering the epoch to capability fallback."""
+        ctrl = self._adaptation
+        if ctrl is None:
+            return False
+        if not ctrl.attempt_repair(view.epoch_index, t_s, obs=self.obs):
+            return False
+        self._swap_model(ctrl.model)
+        self._watchdog_tripped = False
+        self._watchdog_strikes = 0
+        self._watchdog_recoveries = 0
+        self.health.watchdog_repairs += 1
+        self.health.model_updates = ctrl.model_updates
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                obs_events.DEGRADATION,
+                t_s,
+                state="watchdog_repaired",
+                cause="model_refit",
+            )
+            self.obs.metrics.inc("balancer.watchdog_repairs")
+        return True
 
     def _blend(
         self,
@@ -513,6 +625,17 @@ class SmartBalance:
                 # Before this epoch's rows overwrite the prediction
                 # state, score last epoch's predictions (Table 4 data).
                 self._emit_prediction_checks(healthy, t_s)
+            if res.watchdog_enabled:
+                self._watchdog_update(healthy, t_s=t_s)
+            if self._adaptation is not None:
+                # Online maintenance: fold this epoch's observations in;
+                # a drift-triggered re-fit (or a probation rollback)
+                # swaps the predictor before the matrices are built.  A
+                # tripped watchdog asks for repair first — capability
+                # fallback below is the last resort.
+                self._adaptation_step(healthy, view, t_s)
+                if res.watchdog_enabled and self._watchdog_tripped:
+                    self._attempt_watchdog_repair(view, t_s)
             core_types = [core.core_type for core in view.platform]
             matrices = self._blend(
                 self._builder.build(healthy, core_types),
@@ -522,8 +645,6 @@ class SmartBalance:
                 matrices = self._append_fallback_rows(matrices, fallback_obs)
             participants = healthy + fallback_obs
 
-            if res.watchdog_enabled:
-                self._watchdog_update(healthy, t_s=t_s)
             self._last_prediction = {
                 tid: matrices.ips[i].copy() for i, tid in enumerate(matrices.tids)
             }

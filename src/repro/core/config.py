@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.adaptation.controller import AdaptationConfig
 from repro.core.annealing import SAConfig
 
 
@@ -166,6 +167,11 @@ class SmartBalanceConfig:
     throughput_exponent: float = 1.7
     #: Graceful-degradation defences (see :class:`ResilienceConfig`).
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Online model maintenance (see
+    #: :class:`repro.adaptation.controller.AdaptationConfig`).  Off by
+    #: default: with ``enabled=False`` the balancer never instantiates a
+    #: controller and behaves byte-identically to earlier builds.
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
     #: Wall-clock budget (seconds) for one full decide() pass; time
     #: already spent sensing and predicting is deducted from the SA
     #: balance phase, which truncates cleanly when it runs out.  None

@@ -23,6 +23,7 @@ against the simulated hardware:
 from __future__ import annotations
 
 import random
+import warnings
 from functools import lru_cache
 from typing import Optional, Sequence
 
@@ -42,6 +43,15 @@ from repro.workload.parsec import BENCHMARKS
 #: profiling averages many samples, so it is cleaner than runtime
 #: sensing but not perfect.
 DEFAULT_TRAINING_NOISE = NoiseModel(sigma=0.01)
+
+#: Effective rank (SVD of the column-equilibrated design) below which
+#: the normal equations are declared ill-conditioned.  The feature
+#: model itself carries a few exact linear dependencies, so even a
+#: dense healthy corpus spans only ~8 of the 11 design dimensions; a
+#: corpus of near-duplicate phases collapses to 1–2.  Equilibration
+#: matters: raw columns span ~6 orders of magnitude (MHz vs miss
+#: rates), which would swamp the rank test with mere scaling.
+MIN_EFFECTIVE_RANK = 6
 
 
 def parsec_phases(seed: int = 0) -> list[WorkloadPhase]:
@@ -110,6 +120,7 @@ def train_predictor(
     n_synthetic: int = 100,
     seed: int = 7,
     noise: Optional[NoiseModel] = DEFAULT_TRAINING_NOISE,
+    ridge: float = 0.0,
 ) -> PredictorModel:
     """Train Θ and the power lines for a set of core types.
 
@@ -117,7 +128,17 @@ def train_predictor(
     training set) plus ``n_synthetic`` random workloads to cover the
     space between benchmarks.  Distinct type *names* are required
     (types are keyed by name, as γ keys cores by type).
+
+    ``ridge`` adds Tikhonov regularisation ``λ·I`` to the normal
+    equations.  The paper's plain least squares (``ridge=0``) is the
+    default; a small ridge stabilises the fit when a narrow profiling
+    corpus leaves the Gram matrix ill-conditioned (a warning is issued
+    whenever that is detected, regularised or not).  ``ridge = 1/p0``
+    also makes the fit the exact batch counterpart of a zero-prior
+    :class:`repro.adaptation.rls.RLSUpdater`.
     """
+    if ridge < 0:
+        raise ValueError(f"ridge must be non-negative, got {ridge}")
     types = list(core_types)
     names = [t.name for t in types]
     if len(set(names)) != len(names):
@@ -153,12 +174,32 @@ def train_predictor(
     fit_error: dict[tuple[str, str], float] = {}
     for src in types:
         x = designs[src.name]
+        gram = x.T @ x
+        norms = np.linalg.norm(x, axis=0)
+        rank = int(
+            np.linalg.matrix_rank(x / np.where(norms > 0, norms, 1.0))
+        )
+        if rank < MIN_EFFECTIVE_RANK:
+            warnings.warn(
+                f"normal-equation matrix for source type {src.name!r} is "
+                f"ill-conditioned (effective rank {rank}/{x.shape[1]}): the "
+                "profiling corpus does not span the feature space and the "
+                "fitted Θ coefficients are noise-sensitive — use a wider "
+                "corpus or ridge > 0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for dst in types:
             if dst.name == src.name:
                 continue
             y = true_ipc[dst.name]
             # CPI-space least squares (see repro.core.prediction).
-            coeffs, *_ = np.linalg.lstsq(x, 1.0 / y, rcond=None)
+            if ridge > 0:
+                coeffs = np.linalg.solve(
+                    gram + ridge * np.eye(x.shape[1]), x.T @ (1.0 / y)
+                )
+            else:
+                coeffs, *_ = np.linalg.lstsq(x, 1.0 / y, rcond=None)
             theta[(src.name, dst.name)] = coeffs
             prediction = 1.0 / np.maximum(x @ coeffs, 1e-3)
             fit_error[(src.name, dst.name)] = float(

@@ -16,12 +16,16 @@ prints the rendered result.  ``run_all()`` regenerates everything.
 | fig7    | per-phase overhead + 2-128 core scalability        |
 | fig8    | SA iterations vs distance-to-optimal + parameters  |
 
-``resilience`` is not a paper artifact: it measures IPS/W retention
-under injected faults (sensor, counter, migration, hotplug, thermal),
-mitigated vs unmitigated.
+``resilience`` and ``drift`` are not paper artifacts: ``resilience``
+measures IPS/W retention under injected faults (sensor, counter,
+migration, hotplug, thermal), mitigated vs unmitigated; ``drift``
+deploys a predictor trained on a mismatched corpus and measures how
+much online adaptation (:mod:`repro.adaptation`) recovers of the
+prediction accuracy, frozen vs adapted.
 """
 
 from repro.experiments import (
+    drift,
     extensions,
     fig4,
     fig5,
@@ -56,6 +60,7 @@ def run_all(scale: Scale = QUICK) -> list:
         extensions.run_virtual_sensing(),
         extensions.run_optimizer_comparison(),
         resilience.run(scale),
+        drift.run(scale),
     ]
     return results
 
@@ -83,4 +88,5 @@ __all__ = [
     "fig8",
     "extensions",
     "resilience",
+    "drift",
 ]

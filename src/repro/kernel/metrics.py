@@ -102,6 +102,13 @@ class ResilienceStats:
     hotplug_masked_epochs: int = 0
     #: Placements the kernel refused because the target was offline.
     offline_placements_blocked: int = 0
+    # -- adaptation side (online model maintenance) -------------------
+    drift_detections: int = 0
+    model_updates: int = 0
+    model_rollbacks: int = 0
+    #: Watchdog trips resolved by an online re-fit (repair before
+    #: fallback) instead of capability placement.
+    watchdog_repairs: int = 0
 
     @property
     def faults_injected(self) -> int:

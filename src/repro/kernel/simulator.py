@@ -772,5 +772,9 @@ class System:
                 truncated_epochs=health.truncated_epochs,
                 budget_skipped_epochs=health.budget_skipped_epochs,
                 hotplug_masked_epochs=health.hotplug_masked_epochs,
+                drift_detections=getattr(health, "drift_detections", 0),
+                model_updates=getattr(health, "model_updates", 0),
+                model_rollbacks=getattr(health, "model_rollbacks", 0),
+                watchdog_repairs=getattr(health, "watchdog_repairs", 0),
             )
         return ResilienceStats(**kwargs)

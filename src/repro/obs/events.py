@@ -50,6 +50,12 @@ FAULT_INJECTED = "fault_injected"
 MITIGATION = "mitigation"
 #: A state transition of the degradation machinery (watchdog).
 DEGRADATION = "degradation"
+#: A per-pair prediction-error drift detector fired (adaptation layer).
+DRIFT_DETECTED = "drift_detected"
+#: The adaptation layer committed and activated a re-fitted model.
+MODEL_UPDATE = "model_update"
+#: A committed model failed probation and was rolled back.
+MODEL_ROLLBACK = "model_rollback"
 #: Wall-clock per-phase time breakdown (one per run; nondeterministic).
 PHASE_PROFILE = "phase_profile"
 
@@ -67,6 +73,9 @@ EVENT_TYPES = (
     FAULT_INJECTED,
     MITIGATION,
     DEGRADATION,
+    DRIFT_DETECTED,
+    MODEL_UPDATE,
+    MODEL_ROLLBACK,
     PHASE_PROFILE,
 )
 
@@ -161,6 +170,24 @@ EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
     FAULT_INJECTED: (("kind",), ("channel", "tid", "core", "count", "detail")),
     MITIGATION: (("kind", "cause"), ("tid", "core")),
     DEGRADATION: (("state", "cause"), ()),
+    DRIFT_DETECTED: (
+        ("pair", "statistic", "threshold"),
+        ("epoch", "samples"),
+    ),
+    MODEL_UPDATE: (
+        ("version", "cause", "pairs_updated"),
+        (
+            "epoch",
+            "fingerprint",
+            "holdout_error_before_pct",
+            "holdout_error_after_pct",
+            "power_types_updated",
+        ),
+    ),
+    MODEL_ROLLBACK: (
+        ("from_version", "to_version", "cause"),
+        ("epoch", "fingerprint"),
+    ),
     PHASE_PROFILE: (("phases",), ()),
 }
 

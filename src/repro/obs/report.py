@@ -96,6 +96,38 @@ def _count_by(events: Iterable[dict], etype: str, field: str) -> "dict[str, int]
     return dict(sorted(counts.items()))
 
 
+def build_adaptation_summary(events: Iterable[dict]) -> dict:
+    """Online model-maintenance activity: drift alarms, commits with
+    their held-out error deltas, rollbacks, and the version history."""
+    drifts = [e for e in events if e.get("type") == ev.DRIFT_DETECTED]
+    updates = [e for e in events if e.get("type") == ev.MODEL_UPDATE]
+    rollbacks = [e for e in events if e.get("type") == ev.MODEL_ROLLBACK]
+    deltas = [
+        float(e["holdout_error_before_pct"]) - float(e["holdout_error_after_pct"])
+        for e in updates
+        if e.get("holdout_error_before_pct") is not None
+        and e.get("holdout_error_after_pct") is not None
+    ]
+    return {
+        "drift_detections": len(drifts),
+        "drifted_pairs": sorted({str(e["pair"]) for e in drifts}),
+        "model_updates": len(updates),
+        "model_rollbacks": len(rollbacks),
+        "updates_by_cause": _count_by(events, ev.MODEL_UPDATE, "cause"),
+        "mean_holdout_improvement_pct": _mean(deltas),
+        "versions": [
+            {
+                "version": int(e["version"]),
+                "epoch": e.get("epoch"),
+                "cause": str(e["cause"]),
+                "fingerprint": e.get("fingerprint"),
+                "pairs_updated": list(e.get("pairs_updated") or []),
+            }
+            for e in updates
+        ],
+    }
+
+
 def build_report(events: Sequence[dict]) -> dict:
     """Aggregate one event stream into the full diagnostic report."""
     run_end = next((e for e in events if e.get("type") == ev.RUN_END), None)
@@ -123,6 +155,7 @@ def build_report(events: Sequence[dict]) -> dict:
         "faults_injected": _count_by(events, ev.FAULT_INJECTED, "kind"),
         "mitigations": _count_by(events, ev.MITIGATION, "kind"),
         "degradation_transitions": _count_by(events, ev.DEGRADATION, "state"),
+        "adaptation": build_adaptation_summary(events),
         "phase_profile": None
         if phase_profile is None
         else dict(phase_profile.get("phases") or {}),
@@ -210,6 +243,35 @@ def render_report(report: dict) -> str:
             lines += _section(title)
             for name, count in counts.items():
                 lines.append(f"  {name:<26} {count}")
+
+    adaptation = report.get("adaptation") or {}
+    if (
+        adaptation.get("drift_detections")
+        or adaptation.get("model_updates")
+        or adaptation.get("model_rollbacks")
+    ):
+        lines += _section("Adaptation (online model maintenance)")
+        lines.append(
+            f"  drift detections  {adaptation['drift_detections']} "
+            f"({', '.join(adaptation['drifted_pairs']) or 'none'})"
+        )
+        lines.append(
+            f"  model updates     {adaptation['model_updates']} "
+            f"(rollbacks {adaptation['model_rollbacks']})"
+        )
+        if adaptation.get("model_updates"):
+            lines.append(
+                "  mean held-out error improvement  "
+                f"{adaptation['mean_holdout_improvement_pct']:.2f} pp"
+            )
+        for row in adaptation.get("versions") or []:
+            epoch = row.get("epoch")
+            lines.append(
+                f"    v{row['version']} @ epoch {epoch if epoch is not None else '?'}"
+                f" cause={row['cause']}"
+                f" pairs={len(row['pairs_updated'])}"
+                f" fp={row.get('fingerprint') or '-'}"
+            )
 
     phases = report.get("phase_profile")
     if phases:

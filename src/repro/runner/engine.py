@@ -68,7 +68,11 @@ def execute_spec(spec: RunSpec, obs=None) -> RunResult:
     platform = make_platform(spec.platform)
     workload_seed = spec.workload_seed if spec.workload_seed is not None else spec.seed
     workload = make_workload(spec.workload, spec.threads, workload_seed)
-    balancer = make_balancer(spec.balancer, mitigations=spec.mitigations)
+    balancer = make_balancer(
+        spec.balancer,
+        mitigations=spec.mitigations,
+        adaptation=spec.adaptation,
+    )
     plan = None
     if spec.faults is not None:
         from repro.faults import scenario

@@ -37,15 +37,21 @@ BALANCERS = {
 RANDOM_WORKLOAD = "random"
 
 
-def _smart_balancer(mitigations: bool = True) -> LoadBalancer:
+def _smart_balancer(
+    mitigations: bool = True, adaptation: bool = False
+) -> LoadBalancer:
     # Imported lazily: training the default predictor takes a moment
     # and commands like `list` should stay instant.
+    from repro.adaptation.controller import AdaptationConfig
     from repro.core.config import ResilienceConfig, SmartBalanceConfig
     from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
 
     resilience = ResilienceConfig() if mitigations else ResilienceConfig.disabled()
     return SmartBalanceKernelAdapter(
-        config=SmartBalanceConfig(resilience=resilience)
+        config=SmartBalanceConfig(
+            resilience=resilience,
+            adaptation=AdaptationConfig(enabled=adaptation),
+        )
     )
 
 
@@ -110,10 +116,16 @@ def workload_names() -> "set[str]":
     return set().union(*names.values())
 
 
-def make_balancer(name: str, mitigations: bool = True) -> LoadBalancer:
-    """Resolve a balancer name, including ``smartbalance``."""
+def make_balancer(
+    name: str, mitigations: bool = True, adaptation: bool = False
+) -> LoadBalancer:
+    """Resolve a balancer name, including ``smartbalance``.
+
+    ``adaptation`` switches on online model maintenance (smartbalance
+    only; the other balancers have no model to maintain and ignore it).
+    """
     if name == "smartbalance":
-        return _smart_balancer(mitigations)
+        return _smart_balancer(mitigations, adaptation)
     try:
         return BALANCERS[name]()
     except KeyError:

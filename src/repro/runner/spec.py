@@ -29,7 +29,9 @@ from repro.kernel.simulator import SimulationConfig
 
 #: Bumped whenever the cached result layout changes shape; part of the
 #: cache key, so old cache files simply miss instead of misparsing.
-CACHE_FORMAT = 3
+#: 4: ResilienceStats grew the adaptation counters and RunSpec the
+#: ``adaptation`` field.
+CACHE_FORMAT = 4
 
 
 def _code_version() -> str:
@@ -92,6 +94,10 @@ class RunSpec:
     fault_seed: Optional[int] = None
     #: SmartBalance resilience defences on/off (smartbalance only).
     mitigations: bool = True
+    #: Online model maintenance on/off (smartbalance only; see
+    #: :mod:`repro.adaptation`).  Off keeps runs byte-identical to
+    #: builds without the adaptation subsystem.
+    adaptation: bool = False
     #: Simulator knobs.  ``config.seed`` and ``config.faults`` are
     #: ignored in favour of the spec's own fields.
     config: SimulationConfig = field(default_factory=SimulationConfig)
@@ -124,6 +130,7 @@ class RunSpec:
             "faults": self.faults,
             "fault_seed": self.fault_seed,
             "mitigations": self.mitigations,
+            "adaptation": self.adaptation,
             "config": config_fingerprint(self.config),
         }
 

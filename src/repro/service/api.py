@@ -50,6 +50,7 @@ SPEC_FIELDS = (
     "faults",
     "fault_seed",
     "mitigations",
+    "adaptation",
     "config",
 )
 
@@ -190,6 +191,10 @@ def spec_from_payload(payload: object) -> RunSpec:
     if not isinstance(mitigations, bool):
         raise ApiError("mitigations must be a boolean", field="mitigations")
 
+    adaptation = payload.get("adaptation", False)
+    if not isinstance(adaptation, bool):
+        raise ApiError("adaptation must be a boolean", field="adaptation")
+
     config = (
         _config_from_payload(payload["config"])
         if payload.get("config") is not None
@@ -207,6 +212,7 @@ def spec_from_payload(payload: object) -> RunSpec:
             faults=faults,
             fault_seed=_optional_int(payload, "fault_seed"),
             mitigations=mitigations,
+            adaptation=adaptation,
             config=config,
         )
     except ValueError as exc:
@@ -231,6 +237,7 @@ def payload_from_spec(spec: RunSpec) -> dict:
         "faults": spec.faults,
         "fault_seed": spec.fault_seed,
         "mitigations": spec.mitigations,
+        "adaptation": spec.adaptation,
     }
     if spec.config != SimulationConfig():
         config = config_fingerprint(spec.config)

@@ -1,0 +1,102 @@
+"""Page–Hinkley detector: fires on sustained growth, quiet on noise."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptation.drift import PageHinkley
+
+
+def feed(detector, values):
+    fired_at = None
+    for i, value in enumerate(values):
+        if detector.update(value) and fired_at is None:
+            fired_at = i
+    return fired_at
+
+
+class TestFiresOnSustainedGrowth:
+    def test_step_change_detected(self):
+        """Errors hovering at 0.05 then jumping to 0.8 must alarm —
+        and only after the jump."""
+        detector = PageHinkley(delta=0.02, threshold=0.8, min_samples=6)
+        quiet = [0.05, 0.06, 0.04, 0.05, 0.07, 0.05, 0.04, 0.06]
+        assert feed(detector, quiet) is None
+        fired_at = feed(detector, [0.8] * 10)
+        assert fired_at is not None
+
+    def test_slow_ramp_detected(self):
+        detector = PageHinkley(delta=0.01, threshold=0.8, min_samples=6)
+        ramp = [0.05 + 0.04 * i for i in range(40)]
+        assert feed(detector, ramp) is not None
+
+    def test_latch_forces_the_alarm_until_reset(self):
+        """latch() (used on registry rollback) re-arms the alarm even
+        though the statistic alone could never fire on constant error."""
+        detector = PageHinkley(delta=0.0, threshold=0.5, min_samples=4)
+        assert not detector.drifted
+        detector.latch()
+        assert detector.drifted
+        detector.update(0.9)  # constant error: statistic stays flat
+        assert detector.drifted
+        detector.reset()
+        assert not detector.drifted
+
+    def test_detection_latches_until_reset(self):
+        detector = PageHinkley(delta=0.02, threshold=0.5, min_samples=4)
+        feed(detector, [0.05] * 6 + [1.0] * 8)
+        assert detector.drifted
+        detector.update(0.05)
+        assert detector.drifted  # still latched
+        detector.reset()
+        assert not detector.drifted
+        assert detector.samples == 0
+        assert detector.statistic == 0.0
+
+
+class TestQuietOnNoise:
+    @given(st.lists(st.floats(0.18, 0.22, allow_nan=False, width=64),
+                    min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_never_fires_on_bounded_stationary_noise(self, errors):
+        """Any sequence inside a ±0.02 band cannot walk the statistic
+        past the threshold: per-sample accumulation is at most the
+        band radius minus delta, bounded over 30 samples below 0.8."""
+        detector = PageHinkley(delta=0.02, threshold=0.8, min_samples=6)
+        assert feed(detector, errors) is None
+
+    def test_single_transient_spike_ignored(self):
+        """One spike *within the alarm budget* must not fire — the
+        subsequent quiet samples walk the statistic back down.  (A
+        spike exceeding ``threshold`` in a single step fires by
+        design: that is not noise by this detector's definition.)"""
+        detector = PageHinkley(delta=0.02, threshold=0.8, min_samples=6)
+        values = [0.05] * 10 + [0.6] + [0.05] * 20
+        assert feed(detector, values) is None
+
+    def test_constant_errors_never_fire(self):
+        """A constant stream — even a terrible one — shows no *growth*;
+        the running mean absorbs it."""
+        detector = PageHinkley(delta=0.0, threshold=0.5, min_samples=4)
+        assert feed(detector, [0.9] * 50) is None
+
+
+class TestGatesAndValidation:
+    def test_min_samples_gate(self):
+        detector = PageHinkley(delta=0.0, threshold=0.1, min_samples=10)
+        fired_at = feed(detector, [0.0] * 5 + [5.0] * 10)
+        assert fired_at is not None
+        assert fired_at >= 9  # zero-based: sample 10 is index 9
+
+    def test_statistic_is_nonnegative(self):
+        detector = PageHinkley()
+        for value in [0.5, 0.1, 0.9, 0.0, 0.3]:
+            detector.update(value)
+            assert detector.statistic >= 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=0)

@@ -1,0 +1,78 @@
+"""End-to-end invariants of the adaptation subsystem.
+
+Three contracts the ISSUE pins down:
+
+* ``adaptation`` **off is inert** — a clean run with the knob off is
+  byte-identical (metrics digest) to a run with the knob on when the
+  predictor never drifts, and to the pre-subsystem behaviour.
+* **Determinism survives adaptation** — adapted sweeps are worker-count
+  independent and repeatable, and tracing an adapted run does not
+  change its metrics.
+* The **drift scenario emits schema-valid events** whose story matches
+  the controller's counters.
+"""
+
+from repro.experiments.common import QUICK
+from repro.obs import ObsContext
+from repro.obs.events import validate_events
+from repro.runner import RunSpec, execute_spec, metrics_digest, run_specs
+
+BASE = dict(workload="Mix1", platform="biglittle", threads=6, n_epochs=8, seed=3)
+
+ADAPTED_SPECS = [
+    RunSpec(adaptation=True, balancer=balancer, **BASE)
+    for balancer in ("smartbalance", "vanilla")
+]
+
+
+class TestCleanRunInertness:
+    def test_adaptation_off_and_on_are_byte_identical_on_clean_runs(self):
+        """The predictor matches the workload here, so no re-fit ever
+        commits — and the mere presence of the controller must not
+        perturb a single simulated quantity."""
+        off = metrics_digest(execute_spec(RunSpec(adaptation=False, **BASE)))
+        on = metrics_digest(execute_spec(RunSpec(adaptation=True, **BASE)))
+        assert off == on
+
+    def test_clean_adapted_run_commits_nothing(self):
+        result = execute_spec(RunSpec(adaptation=True, **BASE))
+        assert result.resilience.model_updates == 0
+        assert result.resilience.model_rollbacks == 0
+
+
+class TestDeterminism:
+    def test_adapted_sweep_is_worker_count_independent(self):
+        serial = [metrics_digest(r) for r in run_specs(ADAPTED_SPECS, jobs=1)]
+        parallel = [metrics_digest(r) for r in run_specs(ADAPTED_SPECS, jobs=4)]
+        assert serial == parallel
+
+    def test_adapted_run_is_repeatable(self):
+        spec = ADAPTED_SPECS[0]
+        assert metrics_digest(execute_spec(spec)) == metrics_digest(
+            execute_spec(spec)
+        )
+
+    def test_tracing_does_not_change_adapted_metrics(self):
+        spec = ADAPTED_SPECS[0]
+        untraced = metrics_digest(execute_spec(spec))
+        traced = metrics_digest(execute_spec(spec, obs=ObsContext()))
+        assert untraced == traced
+
+
+class TestDriftScenario:
+    def test_adapted_recovers_and_emits_valid_events(self):
+        from repro.experiments import drift
+
+        result, obs, _ = drift.drift_scenario_run(
+            adapted=True, n_epochs=2 * QUICK.n_epochs
+        )
+        events = obs.tracer.events
+        assert validate_events(events) == []
+
+        resilience = result.resilience
+        assert resilience.drift_detections >= 1
+        assert resilience.model_updates >= 1
+        types = [e["type"] for e in events]
+        assert types.count("drift_detected") == resilience.drift_detections
+        assert types.count("model_update") == resilience.model_updates
+        assert types.count("model_rollback") == resilience.model_rollbacks

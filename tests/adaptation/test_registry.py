@@ -1,0 +1,119 @@
+"""Model registry: provenance, fingerprints, byte-identical rollback."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.registry import (
+    ModelRegistry,
+    model_fingerprint,
+)
+from repro.adaptation.controller import snapshot_summary
+from repro.core.estimation import N_FEATURES
+from repro.core.prediction import PowerLine, PredictorModel
+
+
+def make_model(scale: float = 1.0) -> PredictorModel:
+    coeffs = scale * np.linspace(0.1, 1.1, N_FEATURES)
+    return PredictorModel(
+        type_names=("A", "B"),
+        theta={("A", "B"): coeffs.copy(), ("B", "A"): (2 * coeffs).copy()},
+        power_lines={
+            "A": PowerLine(alpha1=3.0 * scale, alpha0=0.5),
+            "B": PowerLine(alpha1=1.0 * scale, alpha0=0.2),
+        },
+        ipc_range={"A": (0.1, 4.0), "B": (0.1, 4.0)},
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert model_fingerprint(make_model()) == model_fingerprint(make_model())
+
+    def test_sensitive_to_coefficients(self):
+        assert model_fingerprint(make_model(1.0)) != model_fingerprint(
+            make_model(1.0 + 1e-9)
+        )
+
+    def test_length(self):
+        assert len(model_fingerprint(make_model(), length=16)) == 16
+        assert len(model_fingerprint(make_model(), length=64)) == 64
+
+
+class TestRegistry:
+    def test_initial_snapshot(self):
+        model = make_model()
+        registry = ModelRegistry(model)
+        assert registry.active.version == 0
+        assert registry.active.cause == "initial"
+        assert registry.active.parent is None
+        assert registry.model is model
+        assert registry.versions == (0,)
+
+    def test_commit_advances_and_links_parent(self):
+        registry = ModelRegistry(make_model())
+        snapshot = registry.commit(
+            make_model(2.0), epoch=5, cause="drift",
+            pair_errors={("A", "B"): 0.1},
+        )
+        assert snapshot.version == 1
+        assert snapshot.parent == 0
+        assert snapshot.epoch == 5
+        assert registry.active is snapshot
+        assert registry.versions == (0, 1)
+        assert registry.get(0).cause == "initial"
+
+    def test_rollback_restores_bytes_identically(self):
+        """The rolled-back-to model is the original object: every
+        coefficient array compares byte-for-byte equal."""
+        original = make_model()
+        original_bytes = {
+            pair: np.asarray(c).tobytes() for pair, c in original.theta.items()
+        }
+        registry = ModelRegistry(original)
+        registry.commit(make_model(3.0), epoch=4, cause="drift")
+        restored = registry.rollback()
+        assert restored.version == 0
+        assert registry.model is original
+        for pair, coeffs in registry.model.theta.items():
+            assert np.asarray(coeffs).tobytes() == original_bytes[pair]
+        assert registry.model.power_lines == original.power_lines
+
+    def test_rollback_keeps_history(self):
+        registry = ModelRegistry(make_model())
+        registry.commit(make_model(2.0), epoch=1, cause="drift")
+        registry.rollback()
+        assert registry.versions == (0, 1)  # append-only: nothing deleted
+        assert registry.get(1).cause == "drift"
+
+    def test_commit_after_rollback_parents_the_restored_version(self):
+        registry = ModelRegistry(make_model())
+        registry.commit(make_model(2.0), epoch=1, cause="drift")
+        registry.rollback()
+        snapshot = registry.commit(make_model(4.0), epoch=9, cause="watchdog")
+        assert snapshot.version == 2
+        assert snapshot.parent == 0
+
+    def test_rollback_of_initial_refused(self):
+        registry = ModelRegistry(make_model())
+        with pytest.raises(RuntimeError):
+            registry.rollback()
+
+    def test_unknown_version_raises(self):
+        registry = ModelRegistry(make_model())
+        with pytest.raises(KeyError):
+            registry.get(7)
+
+
+class TestSnapshotSummary:
+    def test_json_ready_provenance(self):
+        registry = ModelRegistry(make_model())
+        snapshot = registry.commit(
+            make_model(2.0), epoch=3, cause="drift",
+            pair_errors={("A", "B"): 0.25},
+        )
+        summary = snapshot_summary(snapshot)
+        assert summary["version"] == 1
+        assert summary["cause"] == "drift"
+        assert summary["parent"] == 0
+        assert summary["pair_errors_pct"] == {"A->B": 25.0}
+        assert summary["fingerprint"] == snapshot.fingerprint

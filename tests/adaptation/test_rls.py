@@ -1,0 +1,129 @@
+"""Property tests: EW-RLS matches its batch counterpart.
+
+The core equivalence this file pins down (hypothesis-tested): an
+:class:`RLSUpdater` with ``forgetting=1`` and zero prior, after folding
+in *n* samples, holds exactly the batch ridge solution
+``(XᵀX + (1/p0)·I)⁻¹ Xᵀy`` over those samples — i.e. online updating
+is a refactoring of batch training, not a different estimator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptation.rls import RLSUpdater, batch_ridge
+
+RTOL = 1e-6
+
+
+@st.composite
+def regression_problems(draw):
+    """A well-scaled random (X, y) regression problem."""
+    d = draw(st.integers(2, 5))
+    n = draw(st.integers(3 * d, 8 * d))
+    elements = st.floats(-2.0, 2.0, allow_nan=False, width=64)
+    xs = np.array(draw(
+        st.lists(
+            st.lists(elements, min_size=d, max_size=d),
+            min_size=n, max_size=n,
+        )
+    ))
+    ys = np.array(draw(st.lists(elements, min_size=n, max_size=n)))
+    return xs, ys
+
+
+class TestBatchEquivalence:
+    @given(problem=regression_problems(), p0=st.sampled_from([1e2, 1e4, 1e6]))
+    @settings(max_examples=60, deadline=None)
+    def test_rls_equals_batch_ridge(self, problem, p0):
+        xs, ys = problem
+        updater = RLSUpdater(xs.shape[1], forgetting=1.0, p0=p0)
+        updater.update_batch(xs, ys)
+        reference = batch_ridge(xs, ys, ridge=1.0 / p0)
+        np.testing.assert_allclose(
+            updater.coefficients, reference, rtol=RTOL, atol=1e-8
+        )
+
+    @given(problem=regression_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_sample_order_does_not_matter_without_forgetting(self, problem):
+        xs, ys = problem
+        forward = RLSUpdater(xs.shape[1], forgetting=1.0)
+        forward.update_batch(xs, ys)
+        backward = RLSUpdater(xs.shape[1], forgetting=1.0)
+        backward.update_batch(xs[::-1], ys[::-1])
+        np.testing.assert_allclose(
+            forward.coefficients, backward.coefficients, rtol=1e-5, atol=1e-8
+        )
+
+    def test_determinism_bit_identical(self):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(-1, 1, size=(40, 4))
+        ys = rng.uniform(-1, 1, size=40)
+        runs = []
+        for _ in range(2):
+            updater = RLSUpdater(4, forgetting=0.97, p0=1e4)
+            updater.update_batch(xs, ys)
+            runs.append(updater.coefficients.tobytes())
+        assert runs[0] == runs[1]
+
+
+class TestPriorAndForgetting:
+    def test_prior_returned_before_any_update(self):
+        prior = [1.0, -2.0, 0.5]
+        updater = RLSUpdater(3, prior=prior)
+        np.testing.assert_array_equal(updater.coefficients, prior)
+        assert updater.count == 0
+
+    def test_small_p0_pins_coefficients_near_prior(self):
+        """A strong prior (small p0) resists a single contradicting
+        sample; a weak prior (large p0) jumps to fit it."""
+        prior = np.array([1.0, 1.0])
+        x, y = np.array([1.0, 0.0]), 5.0
+        strong = RLSUpdater(2, p0=1e-3, prior=prior)
+        weak = RLSUpdater(2, p0=1e6, prior=prior)
+        strong.update(x, y)
+        weak.update(x, y)
+        assert abs(strong.coefficients[0] - 1.0) < 0.01
+        assert abs(weak.coefficients[0] - 5.0) < 0.01
+
+    def test_forgetting_tracks_a_step_change(self):
+        """After the generating coefficients switch, lam < 1 converges
+        to the new regime while lam = 1 stays anchored to the mix."""
+        rng = np.random.default_rng(11)
+        w_old = np.array([1.0, -1.0, 2.0])
+        w_new = np.array([-2.0, 3.0, 0.5])
+        xs1 = rng.uniform(-1, 1, size=(150, 3))
+        xs2 = rng.uniform(-1, 1, size=(150, 3))
+        tracking = RLSUpdater(3, forgetting=0.9)
+        anchored = RLSUpdater(3, forgetting=1.0)
+        for updater in (tracking, anchored):
+            updater.update_batch(xs1, xs1 @ w_old)
+            updater.update_batch(xs2, xs2 @ w_new)
+        track_err = np.linalg.norm(tracking.coefficients - w_new)
+        anchor_err = np.linalg.norm(anchored.coefficients - w_new)
+        assert track_err < 0.05
+        assert track_err < anchor_err
+
+    def test_update_returns_pre_update_residual(self):
+        updater = RLSUpdater(2, prior=[2.0, 0.0])
+        residual = updater.update([1.0, 1.0], 5.0)
+        assert residual == pytest.approx(5.0 - 2.0)
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            RLSUpdater(0)
+        with pytest.raises(ValueError):
+            RLSUpdater(2, forgetting=0.0)
+        with pytest.raises(ValueError):
+            RLSUpdater(2, forgetting=1.5)
+        with pytest.raises(ValueError):
+            RLSUpdater(2, p0=0.0)
+        with pytest.raises(ValueError):
+            RLSUpdater(2, prior=[1.0])
+
+    def test_rejects_wrong_sample_shape(self):
+        with pytest.raises(ValueError):
+            RLSUpdater(3).update([1.0, 2.0], 1.0)
