@@ -13,6 +13,7 @@ from repro.analysis.stats import (
     mean_absolute_relative_error,
     normalize,
     percent_improvement,
+    percentile,
     stdev,
 )
 from repro.analysis.tables import format_bar_chart, format_table
@@ -25,6 +26,7 @@ __all__ = [
     "geomean",
     "stdev",
     "percent_improvement",
+    "percentile",
     "mean_absolute_relative_error",
     "normalize",
     "format_table",

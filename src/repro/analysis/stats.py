@@ -33,6 +33,22 @@ def stdev(values: Sequence[float]) -> float:
     return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (``q`` in [0, 1]).
+
+    Uses the ceiling nearest-rank definition — no interpolation, so the
+    result is always an element of ``values`` and identical across
+    platforms (fleet latency gates rely on this).
+    """
+    values = sorted(values)
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    rank = max(1, math.ceil(q * len(values)))
+    return values[rank - 1]
+
+
 def percent_improvement(candidate: float, baseline: float) -> float:
     """Relative improvement of ``candidate`` over ``baseline`` in %."""
     if baseline <= 0:

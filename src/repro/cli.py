@@ -12,6 +12,8 @@ writing Python::
     python -m repro compare --workload Mix6 --threads 2
     python -m repro run --workload MTMI --faults combined --epochs 16
     python -m repro run --workload Mix1 --trace-out run.trace.json  # Perfetto
+    python -m repro fleet --nodes 4 --requests 32 --fleet-faults kill30 \
+        --trace-out fleet.jsonl                        # multi-node chaos
     python -m repro report run.jsonl                   # trace diagnostics
     python -m repro train --output predictor.json
     python -m repro list
@@ -179,6 +181,79 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Run one multi-node fleet simulation (see :mod:`repro.fleet`)."""
+    from repro.fleet import FLEET_SCENARIOS, FleetSpec, run_fleet
+    from repro.obs import NULL_OBS
+    from repro.runner import resolve_jobs
+
+    if args.node_platforms:
+        nodes = tuple(args.node_platforms.split(","))
+    else:
+        defaults = ("quad", "biglittle")
+        nodes = tuple(defaults[i % len(defaults)] for i in range(args.nodes))
+    if args.faults and args.faults not in FLEET_SCENARIOS:
+        raise SystemExit(
+            f"unknown fleet fault scenario {args.faults!r}; "
+            f"known: {', '.join(FLEET_SCENARIOS)}"
+        )
+    spec = FleetSpec(
+        nodes=nodes,
+        n_requests=args.requests,
+        workloads=tuple(args.workloads.split(",")),
+        distinct_jobs=args.distinct_jobs,
+        threads=args.threads,
+        n_epochs=args.epochs,
+        arrival_rate_hz=args.arrival_rate,
+        seed=args.seed,
+        policy=args.policy,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        profile=args.profile,
+    )
+    obs = ObsContext() if args.trace_out else None
+    result = run_fleet(
+        spec,
+        obs=obs if obs is not None else NULL_OBS,
+        jobs=resolve_jobs(args.jobs),
+        cache=_experiment_cache(args),
+    )
+    if args.json:
+        # Machine mode: the JSON document is the whole of stdout, so the
+        # output can be piped straight into a parser.
+        user_output(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        user_output(
+            f"fleet {spec.label()}: {result.completed}/{result.accepted} "
+            f"completed ({result.duplicates} duplicates suppressed, "
+            f"{result.failed} failed), {result.throughput_rps:.2f} req/s, "
+            f"{result.ips_per_watt:.4e} instructions/J"
+        )
+        stats = result.stats
+        if stats["reroutes"] or stats["nodes_down"] or stats["hedges"]:
+            user_output(
+                f"  faults ridden out: {stats['nodes_down']} nodes down, "
+                f"{stats['reroutes']} reroutes, {stats['hedges']} hedges, "
+                f"{stats['retries']} retries, "
+                f"{stats['telemetry_rejected']} telemetry samples rejected"
+            )
+        for row in result.nodes:
+            user_output(
+                f"  node {row['node']} ({row['platform']}, {row['state']}): "
+                f"{row['jobs_completed']} jobs, {row['busy_s']:.2f} s busy, "
+                f"{row['energy_j']:.2f} J"
+            )
+    if args.trace_out:
+        events = obs.tracer.events
+        if args.trace_out.endswith(".jsonl"):
+            write_jsonl(events, args.trace_out)
+        else:
+            write_chrome_trace(events, args.trace_out)
+        _log.info("event trace (%d events) written to %s",
+                  len(events), args.trace_out)
+    return 0
+
+
 def _experiment_cache(args):
     """Resolve ``--cache``/``--cache-dir`` into a ResultCache, if any."""
     from repro.runner import ResultCache
@@ -216,6 +291,7 @@ def cmd_experiments(args) -> int:
         "resilience": lambda: experiments.resilience.run(scale, jobs=jobs, cache=cache),
         "table4_adapted": lambda: experiments.table4.run_adapted(scale),
         "drift": lambda: experiments.drift.run(scale),
+        "fleet": lambda: experiments.fleet.run(scale, jobs=jobs, cache=cache),
     }
     selected = args.ids or list(registry)
     unknown = [i for i in selected if i not in registry]
@@ -564,6 +640,71 @@ def build_parser() -> argparse.ArgumentParser:
         "per job (bypasses the result cache)",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a fault-tolerant multi-node fleet "
+        "(energy-aware routing, seeded chaos)",
+    )
+    fleet.add_argument(
+        "--nodes", type=int, default=4,
+        help="fleet size; platforms alternate quad/biglittle (default 4)",
+    )
+    fleet.add_argument(
+        "--node-platforms", default=None, metavar="P1,P2,...",
+        help="explicit comma-separated platform per node (overrides --nodes)",
+    )
+    fleet.add_argument("--requests", type=int, default=32,
+                       help="requests in the arrival stream")
+    fleet.add_argument("--workloads", default="MTMI,HTHI,LTLI",
+                       metavar="W1,W2,...",
+                       help="workloads the request slots cycle through")
+    fleet.add_argument("--distinct-jobs", type=int, default=6,
+                       help="distinct request identities (profile-phase size)")
+    fleet.add_argument("--threads", type=int, default=4)
+    fleet.add_argument("--epochs", type=int, default=4,
+                       help="epochs simulated per request")
+    fleet.add_argument("--arrival-rate", type=float, default=8.0,
+                       help="mean request arrival rate (Hz, Poisson)")
+    fleet.add_argument(
+        "--policy", choices=("energy", "round_robin", "least_loaded"),
+        default="energy",
+    )
+    fleet.add_argument(
+        "--fleet-faults", dest="faults", default=None, metavar="SCENARIO",
+        help="seeded cluster fault scenario: node_churn, hang, partition, "
+        "telemetry, kill30, chaos",
+    )
+    fleet.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault schedule (default: --seed)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--profile", choices=("simulated", "analytic"), default="simulated",
+        help="request cost model: real simulator runs (default) or the "
+        "closed-form analytic stand-in",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the profile phase "
+        "(default: REPRO_JOBS or serial)",
+    )
+    fleet.add_argument(
+        "--cache", action="store_true",
+        help="serve profile-phase runs from the on-disk result cache",
+    )
+    fleet.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (implies --cache)",
+    )
+    fleet.add_argument("--json", action="store_true",
+                       help="print the full result (ledger included) as JSON")
+    fleet.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the fleet event trace: .jsonl for the raw stream "
+        "(repro report input), anything else for a Chrome/Perfetto trace",
+    )
+
     report = sub.add_parser(
         "report",
         help="summarise a JSONL event trace (prediction accuracy, "
@@ -690,6 +831,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "experiments": cmd_experiments,
         "sweep": cmd_sweep,
+        "fleet": cmd_fleet,
         "report": cmd_report,
         "train": cmd_train,
         "serve": cmd_serve,

@@ -16,12 +16,14 @@ prints the rendered result.  ``run_all()`` regenerates everything.
 | fig7    | per-phase overhead + 2-128 core scalability        |
 | fig8    | SA iterations vs distance-to-optimal + parameters  |
 
-``resilience`` and ``drift`` are not paper artifacts: ``resilience``
-measures IPS/W retention under injected faults (sensor, counter,
-migration, hotplug, thermal), mitigated vs unmitigated; ``drift``
-deploys a predictor trained on a mismatched corpus and measures how
-much online adaptation (:mod:`repro.adaptation`) recovers of the
-prediction accuracy, frozen vs adapted.
+``resilience``, ``drift`` and ``fleet`` are not paper artifacts:
+``resilience`` measures IPS/W retention under injected faults (sensor,
+counter, migration, hotplug, thermal), mitigated vs unmitigated;
+``drift`` deploys a predictor trained on a mismatched corpus and
+measures how much online adaptation (:mod:`repro.adaptation`) recovers
+of the prediction accuracy, frozen vs adapted; ``fleet`` runs the
+multi-node chaos gate (30 % of nodes killed mid-run must cost
+throughput, not work — see :mod:`repro.fleet`).
 """
 
 from repro.experiments import (
@@ -32,6 +34,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    fleet,
     resilience,
     table1,
     table2,
@@ -61,6 +64,7 @@ def run_all(scale: Scale = QUICK) -> list:
         extensions.run_optimizer_comparison(),
         resilience.run(scale),
         drift.run(scale),
+        fleet.run(scale),
     ]
     return results
 
@@ -89,4 +93,5 @@ __all__ = [
     "extensions",
     "resilience",
     "drift",
+    "fleet",
 ]

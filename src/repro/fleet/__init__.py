@@ -1,0 +1,109 @@
+"""``repro.fleet`` — the fault-tolerant multi-node tier.
+
+The single-node stack simulates one heterogeneous MPSoC running the
+sense→predict→balance loop; this package scales the same
+predict-then-optimize idea out to a *fleet* of such nodes.  N node
+agents (each executing jobs at the cost the real simulator measured
+for that request on that node platform) stream heartbeats and IPS/W +
+queue-depth telemetry to a central energy-aware dispatcher, which
+places each request where predicted fleet J_E (instructions per
+joule) gains the most — and keeps doing so while the seeded chaos
+layer crashes nodes, hangs them, partitions the network and corrupts
+the telemetry stream.
+
+Layout:
+
+* :mod:`~repro.fleet.spec` — :class:`FleetSpec`/:class:`FleetJob`, the
+  hashable identity everything derives from.
+* :mod:`~repro.fleet.profiles` — per-(request, platform) cost profiles
+  measured through the sweep engine (or an analytic stand-in).
+* :mod:`~repro.fleet.telemetry` — sanity-bounded, staleness-discounted
+  telemetry store.
+* :mod:`~repro.fleet.membership` — heartbeat failure detector
+  (UP/SUSPECT/DOWN).
+* :mod:`~repro.fleet.router` — energy / round-robin / least-loaded
+  placement policies with quorum degradation.
+* :mod:`~repro.fleet.agent` — per-node virtual-time workers.
+* :mod:`~repro.fleet.dispatcher` — the defence stack: rescue + reroute,
+  circuit breakers, bounded retries, hedged re-dispatch, exactly-once
+  ledger.
+* :mod:`~repro.fleet.faults` — seeded cluster fault scenarios.
+* :mod:`~repro.fleet.sim` — the discrete-event loop and
+  :func:`run_fleet`.
+
+Everything is deterministic: same spec + same seed ⇒ byte-identical
+event trace and result digest, independent of profile-phase worker
+count.
+"""
+
+from repro.fleet.agent import NodeAgent, NodeStats, RunningJob
+from repro.fleet.dispatcher import (
+    Action,
+    AttemptRecord,
+    Dispatcher,
+    FleetStats,
+    JobRecord,
+)
+from repro.fleet.faults import (
+    FLEET_SCENARIOS,
+    FleetFaultPlan,
+    FleetInjectionCounts,
+    NetworkPartition,
+    NodeCrash,
+    NodeHang,
+    TelemetryFault,
+    fleet_scenario,
+    kill_count,
+)
+from repro.fleet.membership import DOWN, SUSPECT, UP, FailureDetector
+from repro.fleet.profiles import (
+    JobProfile,
+    ProfileTable,
+    analytic_profiles,
+    build_profiles,
+    simulated_profiles,
+)
+from repro.fleet.router import RouteContext, Router, energy_score
+from repro.fleet.sim import FleetResult, FleetSim, run_fleet
+from repro.fleet.spec import POLICIES, FleetJob, FleetSpec
+from repro.fleet.telemetry import NodeTelemetry, TelemetryStore
+
+__all__ = [
+    "FleetSpec",
+    "FleetJob",
+    "POLICIES",
+    "FleetResult",
+    "FleetSim",
+    "run_fleet",
+    "Dispatcher",
+    "Action",
+    "AttemptRecord",
+    "JobRecord",
+    "FleetStats",
+    "NodeAgent",
+    "NodeStats",
+    "RunningJob",
+    "Router",
+    "RouteContext",
+    "energy_score",
+    "FailureDetector",
+    "UP",
+    "SUSPECT",
+    "DOWN",
+    "TelemetryStore",
+    "NodeTelemetry",
+    "ProfileTable",
+    "JobProfile",
+    "build_profiles",
+    "simulated_profiles",
+    "analytic_profiles",
+    "FLEET_SCENARIOS",
+    "FleetFaultPlan",
+    "FleetInjectionCounts",
+    "NodeCrash",
+    "NodeHang",
+    "NetworkPartition",
+    "TelemetryFault",
+    "fleet_scenario",
+    "kill_count",
+]

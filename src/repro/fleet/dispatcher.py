@@ -1,0 +1,470 @@
+"""The energy-aware fleet dispatcher and its defence stack.
+
+The dispatcher is the fleet-level SmartBalance: it senses (node
+telemetry + heartbeats), predicts (profiled per-(slot, platform)
+IPS/W, telemetry-corrected), and balances (places each request where
+predicted fleet J_E gains the most).  Around that loop sits the
+defence-in-depth the chaos scenarios attack:
+
+============================  =====================================
+fault                         defence
+============================  =====================================
+node crash                    heartbeat failure detection (timeout +
+                              suspicion) → rescue + reroute of every
+                              outstanding job on the dead node
+node hang / slow node         hedged re-dispatch once an attempt is
+                              ``hedge_factor`` × its expected age;
+                              exactly-once completion via the ledger
+network partition             same detectors fire (silence is
+                              silence); completions buffered by the
+                              partition are deduplicated on heal
+flapping / repeat offenders   per-node circuit breakers (open after
+                              ``circuit_threshold`` consecutive
+                              failures, cooldown, half-open probe)
+corrupt telemetry             sanity bounds vs the profiled nominal;
+                              last-good sample kept
+stale telemetry               staleness discounting; fresh-quorum
+                              census
+telemetry blackout < quorum   graceful degradation to round-robin
+dispatch storm                bounded retries with deterministic
+                              exponential backoff + seeded jitter
+============================  =====================================
+
+The dispatcher never touches wall-clock time or unseeded randomness:
+every decision is a function of (spec, virtual time, delivered
+messages), which is what makes the fleet trace byte-identical across
+runs and worker counts.
+
+It is driven by the simulation through five entry points —
+:meth:`~Dispatcher.start`, :meth:`~Dispatcher.submit`,
+:meth:`~Dispatcher.tick`, :meth:`~Dispatcher.on_heartbeat`,
+:meth:`~Dispatcher.on_complete`, :meth:`~Dispatcher.retry` — and
+answers with :class:`Action` lists (deliver this job there, call me
+back at that time) so it stays a pure state machine that unit tests
+can drive directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet import membership
+from repro.fleet.membership import FailureDetector
+from repro.fleet.profiles import ProfileTable
+from repro.fleet.router import RouteContext, Router
+from repro.fleet.spec import FleetJob, FleetSpec
+from repro.fleet.telemetry import NodeTelemetry, TelemetryStore
+from repro.obs import events as ev
+from repro.obs import NULL_OBS
+
+
+@dataclass(frozen=True)
+class Action:
+    """One instruction back to the simulation loop.
+
+    * ``kind="dispatch"`` — deliver ``job`` (attempt ``attempt``) to
+      ``node`` now.
+    * ``kind="retry"`` — call :meth:`Dispatcher.retry` for ``job`` at
+      ``at_s``.
+    """
+
+    kind: str
+    job: FleetJob
+    node: int = -1
+    attempt: int = 0
+    at_s: float = 0.0
+    cause: str = ""
+
+
+@dataclass
+class AttemptRecord:
+    """One dispatch attempt of one job, as the ledger remembers it."""
+
+    node: int
+    attempt: int
+    dispatch_s: float
+    #: Expected completion (dispatch + believed backlog × profiled
+    #: duration) — the hedging yardstick.
+    expected_s: float
+    #: outstanding → won | duplicate | rescued | lost
+    status: str = "outstanding"
+    hedged: bool = False
+
+
+@dataclass
+class JobRecord:
+    """The ledger entry of one accepted job."""
+
+    job: FleetJob
+    attempts: "list[AttemptRecord]" = field(default_factory=list)
+    completed: bool = False
+    completed_s: float = 0.0
+    completed_by: int = -1
+    completion_attempt: int = -1
+    failed: bool = False
+    first_dispatch_s: float = -1.0
+
+    def outstanding_on(self, node: int) -> "list[AttemptRecord]":
+        return [a for a in self.attempts
+                if a.status == "outstanding" and a.node == node]
+
+
+@dataclass
+class FleetStats:
+    """Dispatcher-side counters (part of the deterministic result)."""
+
+    accepted: int = 0
+    dispatches: int = 0
+    completions: int = 0
+    duplicates: int = 0
+    failed: int = 0
+    reroutes: int = 0
+    hedges: int = 0
+    retries: int = 0
+    heartbeats_missed: int = 0
+    nodes_down: int = 0
+    nodes_recovered: int = 0
+    telemetry_rejected: int = 0
+    stale_fallbacks: int = 0
+    degraded_dispatches: int = 0
+    circuit_opens: int = 0
+    circuit_closes: int = 0
+
+    def to_dict(self) -> dict:
+        return dict(sorted(self.__dict__.items()))
+
+
+class _CircuitBreaker:
+    """Per-node dispatch circuit: closed → open → half-open → closed."""
+
+    __slots__ = ("threshold", "cooldown_s", "state", "failures",
+                 "opened_s", "probe_job")
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = "closed"
+        self.failures = 0
+        self.opened_s = 0.0
+        self.probe_job: "str | None" = None
+
+    def available(self, now: float) -> bool:
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            return now - self.opened_s >= self.cooldown_s
+        return self.probe_job is None  # half-open: one probe at a time
+
+    def on_dispatch(self, job_id: str, now: float) -> bool:
+        """Note a dispatch through the breaker; True when this was the
+        half-open probe."""
+        if self.state == "open" and now - self.opened_s >= self.cooldown_s:
+            self.state = "half_open"
+        if self.state == "half_open" and self.probe_job is None:
+            self.probe_job = job_id
+            return True
+        return False
+
+    def on_failure(self, now: float) -> bool:
+        """Record a failure; True when the circuit just opened."""
+        self.failures += 1
+        if self.state == "half_open":
+            self.state = "open"
+            self.opened_s = now
+            self.probe_job = None
+            return True
+        if self.state == "closed" and self.failures >= self.threshold:
+            self.state = "open"
+            self.opened_s = now
+            return True
+        return False
+
+    def on_success(self) -> "str | None":
+        """Record a success; returns the probe job id when the circuit
+        just closed out of half-open."""
+        self.failures = 0
+        if self.state in ("half_open", "open"):
+            probe = self.probe_job
+            self.state = "closed"
+            self.probe_job = None
+            return probe if probe is not None else ""
+        return None
+
+
+class Dispatcher:
+    """Central placement + fault-defence state machine."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        profiles: ProfileTable,
+        platforms: "dict[int, str]",
+        obs=NULL_OBS,
+    ) -> None:
+        self.spec = spec
+        self.profiles = profiles
+        self.platforms = platforms
+        self.obs = obs
+        nodes = sorted(platforms)
+        self.router = Router(spec.policy)
+        self.detector = FailureDetector(
+            nodes, spec.heartbeat_s, spec.suspect_after, spec.dead_after
+        )
+        self.telemetry = TelemetryStore(
+            {n: profiles.nominal_ips_per_watt(platforms[n]) for n in nodes},
+            spec.heartbeat_s,
+            spec.telemetry_bound,
+            spec.staleness_discount,
+        )
+        self._breakers = {
+            n: _CircuitBreaker(spec.circuit_threshold, spec.circuit_cooldown_s)
+            for n in nodes
+        }
+        self._jitter = spec.jitter_rng()
+        self.ledger: "dict[str, JobRecord]" = {}
+        self._backlog = {n: 0 for n in nodes}
+        self._degraded = False
+        self.stats = FleetStats()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, etype: str, now: float, **payload: object) -> None:
+        if self.obs.enabled:
+            self.obs.tracer.emit(etype, now, **payload)
+
+    def _route_context(self, now: float) -> RouteContext:
+        return RouteContext(
+            spec=self.spec,
+            profiles=self.profiles,
+            telemetry=self.telemetry,
+            platforms=self.platforms,
+            backlog=self._backlog,
+            now=now,
+        )
+
+    def _quorum_degraded(self, now: float) -> bool:
+        fraction = self.telemetry.fresh_fraction(self.detector.nodes(), now)
+        degraded = fraction < self.spec.quorum
+        if degraded and not self._degraded:
+            self._emit(ev.MITIGATION, now, kind="quorum_degraded",
+                       cause="telemetry_loss")
+        self._degraded = degraded
+        return degraded
+
+    def _candidates(self, now: float) -> "list[int]":
+        """Placeable nodes, best tier first: UP with a willing breaker,
+        then not-DOWN with a willing breaker, then any not-DOWN."""
+        alive = self.detector.alive()
+        open_alive = [n for n in alive if self._breakers[n].available(now)]
+        if open_alive:
+            return open_alive
+        not_down = self.detector.not_down()
+        open_not_down = [n for n in not_down
+                         if self._breakers[n].available(now)]
+        if open_not_down:
+            return open_not_down
+        return not_down
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Deterministic exponential backoff + seeded jitter."""
+        base = self.spec.retry_base_s * (2 ** max(0, attempt - 1))
+        return base + self._jitter.uniform(0.0, self.spec.retry_base_s)
+
+    # ------------------------------------------------------------------
+    # Entry points (called by the simulation)
+    # ------------------------------------------------------------------
+
+    def start(self, now: float = 0.0) -> None:
+        for node in self.detector.nodes():
+            self._emit(ev.NODE_UP, now, node=node,
+                       platform=self.platforms[node], detail="boot")
+
+    def submit(self, job: FleetJob, now: float) -> "list[Action]":
+        """Accept a new request and place its first attempt."""
+        self.ledger[job.job_id] = JobRecord(job=job)
+        self.stats.accepted += 1
+        return self._dispatch(job, now, cause="arrival")
+
+    def _dispatch(self, job: FleetJob, now: float, cause: str) -> "list[Action]":
+        record = self.ledger[job.job_id]
+        attempt = len(record.attempts) + 1
+        if attempt > self.spec.max_attempts:
+            return self._give_up(record, now)
+        candidates = self._candidates(now)
+        if not candidates:
+            # Whole fleet dark: bounded retry, don't drop the job.
+            if attempt < self.spec.max_attempts:
+                self.stats.retries += 1
+                return [Action(kind="retry", job=job,
+                               at_s=now + self._backoff_s(attempt),
+                               cause="no_nodes")]
+            return self._give_up(record, now)
+
+        degraded = self._quorum_degraded(now)
+        node = self.router.select(job, candidates, self._route_context(now),
+                                  degraded)
+        breaker = self._breakers[node]
+        breaker.on_dispatch(job.job_id, now)
+        backlog = self._backlog[node]
+        expected = now + (backlog + 1) * self.profiles.get(
+            job.slot, self.platforms[node]).duration_s
+        record.attempts.append(AttemptRecord(
+            node=node, attempt=attempt, dispatch_s=now, expected_s=expected,
+        ))
+        if record.first_dispatch_s < 0:
+            record.first_dispatch_s = now
+        self._backlog[node] = backlog + 1
+        self.stats.dispatches += 1
+        if degraded:
+            self.stats.degraded_dispatches += 1
+        if (not self.telemetry.is_fresh(node, now)
+                and self.telemetry.last_good(node) is not None):
+            self.stats.stale_fallbacks += 1
+            self._emit(ev.MITIGATION, now, kind="stale_fallback",
+                       cause="telemetry_age", node=node, job=job.job_id)
+        self._emit(ev.FLEET_DISPATCH, now, job=job.job_id, node=node,
+                   attempt=attempt, policy=self.spec.policy,
+                   queue_depth=backlog, degraded=degraded)
+        if cause != "arrival":
+            self.stats.reroutes += 1
+            self._emit(ev.REROUTE, now, job=job.job_id, to_node=node,
+                       cause=cause, attempt=attempt)
+        return [Action(kind="dispatch", job=job, node=node, attempt=attempt)]
+
+    def _give_up(self, record: JobRecord, now: float) -> "list[Action]":
+        if not record.failed and not record.completed:
+            record.failed = True
+            self.stats.failed += 1
+        return []
+
+    def retry(self, job_id: str, now: float, cause: str) -> "list[Action]":
+        """A scheduled backoff timer fired: place the job again."""
+        record = self.ledger[job_id]
+        if record.completed or record.failed:
+            return []
+        return self._dispatch(record.job, now, cause=cause)
+
+    def on_heartbeat(self, sample: NodeTelemetry, now: float) -> None:
+        """One node's heartbeat + telemetry arrived."""
+        node = sample.node
+        recovered = self.detector.heartbeat(node, now)
+        if recovered is not None:
+            self.stats.nodes_recovered += 1
+            self._emit(ev.NODE_UP, now, node=node,
+                       platform=self.platforms[node],
+                       detail=f"recovered from {recovered}")
+        if not self.telemetry.ingest(sample):
+            self.stats.telemetry_rejected += 1
+            self._emit(ev.MITIGATION, now, kind="telemetry_rejected",
+                       cause="out_of_bounds", node=node)
+
+    def on_complete(self, job_id: str, node: int, attempt: int,
+                    now: float) -> None:
+        """A completion notification arrived (possibly late, possibly
+        a duplicate of a hedge race — exactly-once is decided here)."""
+        record = self.ledger[job_id]
+        self._backlog[node] = max(0, self._backlog[node] - 1)
+        for a in record.attempts:
+            if a.node == node and a.attempt == attempt:
+                a.status = "duplicate" if record.completed else "won"
+        probe = self._breakers[node].on_success()
+        if probe is not None:
+            self.stats.circuit_closes += 1
+            self._emit(ev.CIRCUIT_CLOSE, now, node=node,
+                       probe_job=probe or job_id)
+        latency = now - record.job.arrival_s
+        if record.completed:
+            self.stats.duplicates += 1
+            self._emit(ev.FLEET_COMPLETE, now, job=job_id, node=node,
+                       attempt=attempt, duplicate=True,
+                       latency_s=round(latency, 9))
+            self._emit(ev.MITIGATION, now, kind="duplicate_suppressed",
+                       cause="hedged_dispatch", node=node, job=job_id)
+            return
+        record.completed = True
+        record.completed_s = now
+        record.completed_by = node
+        record.completion_attempt = attempt
+        record.failed = False
+        self.stats.completions += 1
+        self._emit(ev.FLEET_COMPLETE, now, job=job_id, node=node,
+                   attempt=attempt, duplicate=False,
+                   latency_s=round(latency, 9))
+
+    def tick(self, now: float) -> "list[Action]":
+        """Periodic maintenance: advance suspicion, rescue jobs from
+        dead nodes, hedge attempts that have gone quiet."""
+        actions: "list[Action]" = []
+        for node, misses, state in self.detector.check(now):
+            self.stats.heartbeats_missed += 1
+            self._emit(ev.HEARTBEAT_MISSED, now, node=node, misses=misses)
+            if state == membership.DOWN:
+                actions.extend(self._handle_node_down(node, now))
+        actions.extend(self._hedge(now))
+        return actions
+
+    def _handle_node_down(self, node: int, now: float) -> "list[Action]":
+        rescued: "list[JobRecord]" = []
+        for job_id in sorted(self.ledger):
+            record = self.ledger[job_id]
+            if record.completed or record.failed:
+                continue
+            outstanding = record.outstanding_on(node)
+            if not outstanding:
+                continue
+            for a in outstanding:
+                a.status = "rescued"
+            # Only reroute when the job has no other live attempt.
+            if not any(a.status == "outstanding" for a in record.attempts):
+                rescued.append(record)
+        self.stats.nodes_down += 1
+        self._backlog[node] = 0
+        if self._breakers[node].on_failure(now):
+            self.stats.circuit_opens += 1
+            self._emit(ev.CIRCUIT_OPEN, now, node=node,
+                       failures=self._breakers[node].failures,
+                       cooldown_s=self.spec.circuit_cooldown_s)
+        self._emit(ev.NODE_DOWN, now, node=node, cause="heartbeat_timeout",
+                   jobs_rescued=len(rescued))
+        actions: "list[Action]" = []
+        for record in rescued:
+            attempt = len(record.attempts) + 1
+            if attempt > self.spec.max_attempts:
+                self._give_up(record, now)
+                continue
+            self.stats.retries += 1
+            actions.append(Action(
+                kind="retry", job=record.job,
+                at_s=now + self._backoff_s(attempt), cause="node_down",
+            ))
+        return actions
+
+    def _hedge(self, now: float) -> "list[Action]":
+        actions: "list[Action]" = []
+        for job_id in sorted(self.ledger):
+            record = self.ledger[job_id]
+            if record.completed or record.failed:
+                continue
+            if len(record.attempts) >= self.spec.max_attempts:
+                continue
+            for a in record.attempts:
+                if a.status != "outstanding" or a.hedged:
+                    continue
+                horizon = a.expected_s - a.dispatch_s
+                if now - a.dispatch_s < self.spec.hedge_factor * horizon:
+                    continue
+                a.hedged = True
+                self.stats.hedges += 1
+                if self._breakers[a.node].on_failure(now):
+                    self.stats.circuit_opens += 1
+                    self._emit(ev.CIRCUIT_OPEN, now, node=a.node,
+                               failures=self._breakers[a.node].failures,
+                               cooldown_s=self.spec.circuit_cooldown_s)
+                self._emit(ev.MITIGATION, now, kind="hedged_dispatch",
+                           cause="slow_node", node=a.node, job=job_id)
+                actions.extend(self._dispatch(record.job, now,
+                                              cause="timeout"))
+                break  # at most one new hedge per job per tick
+        return actions

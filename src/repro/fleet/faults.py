@@ -1,0 +1,248 @@
+"""Seeded cluster-level fault injection for the fleet tier.
+
+:mod:`repro.faults` breaks sensors, counters and cores *inside* one
+node; this module breaks the *cluster*: whole nodes crash or hang,
+the network partitions, and the telemetry stream starts lying.  Like
+the node-level layer, everything is derived from a single seed — the
+victims and timings of a named scenario are a pure function of
+``(name, seed, n_nodes, duration_s)``, so a chaos run is exactly
+reproducible and diffable.
+
+Fault models
+------------
+
+* **crash** — the node process dies: its queue is lost, heartbeats
+  stop, it never returns.  The failure detector must notice and the
+  dispatcher must rescue every job it had placed there.
+* **hang** — the node stops making progress *and* stops heartbeating
+  for a window, then resumes (a GC pause / kernel livelock).  Jobs on
+  it are delayed by the full window.
+* **partition** — the node keeps executing but none of its messages
+  (heartbeats, telemetry, completions) reach the dispatcher until the
+  partition heals.  Completions buffered during the window arrive in
+  one burst at heal time — the classic source of duplicate work under
+  hedged re-dispatch.
+* **telemetry_stale** — the node repeats its last telemetry sample
+  for a window (a wedged exporter); readings are fresh-looking lies.
+* **telemetry_corrupt** — the node multiplies its reported IPS/W by a
+  large factor for a window (a broken power rail reads near zero), so
+  an undefended energy-aware router would pile every job onto it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.fleet.spec import _derive
+
+#: Named fleet fault scenarios reachable from the CLI / experiments.
+FLEET_SCENARIOS = (
+    "node_churn",
+    "hang",
+    "partition",
+    "telemetry",
+    "kill30",
+    "chaos",
+)
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill one node permanently at ``time_s``."""
+
+    time_s: float
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {self.time_s}")
+        if self.node < 0:
+            raise ValueError(f"node must be non-negative, got {self.node}")
+
+
+@dataclass(frozen=True)
+class NodeHang:
+    """Freeze one node (no progress, no heartbeats) for a window."""
+
+    time_s: float
+    node: int
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {self.time_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Cut a set of nodes off from the dispatcher for a window."""
+
+    time_s: float
+    duration_s: float
+    nodes: "tuple[int, ...]"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {self.time_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if not self.nodes:
+            raise ValueError("partition needs at least one node")
+
+
+@dataclass(frozen=True)
+class TelemetryFault:
+    """Make one node's telemetry lie for a window."""
+
+    time_s: float
+    duration_s: float
+    node: int
+    #: ``stale`` repeats the last sample; ``corrupt`` multiplies the
+    #: reported IPS/W by ``factor``.
+    mode: str = "stale"
+    factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {self.time_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.mode not in ("stale", "corrupt"):
+            raise ValueError(f"mode must be 'stale' or 'corrupt', got {self.mode!r}")
+        if self.factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Complete cluster-fault configuration of one fleet run."""
+
+    seed: int = 0
+    crashes: "tuple[NodeCrash, ...]" = ()
+    hangs: "tuple[NodeHang, ...]" = ()
+    partitions: "tuple[NetworkPartition, ...]" = ()
+    telemetry: "tuple[TelemetryFault, ...]" = ()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.crashes or self.hangs or self.partitions or self.telemetry)
+
+    def crashed_nodes(self) -> "set[int]":
+        return {c.node for c in self.crashes}
+
+
+def kill_count(n_nodes: int, fraction: float = 0.3) -> int:
+    """Victims of a kill-``fraction`` chaos schedule (at least one,
+    never the whole fleet)."""
+    return max(1, min(n_nodes - 1, math.ceil(fraction * n_nodes)))
+
+
+def fleet_scenario(
+    name: str, seed: int = 0, n_nodes: int = 4, duration_s: float = 10.0
+) -> FleetFaultPlan:
+    """Build a named cluster-fault scenario.
+
+    Victims and timings are a pure function of the arguments (drawn
+    from a private seeded RNG), mirroring :func:`repro.faults.scenario`
+    one level down.  Same arguments, same chaos.
+    """
+    if name not in FLEET_SCENARIOS:
+        raise ValueError(
+            f"unknown fleet fault scenario {name!r}; use one of {FLEET_SCENARIOS}"
+        )
+    if n_nodes < 2:
+        raise ValueError(f"fleet fault scenarios need >= 2 nodes, got {n_nodes}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+
+    rng = random.Random(_derive(seed, "fleet-faults", name, n_nodes))
+    order = list(range(n_nodes))
+    rng.shuffle(order)  # victim assignment, decorrelated from node ids
+
+    crashes: "list[NodeCrash]" = []
+    hangs: "list[NodeHang]" = []
+    partitions: "list[NetworkPartition]" = []
+    telemetry: "list[TelemetryFault]" = []
+
+    if name in ("node_churn", "kill30", "chaos"):
+        count = 1 if name in ("node_churn", "chaos") else kill_count(n_nodes)
+        for index in range(count):
+            # Staggered mid-run kills: 25 %..50 % of the timeline.
+            when = (0.25 + 0.25 * index / max(1, count - 1) if count > 1
+                    else 0.3) * duration_s
+            crashes.append(NodeCrash(time_s=when, node=order[index]))
+    if name in ("hang", "chaos"):
+        victim = order[(len(crashes)) % n_nodes]
+        hangs.append(
+            NodeHang(
+                time_s=0.30 * duration_s,
+                node=victim,
+                duration_s=0.20 * duration_s,
+            )
+        )
+    if name in ("partition", "chaos"):
+        cut = (order[(len(crashes) + 1) % n_nodes],) if name == "chaos" else tuple(
+            sorted(order[: max(1, n_nodes // 2)])
+        )
+        partitions.append(
+            NetworkPartition(
+                time_s=0.35 * duration_s,
+                duration_s=0.20 * duration_s,
+                nodes=cut,
+            )
+        )
+    if name in ("telemetry", "chaos"):
+        stale_victim = order[-1]
+        corrupt_victim = order[-2]
+        telemetry.append(
+            TelemetryFault(
+                time_s=0.20 * duration_s,
+                duration_s=0.30 * duration_s,
+                node=stale_victim,
+                mode="stale",
+            )
+        )
+        telemetry.append(
+            TelemetryFault(
+                time_s=0.50 * duration_s,
+                duration_s=0.30 * duration_s,
+                node=corrupt_victim,
+                mode="corrupt",
+                factor=10.0,
+            )
+        )
+
+    return FleetFaultPlan(
+        seed=seed,
+        crashes=tuple(crashes),
+        hangs=tuple(hangs),
+        partitions=tuple(partitions),
+        telemetry=tuple(telemetry),
+    )
+
+
+@dataclass
+class FleetInjectionCounts:
+    """Mutable tally of every cluster fault actually delivered."""
+
+    node_crashes: int = 0
+    node_hangs: int = 0
+    partitions: int = 0
+    telemetry_stale: int = 0
+    telemetry_corrupt: int = 0
+    #: nodes cut per partition window, for the ledger
+    partitioned_nodes: "list[int]" = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.node_crashes
+            + self.node_hangs
+            + self.partitions
+            + self.telemetry_stale
+            + self.telemetry_corrupt
+        )

@@ -1,0 +1,95 @@
+"""Cluster membership: heartbeat-based failure detection.
+
+A timeout-plus-suspicion detector (the deterministic cousin of
+phi-accrual): every node is expected to heartbeat once per interval;
+``suspect_after`` consecutive silent intervals demote it to SUSPECT
+(kept out of fresh placements, existing work left alone),
+``dead_after`` intervals to DOWN (every outstanding job it holds is
+rescued).  A heartbeat from a SUSPECT or DOWN node restores it to UP —
+partitions heal, hung nodes wake up — and the dispatcher re-admits it
+to the candidate pool.
+
+The detector is driven purely by the fleet's virtual clock, so its
+verdicts are part of the deterministic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+@dataclass
+class _NodeView:
+    state: str = UP
+    last_heartbeat_s: float = 0.0
+    #: Silent intervals already counted (so each missed interval is
+    #: reported exactly once).
+    misses: int = 0
+
+
+class FailureDetector:
+    """Timeout + suspicion membership view over the node set."""
+
+    def __init__(
+        self,
+        nodes: "list[int]",
+        heartbeat_s: float,
+        suspect_after: int,
+        dead_after: int,
+    ) -> None:
+        self.heartbeat_s = heartbeat_s
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self._views = {node: _NodeView() for node in nodes}
+
+    def state(self, node: int) -> str:
+        return self._views[node].state
+
+    def nodes(self) -> "list[int]":
+        return sorted(self._views)
+
+    def alive(self) -> "list[int]":
+        """Nodes currently placeable (UP only)."""
+        return [n for n in sorted(self._views) if self._views[n].state == UP]
+
+    def not_down(self) -> "list[int]":
+        return [n for n in sorted(self._views) if self._views[n].state != DOWN]
+
+    def heartbeat(self, node: int, now: float) -> "str | None":
+        """Record a heartbeat; returns the *previous* state when the
+        node just recovered from SUSPECT/DOWN, else None."""
+        view = self._views[node]
+        view.last_heartbeat_s = now
+        view.misses = 0
+        if view.state != UP:
+            previous = view.state
+            view.state = UP
+            return previous
+        return None
+
+    def check(self, now: float) -> "list[tuple[int, int, str]]":
+        """Advance suspicion at ``now``.
+
+        Returns one ``(node, misses, new_state)`` entry per node whose
+        silent-interval count *grew* this check; ``new_state`` is the
+        state after the transition (UP means still within tolerance).
+        """
+        transitions: "list[tuple[int, int, str]]" = []
+        for node in sorted(self._views):
+            view = self._views[node]
+            if view.state == DOWN:
+                continue
+            silent = int((now - view.last_heartbeat_s) / self.heartbeat_s + 1e-9)
+            if silent <= view.misses:
+                continue
+            view.misses = silent
+            if silent >= self.dead_after:
+                view.state = DOWN
+            elif silent >= self.suspect_after:
+                view.state = SUSPECT
+            transitions.append((node, silent, view.state))
+        return transitions

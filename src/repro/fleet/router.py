@@ -1,0 +1,113 @@
+"""Routing policies: where the dispatcher puts the next job.
+
+The energy-aware policy is the fleet-level instance of the paper's
+predict-then-optimize loop: predict each candidate node's IPS/W for
+*this* request (profiled per-platform operating point, corrected by
+the node's live telemetry and discounted for staleness), penalise the
+backlog already queued there, and place the job where predicted
+fleet-level J_E gains the most.  Round-robin and least-loaded are the
+energy-blind baselines — and round-robin doubles as the graceful
+degradation target when telemetry quorum is lost.
+
+Every policy is a pure function of its inputs; candidate lists arrive
+sorted, ties break on node id.  Routing is therefore replayable from
+the spec alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.profiles import ProfileTable
+from repro.fleet.spec import FleetJob, FleetSpec
+from repro.fleet.telemetry import TelemetryStore
+
+
+@dataclass
+class RouteContext:
+    """Everything a policy may consult when scoring candidates."""
+
+    spec: FleetSpec
+    profiles: ProfileTable
+    telemetry: TelemetryStore
+    #: node -> platform name
+    platforms: "dict[int, str]"
+    #: node -> jobs the dispatcher believes are queued or running there
+    backlog: "dict[int, int]"
+    now: float
+
+
+def energy_score(node: int, job: FleetJob, ctx: RouteContext) -> float:
+    """Predicted J_E contribution of placing ``job`` on ``node``.
+
+    ``profiled IPS/W × health × 1/(1 + backlog)``: the profiled
+    per-(slot, platform) operating point carries the heterogeneity,
+    the health factor folds in live telemetry (reported over profiled
+    nominal, staleness-discounted, clamped to [0.1, 2.0]), and the
+    backlog divisor spreads load so one efficient node does not become
+    the queueing bottleneck.
+    """
+    platform = ctx.platforms[node]
+    profiled = ctx.profiles.get(job.slot, platform).ips_per_watt
+    nominal = ctx.profiles.nominal_ips_per_watt(platform)
+    reported = ctx.telemetry.discounted_ips_per_watt(node, ctx.now)
+    health = 1.0
+    if reported is not None and nominal > 0:
+        health = min(2.0, max(0.1, reported / nominal))
+    backlog = ctx.backlog.get(node, 0)
+    return profiled * health / (1.0 + backlog)
+
+
+def select_energy(job: FleetJob, candidates: "list[int]", ctx: RouteContext) -> int:
+    best = candidates[0]
+    best_score = float("-inf")
+    for node in candidates:
+        score = energy_score(node, job, ctx)
+        if score > best_score:
+            best, best_score = node, score
+    return best
+
+
+class RoundRobin:
+    """Stateful cycling over whatever candidates are offered."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, job: FleetJob, candidates: "list[int]",
+               ctx: RouteContext) -> int:
+        node = candidates[self._next % len(candidates)]
+        self._next += 1
+        return node
+
+
+def select_least_loaded(job: FleetJob, candidates: "list[int]",
+                        ctx: RouteContext) -> int:
+    return min(candidates, key=lambda node: (ctx.backlog.get(node, 0), node))
+
+
+class Router:
+    """Policy dispatcher with quorum-driven graceful degradation."""
+
+    def __init__(self, policy: str) -> None:
+        self.policy = policy
+        self._round_robin = RoundRobin()
+
+    def select(
+        self,
+        job: FleetJob,
+        candidates: "list[int]",
+        ctx: RouteContext,
+        degraded: bool,
+    ) -> int:
+        """Pick a node.  ``degraded`` (telemetry quorum lost) forces
+        round-robin regardless of the configured policy — with the
+        energy view dark, pretending to optimise J_E is worse than
+        spreading load evenly."""
+        if not candidates:
+            raise ValueError("no candidate nodes")
+        if degraded or self.policy == "round_robin":
+            return self._round_robin.select(job, candidates, ctx)
+        if self.policy == "least_loaded":
+            return select_least_loaded(job, candidates, ctx)
+        return select_energy(job, candidates, ctx)

@@ -1,0 +1,491 @@
+"""The fleet simulation: virtual-time event loop over agents + dispatcher.
+
+One :class:`FleetSim` run is a discrete-event simulation driven by a
+single heap of ``(t_s, seq, kind, payload)`` entries — request
+arrivals, heartbeat ticks, job completions, retry timers and the
+seeded cluster faults.  The ``seq`` counter makes the ordering a
+deterministic total order, every timestamp is virtual, and all
+randomness flows from the spec's seed, so the same
+:class:`~repro.fleet.spec.FleetSpec` produces a byte-identical event
+trace and :class:`FleetResult` every time, on any machine, with any
+profile-phase worker count.
+
+The message layer lives here: partitions buffer traffic between a node
+and the dispatcher in both directions and flush it at heal time (the
+source of late duplicate completions under hedging), crashes drop a
+node's buffers on the floor, hangs silence its heartbeats, and the
+telemetry fault windows rewrite samples in flight (stale = repeat the
+last honest sample, corrupt = scale the reported IPS/W).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.stats import percentile
+from repro.fleet.agent import NodeAgent
+from repro.fleet.dispatcher import Action, Dispatcher
+from repro.fleet.faults import (
+    FleetFaultPlan,
+    FleetInjectionCounts,
+    fleet_scenario,
+)
+from repro.fleet.profiles import ProfileTable, build_profiles
+from repro.fleet.spec import FleetJob, FleetSpec
+from repro.fleet.telemetry import NodeTelemetry
+from repro.obs import NULL_OBS
+from repro.obs import events as ev
+from repro.runner.spec import stable_hash
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one fleet run (JSON-ready, hashable)."""
+
+    fleet_key: str
+    label: str
+    accepted: int
+    completed: int
+    duplicates: int
+    failed: int
+    makespan_s: float
+    throughput_rps: float
+    useful_instructions: float
+    total_energy_j: float
+    wasted_energy_j: float
+    ips_per_watt: float
+    dispatch_latency_p50_s: float
+    dispatch_latency_p99_s: float
+    completion_latency_p50_s: float
+    completion_latency_p99_s: float
+    nodes: "list[dict]"
+    stats: dict
+    injections: dict
+    ledger: "list[dict]"
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.accepted if self.accepted else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "fleet_key": self.fleet_key,
+            "label": self.label,
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "duplicates": self.duplicates,
+            "failed": self.failed,
+            "completion_rate": round(self.completion_rate, 6),
+            "makespan_s": round(self.makespan_s, 9),
+            "throughput_rps": round(self.throughput_rps, 9),
+            "useful_instructions": self.useful_instructions,
+            "total_energy_j": round(self.total_energy_j, 9),
+            "wasted_energy_j": round(self.wasted_energy_j, 9),
+            "ips_per_watt": round(self.ips_per_watt, 6),
+            "dispatch_latency_p50_s": round(self.dispatch_latency_p50_s, 9),
+            "dispatch_latency_p99_s": round(self.dispatch_latency_p99_s, 9),
+            "completion_latency_p50_s": round(self.completion_latency_p50_s, 9),
+            "completion_latency_p99_s": round(self.completion_latency_p99_s, 9),
+            "nodes": self.nodes,
+            "stats": self.stats,
+            "injections": self.injections,
+            "ledger": self.ledger,
+        }
+
+    def digest(self) -> str:
+        """Stable hash of the complete result (the determinism pin)."""
+        return stable_hash(self.to_dict())
+
+
+class FleetSim:
+    """Single-threaded virtual-time executor of one fleet spec."""
+
+    #: Hard cap on processed events — a liveness bug should fail loudly,
+    #: not spin forever.
+    MAX_EVENTS = 1_000_000
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        profiles: ProfileTable,
+        obs=NULL_OBS,
+        plan: "FleetFaultPlan | None" = None,
+    ) -> None:
+        self.spec = spec
+        self.profiles = profiles
+        self.obs = obs
+        self.agents = {
+            node: NodeAgent(node, platform, profiles)
+            for node, platform in enumerate(spec.nodes)
+        }
+        self.dispatcher = Dispatcher(
+            spec, profiles,
+            {node: platform for node, platform in enumerate(spec.nodes)},
+            obs=obs,
+        )
+        if plan is None and spec.faults is not None:
+            plan = fleet_scenario(
+                spec.faults,
+                seed=spec.fault_seed if spec.fault_seed is not None else spec.seed,
+                n_nodes=len(spec.nodes),
+                duration_s=spec.n_requests / spec.arrival_rate_hz,
+            )
+        self.plan = plan if plan is not None else FleetFaultPlan()
+        self.injections = FleetInjectionCounts()
+        self._heap: "list[tuple[float, int, str, dict]]" = []
+        self._seq = 0
+        self._arrived = 0
+        self._jobs = spec.jobs()
+        #: node -> partition end time (node unreachable while t < end)
+        self._partition_until: "dict[int, float]" = {}
+        #: buffered node→dispatcher completions, per partitioned node
+        self._to_dispatcher: "dict[int, list[tuple[str, int, float]]]" = {}
+        #: buffered dispatcher→node dispatches, per partitioned node
+        self._to_node: "dict[int, list[tuple[FleetJob, int]]]" = {}
+        #: last honest telemetry per node (the stale fault repeats it)
+        self._last_sample: "dict[int, NodeTelemetry]" = {}
+        #: active telemetry fault windows: (end_s, mode, factor) per node
+        self._telemetry_faults: "dict[int, tuple[float, str, float]]" = {}
+
+    # ------------------------------------------------------------------
+    # Heap plumbing
+    # ------------------------------------------------------------------
+
+    def _push(self, t_s: float, kind: str, payload: dict) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t_s, self._seq, kind, payload))
+
+    def _seed_events(self) -> None:
+        for job in self._jobs:
+            self._push(job.arrival_s, "arrival", {"job": job})
+        for crash in self.plan.crashes:
+            self._push(crash.time_s, "crash", {"node": crash.node})
+        for hang in self.plan.hangs:
+            self._push(hang.time_s, "hang",
+                       {"node": hang.node, "duration_s": hang.duration_s})
+        for part in self.plan.partitions:
+            self._push(part.time_s, "partition",
+                       {"nodes": list(part.nodes),
+                        "duration_s": part.duration_s})
+        for tf in self.plan.telemetry:
+            self._push(tf.time_s, "telemetry_fault",
+                       {"node": tf.node, "duration_s": tf.duration_s,
+                        "mode": tf.mode, "factor": tf.factor})
+        self._push(self.spec.heartbeat_s, "hb", {})
+
+    # ------------------------------------------------------------------
+    # Message layer
+    # ------------------------------------------------------------------
+
+    def _partitioned(self, node: int, now: float) -> bool:
+        return now < self._partition_until.get(node, 0.0)
+
+    def _process_actions(self, actions: "list[Action]", now: float) -> None:
+        for action in actions:
+            if action.kind == "dispatch":
+                self._deliver_dispatch(action.job, action.node,
+                                       action.attempt, now)
+            elif action.kind == "retry":
+                self._push(action.at_s, "retry",
+                           {"job_id": action.job.job_id,
+                            "cause": action.cause})
+
+    def _deliver_dispatch(self, job: FleetJob, node: int, attempt: int,
+                          now: float) -> None:
+        agent = self.agents[node]
+        if agent.crashed:
+            return  # message to a dead node is lost; the detector rescues
+        if self._partitioned(node, now):
+            self._to_node.setdefault(node, []).append((job, attempt))
+            return
+        running = agent.assign(job, attempt, now)
+        if running is not None:
+            self._push(running.done_s, "done",
+                       {"node": node, "job_id": job.job_id,
+                        "attempt": attempt, "token": running.token})
+
+    def _deliver_completion(self, node: int, job_id: str, attempt: int,
+                            now: float) -> None:
+        if self._partitioned(node, now):
+            self._to_dispatcher.setdefault(node, []).append(
+                (job_id, attempt, now))
+            return
+        self.dispatcher.on_complete(job_id, node, attempt, now)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_arrival(self, now: float, job: FleetJob) -> None:
+        self._arrived += 1
+        self._process_actions(self.dispatcher.submit(job, now), now)
+
+    def _on_hb(self, now: float) -> None:
+        for node in sorted(self.agents):
+            agent = self.agents[node]
+            if not agent.responsive(now) or self._partitioned(node, now):
+                continue
+            honest = agent.telemetry(now)
+            sample = self._faulted_sample(honest, now)
+            self._last_sample[node] = honest
+            self.dispatcher.on_heartbeat(sample, now)
+        self._process_actions(self.dispatcher.tick(now), now)
+        if not self._all_resolved():
+            self._push(now + self.spec.heartbeat_s, "hb", {})
+
+    def _faulted_sample(self, honest: NodeTelemetry,
+                        now: float) -> NodeTelemetry:
+        window = self._telemetry_faults.get(honest.node)
+        if window is None or now >= window[0]:
+            self._telemetry_faults.pop(honest.node, None)
+            return honest
+        _, mode, factor = window
+        if mode == "stale":
+            previous = self._last_sample.get(honest.node)
+            return previous if previous is not None else honest
+        return NodeTelemetry(
+            node=honest.node,
+            t_s=honest.t_s,
+            ips_per_watt=honest.ips_per_watt * factor,
+            queue_depth=honest.queue_depth,
+            busy=honest.busy,
+        )
+
+    def _on_done(self, now: float, node: int, job_id: str, attempt: int,
+                 token: int) -> None:
+        outcome = self.agents[node].complete(now, token)
+        if outcome is None:
+            return  # stale token: crashed or rescheduled by a hang
+        _, started = outcome
+        if started is not None:
+            self._push(started.done_s, "done",
+                       {"node": node, "job_id": started.job.job_id,
+                        "attempt": started.attempt, "token": started.token})
+        self._deliver_completion(node, job_id, attempt, now)
+
+    def _on_retry(self, now: float, job_id: str, cause: str) -> None:
+        self._process_actions(self.dispatcher.retry(job_id, now, cause), now)
+
+    def _on_crash(self, now: float, node: int) -> None:
+        agent = self.agents[node]
+        if agent.crashed:
+            return
+        agent.crash()
+        self._to_node.pop(node, None)
+        self._to_dispatcher.pop(node, None)
+        self.injections.node_crashes += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(ev.FAULT_INJECTED, now, kind="node_crash",
+                                 node=node)
+
+    def _on_hang(self, now: float, node: int, duration_s: float) -> None:
+        agent = self.agents[node]
+        rescheduled = agent.hang(now, duration_s)
+        if agent.crashed:
+            return
+        self.injections.node_hangs += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(ev.FAULT_INJECTED, now, kind="node_hang",
+                                 node=node, detail=f"{duration_s:.3f}s")
+        if rescheduled is not None:
+            self._push(rescheduled.done_s, "done",
+                       {"node": node, "job_id": rescheduled.job.job_id,
+                        "attempt": rescheduled.attempt,
+                        "token": rescheduled.token})
+
+    def _on_partition(self, now: float, nodes: "list[int]",
+                      duration_s: float) -> None:
+        end = now + duration_s
+        cut = [n for n in sorted(nodes) if not self.agents[n].crashed]
+        if not cut:
+            return
+        for node in cut:
+            self._partition_until[node] = max(
+                self._partition_until.get(node, 0.0), end)
+        self.injections.partitions += 1
+        self.injections.partitioned_nodes.extend(cut)
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                ev.FAULT_INJECTED, now, kind="node_partition",
+                count=len(cut), detail=",".join(str(n) for n in cut))
+        self._push(end, "heal", {"nodes": cut})
+
+    def _on_heal(self, now: float, nodes: "list[int]") -> None:
+        for node in sorted(nodes):
+            if self._partitioned(node, now) or self.agents[node].crashed:
+                continue
+            # Flush node→dispatcher first: a buffered completion may
+            # suppress a hedge the buffered dispatch would duplicate.
+            for job_id, attempt, _sent in self._to_dispatcher.pop(node, []):
+                self.dispatcher.on_complete(job_id, node, attempt, now)
+            for job, attempt in self._to_node.pop(node, []):
+                self._deliver_dispatch(job, node, attempt, now)
+
+    def _on_telemetry_fault(self, now: float, node: int, duration_s: float,
+                            mode: str, factor: float) -> None:
+        if self.agents[node].crashed:
+            return
+        self._telemetry_faults[node] = (now + duration_s, mode, factor)
+        if mode == "stale":
+            self.injections.telemetry_stale += 1
+        else:
+            self.injections.telemetry_corrupt += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                ev.FAULT_INJECTED, now, kind=f"telemetry_{mode}",
+                node=node, detail=f"{duration_s:.3f}s")
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _all_resolved(self) -> bool:
+        if self._arrived < len(self._jobs):
+            return False
+        return all(r.completed or r.failed
+                   for r in self.dispatcher.ledger.values())
+
+    def run(self) -> FleetResult:
+        self.dispatcher.start(0.0)
+        self._seed_events()
+        handlers = {
+            "arrival": lambda t, p: self._on_arrival(t, p["job"]),
+            "hb": lambda t, p: self._on_hb(t),
+            "done": lambda t, p: self._on_done(
+                t, p["node"], p["job_id"], p["attempt"], p["token"]),
+            "retry": lambda t, p: self._on_retry(t, p["job_id"], p["cause"]),
+            "crash": lambda t, p: self._on_crash(t, p["node"]),
+            "hang": lambda t, p: self._on_hang(t, p["node"], p["duration_s"]),
+            "partition": lambda t, p: self._on_partition(
+                t, p["nodes"], p["duration_s"]),
+            "heal": lambda t, p: self._on_heal(t, p["nodes"]),
+            "telemetry_fault": lambda t, p: self._on_telemetry_fault(
+                t, p["node"], p["duration_s"], p["mode"], p["factor"]),
+        }
+        processed = 0
+        while self._heap:
+            t_s, _, kind, payload = heapq.heappop(self._heap)
+            handlers[kind](t_s, payload)
+            processed += 1
+            if processed > self.MAX_EVENTS:
+                raise RuntimeError(
+                    f"fleet sim exceeded {self.MAX_EVENTS} events "
+                    f"(liveness bug?) at t={t_s:.3f}"
+                )
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+
+    def _build_result(self) -> FleetResult:
+        spec = self.spec
+        ledger_rows: "list[dict]" = []
+        dispatch_latencies: "list[float]" = []
+        completion_latencies: "list[float]" = []
+        useful_instructions = 0.0
+        useful_energy = 0.0
+        makespan = 0.0
+        for job_id in sorted(self.dispatcher.ledger):
+            record = self.dispatcher.ledger[job_id]
+            row = {
+                "job": job_id,
+                "slot": record.job.slot,
+                "workload": record.job.workload,
+                "arrival_s": round(record.job.arrival_s, 9),
+                "attempts": [
+                    {"node": a.node, "attempt": a.attempt,
+                     "dispatch_s": round(a.dispatch_s, 9),
+                     "status": a.status, "hedged": a.hedged}
+                    for a in record.attempts
+                ],
+                "completed": record.completed,
+            }
+            if record.first_dispatch_s >= 0:
+                dispatch_latencies.append(
+                    record.first_dispatch_s - record.job.arrival_s)
+            if record.completed:
+                row["completed_by"] = record.completed_by
+                row["completed_s"] = round(record.completed_s, 9)
+                completion_latencies.append(
+                    record.completed_s - record.job.arrival_s)
+                makespan = max(makespan, record.completed_s)
+                platform = spec.nodes[record.completed_by]
+                profile = self.profiles.get(record.job.slot, platform)
+                useful_instructions += profile.instructions
+                useful_energy += profile.energy_j
+            ledger_rows.append(row)
+
+        node_rows: "list[dict]" = []
+        total_energy = 0.0
+        for node in sorted(self.agents):
+            agent = self.agents[node]
+            total_energy += agent.stats.energy_j
+            node_rows.append({
+                "node": node,
+                "platform": agent.platform,
+                "state": ("crashed" if agent.crashed
+                          else self.dispatcher.detector.state(node)),
+                "jobs_completed": agent.stats.jobs_completed,
+                "instructions": agent.stats.instructions,
+                "energy_j": round(agent.stats.energy_j, 9),
+                "busy_s": round(agent.stats.busy_s, 9),
+            })
+
+        stats = self.dispatcher.stats
+        throughput = stats.completions / makespan if makespan > 0 else 0.0
+        return FleetResult(
+            fleet_key=spec.fleet_key(),
+            label=spec.label(),
+            accepted=stats.accepted,
+            completed=stats.completions,
+            duplicates=stats.duplicates,
+            failed=stats.failed,
+            makespan_s=makespan,
+            throughput_rps=throughput,
+            useful_instructions=useful_instructions,
+            total_energy_j=total_energy,
+            wasted_energy_j=max(0.0, total_energy - useful_energy),
+            ips_per_watt=(useful_instructions / total_energy
+                          if total_energy > 0 else 0.0),
+            dispatch_latency_p50_s=(percentile(dispatch_latencies, 0.50)
+                                    if dispatch_latencies else 0.0),
+            dispatch_latency_p99_s=(percentile(dispatch_latencies, 0.99)
+                                    if dispatch_latencies else 0.0),
+            completion_latency_p50_s=(percentile(completion_latencies, 0.50)
+                                      if completion_latencies else 0.0),
+            completion_latency_p99_s=(percentile(completion_latencies, 0.99)
+                                      if completion_latencies else 0.0),
+            nodes=node_rows,
+            stats=stats.to_dict(),
+            injections={
+                "node_crashes": self.injections.node_crashes,
+                "node_hangs": self.injections.node_hangs,
+                "partitions": self.injections.partitions,
+                "telemetry_stale": self.injections.telemetry_stale,
+                "telemetry_corrupt": self.injections.telemetry_corrupt,
+                "partitioned_nodes": sorted(self.injections.partitioned_nodes),
+                "total": self.injections.total,
+            },
+            ledger=ledger_rows,
+        )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    obs=NULL_OBS,
+    jobs: Optional[int] = None,
+    cache=None,
+) -> FleetResult:
+    """Profile, then simulate, one complete fleet run.
+
+    ``jobs`` and ``cache`` only affect the profile phase (real
+    simulator runs through the sweep engine); the fleet simulation
+    itself is single-threaded virtual time, so they cannot change the
+    result — pinned by the chaos determinism suite.
+    """
+    profiles = build_profiles(spec, jobs=jobs, cache=cache)
+    sim = FleetSim(spec, profiles, obs=obs)
+    return sim.run()

@@ -1,0 +1,261 @@
+"""Hashable fleet descriptions: the cluster-level analogue of RunSpec.
+
+A :class:`FleetSpec` pins down one fleet run completely — node
+platforms, the request stream, the routing policy, membership timing
+and the fault scenario — using only strings and scalars, exactly like
+:class:`~repro.runner.spec.RunSpec` does one level down.  Everything a
+fleet run does derives from this spec plus its ``seed``: the arrival
+process, each request's workload identity, the fault schedule, the
+backoff jitter.  Same spec, same seed ⇒ byte-identical fleet trace
+(the chaos determinism suite pins this).
+
+Requests draw their identity from a small pool of ``distinct_jobs``
+slots.  Each slot is one (workload, derived seed) pair, and request
+``i`` occupies slot ``i % distinct_jobs`` — so the *profile* phase
+(which executes each slot on each distinct node platform through the
+sweep engine) stays cheap and dedup-friendly while the request stream
+can be arbitrarily long.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runner.spec import RunSpec, stable_hash
+
+#: Routing policies the dispatcher can run (see :mod:`repro.fleet.router`).
+POLICIES = ("energy", "round_robin", "least_loaded")
+
+
+def _derive(seed: int, *salt: object) -> int:
+    """31-bit deterministic sub-seed from ``seed`` and a salt tuple."""
+    blob = json.dumps([seed, *salt], sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One request of the fleet's arrival stream."""
+
+    #: Stable request id (``r0001`` ...), in arrival order.
+    job_id: str
+    #: Virtual arrival time (seconds since fleet start).
+    arrival_s: float
+    #: Identity slot the request occupies (see module docstring).
+    slot: int
+    workload: str
+    #: Seed of the request's own simulation.
+    seed: int
+
+    def runspec(self, platform: str, spec: "FleetSpec") -> RunSpec:
+        """The node-level job this request becomes on ``platform``."""
+        return RunSpec(
+            workload=self.workload,
+            platform=platform,
+            threads=spec.threads,
+            balancer=spec.balancer,
+            n_epochs=spec.n_epochs,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One complete fleet run: cluster, traffic, policy, faults."""
+
+    #: Platform name per node (heterogeneous fleets list different
+    #: names); length is the fleet size.
+    nodes: "tuple[str, ...]" = ("quad", "biglittle", "quad", "biglittle")
+    #: Requests in the arrival stream.
+    n_requests: int = 16
+    #: Workload names the request slots cycle through.
+    workloads: "tuple[str, ...]" = ("MTMI", "HTHI", "LTLI")
+    #: Distinct (workload, seed) identities in the request pool.
+    distinct_jobs: int = 6
+    #: Per-request simulation sizing (the node-level RunSpec fields).
+    threads: int = 4
+    n_epochs: int = 4
+    balancer: str = "smartbalance"
+    #: Mean request arrival rate (Poisson, virtual time).
+    arrival_rate_hz: float = 4.0
+    #: Fleet seed: arrivals, slot draws, jitter all derive from it.
+    seed: int = 0
+    #: Routing policy (one of :data:`POLICIES`).
+    policy: str = "energy"
+    #: Named fleet fault scenario (:mod:`repro.fleet.faults`); None = clean.
+    faults: Optional[str] = None
+    #: Fault-schedule seed; ``None`` follows ``seed``.
+    fault_seed: Optional[int] = None
+    #: ``simulated`` profiles each request slot on each node platform
+    #: through the real sense→predict→balance simulator (the runner);
+    #: ``analytic`` uses a closed-form stand-in (fast unit tests).
+    profile: str = "simulated"
+    # -- membership / failure detection --------------------------------
+    #: Heartbeat + telemetry cadence of every node agent.
+    heartbeat_s: float = 0.25
+    #: Consecutive missed heartbeats before a node is SUSPECT.
+    suspect_after: int = 2
+    #: Consecutive missed heartbeats before a node is DOWN.
+    dead_after: int = 4
+    #: Fraction of nodes with fresh telemetry below which the router
+    #: degrades to round-robin placement.
+    quorum: float = 0.5
+    # -- retry / hedging / circuit breaking -----------------------------
+    #: Dispatch attempts per job (first try + rescues/hedges).
+    max_attempts: int = 4
+    #: First retry backoff; doubles per attempt, plus seeded jitter.
+    retry_base_s: float = 0.1
+    #: Hedge a dispatched job once it is this many times older than its
+    #: expected completion.
+    hedge_factor: float = 3.0
+    #: Consecutive dispatch failures that open a node's circuit breaker.
+    circuit_threshold: int = 2
+    #: Seconds an open breaker refuses dispatches before half-opening.
+    circuit_cooldown_s: float = 2.0
+    #: Telemetry readings outside ``nominal / bound .. nominal * bound``
+    #: are rejected as corrupt (last-good value used instead).
+    telemetry_bound: float = 5.0
+    #: Staleness discount per heartbeat interval of telemetry age.
+    staleness_discount: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("fleet needs at least one node")
+        if self.n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {self.n_requests}")
+        if not self.workloads:
+            raise ValueError("fleet needs at least one workload")
+        if self.distinct_jobs < 1:
+            raise ValueError(
+                f"distinct_jobs must be >= 1, got {self.distinct_jobs}"
+            )
+        if self.arrival_rate_hz <= 0:
+            raise ValueError(
+                f"arrival_rate_hz must be positive, got {self.arrival_rate_hz}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; use one of {POLICIES}"
+            )
+        if self.profile not in ("simulated", "analytic"):
+            raise ValueError(
+                f"profile must be 'simulated' or 'analytic', got {self.profile!r}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive, got {self.heartbeat_s}")
+        if not 1 <= self.suspect_after < self.dead_after:
+            raise ValueError(
+                "need 1 <= suspect_after < dead_after, got "
+                f"{self.suspect_after} / {self.dead_after}"
+            )
+        if not 0.0 <= self.quorum <= 1.0:
+            raise ValueError(f"quorum must be in [0, 1], got {self.quorum}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.hedge_factor <= 1.0:
+            raise ValueError(f"hedge_factor must exceed 1, got {self.hedge_factor}")
+        if self.circuit_threshold < 1:
+            raise ValueError(
+                f"circuit_threshold must be >= 1, got {self.circuit_threshold}"
+            )
+        if self.telemetry_bound <= 1.0:
+            raise ValueError(
+                f"telemetry_bound must exceed 1, got {self.telemetry_bound}"
+            )
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError(
+                "staleness_discount must be in (0, 1], got "
+                f"{self.staleness_discount}"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """JSON-ready canonical form (the hashed identity)."""
+        return dataclasses.asdict(self)
+
+    def fleet_key(self) -> str:
+        """Stable hash of the complete fleet identity."""
+        return stable_hash({"fleet": self.canonical()})
+
+    def label(self) -> str:
+        parts = [
+            f"{len(self.nodes)}n",
+            "/".join(sorted(set(self.nodes))),
+            f"r{self.n_requests}",
+            self.policy,
+        ]
+        if self.faults:
+            parts.append(f"faults={self.faults}")
+        parts.append(f"seed={self.seed}")
+        return ":".join(parts)
+
+    # ------------------------------------------------------------------
+    # Derived, deterministic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def platforms(self) -> "tuple[str, ...]":
+        """Distinct node platforms, sorted (the profile axis)."""
+        return tuple(sorted(set(self.nodes)))
+
+    def slot_identity(self, slot: int) -> "tuple[str, int]":
+        """The (workload, seed) identity of one request slot."""
+        workload = self.workloads[slot % len(self.workloads)]
+        return workload, _derive(self.seed, "slot", slot, workload)
+
+    def jobs(self) -> "list[FleetJob]":
+        """The full request stream, in arrival order.
+
+        Pure function of the spec: Poisson interarrivals drawn from a
+        private RNG seeded off the fleet seed, identities from
+        :meth:`slot_identity`.
+        """
+        rng = random.Random(_derive(self.seed, "arrivals"))
+        jobs: "list[FleetJob]" = []
+        now = 0.0
+        for index in range(self.n_requests):
+            now += rng.expovariate(self.arrival_rate_hz)
+            slot = index % self.distinct_jobs
+            workload, seed = self.slot_identity(slot)
+            jobs.append(
+                FleetJob(
+                    job_id=f"r{index:04d}",
+                    arrival_s=now,
+                    slot=slot,
+                    workload=workload,
+                    seed=seed,
+                )
+            )
+        return jobs
+
+    def profile_specs(self) -> "list[RunSpec]":
+        """Every (slot, platform) node-level job of the profile phase,
+        in deterministic order."""
+        specs: "list[RunSpec]" = []
+        for platform in self.platforms:
+            for slot in range(self.distinct_jobs):
+                workload, seed = self.slot_identity(slot)
+                specs.append(
+                    RunSpec(
+                        workload=workload,
+                        platform=platform,
+                        threads=self.threads,
+                        balancer=self.balancer,
+                        n_epochs=self.n_epochs,
+                        seed=seed,
+                    )
+                )
+        return specs
+
+    def jitter_rng(self) -> random.Random:
+        """Private RNG for retry-backoff jitter (seeded, replayable)."""
+        return random.Random(_derive(self.seed, "jitter"))

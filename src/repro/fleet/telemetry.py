@@ -1,0 +1,106 @@
+"""Node telemetry: what agents report and how the dispatcher defends it.
+
+Each heartbeat interval every reachable node agent reports one
+:class:`NodeTelemetry` sample — its current IPS/W operating point and
+queue depth — over the obs event channel.  The dispatcher keeps them
+in a :class:`TelemetryStore` that applies the same graceful-degradation
+philosophy PR 1 built for sensors, one level up:
+
+* **sanity bounds** — a reported IPS/W outside
+  ``nominal/bound .. nominal*bound`` (the profiled nominal of that
+  node's platform) is rejected as corrupt; the last *good* sample
+  stays in force (``telemetry_rejected`` mitigation).
+* **staleness discounting** — a sample's routing weight decays by
+  ``discount`` per heartbeat interval of age, so a silent node fades
+  out of energy-aware placement instead of pinning its last (possibly
+  rosy) operating point forever (``stale_fallback`` mitigation when a
+  discounted sample is actually used).
+* **freshness census** — :meth:`TelemetryStore.fresh_fraction` is the
+  quorum input: when too few nodes report fresh telemetry the router
+  stops trusting the energy view entirely and degrades to round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeTelemetry:
+    """One heartbeat's worth of node-level sensing."""
+
+    node: int
+    t_s: float
+    ips_per_watt: float
+    queue_depth: int
+    busy: bool
+
+
+@dataclass
+class _Entry:
+    last_good: "NodeTelemetry | None" = None
+    rejected: int = 0
+
+
+class TelemetryStore:
+    """Last-good, staleness-discounted telemetry per node."""
+
+    def __init__(
+        self,
+        nominal_ips_per_watt: "dict[int, float]",
+        heartbeat_s: float,
+        bound: float,
+        discount: float,
+    ) -> None:
+        self._nominal = nominal_ips_per_watt
+        self._heartbeat_s = heartbeat_s
+        self._bound = bound
+        self._discount = discount
+        self._entries: "dict[int, _Entry]" = {
+            node: _Entry() for node in nominal_ips_per_watt
+        }
+
+    def ingest(self, sample: NodeTelemetry) -> bool:
+        """Accept or reject one sample; returns True when accepted."""
+        entry = self._entries[sample.node]
+        nominal = self._nominal[sample.node]
+        lo, hi = nominal / self._bound, nominal * self._bound
+        if not (lo <= sample.ips_per_watt <= hi) or sample.queue_depth < 0:
+            entry.rejected += 1
+            return False
+        entry.last_good = sample
+        return True
+
+    def last_good(self, node: int) -> "NodeTelemetry | None":
+        return self._entries[node].last_good
+
+    def rejected(self, node: int) -> int:
+        return self._entries[node].rejected
+
+    def age_s(self, node: int, now: float) -> float:
+        """Age of the last good sample (infinite when none yet)."""
+        sample = self._entries[node].last_good
+        return float("inf") if sample is None else now - sample.t_s
+
+    def is_fresh(self, node: int, now: float) -> bool:
+        """Fresh = a good sample within the last two heartbeats."""
+        return self.age_s(node, now) <= 2.0 * self._heartbeat_s
+
+    def discounted_ips_per_watt(self, node: int, now: float) -> "float | None":
+        """The routing weight: last-good IPS/W decayed by staleness.
+
+        ``None`` when the node has never reported a good sample (the
+        router then falls back to the profiled nominal).
+        """
+        sample = self._entries[node].last_good
+        if sample is None:
+            return None
+        intervals = max(0.0, (now - sample.t_s) / self._heartbeat_s - 1.0)
+        return sample.ips_per_watt * (self._discount ** intervals)
+
+    def fresh_fraction(self, nodes: "list[int]", now: float) -> float:
+        """Share of ``nodes`` with fresh telemetry (quorum input)."""
+        if not nodes:
+            return 0.0
+        fresh = sum(1 for node in nodes if self.is_fresh(node, now))
+        return fresh / len(nodes)

@@ -58,6 +58,24 @@ MODEL_UPDATE = "model_update"
 MODEL_ROLLBACK = "model_rollback"
 #: Wall-clock per-phase time breakdown (one per run; nondeterministic).
 PHASE_PROFILE = "phase_profile"
+#: Fleet tier: a node joined (or rejoined) the membership view.
+NODE_UP = "node_up"
+#: Fleet tier: the failure detector declared a node dead.
+NODE_DOWN = "node_down"
+#: Fleet tier: one heartbeat interval elapsed without a heartbeat.
+HEARTBEAT_MISSED = "heartbeat_missed"
+#: Fleet tier: a job was moved off its assigned node (rescue / hedge /
+#: circuit avoidance).
+REROUTE = "reroute"
+#: Fleet tier: a node's circuit breaker opened (dispatches suspended).
+CIRCUIT_OPEN = "circuit_open"
+#: Fleet tier: a node's circuit breaker closed again after a probe.
+CIRCUIT_CLOSE = "circuit_close"
+#: Fleet tier: the dispatcher placed one job on one node.
+FLEET_DISPATCH = "fleet_dispatch"
+#: Fleet tier: a node reported one job finished (possibly a duplicate
+#: of an already-completed hedged job).
+FLEET_COMPLETE = "fleet_complete"
 
 EVENT_TYPES = (
     RUN_START,
@@ -77,6 +95,14 @@ EVENT_TYPES = (
     MODEL_UPDATE,
     MODEL_ROLLBACK,
     PHASE_PROFILE,
+    NODE_UP,
+    NODE_DOWN,
+    HEARTBEAT_MISSED,
+    REROUTE,
+    CIRCUIT_OPEN,
+    CIRCUIT_CLOSE,
+    FLEET_DISPATCH,
+    FLEET_COMPLETE,
 )
 
 #: Event types whose payload depends only on the simulation (never on
@@ -84,7 +110,10 @@ EVENT_TYPES = (
 #: the same spec.
 DETERMINISTIC_TYPES = tuple(t for t in EVENT_TYPES if t != PHASE_PROFILE)
 
-#: Kinds a ``fault_injected`` event may carry.
+#: Kinds a ``fault_injected`` event may carry.  The ``node_*`` /
+#: ``telemetry_*`` kinds are cluster-level faults delivered by the
+#: fleet fault layer (:mod:`repro.fleet.faults`); the rest are the
+#: intra-node faults of :mod:`repro.faults`.
 FAULT_KINDS = (
     "sensor_dropout",
     "sensor_stuck",
@@ -95,9 +124,16 @@ FAULT_KINDS = (
     "migration_delayed",
     "hotplug",
     "throttle",
+    "node_crash",
+    "node_hang",
+    "node_partition",
+    "telemetry_stale",
+    "telemetry_corrupt",
 )
 
-#: Kinds a ``mitigation`` event may carry.
+#: Kinds a ``mitigation`` event may carry.  The last group is the
+#: fleet dispatcher's defence ledger (telemetry sanity checks,
+#: last-good fallback, quorum degradation, hedged re-dispatch).
 MITIGATION_KINDS = (
     "sample_rejected",
     "fallback_row",
@@ -108,6 +144,11 @@ MITIGATION_KINDS = (
     "sa_truncated",
     "hotplug_mask",
     "offline_placement_blocked",
+    "telemetry_rejected",
+    "stale_fallback",
+    "quorum_degraded",
+    "hedged_dispatch",
+    "duplicate_suppressed",
 )
 
 #: Known causes of a thread migration.
@@ -167,8 +208,11 @@ EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
         ("incumbent_value", "best_value"),
     ),
     MIGRATION: (("tid", "from_core", "to_core", "cause"), ()),
-    FAULT_INJECTED: (("kind",), ("channel", "tid", "core", "count", "detail")),
-    MITIGATION: (("kind", "cause"), ("tid", "core")),
+    FAULT_INJECTED: (
+        ("kind",),
+        ("channel", "tid", "core", "count", "detail", "node"),
+    ),
+    MITIGATION: (("kind", "cause"), ("tid", "core", "node", "job")),
     DEGRADATION: (("state", "cause"), ()),
     DRIFT_DETECTED: (
         ("pair", "statistic", "threshold"),
@@ -189,6 +233,20 @@ EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
         ("epoch", "fingerprint"),
     ),
     PHASE_PROFILE: (("phases",), ()),
+    NODE_UP: (("node",), ("platform", "detail")),
+    NODE_DOWN: (("node", "cause"), ("jobs_rescued",)),
+    HEARTBEAT_MISSED: (("node", "misses"), ()),
+    REROUTE: (("job", "to_node", "cause"), ("from_node", "attempt")),
+    CIRCUIT_OPEN: (("node",), ("failures", "cooldown_s")),
+    CIRCUIT_CLOSE: (("node",), ("probe_job",)),
+    FLEET_DISPATCH: (
+        ("job", "node", "attempt"),
+        ("policy", "queue_depth", "degraded"),
+    ),
+    FLEET_COMPLETE: (
+        ("job", "node"),
+        ("attempt", "duplicate", "latency_s"),
+    ),
 }
 
 

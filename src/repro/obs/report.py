@@ -13,6 +13,9 @@ the paper's headline diagnostics:
 * **Resilience pairing** — injected-fault and mitigation counts by kind.
 * **Epoch health** — degenerate-epoch count (epochs whose energy
   accounting made ``ips_per_watt`` meaningless).
+* **Fleet** — multi-node dispatch/completion totals and the node
+  failure + reroute ledger, when the trace came from a
+  :mod:`repro.fleet` run.
 * **Phase overhead** — the wall-clock sense/predict/balance breakdown
   when the trace carries a ``phase_profile`` event (Fig. 7 data).
 
@@ -128,6 +131,66 @@ def build_adaptation_summary(events: Iterable[dict]) -> dict:
     }
 
 
+def build_fleet_summary(events: Iterable[dict]) -> dict:
+    """Fleet-tier activity: dispatch/completion totals, the node
+    failure + recovery ledger, reroute causes and circuit actions.
+
+    The ledger is *consistent by construction*: every ``node_down``
+    event carries the number of jobs rescued off that node, and every
+    rescue shows up again as a ``reroute`` event — the report
+    cross-counts both sides.
+    """
+    events = list(events)
+    dispatches = [e for e in events if e.get("type") == ev.FLEET_DISPATCH]
+    completes = [e for e in events if e.get("type") == ev.FLEET_COMPLETE]
+    downs = [e for e in events if e.get("type") == ev.NODE_DOWN]
+    reroutes = [e for e in events if e.get("type") == ev.REROUTE]
+    duplicates = [e for e in completes if e.get("duplicate")]
+    recoveries = [
+        e for e in events
+        if e.get("type") == ev.NODE_UP and e.get("detail") != "boot"
+    ]
+    latencies = [
+        float(e["latency_s"]) for e in completes
+        if not e.get("duplicate") and e.get("latency_s") is not None
+    ]
+    return {
+        "dispatches": len(dispatches),
+        "degraded_dispatches": sum(1 for e in dispatches if e.get("degraded")),
+        "completions": len(completes) - len(duplicates),
+        "duplicates": len(duplicates),
+        "jobs": len({str(e["job"]) for e in dispatches}),
+        "mean_completion_latency_s": _mean(latencies),
+        "dispatches_by_node": _count_by(events, ev.FLEET_DISPATCH, "node"),
+        "completions_by_node": _count_by(
+            (e for e in completes if not e.get("duplicate")),
+            ev.FLEET_COMPLETE, "node",
+        ),
+        "node_failures": [
+            {
+                "node": int(e["node"]),
+                "t_s": float(e["t_s"]),
+                "cause": str(e["cause"]),
+                "jobs_rescued": int(e.get("jobs_rescued") or 0),
+            }
+            for e in downs
+        ],
+        "jobs_rescued_total": sum(int(e.get("jobs_rescued") or 0) for e in downs),
+        "node_recoveries": len(recoveries),
+        "heartbeats_missed": sum(
+            1 for e in events if e.get("type") == ev.HEARTBEAT_MISSED
+        ),
+        "reroutes": len(reroutes),
+        "reroutes_by_cause": _count_by(events, ev.REROUTE, "cause"),
+        "circuit_opens": sum(
+            1 for e in events if e.get("type") == ev.CIRCUIT_OPEN
+        ),
+        "circuit_closes": sum(
+            1 for e in events if e.get("type") == ev.CIRCUIT_CLOSE
+        ),
+    }
+
+
 def build_report(events: Sequence[dict]) -> dict:
     """Aggregate one event stream into the full diagnostic report."""
     run_end = next((e for e in events if e.get("type") == ev.RUN_END), None)
@@ -156,6 +219,7 @@ def build_report(events: Sequence[dict]) -> dict:
         "mitigations": _count_by(events, ev.MITIGATION, "kind"),
         "degradation_transitions": _count_by(events, ev.DEGRADATION, "state"),
         "adaptation": build_adaptation_summary(events),
+        "fleet": build_fleet_summary(events),
         "phase_profile": None
         if phase_profile is None
         else dict(phase_profile.get("phases") or {}),
@@ -271,6 +335,51 @@ def render_report(report: dict) -> str:
                 f" cause={row['cause']}"
                 f" pairs={len(row['pairs_updated'])}"
                 f" fp={row.get('fingerprint') or '-'}"
+            )
+
+    fleet = report.get("fleet") or {}
+    if fleet.get("dispatches"):
+        lines += _section("Fleet (multi-node dispatch)")
+        lines.append(
+            f"  jobs              {fleet['jobs']} "
+            f"(dispatches {fleet['dispatches']}, "
+            f"degraded {fleet['degraded_dispatches']})"
+        )
+        lines.append(
+            f"  completions       {fleet['completions']} "
+            f"(duplicates suppressed {fleet['duplicates']})"
+        )
+        lines.append(
+            "  mean latency      "
+            f"{fleet['mean_completion_latency_s']:.6g} s"
+        )
+        lines.append(
+            f"  heartbeats missed {fleet['heartbeats_missed']}   "
+            f"node recoveries {fleet['node_recoveries']}   "
+            f"circuit open/close {fleet['circuit_opens']}/"
+            f"{fleet['circuit_closes']}"
+        )
+        per_node = fleet.get("dispatches_by_node") or {}
+        if per_node:
+            done = fleet.get("completions_by_node") or {}
+            lines.append(f"  {'node':<6} {'dispatched':>10} {'completed':>10}")
+            for node, count in per_node.items():
+                lines.append(
+                    f"  {node:<6} {count:>10} {done.get(node, 0):>10}"
+                )
+        failures = fleet.get("node_failures") or []
+        if failures:
+            lines.append("  node failures:")
+            for row in failures:
+                lines.append(
+                    f"    node {row['node']} down @ {row['t_s']:.3f}s "
+                    f"({row['cause']}), {row['jobs_rescued']} rescued"
+                )
+        causes = fleet.get("reroutes_by_cause") or {}
+        if causes:
+            lines.append(
+                "  reroutes:         "
+                + ", ".join(f"{k}={v}" for k, v in causes.items())
             )
 
     phases = report.get("phase_profile")

@@ -61,11 +61,19 @@ class ResultCache:
             return None
         except (OSError, KeyError, TypeError, ValueError) as exc:
             # Corrupt, truncated or foreign file: a bad entry must
-            # never crash a sweep.  Log it, evict it and recompute.
+            # never crash a sweep.  Log path + reason, evict, recompute.
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = -1
+            reason = (
+                "zero-byte entry (interrupted write?)" if size == 0
+                else f"{type(exc).__name__}: {exc}"
+            )
             _log.warning(
-                "evicting unreadable cache entry %s (%s: %s); "
+                "evicting unreadable cache entry %s (%s, %d bytes); "
                 "the result will be recomputed",
-                path, type(exc).__name__, exc,
+                path, reason, size,
             )
             try:
                 path.unlink()

@@ -95,6 +95,8 @@ def catalogue() -> dict:
     ``platform_patterns``).
     """
     from repro.faults import SCENARIOS
+    from repro.fleet.faults import FLEET_SCENARIOS
+    from repro.fleet.spec import POLICIES
 
     return {
         "platforms": sorted(PLATFORMS),
@@ -107,6 +109,10 @@ def catalogue() -> dict:
             "special": [RANDOM_WORKLOAD],
         },
         "faults": list(SCENARIOS),
+        "fleet": {
+            "policies": list(POLICIES),
+            "faults": list(FLEET_SCENARIOS),
+        },
     }
 
 

@@ -19,6 +19,14 @@ Typical use::
 Errors surface as :class:`ServiceError` carrying the HTTP status and
 the server's JSON error body — a 429 additionally exposes
 ``retry_after_s`` so callers can implement polite backoff.
+
+The client defends itself against an unhealthy service: connect and
+read timeouts are separate knobs (a server that accepts the TCP
+connection but never answers trips the read timeout instead of
+hanging forever), and every request is retried up to ``retries``
+times with the runner's deterministic exponential backoff.  A 429
+response is retried honouring the server's ``Retry-After`` when it is
+longer than the backoff step; the final attempt re-raises.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import time
 from typing import Iterator, Optional, Sequence, Union
 
 from repro.kernel.metrics import RunResult
+from repro.runner.engine import retry_delays
 from repro.runner.env import resolve_service_port
 from repro.runner.serialize import result_from_dict
 from repro.runner.spec import RunSpec
@@ -54,22 +63,83 @@ class Client:
     """Synchronous HTTP client bound to one service address."""
 
     def __init__(self, host: str = "127.0.0.1", port: Optional[int] = None,
-                 timeout_s: float = 60.0) -> None:
+                 timeout_s: float = 60.0,
+                 connect_timeout_s: Optional[float] = None,
+                 read_timeout_s: Optional[float] = None,
+                 retries: int = 2,
+                 retry_base_s: float = 0.2) -> None:
+        """``timeout_s`` is the legacy single knob; ``connect_timeout_s``
+        and ``read_timeout_s`` override it per phase when given.
+        ``retries`` bounds re-attempts after transport errors and 429
+        responses (0 disables retrying)."""
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = resolve_service_port(port)
         self.timeout_s = timeout_s
+        self.connect_timeout_s = (
+            connect_timeout_s if connect_timeout_s is not None else timeout_s
+        )
+        self.read_timeout_s = (
+            read_timeout_s if read_timeout_s is not None else timeout_s
+        )
+        self.retries = retries
+        self.retry_base_s = retry_base_s
+        #: Seam for tests: replace to observe/skip the backoff sleeps.
+        self._sleep = time.sleep
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
     def _connection(self) -> http.client.HTTPConnection:
+        # The HTTPConnection timeout governs the TCP connect; the read
+        # timeout is applied to the established socket in _apply_read_timeout.
         return http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
+            self.host, self.port, timeout=self.connect_timeout_s
         )
+
+    def _apply_read_timeout(self,
+                            connection: http.client.HTTPConnection) -> None:
+        """Re-arm the socket for the response-read phase.
+
+        A server that accepts the connection but never responds then
+        raises ``socket.timeout`` after ``read_timeout_s`` instead of
+        blocking on the (possibly much longer) connect timeout."""
+        if connection.sock is not None:
+            connection.sock.settimeout(self.read_timeout_s)
 
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> dict:
+        """One API call with bounded retry.
+
+        Transport failures (refused, reset, connect/read timeout) and
+        429 responses are retried up to ``retries`` times on the
+        deterministic :func:`repro.runner.engine.retry_delays` schedule;
+        a 429 waits at least the server's ``Retry-After``.  Any other
+        HTTP error raises immediately — the server answered, so
+        retrying would just repeat the refusal.
+        """
+        delays = retry_delays(self.retries, self.retry_base_s)
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= self.retries:
+                    raise
+                delay = delays[attempt]
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                self._sleep(delay)
+            except (OSError, http.client.HTTPException):
+                if attempt >= self.retries:
+                    raise
+                self._sleep(delays[attempt])
+            attempt += 1
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None) -> dict:
         connection = self._connection()
         try:
             body = None
@@ -78,6 +148,7 @@ class Client:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
             connection.request(method, path, body=body, headers=headers)
+            self._apply_read_timeout(connection)
             response = connection.getresponse()
             raw = response.read()
             try:
@@ -180,6 +251,7 @@ class Client:
         connection = self._connection()
         try:
             connection.request("GET", f"/v1/jobs/{job_id}/events")
+            self._apply_read_timeout(connection)
             response = connection.getresponse()
             if response.status >= 400:
                 raw = response.read()

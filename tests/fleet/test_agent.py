@@ -1,0 +1,92 @@
+"""Node agents: queueing, completion tokens, crash and hang semantics."""
+
+import pytest
+
+from repro.fleet import FleetSpec, NodeAgent, analytic_profiles
+
+SPEC = FleetSpec(profile="analytic")
+PROFILES = analytic_profiles(SPEC)
+JOBS = SPEC.jobs()
+
+
+def _agent(node=0):
+    return NodeAgent(node, SPEC.nodes[node], PROFILES)
+
+
+def test_idle_assignment_starts_immediately():
+    agent = _agent()
+    running = agent.assign(JOBS[0], 1, now=1.0)
+    assert running is not None
+    assert running.start_s == 1.0
+    expected = PROFILES.get(JOBS[0].slot, agent.platform).duration_s
+    assert running.done_s == pytest.approx(1.0 + expected)
+    assert agent.queue_depth == 1
+
+
+def test_busy_assignment_queues_fifo():
+    agent = _agent()
+    first = agent.assign(JOBS[0], 1, now=1.0)
+    assert agent.assign(JOBS[1], 1, now=1.1) is None
+    assert agent.assign(JOBS[2], 1, now=1.2) is None
+    assert agent.queue_depth == 3
+    finished, started = agent.complete(first.done_s, first.token)
+    assert finished.job is JOBS[0]
+    assert started.job is JOBS[1], "FIFO order"
+    assert started.start_s == first.done_s
+    assert agent.stats.jobs_completed == 1
+    assert agent.stats.busy_s == pytest.approx(first.done_s - first.start_s)
+
+
+def test_stale_token_is_ignored():
+    agent = _agent()
+    running = agent.assign(JOBS[0], 1, now=1.0)
+    assert agent.complete(running.done_s, running.token + 99) is None
+    assert agent.running is not None, "job still in flight"
+
+
+def test_crash_loses_everything():
+    agent = _agent()
+    agent.assign(JOBS[0], 1, now=1.0)
+    agent.assign(JOBS[1], 1, now=1.0)
+    token = agent.running.token
+    done = agent.running.done_s
+    agent.crash()
+    assert agent.crashed
+    assert agent.queue_depth == 0
+    assert agent.complete(done, token) is None, "completions after death drop"
+    with pytest.raises(RuntimeError):
+        agent.assign(JOBS[2], 1, now=2.0)
+
+
+def test_hang_shifts_running_job_and_refreshes_token():
+    agent = _agent()
+    running = agent.assign(JOBS[0], 1, now=1.0)
+    old_done, old_token = running.done_s, running.token
+    rescheduled = agent.hang(1.05, duration_s=0.5)
+    assert rescheduled.done_s == pytest.approx(old_done + 0.5)
+    assert rescheduled.token != old_token
+    assert agent.complete(old_done, old_token) is None, "old event is stale"
+    finished, _ = agent.complete(rescheduled.done_s, rescheduled.token)
+    assert finished.job is JOBS[0]
+    assert not agent.responsive(1.2)
+    assert agent.responsive(1.05 + 0.5)
+
+
+def test_assignment_during_hang_starts_after_it():
+    agent = _agent()
+    agent.hang(1.0, duration_s=0.5)
+    running = agent.assign(JOBS[0], 1, now=1.2)
+    assert running.start_s == pytest.approx(1.5)
+
+
+def test_telemetry_reflects_load_and_operating_point():
+    agent = _agent()
+    idle = agent.telemetry(1.0)
+    assert not idle.busy and idle.queue_depth == 0
+    assert idle.ips_per_watt == PROFILES.nominal_ips_per_watt(agent.platform)
+    agent.assign(JOBS[0], 1, now=1.0)
+    agent.assign(JOBS[1], 1, now=1.0)
+    busy = agent.telemetry(1.1)
+    assert busy.busy and busy.queue_depth == 2
+    expected = PROFILES.get(JOBS[0].slot, agent.platform).ips_per_watt
+    assert busy.ips_per_watt == expected

@@ -1,0 +1,213 @@
+"""Dispatcher defence stack: circuit breakers, rescue, hedging,
+exactly-once, quorum degradation — driven directly, no sim loop."""
+
+import dataclasses
+
+from repro.fleet import Dispatcher, FleetSpec, NodeTelemetry, analytic_profiles
+from repro.fleet.dispatcher import _CircuitBreaker
+from repro.obs import ObsContext
+from repro.obs import events as ev
+
+HB = 0.25
+
+
+def _dispatcher(obs=None, **overrides):
+    spec = FleetSpec(profile="analytic", **overrides)
+    profiles = analytic_profiles(spec)
+    platforms = dict(enumerate(spec.nodes))
+    return spec, Dispatcher(spec, profiles, platforms,
+                            obs=obs if obs is not None else ObsContext())
+
+
+def _beat(dispatcher, node, now, ipw=None):
+    nominal = dispatcher.profiles.nominal_ips_per_watt(
+        dispatcher.platforms[node])
+    dispatcher.on_heartbeat(
+        NodeTelemetry(node=node, t_s=now,
+                      ips_per_watt=ipw if ipw is not None else nominal,
+                      queue_depth=0, busy=False),
+        now,
+    )
+
+
+def _beat_all(dispatcher, now, nodes=None):
+    for node in nodes if nodes is not None else sorted(dispatcher.platforms):
+        _beat(dispatcher, node, now)
+
+
+def test_submit_dispatches_exactly_one_attempt():
+    spec, dispatcher = _dispatcher()
+    _beat_all(dispatcher, HB)
+    job = spec.jobs()[0]
+    actions = dispatcher.submit(job, HB)
+    assert len(actions) == 1 and actions[0].kind == "dispatch"
+    record = dispatcher.ledger[job.job_id]
+    assert len(record.attempts) == 1
+    assert record.first_dispatch_s == HB
+
+
+def test_completion_is_exactly_once_under_duplicates():
+    obs = ObsContext()
+    spec, dispatcher = _dispatcher(obs=obs)
+    _beat_all(dispatcher, HB)
+    job = spec.jobs()[0]
+    (action,) = dispatcher.submit(job, HB)
+    dispatcher.on_complete(job.job_id, action.node, 1, 1.0)
+    # The same completion arrives again (partition replay / hedge race).
+    dispatcher.on_complete(job.job_id, action.node, 1, 1.5)
+    assert dispatcher.stats.completions == 1
+    assert dispatcher.stats.duplicates == 1
+    completes = obs.tracer.by_type(ev.FLEET_COMPLETE)
+    assert [e["duplicate"] for e in completes] == [False, True]
+    suppressed = [e for e in obs.tracer.by_type(ev.MITIGATION)
+                  if e["kind"] == "duplicate_suppressed"]
+    assert len(suppressed) == 1
+
+
+def test_node_death_rescues_and_reroutes_outstanding_jobs():
+    obs = ObsContext()
+    # hedge_factor is huge so the hedger cannot rescue the job first —
+    # this test exercises the failure-detector path in isolation.
+    spec, dispatcher = _dispatcher(obs=obs, hedge_factor=100.0)
+    _beat_all(dispatcher, HB)
+    job = spec.jobs()[0]
+    (action,) = dispatcher.submit(job, HB)
+    victim = action.node
+    # Every node but the victim keeps beating until the victim is DOWN.
+    survivors = [n for n in sorted(dispatcher.platforms) if n != victim]
+    actions = []
+    now = HB
+    while dispatcher.detector.state(victim) != "down":
+        now += HB
+        _beat_all(dispatcher, now, nodes=survivors)
+        actions.extend(dispatcher.tick(now))
+    retries = [a for a in actions if a.kind == "retry"]
+    assert len(retries) == 1 and retries[0].job.job_id == job.job_id
+    assert retries[0].at_s > now, "backoff pushes the retry into the future"
+    (down_event,) = obs.tracer.by_type(ev.NODE_DOWN)
+    assert down_event["node"] == victim
+    assert down_event["jobs_rescued"] == 1
+    # Firing the retry re-dispatches to a survivor and logs the reroute.
+    redispatch = dispatcher.retry(job.job_id, retries[0].at_s, "node_down")
+    assert redispatch[0].kind == "dispatch"
+    assert redispatch[0].node != victim
+    (reroute,) = obs.tracer.by_type(ev.REROUTE)
+    assert reroute["cause"] == "node_down"
+    assert reroute["to_node"] == redispatch[0].node
+
+
+def test_retries_are_bounded_job_fails_after_max_attempts():
+    spec, dispatcher = _dispatcher(max_attempts=2)
+    _beat_all(dispatcher, HB)
+    job = spec.jobs()[0]
+    dispatcher.submit(job, HB)
+    record = dispatcher.ledger[job.job_id]
+    for a in record.attempts:
+        a.status = "rescued"
+    dispatcher.retry(job.job_id, 1.0, "node_down")          # attempt 2
+    for a in record.attempts:
+        a.status = "rescued"
+    assert dispatcher.retry(job.job_id, 2.0, "node_down") == []
+    assert record.failed
+    assert dispatcher.stats.failed == 1
+    # A late completion still wins: fail is only terminal until then.
+    dispatcher.on_complete(job.job_id, record.attempts[0].node, 1, 3.0)
+    assert record.completed and not record.failed
+
+
+def test_hedging_fires_once_per_attempt_and_respects_cap():
+    obs = ObsContext()
+    spec, dispatcher = _dispatcher(obs=obs, hedge_factor=1.5, max_attempts=2)
+    _beat_all(dispatcher, HB)
+    job = spec.jobs()[0]
+    (action,) = dispatcher.submit(job, HB)
+    horizon = dispatcher.ledger[job.job_id].attempts[0].expected_s - HB
+    late = HB + 2.0 * horizon  # past hedge_factor x expected age
+    _beat_all(dispatcher, late)
+    actions = dispatcher.tick(late)
+    dispatches = [a for a in actions if a.kind == "dispatch"]
+    assert len(dispatches) == 1, "hedge dispatched immediately"
+    assert dispatcher.stats.hedges == 1
+    hedges = [e for e in obs.tracer.by_type(ev.MITIGATION)
+              if e["kind"] == "hedged_dispatch"]
+    assert len(hedges) == 1 and hedges[0]["node"] == action.node
+    # max_attempts reached: no further hedges, ever.
+    much_later = late + 10 * horizon
+    _beat_all(dispatcher, much_later)
+    assert dispatcher.tick(much_later) == []
+    assert dispatcher.stats.hedges == 1
+
+
+def test_quorum_loss_degrades_to_round_robin_and_emits_once():
+    obs = ObsContext()
+    spec, dispatcher = _dispatcher(obs=obs, quorum=0.75)
+    # Only 2 of 4 nodes ever report telemetry: quorum (0.75) is unmet.
+    _beat_all(dispatcher, HB, nodes=[0, 1])
+    jobs = spec.jobs()
+    picked = []
+    for i, job in enumerate(jobs[:4]):
+        (action,) = dispatcher.submit(job, HB + 0.01 * i)
+        picked.append(action.node)
+    assert dispatcher.stats.degraded_dispatches == 4
+    assert picked == sorted(dispatcher.platforms), "round-robin over all nodes"
+    degraded = [e for e in obs.tracer.by_type(ev.MITIGATION)
+                if e["kind"] == "quorum_degraded"]
+    assert len(degraded) == 1, "transition logged once, not per dispatch"
+
+
+def test_circuit_breaker_state_machine():
+    breaker = _CircuitBreaker(threshold=2, cooldown_s=1.0)
+    assert breaker.available(0.0)
+    assert not breaker.on_failure(0.0), "one failure stays closed"
+    assert breaker.on_failure(0.1), "threshold opens the circuit"
+    assert not breaker.available(0.5), "cooling down"
+    assert breaker.available(1.2), "cooldown elapsed: half-open probe"
+    assert breaker.on_dispatch("probe-job", 1.2), "first dispatch is the probe"
+    assert not breaker.available(1.3), "one probe at a time"
+    assert breaker.on_success() == "probe-job"
+    assert breaker.state == "closed"
+    # Failure during half-open reopens with a fresh cooldown.
+    breaker.on_failure(2.0)
+    breaker.on_failure(2.0)
+    breaker.on_dispatch("p2", 3.1)
+    assert breaker.on_failure(3.2), "probe failure reopens"
+    assert not breaker.available(3.5)
+
+
+def test_telemetry_rejection_emits_mitigation():
+    obs = ObsContext()
+    spec, dispatcher = _dispatcher(obs=obs)
+    nominal = dispatcher.profiles.nominal_ips_per_watt(
+        dispatcher.platforms[0])
+    _beat(dispatcher, 0, HB, ipw=nominal * 100)
+    assert dispatcher.stats.telemetry_rejected == 1
+    rejected = [e for e in obs.tracer.by_type(ev.MITIGATION)
+                if e["kind"] == "telemetry_rejected"]
+    assert len(rejected) == 1 and rejected[0]["node"] == 0
+
+
+def test_recovered_node_emits_node_up():
+    obs = ObsContext()
+    spec, dispatcher = _dispatcher(obs=obs)
+    now = HB
+    while dispatcher.detector.state(0) != "down":
+        now += HB
+        _beat_all(dispatcher, now, nodes=[1, 2, 3])
+        dispatcher.tick(now)
+    _beat(dispatcher, 0, now + HB)
+    ups = obs.tracer.by_type(ev.NODE_UP)
+    recoveries = [e for e in ups if e.get("detail") != "boot"]
+    assert len(recoveries) == 1
+    assert recoveries[0]["node"] == 0
+    assert "down" in recoveries[0]["detail"]
+    assert dispatcher.detector.state(0) == "up"
+
+
+def test_spec_knobs_flow_through():
+    spec = FleetSpec(profile="analytic", circuit_threshold=7,
+                     circuit_cooldown_s=9.0)
+    dispatcher = Dispatcher(spec, analytic_profiles(spec),
+                            dict(enumerate(spec.nodes)))
+    breaker = dispatcher._breakers[0]
+    assert breaker.threshold == 7 and breaker.cooldown_s == 9.0
+    assert dataclasses.asdict(spec)["circuit_threshold"] == 7

@@ -1,0 +1,88 @@
+"""Chaos determinism: same seed + same fault schedule => byte-identical
+fleet trace, identical dispatcher decisions, identical job->node ledger
+and completion digests — regardless of profiling parallelism."""
+
+import json
+
+from repro.fleet import FLEET_SCENARIOS, FleetSpec, run_fleet
+from repro.obs import ObsContext
+
+
+def _spec(**overrides):
+    overrides.setdefault("profile", "analytic")
+    overrides.setdefault("n_requests", 16)
+    overrides.setdefault("arrival_rate_hz", 8.0)
+    return FleetSpec(**overrides)
+
+
+def _trace_bytes(spec):
+    obs = ObsContext()
+    result = run_fleet(spec, obs=obs)
+    payload = json.dumps(obs.tracer.events, sort_keys=True)
+    return result, payload.encode()
+
+
+def test_same_seed_same_faults_byte_identical_trace():
+    for scenario in FLEET_SCENARIOS:
+        first, trace_a = _trace_bytes(_spec(faults=scenario, seed=3))
+        second, trace_b = _trace_bytes(_spec(faults=scenario, seed=3))
+        assert trace_a == trace_b, f"{scenario}: trace bytes diverged"
+        assert first.digest() == second.digest()
+        assert first.to_dict() == second.to_dict()
+
+
+def test_ledger_and_decisions_are_reproducible():
+    a = run_fleet(_spec(faults="chaos", seed=5))
+    b = run_fleet(_spec(faults="chaos", seed=5))
+    assert a.ledger == b.ledger, "job->node ledger diverged"
+    assert a.stats == b.stats, "dispatcher decision counters diverged"
+    assert a.nodes == b.nodes
+
+
+def test_different_seed_changes_the_digest():
+    digests = {run_fleet(_spec(faults="kill30", seed=s)).digest()
+               for s in range(4)}
+    assert len(digests) == 4
+
+
+def test_fault_seed_isolates_fault_schedule_from_workload():
+    base = run_fleet(_spec(faults="kill30", seed=2))
+    same_jobs = run_fleet(_spec(faults="kill30", seed=2, fault_seed=9))
+    # Same workload, different fault timeline: digests must differ but
+    # the accepted job set is identical.
+    assert base.digest() != same_jobs.digest()
+    assert base.accepted == same_jobs.accepted
+    assert ([r["job"] for r in base.ledger]
+            == [r["job"] for r in same_jobs.ledger])
+
+
+def test_profiling_parallelism_cannot_change_decisions():
+    # jobs=1 vs jobs=4 only changes how the profile phase schedules the
+    # underlying simulator runs; the fleet trace must be unaffected.
+    spec = FleetSpec(profile="simulated", n_requests=8, n_epochs=2,
+                     arrival_rate_hz=8.0, faults="kill30", seed=1)
+    serial = run_fleet(spec, jobs=1)
+    parallel = run_fleet(spec, jobs=4)
+    assert serial.digest() == parallel.digest()
+    assert serial.ledger == parallel.ledger
+
+
+def test_exactly_once_holds_under_hedged_redispatch():
+    # A partition with an aggressive hedger: buffered completions are
+    # replayed at heal while the hedge has already re-dispatched, so
+    # duplicates arrive — but each job completes exactly once.
+    spec = _spec(faults="partition", hedge_factor=1.2, seed=0,
+                 n_requests=24, arrival_rate_hz=12.0)
+    result = run_fleet(spec)
+    assert result.duplicates >= 1, "scenario must actually provoke duplicates"
+    assert result.completed == result.accepted
+    completed_rows = [r for r in result.ledger if r["completed"]]
+    assert len(completed_rows) == result.accepted
+    for row in completed_rows:
+        winners = [a for a in row["attempts"] if a["status"] == "won"]
+        assert len(winners) == 1, f"{row['job']}: not exactly-once"
+    # Duplicate completions are charged as waste, never double-counted.
+    if result.duplicates:
+        assert result.wasted_energy_j > 0.0
+    rerun = run_fleet(spec)
+    assert rerun.digest() == result.digest(), "hedged run must be replayable"

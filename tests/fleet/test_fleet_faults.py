@@ -1,0 +1,84 @@
+"""Fleet fault scenarios: seeded, bounded, reproducible."""
+
+import pytest
+
+from repro.fleet import (
+    FLEET_SCENARIOS,
+    NetworkPartition,
+    NodeCrash,
+    NodeHang,
+    TelemetryFault,
+    fleet_scenario,
+    kill_count,
+)
+
+
+def test_kill_count_is_at_least_one_never_all():
+    assert kill_count(2) == 1
+    assert kill_count(3) == 1
+    assert kill_count(4) == 2
+    assert kill_count(10) == 3
+    assert kill_count(2, fraction=0.99) == 1  # never the whole fleet
+
+
+def test_scenarios_are_deterministic():
+    for name in FLEET_SCENARIOS:
+        assert (fleet_scenario(name, seed=5, n_nodes=4, duration_s=8.0)
+                == fleet_scenario(name, seed=5, n_nodes=4, duration_s=8.0))
+
+
+def test_seed_changes_victims():
+    plans = {fleet_scenario("kill30", seed=s, n_nodes=8, duration_s=8.0)
+             for s in range(6)}
+    victims = {p.crashes[0].node for p in plans}
+    assert len(victims) > 1, "victim choice must depend on the seed"
+
+
+def test_kill30_kills_thirty_percent_mid_run():
+    plan = fleet_scenario("kill30", seed=0, n_nodes=10, duration_s=10.0)
+    assert len(plan.crashes) == 3
+    for crash in plan.crashes:
+        assert 0.25 * 10.0 <= crash.time_s <= 0.50 * 10.0, "mid-run kills"
+    assert len(plan.crashed_nodes()) == 3, "distinct victims"
+
+
+def test_chaos_engages_every_fault_class():
+    plan = fleet_scenario("chaos", seed=1, n_nodes=4, duration_s=10.0)
+    assert plan.crashes and plan.hangs and plan.partitions and plan.telemetry
+    modes = {tf.mode for tf in plan.telemetry}
+    assert modes == {"stale", "corrupt"}
+    assert plan.active
+
+
+def test_partition_scenario_cuts_half_the_fleet():
+    plan = fleet_scenario("partition", seed=0, n_nodes=6, duration_s=10.0)
+    (part,) = plan.partitions
+    assert len(part.nodes) == 3
+    assert part.duration_s > 0
+
+
+def test_unknown_scenario_and_bad_sizes_raise():
+    with pytest.raises(ValueError):
+        fleet_scenario("meteor")
+    with pytest.raises(ValueError):
+        fleet_scenario("kill30", n_nodes=1)
+    with pytest.raises(ValueError):
+        fleet_scenario("kill30", duration_s=0.0)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: NodeCrash(time_s=-1.0, node=0),
+        lambda: NodeCrash(time_s=0.0, node=-1),
+        lambda: NodeHang(time_s=0.0, node=0, duration_s=0.0),
+        lambda: NetworkPartition(time_s=0.0, duration_s=1.0, nodes=()),
+        lambda: TelemetryFault(time_s=0.0, duration_s=1.0, node=0,
+                               mode="gossip"),
+        lambda: TelemetryFault(time_s=0.0, duration_s=1.0, node=0,
+                               factor=0.5),
+    ],
+)
+def test_fault_validation(factory):
+    with pytest.raises(ValueError):
+        factory()

@@ -1,0 +1,57 @@
+"""`repro report` over a fleet trace: the fleet section appears with a
+consistent failure/reroute ledger, and stays absent for non-fleet runs."""
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.obs import ObsContext, build_report, render_report
+from repro.obs.report import build_fleet_summary
+
+
+def _fleet_events(**overrides):
+    overrides.setdefault("profile", "analytic")
+    overrides.setdefault("n_requests", 24)
+    overrides.setdefault("arrival_rate_hz", 12.0)
+    obs = ObsContext()
+    result = run_fleet(FleetSpec(**overrides), obs=obs)
+    return result, obs.tracer.events
+
+
+def test_fleet_summary_counts_dispatch_and_completion():
+    result, events = _fleet_events()
+    fleet = build_fleet_summary(events)
+    assert fleet["jobs"] == result.accepted
+    assert fleet["completions"] == result.completed
+    assert fleet["duplicates"] == result.duplicates
+    assert fleet["dispatches"] >= fleet["jobs"]
+    assert sum(fleet["completions_by_node"].values()) == fleet["completions"]
+    assert fleet["mean_completion_latency_s"] > 0
+
+
+def test_fleet_ledger_is_internally_consistent_under_kill30():
+    result, events = _fleet_events(faults="kill30")
+    fleet = build_fleet_summary(events)
+    assert fleet["node_failures"], "kill30 must record node failures"
+    for failure in fleet["node_failures"]:
+        assert failure["cause"]
+        assert failure["t_s"] > 0
+    # Both sides of the rescue ledger agree: jobs rescued off dead
+    # nodes == reroutes attributed to node death.
+    assert (fleet["jobs_rescued_total"]
+            == fleet["reroutes_by_cause"].get("node_down", 0))
+    assert fleet["heartbeats_missed"] > 0
+    assert result.stats["nodes_down"] == len(fleet["node_failures"])
+
+
+def test_report_renders_fleet_section_for_fleet_traces():
+    _, events = _fleet_events(faults="kill30")
+    report = build_report(events)
+    assert report["fleet"]["dispatches"] > 0
+    text = render_report(report)
+    assert "Fleet (multi-node dispatch)" in text
+    assert "node" in text
+    assert "rescued" in text
+
+
+def test_report_omits_fleet_section_without_fleet_events():
+    report = build_report([])
+    assert report["fleet"]["dispatches"] == 0
+    assert "Fleet (multi-node dispatch)" not in render_report(report)

@@ -1,0 +1,95 @@
+"""FleetSpec: validation, derived structure, identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.fleet import FleetSpec
+from repro.runner import RunSpec
+
+
+def test_defaults_are_valid():
+    spec = FleetSpec()
+    assert len(spec.nodes) == 4
+    assert spec.policy == "energy"
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("nodes", ()),
+        ("n_requests", 0),
+        ("workloads", ()),
+        ("distinct_jobs", 0),
+        ("arrival_rate_hz", 0.0),
+        ("policy", "psychic"),
+        ("profile", "oracle"),
+        ("heartbeat_s", 0.0),
+        ("suspect_after", 0),
+        ("dead_after", 1),
+        ("quorum", 1.5),
+        ("max_attempts", 0),
+        ("hedge_factor", 1.0),
+        ("circuit_threshold", 0),
+        ("telemetry_bound", 1.0),
+        ("staleness_discount", 0.0),
+    ],
+)
+def test_validation_rejects_bad_fields(field, value):
+    with pytest.raises(ValueError):
+        dataclasses.replace(FleetSpec(), **{field: value})
+
+
+def test_jobs_are_deterministic_and_ordered():
+    a = FleetSpec(seed=3).jobs()
+    b = FleetSpec(seed=3).jobs()
+    assert a == b
+    assert [j.job_id for j in a] == [f"r{i:04d}" for i in range(len(a))]
+    arrivals = [j.arrival_s for j in a]
+    assert arrivals == sorted(arrivals)
+    assert all(t > 0 for t in arrivals)
+
+
+def test_seed_changes_arrivals_and_identities():
+    a = FleetSpec(seed=0).jobs()
+    b = FleetSpec(seed=1).jobs()
+    assert [j.arrival_s for j in a] != [j.arrival_s for j in b]
+    assert [j.seed for j in a] != [j.seed for j in b]
+
+
+def test_slots_cycle_through_the_pool():
+    spec = FleetSpec(n_requests=10, distinct_jobs=4)
+    jobs = spec.jobs()
+    assert [j.slot for j in jobs] == [i % 4 for i in range(10)]
+    # Same slot -> same identity (workload and seed).
+    assert jobs[0].workload == jobs[4].workload
+    assert jobs[0].seed == jobs[4].seed
+    assert jobs[0].seed != jobs[1].seed
+
+
+def test_profile_specs_cover_every_slot_platform_pair():
+    spec = FleetSpec(nodes=("quad", "biglittle", "quad"), distinct_jobs=3)
+    specs = spec.profile_specs()
+    assert len(specs) == 2 * 3  # 2 distinct platforms x 3 slots
+    assert all(isinstance(s, RunSpec) for s in specs)
+    assert {s.platform for s in specs} == {"quad", "biglittle"}
+
+
+def test_runspec_inherits_fleet_sizing():
+    spec = FleetSpec(threads=6, n_epochs=9, balancer="vanilla")
+    job = spec.jobs()[0]
+    run = job.runspec("quad", spec)
+    assert (run.threads, run.n_epochs, run.balancer) == (6, 9, "vanilla")
+    assert run.workload == job.workload
+    assert run.seed == job.seed
+
+
+def test_fleet_key_is_stable_and_sensitive():
+    assert FleetSpec().fleet_key() == FleetSpec().fleet_key()
+    assert FleetSpec().fleet_key() != FleetSpec(seed=1).fleet_key()
+    assert FleetSpec().fleet_key() != FleetSpec(policy="round_robin").fleet_key()
+
+
+def test_label_mentions_faults_only_when_present():
+    assert "faults=" not in FleetSpec().label()
+    assert "faults=kill30" in FleetSpec(faults="kill30").label()

@@ -1,0 +1,168 @@
+"""Failure detection, telemetry defence and routing policies."""
+
+from repro.fleet import (
+    DOWN,
+    SUSPECT,
+    UP,
+    FailureDetector,
+    FleetSpec,
+    NodeTelemetry,
+    RouteContext,
+    Router,
+    TelemetryStore,
+    analytic_profiles,
+)
+
+HB = 0.25
+
+
+def _detector():
+    return FailureDetector([0, 1, 2], heartbeat_s=HB, suspect_after=2,
+                           dead_after=4)
+
+
+def test_silence_escalates_up_suspect_down():
+    det = _detector()
+    det.heartbeat(0, HB)
+    det.heartbeat(1, HB)
+    det.heartbeat(2, HB)
+    # Node 2 goes silent; the others keep beating.
+    for k in range(2, 8):
+        now = k * HB
+        det.heartbeat(0, now)
+        det.heartbeat(1, now)
+        det.check(now)
+    assert det.state(0) == UP and det.state(1) == UP
+    assert det.state(2) == DOWN
+    assert det.alive() == [0, 1]
+    assert det.not_down() == [0, 1]
+
+
+def test_each_missed_interval_reported_once():
+    det = _detector()
+    transitions = []
+    for k in range(1, 6):
+        transitions.extend(det.check(k * HB))
+    misses = [m for node, m, _ in transitions if node == 0]
+    assert misses == sorted(set(misses)), "no interval double-counted"
+    states = [s for node, _, s in transitions if node == 0]
+    assert SUSPECT in states and DOWN in states
+
+
+def test_heartbeat_recovers_suspect_and_down():
+    det = _detector()
+    for k in range(1, 6):
+        det.check(k * HB)
+    assert det.state(0) == DOWN
+    previous = det.heartbeat(0, 6 * HB)
+    assert previous == DOWN
+    assert det.state(0) == UP
+    assert det.heartbeat(0, 7 * HB) is None, "steady-state beat is quiet"
+
+
+def _store():
+    return TelemetryStore({0: 1e9, 1: 2e9}, heartbeat_s=HB, bound=5.0,
+                          discount=0.5)
+
+
+def _sample(node=0, t=1.0, ipw=1e9, depth=0):
+    return NodeTelemetry(node=node, t_s=t, ips_per_watt=ipw,
+                         queue_depth=depth, busy=depth > 0)
+
+
+def test_out_of_bounds_telemetry_rejected_last_good_kept():
+    store = _store()
+    assert store.ingest(_sample(ipw=1e9))
+    assert not store.ingest(_sample(t=1.25, ipw=1e9 * 50))  # > nominal*bound
+    assert not store.ingest(_sample(t=1.5, ipw=1e9 / 50))   # < nominal/bound
+    assert not store.ingest(_sample(t=1.75, depth=-1))
+    assert store.rejected(0) == 3
+    assert store.last_good(0).t_s == 1.0, "last good sample survives"
+
+
+def test_staleness_discounting_decays_per_interval():
+    store = _store()
+    store.ingest(_sample(t=1.0, ipw=1e9))
+    assert store.discounted_ips_per_watt(0, 1.0) == 1e9
+    # One interval of grace, then halves per interval (discount 0.5).
+    assert store.discounted_ips_per_watt(0, 1.0 + HB) == 1e9
+    assert store.discounted_ips_per_watt(0, 1.0 + 2 * HB) == 0.5e9
+    assert store.discounted_ips_per_watt(0, 1.0 + 3 * HB) == 0.25e9
+    assert store.discounted_ips_per_watt(1, 1.0) is None, "never reported"
+
+
+def test_freshness_census_feeds_quorum():
+    store = _store()
+    store.ingest(_sample(node=0, t=1.0))
+    store.ingest(_sample(node=1, t=1.0, ipw=2e9))
+    assert store.fresh_fraction([0, 1], 1.0) == 1.0
+    assert store.fresh_fraction([0, 1], 1.0 + 3 * HB) == 0.0
+    store.ingest(_sample(node=0, t=2.0))
+    assert store.fresh_fraction([0, 1], 2.0) == 0.5
+    assert store.fresh_fraction([], 2.0) == 0.0
+
+
+def _context(spec, backlog=None):
+    profiles = analytic_profiles(spec)
+    telemetry = TelemetryStore(
+        {n: profiles.nominal_ips_per_watt(p)
+         for n, p in enumerate(spec.nodes)},
+        spec.heartbeat_s, spec.telemetry_bound, spec.staleness_discount,
+    )
+    return RouteContext(
+        spec=spec,
+        profiles=profiles,
+        telemetry=telemetry,
+        platforms=dict(enumerate(spec.nodes)),
+        backlog=backlog if backlog is not None else {},
+        now=1.0,
+    )
+
+
+def test_energy_policy_picks_best_profiled_node_when_idle():
+    spec = FleetSpec(profile="analytic")
+    ctx = _context(spec)
+    job = spec.jobs()[0]
+    router = Router("energy")
+    chosen = router.select(job, sorted(ctx.platforms), ctx, degraded=False)
+    best = max(
+        sorted(ctx.platforms),
+        key=lambda n: ctx.profiles.get(job.slot, ctx.platforms[n]).ips_per_watt,
+    )
+    assert chosen == best
+
+
+def test_energy_policy_penalises_backlog():
+    spec = FleetSpec(profile="analytic")
+    job = spec.jobs()[0]
+    ctx = _context(spec)
+    router = Router("energy")
+    favourite = router.select(job, sorted(ctx.platforms), ctx, degraded=False)
+    # Pile work on the favourite until the router routes around it.
+    loaded = _context(spec, backlog={favourite: 50})
+    rerouted = Router("energy").select(job, sorted(ctx.platforms), loaded,
+                                       degraded=False)
+    assert rerouted != favourite
+
+
+def test_round_robin_cycles_and_degradation_forces_it():
+    spec = FleetSpec(profile="analytic")
+    ctx = _context(spec)
+    job = spec.jobs()[0]
+    rr = Router("round_robin")
+    picks = [rr.select(job, [0, 1, 2, 3], ctx, degraded=False)
+             for _ in range(8)]
+    assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+    # An energy router in degraded mode behaves identically.
+    energy = Router("energy")
+    degraded = [energy.select(job, [0, 1, 2, 3], ctx, degraded=True)
+                for _ in range(4)]
+    assert degraded == [0, 1, 2, 3]
+
+
+def test_least_loaded_prefers_shortest_queue():
+    spec = FleetSpec(profile="analytic", policy="least_loaded")
+    ctx = _context(spec, backlog={0: 3, 1: 1, 2: 2, 3: 1})
+    job = spec.jobs()[0]
+    assert Router("least_loaded").select(job, [0, 1, 2, 3], ctx,
+                                         degraded=False) == 1

@@ -1,0 +1,118 @@
+"""End-to-end fleet simulation: every scenario completes, the ledger is
+consistent, and emitted traces validate against the event schema."""
+
+import pytest
+
+from repro.fleet import FLEET_SCENARIOS, FleetSpec, run_fleet
+from repro.obs import ObsContext
+from repro.obs import events as ev
+from repro.obs.events import validate_events
+
+
+def _spec(**overrides):
+    overrides.setdefault("profile", "analytic")
+    overrides.setdefault("n_requests", 12)
+    return FleetSpec(**overrides)
+
+
+def test_clean_run_completes_everything():
+    result = run_fleet(_spec())
+    assert result.accepted == 12
+    assert result.completed == 12
+    assert result.failed == 0
+    assert result.completion_rate == 1.0
+    assert result.makespan_s > 0
+    assert result.throughput_rps > 0
+    assert result.useful_instructions > 0
+    assert result.total_energy_j > 0
+    assert result.injections["total"] == 0
+
+
+@pytest.mark.parametrize("scenario", FLEET_SCENARIOS)
+def test_every_fault_scenario_still_completes_all_jobs(scenario):
+    result = run_fleet(_spec(faults=scenario, n_requests=16,
+                             arrival_rate_hz=8.0))
+    assert result.accepted == 16
+    assert result.completed == 16, f"{scenario}: jobs lost"
+    assert result.failed == 0
+    assert result.injections["total"] > 0, (
+        f"{scenario}: no faults actually injected")
+
+
+def test_kill30_rescues_jobs_and_ledger_is_consistent():
+    obs = ObsContext()
+    result = run_fleet(_spec(faults="kill30", n_requests=24,
+                             arrival_rate_hz=12.0), obs=obs)
+    assert result.completed == result.accepted
+    assert result.stats["nodes_down"] >= 1
+    events = obs.tracer.events
+    down_events = [e for e in events if e["type"] == ev.NODE_DOWN]
+    rescued = sum(e["jobs_rescued"] for e in down_events)
+    reroutes = [e for e in events if e["type"] == ev.REROUTE
+                and e["cause"] == "node_down"]
+    assert rescued == len(reroutes), "every rescued job was rerouted"
+    assert result.stats["reroutes"] >= len(reroutes)
+    # Per-node ledger totals reconcile with the fleet totals.
+    assert sum(n["jobs_completed"] for n in result.nodes) >= result.completed
+    assert result.ledger, "job ledger present"
+    assert all(entry["completed_by"] >= 0 for entry in result.ledger)
+
+
+def test_traces_validate_for_clean_and_chaos_runs():
+    for faults in (None, "chaos"):
+        obs = ObsContext()
+        run_fleet(_spec(faults=faults), obs=obs)
+        events = obs.tracer.events
+        assert events
+        assert validate_events(events) == []
+        kinds = {e["type"] for e in events}
+        assert ev.FLEET_DISPATCH in kinds
+        assert ev.FLEET_COMPLETE in kinds
+        assert ev.NODE_UP in kinds
+
+
+def test_chaos_exercises_the_defence_stack():
+    obs = ObsContext()
+    # Seed 5 is pinned because its chaos timeline puts jobs in flight on
+    # the crashed node and trips the hedger — every defence engages.
+    result = run_fleet(_spec(faults="chaos", n_requests=24,
+                             arrival_rate_hz=12.0, seed=5), obs=obs)
+    assert result.completed == result.accepted
+    stats = result.stats
+    assert stats["heartbeats_missed"] > 0
+    assert stats["nodes_down"] >= 1
+    assert stats["reroutes"] >= 1
+    assert stats["hedges"] >= 1
+    assert stats["stale_fallbacks"] >= 1
+    assert stats["telemetry_rejected"] >= 1
+    assert stats["degraded_dispatches"] >= 1
+    mitigations = {e["kind"] for e in obs.tracer.by_type(ev.MITIGATION)}
+    assert {"stale_fallback", "telemetry_rejected",
+            "quorum_degraded"} <= mitigations
+
+
+def test_wasted_energy_only_under_duplicates():
+    clean = run_fleet(_spec())
+    assert clean.duplicates == 0
+    assert clean.wasted_energy_j == pytest.approx(0.0, abs=1e-9)
+    # An aggressive hedger under partition produces duplicate completions.
+    dup = run_fleet(_spec(faults="partition", n_requests=16,
+                          arrival_rate_hz=8.0, hedge_factor=1.2))
+    if dup.duplicates:
+        assert dup.wasted_energy_j > 0.0
+
+
+def test_round_robin_policy_completes_but_spends_more_energy():
+    energy = run_fleet(_spec(n_requests=24, arrival_rate_hz=12.0))
+    rr = run_fleet(_spec(n_requests=24, arrival_rate_hz=12.0,
+                         policy="round_robin"))
+    assert energy.completed == rr.completed == 24
+    assert energy.ips_per_watt >= rr.ips_per_watt, (
+        "energy-aware placement should not be worse than round-robin")
+
+
+def test_latency_percentiles_are_ordered():
+    result = run_fleet(_spec(n_requests=24, arrival_rate_hz=12.0))
+    assert 0.0 <= result.dispatch_latency_p50_s <= result.dispatch_latency_p99_s
+    assert (0.0 < result.completion_latency_p50_s
+            <= result.completion_latency_p99_s)

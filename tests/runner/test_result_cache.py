@@ -78,6 +78,31 @@ def test_truncated_entry_is_logged_evicted_and_recomputed(tmp_path, caplog):
     assert metrics_digest(hit) == metrics_digest(recomputed)
 
 
+def test_zero_byte_entry_is_evicted_with_reason(tmp_path, caplog):
+    """Satellite regression: a zero-byte entry (write interrupted
+    before any byte landed) must be evicted with an explicit zero-byte
+    reason in the WARNING, then transparently recomputed."""
+    cache = ResultCache(tmp_path)
+    cache.put(TINY, execute_spec(TINY))
+    (path,) = list(tmp_path.glob("*.json"))
+    path.write_bytes(b"")
+
+    with caplog.at_level("WARNING", logger="repro.runner.cache"):
+        assert cache.get(TINY) is None
+
+    assert not path.exists(), "zero-byte entry should be unlinked"
+    warnings = [record.getMessage() for record in caplog.records
+                if record.name == "repro.runner.cache"]
+    assert warnings, "zero-byte eviction must be logged"
+    assert str(path) in warnings[0], "log must name the corrupted path"
+    assert "zero-byte" in warnings[0], "log must state the zero-byte reason"
+    # The next run recomputes and re-populates the entry.
+    recomputed = run_spec(TINY, cache=cache)
+    hit = ResultCache(tmp_path).get(TINY)
+    assert hit is not None
+    assert metrics_digest(hit) == metrics_digest(recomputed)
+
+
 def test_entry_records_spec_and_key(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(TINY, execute_spec(TINY))

@@ -1,0 +1,219 @@
+"""Satellite: client-side timeouts and bounded retry-with-backoff.
+
+Exercises the transport hardening of :class:`repro.service.Client`
+against stub sockets — no real job service involved:
+
+* a listener that accepts the TCP connection but never responds must
+  trip the *read* timeout (not hang until the connect timeout);
+* 429 responses are retried on the deterministic backoff schedule,
+  honouring a longer server ``Retry-After``;
+* retries are bounded — the final failure surfaces.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runner.engine import retry_delays
+from repro.service.client import Client, ServiceError
+
+
+class SilentServer:
+    """Accepts connections, reads the request, never answers."""
+
+    def __init__(self):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.connections = 0
+        self._accepted = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            self._accepted.append(conn)  # keep open, stay silent
+
+    def close(self):
+        self.sock.close()
+        for conn in self._accepted:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class ScriptedServer:
+    """Serves one canned raw HTTP response per connection, in order."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.connections = 0
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for response in self.responses:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                conn.settimeout(5.0)
+                # Drain the request head; the client sends no body on GET.
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                conn.sendall(response)
+            finally:
+                conn.close()
+
+    def close(self):
+        self.sock.close()
+
+
+def _http(status, body=b"{}", headers=()):
+    reason = {200: "OK", 429: "Too Many Requests"}.get(status, "X")
+    head = [f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    head.extend(headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _client(port, **kwargs):
+    client = Client(host="127.0.0.1", port=port, **kwargs)
+    client._sleep = lambda _s: None  # tests never really sleep
+    return client
+
+
+def test_silent_server_trips_read_timeout_not_connect_timeout():
+    server = SilentServer()
+    try:
+        client = _client(server.port, connect_timeout_s=30.0,
+                         read_timeout_s=0.2, retries=0)
+        start = time.monotonic()
+        with pytest.raises(OSError):
+            client.health()
+        elapsed = time.monotonic() - start
+        # Must fail on the 0.2 s read timeout, nowhere near the 30 s
+        # connect timeout the old single-knob client would have used.
+        assert elapsed < 5.0
+        assert server.connections == 1
+    finally:
+        server.close()
+
+
+def test_read_timeout_is_retried_with_backoff():
+    server = SilentServer()
+    try:
+        sleeps = []
+        client = Client(host="127.0.0.1", port=server.port,
+                        connect_timeout_s=30.0, read_timeout_s=0.1,
+                        retries=2, retry_base_s=0.05)
+        client._sleep = sleeps.append
+        with pytest.raises(OSError):
+            client.health()
+        # One initial attempt + two retries, each preceded by the
+        # deterministic backoff schedule.
+        assert server.connections == 3
+        assert sleeps == retry_delays(2, 0.05)
+    finally:
+        server.close()
+
+
+def test_429_is_retried_honouring_retry_after():
+    ok = _http(200, b'{"status": "ok"}')
+    busy = _http(429, b'{"error": "queue full"}', ["Retry-After: 3.5"])
+    server = ScriptedServer([busy, ok])
+    try:
+        sleeps = []
+        client = Client(host="127.0.0.1", port=server.port,
+                        retries=2, retry_base_s=0.1)
+        client._sleep = sleeps.append
+        assert client.health() == {"status": "ok"}
+        assert server.connections == 2
+        # Retry-After (3.5 s) is longer than the backoff step (0.1 s),
+        # so the server's figure wins.
+        assert sleeps == [3.5]
+    finally:
+        server.close()
+
+
+def test_429_backoff_floor_when_retry_after_is_short():
+    ok = _http(200, b'{"status": "ok"}')
+    busy = _http(429, b'{"error": "queue full"}', ["Retry-After: 0.001"])
+    server = ScriptedServer([busy, ok])
+    try:
+        sleeps = []
+        client = Client(host="127.0.0.1", port=server.port,
+                        retries=1, retry_base_s=0.2)
+        client._sleep = sleeps.append
+        assert client.health() == {"status": "ok"}
+        assert sleeps == [0.2], "backoff schedule is the floor"
+    finally:
+        server.close()
+
+
+def test_persistent_429_exhausts_retries():
+    busy = _http(429, b'{"error": "queue full"}', ["Retry-After: 0.01"])
+    server = ScriptedServer([busy, busy, busy])
+    try:
+        client = _client(server.port, retries=2, retry_base_s=0.01)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s == 0.01
+        assert server.connections == 3, "bounded: initial + 2 retries"
+    finally:
+        server.close()
+
+
+def test_non_429_http_errors_are_not_retried():
+    missing = _http(404, b'{"error": "no such job"}')
+    server = ScriptedServer([missing, missing])
+    try:
+        client = _client(server.port, retries=3, retry_base_s=0.01)
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("nope")
+        assert excinfo.value.status == 404
+        assert server.connections == 1, "the server answered; no retry"
+    finally:
+        server.close()
+
+
+def test_connection_refused_is_retried_then_raises():
+    # Bind + close to get a port that refuses connections.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    sleeps = []
+    client = Client(host="127.0.0.1", port=port, retries=2,
+                    retry_base_s=0.01, connect_timeout_s=1.0)
+    client._sleep = sleeps.append
+    with pytest.raises(OSError):
+        client.health()
+    assert sleeps == retry_delays(2, 0.01)
+
+
+def test_retries_validation():
+    with pytest.raises(ValueError):
+        Client(retries=-1)

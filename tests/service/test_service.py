@@ -138,7 +138,10 @@ class TestBackpressure:
         overflow = RunSpec(workload="MTMI", threads=2, balancer="vanilla",
                            n_epochs=2, seed=12)
         with boot(queue_depth=1) as handle:
-            client = Client(port=handle.port)
+            # retries=0: this pin counts server-side rejections, so the
+            # client must not re-knock on 429 (tests/service/
+            # test_client_retry.py covers the retry path).
+            client = Client(port=handle.port, retries=0)
             (blocker,) = client.submit(LONG)
             wait_for(client,
                      lambda c: c.status(blocker["id"])["status"] == "running")

@@ -153,3 +153,53 @@ class TestObservability:
     def test_report_missing_file_exits(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot read trace"):
             main(["report", str(tmp_path / "absent.jsonl")])
+
+
+class TestFleet:
+    FLEET_ARGS = [
+        "fleet", "--nodes", "3", "--requests", "8", "--arrival-rate", "6",
+        "--profile", "analytic",
+    ]
+
+    def test_fleet_prints_summary_with_per_node_lines(self, capsys):
+        assert main(self.FLEET_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "8/8 completed" in out
+        assert out.count("node ") == 3
+
+    def test_fleet_json_is_pure_json(self, capsys):
+        assert main(self.FLEET_ARGS + ["--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["accepted"] == document["completed"] == 8
+        assert document["failed"] == 0
+        assert "ledger" in document and "stats" in document
+
+    def test_fleet_kill30_reports_ridden_out_faults(self, capsys):
+        assert main(self.FLEET_ARGS + ["--fleet-faults", "kill30",
+                                       "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 completed" in out
+        assert "faults ridden out" in out
+        assert "crashed" in out
+
+    def test_fleet_trace_feeds_report(self, tmp_path, capsys):
+        trace = tmp_path / "fleet.jsonl"
+        assert main(self.FLEET_ARGS + ["--fleet-faults", "kill30",
+                                       "--seed", "7",
+                                       "--trace-out", str(trace)]) == 0
+        events = read_jsonl(str(trace))
+        assert validate_events(events) == []
+        capsys.readouterr()
+        assert main(["report", str(trace), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet (multi-node dispatch)" in out
+
+    def test_fleet_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit, match="unknown fleet fault scenario"):
+            main(self.FLEET_ARGS + ["--fleet-faults", "meteor"])
+
+    def test_fleet_explicit_platform_list(self, capsys):
+        assert main(["fleet", "--node-platforms", "quad,quad",
+                     "--requests", "4", "--profile", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "node 0 (quad" in out and "node 1 (quad" in out
