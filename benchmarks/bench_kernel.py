@@ -1,0 +1,147 @@
+"""Kernel-core benchmark: SoA vs reference epoch throughput.
+
+The structure-of-arrays engine exists for one reason — simulating
+hundreds-to-thousands of cores at interactive speed — so this file
+measures exactly that: epochs simulated per wall-second, same spec,
+both kernels, at every Table-2-style scale from 16 to 1024 cores.
+
+Methodology
+-----------
+* ``balancer="none"`` for the headline rows: the balancer and the
+  sensing RNG are shared scalar code outside the kernel core, so the
+  null balancer isolates what the refactor actually changed.  The
+  smartbalance rows are recorded for context (end-to-end gains are
+  bounded by the shared sensing cost; no floor is enforced there).
+* Construction (workload instantiation, engine layout) is excluded:
+  the timer brackets ``System.run`` only.
+* Every timed pair doubles as a differential check — the two runs
+  must produce identical :func:`metrics_digest` fingerprints.
+
+The acceptance gate: **>= 10x epoch throughput at 128 cores and
+above** on the headline rows.  Results land in the committed
+``benchmarks/BENCH_kernel.json`` (benchmarks/out is git-ignored), so
+kernel-perf regressions show up as diffs in review:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernel.py -q
+
+``--quick`` drops to two scales and two epochs for CI; quick results
+go to benchmarks/out/ so the committed scorecard only ever holds
+full-fidelity numbers.
+"""
+
+import json
+import os
+import time
+
+from repro.kernel.simulator import SimulationConfig, System
+from repro.runner.factories import make_balancer, make_platform, make_workload
+from repro.runner.serialize import metrics_digest
+
+#: The committed scorecard (benchmarks/out is git-ignored; this is not).
+SCORECARD = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_kernel.json"
+)
+
+FULL_CORES = (16, 64, 128, 256, 512, 1024)
+QUICK_CORES = (16, 128)
+#: Scales that also get an end-to-end smartbalance context row.
+CONTEXT_CORES = (128, 256)
+
+SPEEDUP_FLOOR = 10.0
+FLOOR_FROM_CORES = 128
+
+WORKLOAD = "MTMI"
+THREADS_PER_CORE = 2
+
+#: The named presets double as the spec under test for the big scales.
+PRESETS = {256: "hmp256", 512: "hmp512", 1024: "hmp1024"}
+
+
+def platform_spec(n_cores: int) -> str:
+    return PRESETS.get(n_cores, f"hmp:{n_cores}")
+
+
+def timed_run(kernel, n_cores, balancer, n_epochs):
+    """(epochs/second, digest) for one run; construction excluded."""
+    system = System(
+        make_platform(platform_spec(n_cores)),
+        make_workload(WORKLOAD, THREADS_PER_CORE * n_cores, seed=0),
+        make_balancer(balancer),
+        SimulationConfig(seed=0, kernel=kernel),
+    )
+    start = time.perf_counter()
+    result = system.run(n_epochs=n_epochs)
+    elapsed = time.perf_counter() - start
+    return n_epochs / elapsed, metrics_digest(result)
+
+
+def measure_row(n_cores, balancer, n_epochs):
+    soa_tps, soa_digest = timed_run("soa", n_cores, balancer, n_epochs)
+    ref_tps, ref_digest = timed_run("reference", n_cores, balancer, n_epochs)
+    assert soa_digest == ref_digest, (
+        f"kernel divergence at {n_cores} cores ({balancer}): "
+        f"reference={ref_digest} soa={soa_digest}"
+    )
+    return {
+        "cores": n_cores,
+        "threads": THREADS_PER_CORE * n_cores,
+        "balancer": balancer,
+        "soa_epochs_per_s": round(soa_tps, 3),
+        "reference_epochs_per_s": round(ref_tps, 3),
+        "speedup": round(soa_tps / ref_tps, 2),
+        "digest": soa_digest,
+    }
+
+
+def bench_kernel_epoch_throughput(benchmark, quick, artifact_dir):
+    core_counts = QUICK_CORES if quick else FULL_CORES
+    # Epoch count is NOT reduced in quick mode: with too few epochs the
+    # one-time costs (group registration, first sensing) dominate and
+    # the measured speedup undershoots the steady state being gated.
+    n_epochs = 5
+
+    def measure():
+        rows = [measure_row(n, "none", n_epochs) for n in core_counts]
+        if not quick:
+            rows += [
+                measure_row(n, "smartbalance", n_epochs)
+                for n in CONTEXT_CORES
+            ]
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # The acceptance gate: >= 10x on every headline row at scale.
+    for row in rows:
+        if row["balancer"] == "none" and row["cores"] >= FLOOR_FROM_CORES:
+            assert row["speedup"] >= SPEEDUP_FLOOR, (
+                f"SoA kernel below the {SPEEDUP_FLOOR}x floor at "
+                f"{row['cores']} cores: {row['speedup']}x"
+            )
+        benchmark.extra_info[
+            f"speedup_{row['balancer']}_{row['cores']}c"
+        ] = row["speedup"]
+
+    scorecard = {
+        "workload": WORKLOAD,
+        "threads_per_core": THREADS_PER_CORE,
+        "n_epochs": n_epochs,
+        "seed": 0,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "floor_from_cores": FLOOR_FROM_CORES,
+        "methodology": (
+            "epochs per wall-second of System.run, construction "
+            "excluded; headline rows use balancer=none to isolate the "
+            "kernel core, smartbalance rows are end-to-end context"
+        ),
+        "rows": rows,
+    }
+    # Quick (CI) runs never overwrite the committed full-fidelity file.
+    target = (
+        os.path.join(artifact_dir, "BENCH_kernel.quick.json")
+        if quick
+        else SCORECARD
+    )
+    with open(target, "w") as handle:
+        json.dump(scorecard, handle, indent=2, sort_keys=True)
+        handle.write("\n")

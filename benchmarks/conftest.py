@@ -1,4 +1,5 @@
-"""Shared benchmark fixtures: artifact output directory."""
+"""Shared benchmark fixtures: artifact directory, environment knobs
+(``REPRO_JOBS`` / ``REPRO_CACHE_DIR``) and the ``--quick`` CI tier."""
 
 import os
 import sys
@@ -12,6 +13,24 @@ if _SRC not in sys.path:
 
 #: Where regenerated tables/figures are written.
 ARTIFACT_DIR = os.path.join(_ROOT, "benchmarks", "out")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "CI tier: benchmarks drop to their smallest scales and "
+            "single rounds, trading resolution for wall-clock"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when running the ``--quick`` CI tier."""
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +50,22 @@ def runner_jobs() -> int:
     from repro.runner import resolve_jobs
 
     return resolve_jobs()
+
+
+@pytest.fixture(scope="session")
+def result_cache():
+    """The on-disk result cache, honouring ``REPRO_CACHE_DIR``.
+
+    Same resolution as the sweep engine's default: benchmarks that
+    pre-warm or inspect cached runs share one location with the
+    runner, so ``REPRO_CACHE_DIR=/tmp/cache pytest benchmarks/``
+    redirects every component at once.
+    """
+    from repro.runner import ResultCache
+
+    cache = ResultCache()
+    os.makedirs(cache.root, exist_ok=True)
+    return cache
 
 
 @pytest.fixture

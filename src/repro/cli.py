@@ -127,17 +127,26 @@ def cmd_run(args) -> int:
     obs = ObsContext() if args.trace_out else None
     system = System(
         platform, workload, balancer,
-        SimulationConfig(seed=args.seed, faults=plan),
+        SimulationConfig(seed=args.seed, faults=plan, kernel=args.kernel),
         obs=obs,
     )
     result = system.run(n_epochs=args.epochs)
-    user_output(
-        f"{result.balancer_name} on {result.platform_name}: "
-        f"{result.ips_per_watt:.4e} instructions/J, "
-        f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
-        f"{result.migrations} migrations"
-    )
-    print_resilience(result)
+    if args.json:
+        # Machine mode: the deterministic metrics document is the whole
+        # of stdout (wall-clock timings excluded), so two runs of the
+        # same spec — e.g. --kernel soa vs --kernel reference — compare
+        # byte-for-byte.
+        from repro.runner.serialize import metrics_dict
+
+        user_output(json.dumps(metrics_dict(result), indent=2, sort_keys=True))
+    else:
+        user_output(
+            f"{result.balancer_name} on {result.platform_name}: "
+            f"{result.ips_per_watt:.4e} instructions/J, "
+            f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
+            f"{result.migrations} migrations"
+        )
+        print_resilience(result)
     if result.degenerate_epochs:
         _log.warning("%d degenerate epoch(s) (zero energy) in this run",
                      result.degenerate_epochs)
@@ -574,6 +583,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--adapt", action=argparse.BooleanOptionalAction, default=False,
         help="online model maintenance: drift-triggered RLS re-fits "
         "with registry rollback (smartbalance only; default off)",
+    )
+    run.add_argument(
+        "--kernel", choices=("soa", "reference"), default="soa",
+        help="kernel engine: vectorised structure-of-arrays core (soa, "
+        "default) or the object-per-task reference path; both are "
+        "digest-identical (see docs/kernel.md)",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic metrics document (JSON, "
+        "wall-clock timings excluded) instead of the summary line",
     )
 
     compare = sub.add_parser("compare", help="run several balancers on one workload")

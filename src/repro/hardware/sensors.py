@@ -102,21 +102,39 @@ class SensingInterface:
         tid) used to key per-channel fault state; it defaults to the
         block's own identity.
         """
-        noisy = block.snapshot()
-        for name in (
-            "cy_busy",
-            "cy_idle",
-            "cy_sleep",
-            "instructions",
-            "mem_instructions",
-            "branch_instructions",
-            "branch_mispredicts",
-            "l1i_misses",
-            "l1d_misses",
-            "itlb_misses",
-            "dtlb_misses",
-        ):
-            setattr(noisy, name, self.counter_noise.apply(getattr(block, name), self._rng))
+        noise = self.counter_noise
+        sigma = noise.sigma
+        if sigma == 0.0:
+            noisy = block.snapshot()
+        else:
+            # Inline NoiseModel.apply over the eleven hardware counters
+            # (field order matters: it is the RNG draw order, and runs
+            # with thousands of blocks per sensing window).  A zero
+            # count consumes no draw, as apply() specifies.
+            rng_gauss = self._rng.gauss
+            lo = 1.0 - noise.clip
+            hi = 1.0 + noise.clip
+
+            def rd(value: float) -> float:
+                if value == 0.0:
+                    return value
+                factor = min(max(rng_gauss(1.0, sigma), lo), hi)
+                return value * factor
+
+            noisy = CounterBlock(
+                cy_busy=rd(block.cy_busy),
+                cy_idle=rd(block.cy_idle),
+                cy_sleep=rd(block.cy_sleep),
+                instructions=rd(block.instructions),
+                mem_instructions=rd(block.mem_instructions),
+                branch_instructions=rd(block.branch_instructions),
+                branch_mispredicts=rd(block.branch_mispredicts),
+                l1i_misses=rd(block.l1i_misses),
+                l1d_misses=rd(block.l1d_misses),
+                itlb_misses=rd(block.itlb_misses),
+                dtlb_misses=rd(block.dtlb_misses),
+                busy_time_s=block.busy_time_s,
+            )
         true_cycles = block.cy_busy + block.cy_idle + block.cy_sleep
         noisy_cycles = noisy.cy_busy + noisy.cy_idle + noisy.cy_sleep
         if true_cycles > 0 and noisy_cycles > 0:

@@ -16,6 +16,7 @@ from repro.kernel.cfs import (
 )
 from repro.kernel.metrics import CoreStats, EpochRecord, RunResult, TaskStats
 from repro.kernel.simulator import MIGRATION_KERNEL_COST_S, SimulationConfig, System
+from repro.kernel.soa import SoaKernel
 from repro.kernel.task import Task, TaskState
 from repro.kernel.view import CoreView, SystemView, TaskView
 
@@ -31,6 +32,7 @@ __all__ = [
     "MIGRATION_KERNEL_COST_S",
     "System",
     "SimulationConfig",
+    "SoaKernel",
     "SystemView",
     "TaskView",
     "CoreView",

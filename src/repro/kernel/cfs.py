@@ -87,6 +87,13 @@ def fair_shares(
     ``weights``, never granting a task more than its ``demand``;
     capacity freed by satisfied tasks is re-distributed among the rest.
     Runs in O(n^2) worst case, n = runnable tasks on one core (small).
+
+    Accumulation order is part of the contract: ``remaining`` holds
+    small contiguous ints, which CPython sets iterate in ascending
+    order, and in-place ``-=`` preserves that order — so every
+    cross-task float sum here runs left-to-right over ascending task
+    index.  The batched waterfill in :mod:`repro.kernel.soa` replays
+    exactly that order (masked cumulative sums) to stay bit-identical.
     """
     if len(demands) != len(weights):
         raise ValueError("demands and weights must have equal length")
@@ -218,8 +225,16 @@ class CfsRunQueue:
         Sub-steps across workload phase boundaries so multi-phase
         threads see per-phase IPC/power.  Decrements migration warm-up
         as the task executes.
+
+        Counters accumulate into a slice-local block that is merged
+        exactly once into the task's and the core's accumulators when
+        the slice ends.  This single-merge contract is what the SoA
+        kernel (:mod:`repro.kernel.soa`) reproduces bit-for-bit — one
+        float add per counter per task per period, in run-queue slot
+        order — so keep it if you touch this loop.
         """
         core_type = self.core.core_type
+        slice_block = CounterBlock()
         remaining = granted_s
         instructions = 0.0
         energy = 0.0
@@ -243,20 +258,25 @@ class CfsRunQueue:
             step_s = max(step_s, 1e-9)  # forward progress guard
             step_s = min(step_s, remaining)
 
-            retired = task.counters.charge_execution(
-                perf, core_type, step_s, phase.mem_share, phase.branch_share
-            )
-            self.counters.charge_execution(
+            retired = slice_block.charge_execution(
                 perf, core_type, step_s, phase.mem_share, phase.branch_share
             )
             slice_energy = power.busy_power(core_type, perf.ipc).total_w * step_s
-            task.retire(retired, step_s, slice_energy)
+            task.progress_instructions += retired
+            if task.remaining_instructions() <= 0:
+                task.state = TaskState.EXITED
             task.warmup_remaining_s = max(task.warmup_remaining_s - step_s, 0.0)
 
             instructions += retired
             energy += slice_energy
             remaining -= step_s
         granted_used = granted_s - remaining
+        task.counters.merge(slice_block)
+        self.counters.merge(slice_block)
+        task.total_instructions += instructions
+        task.total_busy_time_s += granted_used
+        task.total_energy_j += energy
+        task.epoch_energy_j += energy
         return SliceResult(
             task=task,
             granted_s=granted_used,

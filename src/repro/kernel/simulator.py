@@ -81,6 +81,11 @@ class SimulationConfig:
     #: hotplug, throttle and migration faults are executed here on the
     #: simulator timeline.
     faults: Optional[FaultPlan] = None
+    #: Kernel engine: ``"soa"`` (vectorised structure-of-arrays core,
+    #: the default) or ``"reference"`` (the original object-per-task
+    #: path).  Both produce digest-identical results — the equivalence
+    #: is enforced by ``tests/kernel/test_soa_equivalence.py``.
+    kernel: str = "soa"
 
     def __post_init__(self) -> None:
         if self.period_s <= 0:
@@ -91,6 +96,10 @@ class SimulationConfig:
             )
         if self.os_noise_tasks < 0:
             raise ValueError("os_noise_tasks must be non-negative")
+        if self.kernel not in ("soa", "reference"):
+            raise ValueError(
+                f"kernel must be 'soa' or 'reference', got {self.kernel!r}"
+            )
 
     @property
     def epoch_s(self) -> float:
@@ -195,6 +204,18 @@ class System:
             )
             self.tasks.append(task)
         self._place_initial()
+        #: Tasks not yet arrived, as a (arrival_s, tid) min-list so the
+        #: per-period arrival scan is O(due) instead of O(n_tasks).
+        self._pending_arrivals = sorted(
+            (t.behavior.arrival_s, t.tid)
+            for t in self.tasks
+            if t.state is TaskState.PENDING
+        )
+        self.engine = None
+        if self.config.kernel == "soa":
+            from repro.kernel.soa import SoaKernel
+
+            self.engine = SoaKernel(self)
 
     # ------------------------------------------------------------------
     # Placement & migration
@@ -238,9 +259,15 @@ class System:
         if core_id == task.core_id:
             return
         from_core = task.core_id
+        if self.engine is not None:
+            # enqueue() floors the incoming vruntime against the target
+            # queue's minimum — refresh the object fields it reads.
+            self.engine.sync_migration_inputs(task, self.runqueues[core_id])
         self.runqueues[from_core].dequeue(task)
         self.runqueues[core_id].enqueue(task)
         task.warmup_remaining_s = CACHE_WARMUP_S + MIGRATION_KERNEL_COST_S
+        if self.engine is not None:
+            self.engine.after_migration(task)
         task.migrations += 1
         self.total_migrations += 1
         self._window_migrations += 1
@@ -310,6 +337,12 @@ class System:
         if not online and sum(self._online) <= 1:
             return  # never unplug the last core
         self._online[core_id] = online
+        if self.engine is not None:
+            self.engine.set_online(core_id, online)
+            if not online:
+                # The evacuation below picks targets by queue.load(),
+                # which reads task utilisations off the objects.
+                self.engine.sync_loads()
         if self.faults:
             self.faults.counts.hotplug_events += 1
             self.faults._emit(
@@ -348,11 +381,15 @@ class System:
         queue = self.runqueues[core_id]
         if freq_scale is None:
             queue.core = base
+            if self.engine is not None:
+                self.engine.on_core_type_changed(core_id, base.core_type)
             return
         throttled_type = replace(
             base.core_type, freq_mhz=base.core_type.freq_mhz * freq_scale
         )
         queue.core = replace(base, core_type=throttled_type)
+        if self.engine is not None:
+            self.engine.on_core_type_changed(core_id, throttled_type)
         if self.faults:
             self.faults.counts.throttle_events += 1
             self.faults._emit("throttle", core=core_id, detail=freq_scale)
@@ -398,6 +435,12 @@ class System:
 
     def build_view(self, window_s: float) -> SystemView:
         """Construct the observable system view for the last window."""
+        if self.engine is not None:
+            # The sensing path reads counters, utilisation and energy
+            # off the Task/CfsRunQueue objects — refresh them from the
+            # array state first.  (The noise RNG draw order below is
+            # unchanged: tasks in tid order, then cores in id order.)
+            self.engine.sync_to_objects()
         task_views = []
         for task in self.tasks:
             if task.state is TaskState.PENDING:
@@ -479,6 +522,8 @@ class System:
             task.reset_epoch_accounting()
         for queue in self.runqueues:
             queue.reset_epoch_accounting()
+        if self.engine is not None:
+            self.engine.reset_window_accounting()
         self._window_migrations = 0
 
     # ------------------------------------------------------------------
@@ -611,6 +656,8 @@ class System:
 
     def _core_snapshot(self) -> "list[tuple[float, float, float]]":
         """Per-core cumulative (instructions, energy_j, busy_s)."""
+        if self.engine is not None:
+            self.engine.sync_to_objects()
         return [
             (
                 self._core_instructions[q.core.core_id],
@@ -662,12 +709,23 @@ class System:
             )
 
     def _handle_arrivals(self) -> None:
-        for task in self.tasks:
-            if task.state is TaskState.PENDING and task.behavior.arrival_s <= self.time_s:
+        pending = self._pending_arrivals
+        while pending and pending[0][0] <= self.time_s:
+            _, tid = pending.pop(0)
+            task = self.tasks[tid]
+            if task.state is TaskState.PENDING:
                 task.state = TaskState.ACTIVE
+                if self.engine is not None:
+                    self.engine.on_arrival(tid)
 
     def _simulate_period(self) -> tuple[float, float]:
         """Advance all cores by one CFS period; returns (instr, energy)."""
+        if self.engine is not None:
+            instructions, energy = self.engine.simulate_period(
+                self.config.period_s
+            )
+            self.time_s += self.config.period_s
+            return instructions, energy
         instructions = 0.0
         energy = 0.0
         for queue in self.runqueues:
@@ -675,10 +733,16 @@ class System:
                 # An unplugged core executes nothing and draws nothing.
                 continue
             result = queue.schedule_period(self.config.period_s)
+            # Accumulate this queue's period total slot-by-slot, then
+            # fold it into the lifetime counter with ONE add — the SoA
+            # kernel reproduces exactly that float sequence (cumsum row
+            # + one array add), so keep the shape if you touch this.
+            period_core_instr = 0.0
             for sl in result.slices:
                 if sl.task.is_user:
                     instructions += sl.instructions
-                self._core_instructions[queue.core.core_id] += sl.instructions
+                period_core_instr += sl.instructions
+            self._core_instructions[queue.core.core_id] += period_core_instr
             energy += result.energy_j
         for task in self.tasks:
             if task.state is TaskState.ACTIVE and self._online[task.core_id]:
@@ -689,6 +753,8 @@ class System:
         return instructions, energy
 
     def _result(self) -> RunResult:
+        if self.engine is not None:
+            self.engine.sync_to_objects()
         core_stats = tuple(
             CoreStats(
                 core_id=q.core.core_id,

@@ -1,0 +1,857 @@
+"""Structure-of-arrays kernel core (the ``kernel="soa"`` engine).
+
+The reference kernel (:mod:`repro.kernel.cfs`) walks one Python object
+per task per period — per-core run-queue loops, a dozen float attribute
+adds per counter block, an lru-cache hit per perf estimate.  At 1024
+cores that object walk dominates epoch wall-clock.  This module holds
+the same simulation state as flat numpy arrays — vruntimes, weights,
+progress, warm-up, the 12 hardware counters — indexed by task id, plus
+per-core accumulator arrays, and advances one CFS period for *every*
+core with batched array ops.
+
+**Bit-identity contract.**  ``SoaKernel`` is not an approximation: for
+any run it must produce results whose
+:func:`~repro.runner.serialize.metrics_digest` equals the reference
+kernel's.  That works because every float operation here is either
+
+* elementwise (IEEE-754 ops are deterministic per element, so a numpy
+  float64 lane equals the equivalent Python float expression), or
+* an *ordered* reduction replayed in exactly the reference's
+  accumulation order: left-to-right per-queue sums become masked
+  ``np.cumsum`` rows (adding a masked-out ``0.0`` is the identity),
+  and per-core scatter-merges use ``np.add.at``, which applies
+  repeated indices sequentially in index order — matching the
+  reference's run-queue slot order.
+
+Anything the reference computes through a memoised scalar helper
+(:func:`repro.hardware.microarch.estimate`,
+:func:`repro.hardware.power.busy_power`,
+:func:`repro.workload.demand.demanded_fraction_on`) is evaluated here
+through the *same* helper once per distinct (phase, core-type, warm-up
+level) group and broadcast, so the floats are identical by
+construction.  Tasks that sub-step within one slice (phase boundary or
+exit inside the slice) fall back to a scalar loop that mirrors
+``CfsRunQueue._execute_slice`` line for line; everything else takes the
+single-step vector path.  The differential-equivalence suite
+(``tests/kernel/test_soa_equivalence.py``) enforces the contract.
+
+See ``docs/kernel.md`` for the array layout and the rules to follow
+when extending either kernel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.hardware import microarch, power
+from repro.hardware.counters import CounterBlock
+from repro.kernel.cfs import (
+    CACHE_WARMUP_S,
+    CONTEXT_SWITCH_COST_S,
+    IDLE_TO_SLEEP_LATENCY_S,
+)
+from repro.kernel.task import UTIL_DECAY, TaskState
+from repro.workload.demand import demanded_fraction_on
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.simulator import System
+
+#: Number of hardware counters in a :class:`CounterBlock`, in dataclass
+#: field order (``cy_busy`` … ``busy_time_s``).
+N_COUNTERS = 12
+
+#: Columns of the per-group value table ``_V``.
+_IPC = 0
+_BASE_CPI = 1
+_MEM_SHARE = 2
+_BR_SHARE = 3
+_BR_MISS = 4
+_L1I = 5
+_L1D = 6
+_ITLB = 7
+_DTLB = 8
+_POWER_W = 9
+_FREQ = 10
+_DEMAND = 11
+_IPS = 12
+_N_COLS = 13
+
+#: Core-type registry capacity folded into group codes.  Throttle
+#: events register fresh clones, but even fault-heavy runs create a
+#: handful; the ceiling only bounds the integer encoding.
+_MAX_CTYPES = 1 << 20
+
+_WQ = microarch.WARMUP_QUANTISATION
+
+
+class SoaKernel:
+    """Vectorised per-period engine behind :class:`~repro.kernel.simulator.System`.
+
+    Owns the authoritative mutable state between sync points; the Task
+    and CfsRunQueue objects stay allocated (queue membership, core
+    identity and the sensing path still live there) and are refreshed
+    from the arrays by :meth:`sync_to_objects` before any observer
+    reads them (view building, hotplug load checks, final results).
+    """
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        tasks = system.tasks
+        n = len(tasks)
+        m = len(system.runqueues)
+        self.n_tasks = n
+        self.n_cores = m
+
+        # --- per-task state -------------------------------------------------
+        self.weight = np.array([t.weight for t in tasks], dtype=np.float64)
+        self.progress = np.zeros(n)
+        self.vruntime = np.zeros(n)
+        self.warmup = np.zeros(n)
+        self.util = np.zeros(n)
+        self.epoch_energy = np.zeros(n)
+        self.total_instr = np.zeros(n)
+        self.total_busy = np.zeros(n)
+        self.total_energy = np.zeros(n)
+        self.t_cnt = np.zeros((n, N_COUNTERS))
+        self.active = np.array(
+            [t.state is TaskState.ACTIVE for t in tasks], dtype=bool
+        )
+        self.is_user = np.array([t.is_user for t in tasks], dtype=bool)
+        self.core_of = np.array([t.core_id for t in tasks], dtype=np.intp)
+        self.behavior_total = np.array(
+            [
+                np.inf if t.behavior.total_instructions is None
+                else t.behavior.total_instructions
+                for t in tasks
+            ]
+        )
+        self._schedules = [t.behavior.schedule for t in tasks]
+        self._multi_ids = [
+            i for i in range(n) if len(self._schedules[i].segments) > 1
+        ]
+        self.until_boundary = np.full(n, np.inf)
+
+        # --- per-core state -------------------------------------------------
+        self.c_cnt = np.zeros((m, N_COUNTERS))
+        self.q_total_energy = np.zeros(m)
+        self.q_total_busy = np.zeros(m)
+        self.q_total_idle = np.zeros(m)
+        self.q_total_sleep = np.zeros(m)
+        self.q_epoch_energy = np.zeros(m)
+        self.q_epoch_time = np.zeros(m)
+        self.core_instr = np.zeros(m)
+        self.online = np.array(system._online, dtype=bool)
+
+        # --- registries -----------------------------------------------------
+        self._phases: list = []
+        self._phase_ids: dict[int, int] = {}
+        self._ctypes: list = []
+        self._ctype_ids: dict[int, int] = {}
+        self._ct_freq: list[float] = []
+        self._ct_idle_w: list[float] = []
+        self._ct_sleep_w: list[float] = []
+        self.phase_key = np.zeros(n, dtype=np.int64)
+        for i, task in enumerate(tasks):
+            self.phase_key[i] = self._register_phase(
+                self._schedules[i].phase_at(0.0)
+            )
+        self.ctype_idx = np.zeros(m, dtype=np.int64)
+        for q in system.runqueues:
+            self.ctype_idx[q.core.core_id] = self._register_ctype(
+                q.core.core_type
+            )
+
+        # --- multi-segment phase tables (vectorised phase_at) ---------------
+        # ``_mB`` holds each multi-segment schedule's cumulative
+        # boundaries padded with +inf (one spare column so a gather at
+        # index k lands on inf — the "terminal segment" answer);
+        # bisect_right(B, p) becomes a row count of boundaries <= p.
+        n_multi = len(self._multi_ids)
+        self._multi_idx = np.array(self._multi_ids, dtype=np.intp)
+        if n_multi:
+            kmax = max(
+                len(self._schedules[i].segments) for i in self._multi_ids
+            )
+            self._mB = np.full((n_multi, kmax + 1), np.inf)
+            self._mseg_phase = np.zeros((n_multi, kmax), dtype=np.int64)
+            self._mk = np.zeros(n_multi, dtype=np.int64)
+            self._mcyc = np.zeros(n_multi, dtype=bool)
+            self._mC = np.ones(n_multi)
+            self._mrow = np.arange(n_multi, dtype=np.intp)
+            for row, i in enumerate(self._multi_ids):
+                schedule = self._schedules[i]
+                k = len(schedule.segments)
+                self._mB[row, :k] = schedule._boundaries
+                self._mk[row] = k
+                self._mcyc[row] = schedule.cyclic
+                self._mC[row] = schedule.cycle_instructions
+                for s, segment in enumerate(schedule.segments):
+                    self._mseg_phase[row, s] = self._register_phase(
+                        segment.phase
+                    )
+        self._n_multi = n_multi
+
+        # --- (phase, ctype, warm-up level) -> value-table row ---------------
+        self._code2row: dict[int, int] = {}
+        self._V = np.zeros((0, _N_COLS))
+        self._codes_sorted = np.zeros(0, dtype=np.int64)
+        self._rows_sorted = np.zeros(0, dtype=np.int64)
+
+        # --- caches and dirty flags -----------------------------------------
+        self._layout_dirty = True
+        self._struct_ver = 0  # bumps on membership/active/online changes
+        self._demand_ver = 0  # bumps on phase/core-type changes
+        self._rows_cache: (
+            "tuple[tuple[int, int], np.ndarray, np.ndarray] | None"
+        ) = None
+        self._sched_cache: "dict | None" = None
+        self._grants_cache: "tuple[tuple[int, int], np.ndarray] | None" = None
+        self._one_minus_decay = 1.0 - UTIL_DECAY
+        #: Per-core (freq, idle W, sleep W) rows; rebuilt when a core's
+        #: type changes (throttle fault).
+        self._ctype_change_ver = 0
+        self._core_pw_cache: "tuple[int, np.ndarray, np.ndarray, np.ndarray] | None" = None
+        if n_multi:
+            self._refresh_phase_state()
+
+        #: Test hook: called as ``hook(engine, period_index)`` after each
+        #: simulated period.  The mutation-sanity suite uses it to flip
+        #: one array cell mid-epoch and prove the digest harness notices.
+        self.on_period_hook: Optional[Callable[["SoaKernel", int], None]] = None
+        self._period_index = 0
+
+    # ------------------------------------------------------------------
+    # Registries
+    # ------------------------------------------------------------------
+
+    def _register_phase(self, phase) -> int:
+        idx = self._phase_ids.get(id(phase))
+        if idx is None:
+            idx = len(self._phases)
+            self._phases.append(phase)
+            self._phase_ids[id(phase)] = idx
+        return idx
+
+    def _register_ctype(self, ctype) -> int:
+        idx = self._ctype_ids.get(id(ctype))
+        if idx is None:
+            idx = len(self._ctypes)
+            if idx >= _MAX_CTYPES:  # pragma: no cover - encoding ceiling
+                raise RuntimeError("core-type registry overflow")
+            self._ctypes.append(ctype)
+            self._ctype_ids[id(ctype)] = idx
+            self._ct_freq.append(ctype.freq_hz)
+            self._ct_idle_w.append(power.idle_power(ctype).total_w)
+            self._ct_sleep_w.append(power.sleep_power(ctype))
+        return idx
+
+    def _lookup_rows(self, codes: np.ndarray) -> np.ndarray:
+        """Map group codes to value-table rows, registering new groups."""
+        if self._codes_sorted.size:
+            pos = np.searchsorted(self._codes_sorted, codes)
+            pos_c = np.minimum(pos, self._codes_sorted.size - 1)
+            hit = self._codes_sorted[pos_c] == codes
+            if hit.all():
+                return self._rows_sorted[pos_c]
+            missing = np.unique(codes[~hit])
+        else:
+            missing = np.unique(codes)
+        new_rows = []
+        next_row = self._V.shape[0]
+        for code in missing.tolist():
+            wlevel = code % (_WQ + 1)
+            rest = code // (_WQ + 1)
+            ct_idx = rest % _MAX_CTYPES
+            ph_idx = rest // _MAX_CTYPES
+            phase = self._phases[ph_idx]
+            ctype = self._ctypes[ct_idx]
+            perf = microarch.estimate(phase, ctype, wlevel / _WQ)
+            new_rows.append(
+                [
+                    perf.ipc,
+                    perf.base_cpi,
+                    phase.mem_share,
+                    phase.branch_share,
+                    perf.branch_miss_rate,
+                    perf.icache_miss_rate,
+                    perf.dcache_miss_rate,
+                    perf.itlb_miss_rate,
+                    perf.dtlb_miss_rate,
+                    power.busy_power(ctype, perf.ipc).total_w,
+                    ctype.freq_hz,
+                    demanded_fraction_on(phase, ctype),
+                    perf.ips(ctype),
+                ]
+            )
+            self._code2row[code] = next_row
+            next_row += 1
+        self._V = np.vstack([self._V, np.array(new_rows)])
+        order = np.argsort(np.fromiter(self._code2row, dtype=np.int64))
+        all_codes = np.fromiter(self._code2row, dtype=np.int64)
+        all_rows = np.fromiter(self._code2row.values(), dtype=np.int64)
+        self._codes_sorted = all_codes[order]
+        self._rows_sorted = all_rows[order]
+        pos = np.searchsorted(self._codes_sorted, codes)
+        return self._rows_sorted[pos]
+
+    # ------------------------------------------------------------------
+    # Structure maintenance (called by System)
+    # ------------------------------------------------------------------
+
+    def mark_structure_dirty(self) -> None:
+        self._layout_dirty = True
+        self._struct_ver += 1
+
+    def mark_demand_dirty(self) -> None:
+        self._demand_ver += 1
+
+    def on_arrival(self, tid: int) -> None:
+        self.active[tid] = True
+        self._struct_ver += 1
+
+    def set_online(self, core_id: int, online: bool) -> None:
+        self.online[core_id] = online
+        self._struct_ver += 1
+
+    def on_core_type_changed(self, core_id: int, ctype) -> None:
+        self.ctype_idx[core_id] = self._register_ctype(ctype)
+        self._demand_ver += 1
+        self._ctype_change_ver += 1
+
+    def _core_power_rows(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        cache = self._core_pw_cache
+        if cache is None or cache[0] != self._ctype_change_ver:
+            freq_q = np.asarray(self._ct_freq)[self.ctype_idx]
+            idle_w_q = np.asarray(self._ct_idle_w)[self.ctype_idx]
+            sleep_w_q = np.asarray(self._ct_sleep_w)[self.ctype_idx]
+            cache = (self._ctype_change_ver, freq_q, idle_w_q, sleep_w_q)
+            self._core_pw_cache = cache
+        return cache[1], cache[2], cache[3]
+
+    def _refresh_phase_state(self) -> np.ndarray:
+        """Vectorised ``phase_at`` + ``instructions_until_phase_change``.
+
+        Recomputes the active phase and the instructions remaining in
+        the current segment for every multi-segment task at its current
+        progress, exactly as :class:`~repro.workload.phases.PhaseSchedule`
+        does scalar-wise (``%`` on positive floats is ``np.mod``;
+        ``bisect_right`` is a row count of boundaries <= progress).
+        Returns the changed-phase mask over the multi-segment rows and
+        bumps the demand version when any phase moved.
+        """
+        p = self.progress[self._multi_idx]
+        p2 = np.where(self._mcyc, np.mod(p, self._mC), p)
+        idx = np.sum(self._mB <= p2[:, None], axis=1)
+        idx_phase = np.minimum(idx, self._mk - 1)
+        new_key = self._mseg_phase[self._mrow, idx_phase]
+        until = self._mB[self._mrow, idx] - p2
+        self.until_boundary[self._multi_idx] = until
+        changed = new_key != self.phase_key[self._multi_idx]
+        if changed.any():
+            self.phase_key[self._multi_idx] = new_key
+            self._demand_ver += 1
+        return changed
+
+    def sync_migration_inputs(self, task, target_queue) -> None:
+        """Refresh the object vruntimes enqueue() is about to read."""
+        task.vruntime = float(self.vruntime[task.tid])
+        for member in target_queue.tasks:
+            member.vruntime = float(self.vruntime[member.tid])
+
+    def after_migration(self, task) -> None:
+        self.vruntime[task.tid] = task.vruntime
+        self.warmup[task.tid] = task.warmup_remaining_s
+        self.core_of[task.tid] = task.core_id
+        self.mark_structure_dirty()
+
+    def sync_loads(self) -> None:
+        """Push utilisation back to tasks (queue.load() inputs)."""
+        util = self.util
+        for task in self.system.tasks:
+            task.utilization = float(util[task.tid])
+
+    def _ensure_layout(self) -> None:
+        if not self._layout_dirty:
+            return
+        members: list[int] = []
+        member_queue: list[int] = []
+        for q in self.system.runqueues:
+            qid = q.core.core_id
+            for task in q.tasks:
+                members.append(task.tid)
+                member_queue.append(qid)
+        self._members = np.array(members, dtype=np.intp)
+        self._member_queue = np.array(member_queue, dtype=np.intp)
+        self._layout_dirty = False
+
+    # ------------------------------------------------------------------
+    # Sync back to objects
+    # ------------------------------------------------------------------
+
+    def sync_to_objects(self) -> None:
+        """Write array state back into the Task/CfsRunQueue objects.
+
+        Called before anything outside the engine reads kernel state:
+        sensing views, hotplug target selection, obs snapshots and the
+        final result.  Plain copies — bit-exact by construction.
+        """
+        t_cnt = self.t_cnt
+        for i, task in enumerate(self.system.tasks):
+            row = t_cnt[i]
+            c = task.counters
+            c.cy_busy = float(row[0])
+            c.cy_idle = float(row[1])
+            c.cy_sleep = float(row[2])
+            c.instructions = float(row[3])
+            c.mem_instructions = float(row[4])
+            c.branch_instructions = float(row[5])
+            c.branch_mispredicts = float(row[6])
+            c.l1i_misses = float(row[7])
+            c.l1d_misses = float(row[8])
+            c.itlb_misses = float(row[9])
+            c.dtlb_misses = float(row[10])
+            c.busy_time_s = float(row[11])
+            task.progress_instructions = float(self.progress[i])
+            task.vruntime = float(self.vruntime[i])
+            task.utilization = float(self.util[i])
+            task.warmup_remaining_s = float(self.warmup[i])
+            task.epoch_energy_j = float(self.epoch_energy[i])
+            task.total_instructions = float(self.total_instr[i])
+            task.total_busy_time_s = float(self.total_busy[i])
+            task.total_energy_j = float(self.total_energy[i])
+        c_cnt = self.c_cnt
+        core_instructions = self.system._core_instructions
+        for q in self.system.runqueues:
+            qid = q.core.core_id
+            row = c_cnt[qid]
+            c = q.counters
+            c.cy_busy = float(row[0])
+            c.cy_idle = float(row[1])
+            c.cy_sleep = float(row[2])
+            c.instructions = float(row[3])
+            c.mem_instructions = float(row[4])
+            c.branch_instructions = float(row[5])
+            c.branch_mispredicts = float(row[6])
+            c.l1i_misses = float(row[7])
+            c.l1d_misses = float(row[8])
+            c.itlb_misses = float(row[9])
+            c.dtlb_misses = float(row[10])
+            c.busy_time_s = float(row[11])
+            q.total_energy_j = float(self.q_total_energy[qid])
+            q.total_busy_s = float(self.q_total_busy[qid])
+            q.total_idle_s = float(self.q_total_idle[qid])
+            q.total_sleep_s = float(self.q_total_sleep[qid])
+            q.epoch_energy_j = float(self.q_epoch_energy[qid])
+            q.epoch_time_s = float(self.q_epoch_time[qid])
+            core_instructions[qid] = float(self.core_instr[qid])
+
+    def reset_window_accounting(self) -> None:
+        self.t_cnt[:] = 0.0
+        self.epoch_energy[:] = 0.0
+        self.c_cnt[:] = 0.0
+        self.q_epoch_energy[:] = 0.0
+        self.q_epoch_time[:] = 0.0
+
+    # ------------------------------------------------------------------
+    # One CFS period, all cores
+    # ------------------------------------------------------------------
+
+    def simulate_period(self, period_s: float) -> "tuple[float, float]":
+        """Advance every online core by one period; returns (instr, energy)."""
+        self._ensure_layout()
+        n, m = self.n_tasks, self.n_cores
+
+        # Phase + boundary state is maintained by _refresh_phase_state
+        # (at init and after each period's execution), so the per-task
+        # rows below are already positioned at the current progress.
+        any_warm = bool((self.warmup > 0.0).any())
+
+        # Per-task perf/demand rows (cached while no warm-up is decaying
+        # and no phase/core-type/placement change occurred — a migration
+        # can move a task onto a different core type, so the structure
+        # version is part of the key).
+        rows_key = (self._struct_ver, self._demand_ver)
+        if any_warm or self._rows_cache is None or self._rows_cache[0] != rows_key:
+            if any_warm:
+                frac = np.clip(
+                    np.where(self.warmup > 0.0, self.warmup / CACHE_WARMUP_S, 0.0),
+                    0.0,
+                    1.0,
+                )
+                wlevel = np.rint(frac * _WQ).astype(np.int64)
+            else:
+                wlevel = np.zeros(n, dtype=np.int64)
+            codes = (
+                self.phase_key * _MAX_CTYPES + self.ctype_idx[self.core_of]
+            ) * (_WQ + 1) + wlevel
+            rows = self._lookup_rows(codes)
+            V = self._V[rows]
+            self._rows_cache = None if any_warm else (rows_key, rows, V)
+        else:
+            _, rows, V = self._rows_cache
+
+        # Scheduling structure (who is runnable where) and fair shares.
+        sched_key = self._struct_ver
+        if self._sched_cache is None or self._sched_cache["key"] != sched_key:
+            run_m = self.active[self._members] & self.online[self._member_queue]
+            r_mem = self._members[run_m]
+            r_q = self._member_queue[run_m]
+            nr = np.bincount(r_q, minlength=m)
+            capacity = np.maximum(
+                period_s - CONTEXT_SWITCH_COST_S * nr.astype(np.float64), 0.0
+            )
+            if r_mem.size:
+                starts = np.zeros(m, dtype=np.intp)
+                np.cumsum(nr[:-1], out=starts[1:])
+                col = np.arange(r_mem.size, dtype=np.intp) - starts[r_q]
+                width = int(nr.max())
+                M = np.full((m, width), -1, dtype=np.intp)
+                M[r_q, col] = r_mem
+                valid = M >= 0
+                M_safe = np.where(valid, M, 0)
+            else:
+                M = np.zeros((m, 0), dtype=np.intp)
+                valid = np.zeros((m, 0), dtype=bool)
+                M_safe = M
+            self._sched_cache = {
+                "key": sched_key,
+                "run_m": run_m,
+                "r_mem": r_mem,
+                "r_q": r_q,
+                "nr": nr,
+                "capacity": capacity,
+                "M": M,
+                "valid": valid,
+                "M_safe": M_safe,
+            }
+            self._grants_cache = None
+        sc = self._sched_cache
+        r_mem, r_q, nr = sc["r_mem"], sc["r_q"], sc["nr"]
+        capacity, M, valid, M_safe = (
+            sc["capacity"], sc["M"], sc["valid"], sc["M_safe"],
+        )
+
+        demand_t = V[:, _DEMAND]
+        gkey = (self._struct_ver, self._demand_ver)
+        if self._grants_cache is not None and self._grants_cache[0] == gkey:
+            granted = self._grants_cache[1]
+        else:
+            granted = self._fair_shares_batched(
+                demand_t, period_s, capacity, M, valid, M_safe
+            )
+            self._grants_cache = (gkey, granted)
+
+        # Execute the granted slices.
+        ips_t = V[:, _IPS]
+        with np.errstate(invalid="ignore"):
+            limit = np.minimum(
+                self.until_boundary,
+                np.maximum(self.behavior_total - self.progress, 0.0),
+            )
+            limit_over_ips = limit / ips_t
+        runnable_t = np.zeros(n, dtype=bool)
+        runnable_t[r_mem] = True
+        # vruntime advances for every positive grant, but the slice
+        # loop in the reference (`while remaining > 1e-12`) never runs
+        # for grants at or below its floor — an underweight task can
+        # be granted ~1e-150 s and execute exactly nothing.
+        granted_t = runnable_t & (granted > 0.0)
+        exec_t = runnable_t & (granted > 1e-12)
+        slow = exec_t & (limit_over_ips < granted)
+        fast = exec_t & ~slow
+
+        S = np.zeros((n, N_COUNTERS))
+        E = np.zeros(n)
+        gu = np.zeros(n)
+        exited = np.zeros(n, dtype=bool)
+
+        if fast.any():
+            step = np.where(fast, granted, 0.0)
+            freq = V[:, _FREQ]
+            cycles = step * freq
+            instr = V[:, _IPC] * cycles
+            busy_cy = instr * V[:, _BASE_CPI]
+            idle_cy = np.maximum(cycles - busy_cy, 0.0)
+            mem_i = instr * V[:, _MEM_SHARE]
+            br_i = instr * V[:, _BR_SHARE]
+            S[:, 0] = busy_cy
+            S[:, 1] = idle_cy
+            S[:, 3] = instr
+            S[:, 4] = mem_i
+            S[:, 5] = br_i
+            S[:, 6] = br_i * V[:, _BR_MISS]
+            S[:, 7] = instr * V[:, _L1I]
+            S[:, 8] = mem_i * V[:, _L1D]
+            S[:, 9] = instr * V[:, _ITLB]
+            S[:, 10] = mem_i * V[:, _DTLB]
+            S[:, 11] = step
+            S[~fast] = 0.0
+            E = np.where(fast, V[:, _POWER_W] * step, 0.0)
+            gu = step
+            self.progress = np.where(fast, self.progress + instr, self.progress)
+            self.warmup = np.where(
+                fast, np.maximum(self.warmup - step, 0.0), self.warmup
+            )
+            exited = fast & (self.behavior_total - self.progress <= 0.0)
+
+        if slow.any():
+            for t in np.nonzero(slow)[0].tolist():
+                self._execute_slow(int(t), float(granted[t]), S, E, gu, exited)
+
+        # Merge once per task (matches the reference's slice-local merge).
+        self.t_cnt += S
+        instr_slice = S[:, 3]
+        self.total_instr += instr_slice
+        self.total_busy += gu
+        self.total_energy += E
+        self.epoch_energy += E
+        with np.errstate(invalid="ignore"):
+            self.vruntime += np.where(granted_t, granted / self.weight, 0.0)
+
+        # Core-side accounting, in run-queue slot order.
+        if r_mem.size:
+            np.add.at(self.c_cnt, r_q, S[r_mem])
+            gu_pad = np.where(valid, gu[M_safe], 0.0)
+            busy_q = (
+                np.cumsum(gu_pad, axis=1)[:, -1] if gu_pad.shape[1] else
+                np.zeros(m)
+            )
+            e_pad = np.where(valid, E[M_safe], 0.0)
+            busy_e_q = (
+                np.cumsum(e_pad, axis=1)[:, -1] if e_pad.shape[1] else
+                np.zeros(m)
+            )
+            ci_pad = np.where(valid, instr_slice[M_safe], 0.0)
+            ci_q = (
+                np.cumsum(ci_pad, axis=1)[:, -1] if ci_pad.shape[1] else
+                np.zeros(m)
+            )
+            u_mem = np.where(
+                sc["run_m"] & self.is_user[self._members],
+                instr_slice[self._members],
+                0.0,
+            )
+            period_instr = float(np.cumsum(u_mem)[-1]) if u_mem.size else 0.0
+        else:
+            busy_q = np.zeros(m)
+            busy_e_q = np.zeros(m)
+            ci_q = np.zeros(m)
+            period_instr = 0.0
+        self.core_instr += ci_q
+
+        # Idle / sleep split per core.
+        freq_q, idle_w_q, sleep_w_q = self._core_power_rows()
+        has_run = (nr > 0) & self.online
+        empty = self.online & ~has_run
+
+        idle_s_q = np.zeros(m)
+        sleep_s_q = np.zeros(m)
+        idle_e_q = np.zeros(m)
+        sleep_e_q = np.zeros(m)
+
+        sleep_s_q[empty] = period_s
+        sleep_e_q[empty] = sleep_w_q[empty] * period_s
+        self.c_cnt[:, 2] += np.where(empty, period_s * freq_q, 0.0)
+
+        leftover = np.where(has_run, np.maximum(period_s - busy_q, 0.0), 0.0)
+        shallow = np.minimum(leftover, IDLE_TO_SLEEP_LATENCY_S)
+        deep = leftover - shallow
+        idle_s_q = np.where(has_run, shallow, idle_s_q)
+        idle_e_q = np.where(has_run, idle_w_q * shallow, idle_e_q)
+        sleep_s_q = np.where(has_run, deep, sleep_s_q)
+        sleep_e_q = np.where(has_run, sleep_w_q * deep, sleep_e_q)
+        self.c_cnt[:, 2] += np.where(has_run, deep * freq_q, 0.0)
+
+        # _account(): thermal feedback, then the per-core totals.
+        thermal_e_q = np.zeros(m)
+        if self.system.config.thermal_enabled:
+            base_e_q = busy_e_q + idle_e_q + sleep_e_q
+            for q in self.system.runqueues:
+                qid = q.core.core_id
+                if q.thermal is None or not self.online[qid]:
+                    continue
+                base_power = float(base_e_q[qid]) / period_s
+                q.thermal.step(base_power, period_s)
+                powered_fraction = (
+                    float(busy_q[qid]) + float(idle_s_q[qid])
+                ) / period_s
+                base_leak = power.leakage_power(q.core.core_type)
+                thermal_e_q[qid] = (
+                    q.thermal.extra_leakage_w(base_leak)
+                    * powered_fraction
+                    * period_s
+                )
+
+        energy_q = busy_e_q + idle_e_q + sleep_e_q + thermal_e_q
+        online_f = self.online
+        self.q_total_energy += np.where(online_f, energy_q, 0.0)
+        self.q_epoch_energy += np.where(online_f, energy_q, 0.0)
+        self.q_epoch_time += np.where(online_f, period_s, 0.0)
+        self.q_total_busy += np.where(online_f, busy_q, 0.0)
+        self.q_total_idle += np.where(online_f, idle_s_q, 0.0)
+        self.q_total_sleep += np.where(online_f, sleep_s_q, 0.0)
+
+        period_energy = float(
+            np.cumsum(np.where(online_f, energy_q, 0.0))[-1]
+        ) if m else 0.0
+
+        # Exits: flip state eagerly so queue membership checks stay valid.
+        if exited.any():
+            for t in np.nonzero(exited)[0].tolist():
+                self.system.tasks[t].state = TaskState.EXITED
+            self.active[exited] = False
+            self._struct_ver += 1
+
+        # Re-position multi-segment tasks at their new progress, then
+        # fold the post-execution demand into the utilisation EWMA.  A
+        # phase can only move for a task that executed, so correcting
+        # just the changed rows reproduces the reference's full
+        # re-evaluation (unchanged rows re-derive the same value).
+        demand_post = demand_t
+        if self._n_multi:
+            changed = self._refresh_phase_state()
+            if changed.any():
+                ids = self._multi_idx[changed]
+                codes = (
+                    self.phase_key[ids] * _MAX_CTYPES
+                    + self.ctype_idx[self.core_of[ids]]
+                ) * (_WQ + 1)
+                # Two statements: _lookup_rows may grow (rebind) _V.
+                rows2 = self._lookup_rows(codes)
+                demand_post = demand_t.copy()
+                demand_post[ids] = self._V[rows2, _DEMAND]
+        util_mask = self.active & self.online[self.core_of]
+        self.util = np.where(
+            util_mask,
+            UTIL_DECAY * self.util + self._one_minus_decay * demand_post,
+            self.util,
+        )
+
+        if self.on_period_hook is not None:
+            self.on_period_hook(self, self._period_index)
+        self._period_index += 1
+        return period_instr, period_energy
+
+    # ------------------------------------------------------------------
+    # Batched waterfill (fair_shares across every queue at once)
+    # ------------------------------------------------------------------
+
+    def _fair_shares_batched(
+        self,
+        demand_t: np.ndarray,
+        period_s: float,
+        capacity: np.ndarray,
+        M: np.ndarray,
+        valid: np.ndarray,
+        M_safe: np.ndarray,
+    ) -> np.ndarray:
+        """Replay :func:`repro.kernel.cfs.fair_shares` for all queues.
+
+        Rows are queues, columns run-queue slots (ascending — the order
+        the scalar set iteration visits).  Masked lanes contribute
+        ``0.0`` to every cumulative sum, which is the identity, so each
+        row's float trajectory is bit-identical to the scalar loop's.
+        """
+        n = self.n_tasks
+        granted = np.zeros(n)
+        if not M.shape[1]:
+            return granted
+        demands_pad = np.where(valid, demand_t[M_safe] * period_s, 0.0)
+        weights_pad = np.where(valid, self.weight[M_safe], 0.0)
+        grants = np.zeros_like(demands_pad)
+        rem = demands_pad > 0.0
+        available = capacity.copy()
+        row_alive = rem.any(axis=1) & (available > 1e-15)
+        while row_alive.any():
+            lanes = rem & row_alive[:, None]
+            w_eff = np.where(lanes, weights_pad, 0.0)
+            tw = np.cumsum(w_eff, axis=1)[:, -1]
+            tw_safe = np.where(row_alive, tw, 1.0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                offer = available[:, None] * weights_pad / tw_safe[:, None]
+            need = demands_pad - grants
+            take = np.where(lanes, np.minimum(offer, need), 0.0)
+            grants = grants + take
+            consumed = np.cumsum(take, axis=1)[:, -1]
+            available = available - consumed
+            satisfied = lanes & (grants >= demands_pad - 1e-15)
+            row_alive &= satisfied.any(axis=1)
+            rem &= ~satisfied
+            row_alive &= rem.any(axis=1) & (available > 1e-15)
+        granted[M[valid]] = grants[valid]
+        return granted
+
+    # ------------------------------------------------------------------
+    # Scalar fallback for multi-sub-step slices
+    # ------------------------------------------------------------------
+
+    def _execute_slow(
+        self,
+        t: int,
+        granted_s: float,
+        S: np.ndarray,
+        E: np.ndarray,
+        gu: np.ndarray,
+        exited: np.ndarray,
+    ) -> None:
+        """Mirror of ``CfsRunQueue._execute_slice`` for one task.
+
+        Runs when a slice sub-steps (phase boundary or exit inside the
+        slice) — the identical scalar float sequence, reading/writing
+        the arrays instead of a Task object.
+        """
+        schedule = self._schedules[t]
+        total = float(self.behavior_total[t])
+        ctype = self._ctypes[self.ctype_idx[self.core_of[t]]]
+        progress = float(self.progress[t])
+        warmup = float(self.warmup[t])
+        slice_block = CounterBlock()
+        remaining = granted_s
+        instructions = 0.0
+        energy = 0.0
+        is_active = True
+        while remaining > 1e-12 and is_active:
+            phase = schedule.phase_at(progress)
+            warmup_fraction = warmup / CACHE_WARMUP_S if warmup > 0 else 0.0
+            perf = microarch.estimate(phase, ctype, warmup_fraction)
+            ips = perf.ips(ctype)
+
+            boundary = schedule.instructions_until_phase_change(progress)
+            step_limit_instr = min(boundary, max(total - progress, 0.0))
+            step_s = remaining
+            if step_limit_instr != float("inf") and ips > 0:
+                step_s = min(step_s, step_limit_instr / ips)
+            step_s = max(step_s, 1e-9)
+            step_s = min(step_s, remaining)
+
+            retired = slice_block.charge_execution(
+                perf, ctype, step_s, phase.mem_share, phase.branch_share
+            )
+            slice_energy = power.busy_power(ctype, perf.ipc).total_w * step_s
+            progress += retired
+            if max(total - progress, 0.0) <= 0:
+                is_active = False
+            warmup = max(warmup - step_s, 0.0)
+
+            instructions += retired
+            energy += slice_energy
+            remaining -= step_s
+        self.progress[t] = progress
+        self.warmup[t] = warmup
+        exited[t] = not is_active
+        S[t, 0] = slice_block.cy_busy
+        S[t, 1] = slice_block.cy_idle
+        S[t, 2] = slice_block.cy_sleep
+        S[t, 3] = slice_block.instructions
+        S[t, 4] = slice_block.mem_instructions
+        S[t, 5] = slice_block.branch_instructions
+        S[t, 6] = slice_block.branch_mispredicts
+        S[t, 7] = slice_block.l1i_misses
+        S[t, 8] = slice_block.l1d_misses
+        S[t, 9] = slice_block.itlb_misses
+        S[t, 10] = slice_block.dtlb_misses
+        S[t, 11] = slice_block.busy_time_s
+        E[t] = energy
+        gu[t] = granted_s - remaining

@@ -18,10 +18,25 @@ from repro.kernel.balancers.vanilla import VanillaBalancer
 from repro.workload.parsec import BENCHMARKS, MIXES, benchmark, mix_threads
 from repro.workload.synthetic import IMB_CONFIGS, imb_threads
 
-#: Platform presets reachable from the CLI and from RunSpecs.
+def _hmp_preset(n_cores: int):
+    def build() -> Platform:
+        return scaled_hmp(n_cores)
+
+    return build
+
+
+#: Platform presets reachable from the CLI and from RunSpecs.  The
+#: ``hmp256``/``hmp512``/``hmp1024`` presets pin the Table-2-style
+#: round-robin heterogeneous mixes used by the structure-of-arrays
+#: kernel benchmarks (``benchmarks/bench_kernel.py``); they resolve
+#: identically to ``hmp:<n>`` but are first-class names so sweeps and
+#: the job service can validate them.
 PLATFORMS = {
     "quad": quad_hmp,
     "biglittle": big_little_octa,
+    "hmp256": _hmp_preset(256),
+    "hmp512": _hmp_preset(512),
+    "hmp1024": _hmp_preset(1024),
 }
 
 #: Balancer factories reachable from the CLI and from RunSpecs.

@@ -31,7 +31,11 @@ from repro.kernel.simulator import SimulationConfig
 #: cache key, so old cache files simply miss instead of misparsing.
 #: 4: ResilienceStats grew the adaptation counters and RunSpec the
 #: ``adaptation`` field.
-CACHE_FORMAT = 4
+#: 5: SimulationConfig grew the ``kernel`` knob (structure-of-arrays
+#: vs reference engine) and the reference kernel's per-core
+#: instruction accumulation was restructured (same totals, different
+#: float association), so pre-SoA cache entries are stale.
+CACHE_FORMAT = 5
 
 
 def _code_version() -> str:

@@ -1,0 +1,213 @@
+"""Differential equivalence: SoA kernel vs reference kernel.
+
+The structure-of-arrays engine (:mod:`repro.kernel.soa`) promises
+**bit identity** with the object-per-task reference path: for any
+platform, workload, balancer, seed and fault schedule, the two kernels
+must produce byte-for-byte equal :func:`metrics_digest` fingerprints.
+This file is the lock on that promise.
+
+* Hypothesis fuzzes the full cross-product — platform shapes up to
+  1024 cores, steady/phased/arriving/pinned/weighted workloads, every
+  named fault scenario — and asserts digest identity per example.
+  Shrinking therefore minimises any divergence to the smallest
+  workload/platform that still exhibits it.
+* Pinned cases cover the expensive balancers (smartbalance, gts) that
+  would dominate fuzz wall-clock if sampled freely.
+
+Equivalence failures print both digests; rerun the shrunken example
+with ``--kernel reference`` / ``--kernel soa`` to bisect.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import SCENARIOS, scenario
+from repro.kernel.simulator import SimulationConfig, System
+from repro.runner.factories import make_balancer, make_platform, make_workload
+from repro.runner.serialize import metrics_digest
+from repro.workload.characteristics import (
+    COMPUTE_PHASE,
+    MEMORY_PHASE,
+    PEAK_PHASE,
+)
+from repro.workload.phases import PhaseSchedule, PhaseSegment
+from repro.workload.thread import ThreadBehavior
+
+PHASES = (PEAK_PHASE, COMPUTE_PHASE, MEMORY_PHASE)
+
+#: Fuzzed platform shapes.  Small shapes dominate (they shrink well and
+#: run the slow reference kernel quickly); hmp:256 keeps the SoA gather
+#: /scatter paths honest at scale every run.
+FUZZ_PLATFORMS = ("quad", "biglittle", "hmp:3", "hmp:16", "hmp:64", "hmp:256")
+
+#: Cheap balancers safe to sample freely.  gts/iks need exactly two
+#: clusters (sampled only on biglittle) and smartbalance trains a
+#: predictor at construction; those get pinned cases below too.
+FUZZ_BALANCERS = ("none", "vanilla")
+BIGLITTLE_BALANCERS = FUZZ_BALANCERS + ("iks", "gts")
+
+
+def run_digest(
+    kernel,
+    platform,
+    behaviors,
+    balancer="none",
+    n_epochs=2,
+    seed=0,
+    faults=None,
+    **config_kwargs,
+):
+    """Digest of one complete run under the given kernel."""
+    plat = make_platform(platform)
+    plan = None
+    if faults is not None:
+        plan = scenario(
+            faults,
+            seed=seed,
+            n_cores=len(plat.cores),
+            duration_s=n_epochs * 0.06,
+        )
+    config = SimulationConfig(
+        seed=seed, kernel=kernel, faults=plan, **config_kwargs
+    )
+    system = System(plat, behaviors, make_balancer(balancer), config)
+    return metrics_digest(system.run(n_epochs=n_epochs))
+
+
+def assert_equivalent(platform, behaviors, **kwargs):
+    ref = run_digest("reference", platform, behaviors, **kwargs)
+    soa = run_digest("soa", platform, behaviors, **kwargs)
+    assert soa == ref, (
+        f"kernel divergence on {platform} ({len(behaviors)} threads, "
+        f"{kwargs}): reference={ref} soa={soa}"
+    )
+
+
+@st.composite
+def behavior_lists(draw, n_cores):
+    """1–6 threads mixing every ThreadBehavior degree of freedom."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    out = []
+    for i in range(n):
+        if draw(st.booleans()):
+            schedule = PhaseSchedule.steady(draw(st.sampled_from(PHASES)))
+        else:
+            segments = [
+                PhaseSegment(
+                    draw(st.sampled_from(PHASES)),
+                    draw(st.sampled_from((5e7, 2e8))),
+                )
+                for _ in range(draw(st.integers(min_value=2, max_value=3)))
+            ]
+            schedule = PhaseSchedule(segments, cyclic=draw(st.booleans()))
+        allowed = None
+        if draw(st.booleans()):
+            allowed = frozenset(
+                draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=min(n_cores, 8) - 1),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+            )
+        out.append(
+            ThreadBehavior(
+                name=f"fuzz-{i}",
+                schedule=schedule,
+                total_instructions=draw(st.sampled_from((None, 2e8, 1.5e9))),
+                arrival_s=draw(st.sampled_from((0.0, 0.031, 0.09))),
+                nice_weight=draw(st.sampled_from((1.0, 0.5, 3.0, 1e-6))),
+                allowed_cores=allowed,
+            )
+        )
+    return out
+
+
+@st.composite
+def differential_cases(draw):
+    platform = draw(st.sampled_from(FUZZ_PLATFORMS))
+    n_cores = len(make_platform(platform).cores)
+    balancers = (
+        BIGLITTLE_BALANCERS if platform == "biglittle" else FUZZ_BALANCERS
+    )
+    return {
+        "platform": platform,
+        "behaviors": draw(behavior_lists(n_cores)),
+        "balancer": draw(st.sampled_from(balancers)),
+        "seed": draw(st.integers(min_value=0, max_value=3)),
+        "faults": draw(st.sampled_from((None, None) + SCENARIOS)),
+        "os_noise_tasks": draw(st.sampled_from((0, 0, 2))),
+        "thermal_enabled": draw(st.sampled_from((False, False, True))),
+    }
+
+
+class TestFuzzedEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    @given(case=differential_cases())
+    def test_digest_identity(self, case):
+        case = dict(case)
+        platform = case.pop("platform")
+        behaviors = case.pop("behaviors")
+        assert_equivalent(platform, behaviors, **case)
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    @given(
+        platform=st.sampled_from(("hmp:512", "hmp:1024")),
+        n_threads=st.integers(min_value=8, max_value=48),
+        seed=st.integers(min_value=0, max_value=2),
+        faults=st.sampled_from((None, "hotplug", "thermal")),
+    )
+    def test_digest_identity_at_scale(self, platform, n_threads, seed, faults):
+        """The gather/scatter paths stay exact up to 1024 cores."""
+        behaviors = make_workload("MTMI", n_threads, seed=seed)
+        assert_equivalent(
+            platform,
+            behaviors,
+            n_epochs=1,
+            seed=seed,
+            faults=faults,
+        )
+
+
+class TestPinnedEquivalence:
+    """The expensive balancers, pinned rather than fuzzed."""
+
+    @pytest.mark.parametrize(
+        "platform,workload,faults",
+        [
+            ("quad", "MTMI", None),
+            ("hmp:16", "Mix1", "combined"),
+            ("biglittle", "blackscholes", "migration"),
+        ],
+    )
+    def test_smartbalance(self, platform, workload, faults):
+        behaviors = make_workload(workload, 8, seed=0)
+        assert_equivalent(
+            platform, behaviors, balancer="smartbalance", faults=faults
+        )
+
+    def test_gts_biglittle(self):
+        behaviors = make_workload("HTLI", 8, seed=1)
+        assert_equivalent("biglittle", behaviors, balancer="gts")
+
+    def test_preset_platforms_resolve_to_scaled_hmp(self):
+        """hmp256/512/1024 presets are exactly the hmp:<n> shapes."""
+        for n in (256, 512, 1024):
+            preset = make_platform(f"hmp{n}")
+            pattern = make_platform(f"hmp:{n}")
+            assert len(preset.cores) == n
+            assert [c.core_type.name for c in preset.cores] == [
+                c.core_type.name for c in pattern.cores
+            ]

@@ -1,0 +1,90 @@
+"""Mutation sanity: the equivalence digest actually has teeth.
+
+A differential harness is vacuous if the fingerprint it compares is
+insensitive to the state it claims to cover.  These tests perturb one
+cell of one SoA array mid-epoch — via the engine's ``on_period_hook``
+test seam — and assert the run's :func:`metrics_digest` diverges from
+the unperturbed reference.  If a refactor ever stops folding an array
+into the observable results, the corresponding test here fails even
+though every equivalence test still (vacuously) passes.
+"""
+
+from repro.kernel.simulator import SimulationConfig, System
+from repro.runner.factories import make_balancer, make_platform, make_workload
+from repro.runner.serialize import metrics_digest
+
+#: CounterBlock field order: the instructions column of the per-task
+#: counter accumulator ``t_cnt``.
+INSTR_COL = 3
+
+N_EPOCHS = 2
+PERTURB_PERIOD = 3  # mid-epoch: after some periods, before sensing
+
+
+def build(kernel, balancer="vanilla"):
+    return System(
+        make_platform("quad"),
+        make_workload("MTMI", 6, seed=0),
+        make_balancer(balancer),
+        SimulationConfig(seed=0, kernel=kernel),
+    )
+
+
+def digest(system):
+    return metrics_digest(system.run(n_epochs=N_EPOCHS))
+
+
+def perturbed_digest(mutate, balancer="vanilla"):
+    system = build("soa", balancer)
+
+    def hook(engine, period_index):
+        if period_index == PERTURB_PERIOD:
+            mutate(engine)
+
+    system.engine.on_period_hook = hook
+    return digest(system)
+
+
+class TestMutationsDiverge:
+    def test_clean_soa_matches_reference(self):
+        """Baseline for the tests below: unperturbed runs agree."""
+        assert digest(build("soa")) == digest(build("reference"))
+
+    def test_counter_cell_perturbation_diverges(self):
+        """+1e9 phantom instructions in one task's counter bank must
+        reach the sensed view and change the balancer's decisions.
+        Counters are only observable through sensing, so this runs
+        under smartbalance — the balancer that predicts from them."""
+
+        def mutate(engine):
+            engine.t_cnt[0, INSTR_COL] += 1e9
+
+        ref = digest(build("reference", balancer="smartbalance"))
+        assert perturbed_digest(mutate, balancer="smartbalance") != ref
+
+    def test_progress_cell_perturbation_diverges(self):
+        """Skipping one task half a billion instructions ahead shifts
+        its phase/exit timing and the committed-work totals."""
+
+        def mutate(engine):
+            engine.progress[0] += 5e8
+
+        assert perturbed_digest(mutate) != digest(build("reference"))
+
+    def test_energy_cell_perturbation_diverges(self):
+        """A phantom joule in one task's energy accumulator must
+        survive into the task stats."""
+
+        def mutate(engine):
+            engine.total_energy[0] += 1.0
+
+        assert perturbed_digest(mutate) != digest(build("reference"))
+
+    def test_hook_is_periodic_not_oneshot(self):
+        """The seam fires every period with the running index."""
+        system = build("soa", balancer="none")
+        seen = []
+        system.engine.on_period_hook = lambda engine, i: seen.append(i)
+        system.run(n_epochs=1)
+        assert seen == list(range(len(seen)))
+        assert len(seen) == system.config.periods_per_epoch

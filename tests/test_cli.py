@@ -66,6 +66,39 @@ class TestCommands:
         assert code == 0
         assert "instructions/J" in capsys.readouterr().out
 
+    def test_run_json_is_deterministic_metrics(self, capsys):
+        args = ["run", "--workload", "MTMI", "--threads", "4",
+                "--balancer", "vanilla", "--epochs", "3", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["balancer_name"] == "vanilla"
+        assert "phase_times" not in first  # wall clock excluded
+        assert main(args) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
+    def test_run_kernel_flag_digest_identity(self, capsys):
+        """--kernel reference and --kernel soa agree byte-for-byte."""
+        docs = {}
+        for kernel in ("reference", "soa"):
+            args = ["run", "--workload", "MTMI", "--threads", "4",
+                    "--balancer", "vanilla", "--epochs", "3",
+                    "--kernel", kernel, "--json"]
+            assert main(args) == 0
+            docs[kernel] = json.loads(capsys.readouterr().out)
+        assert docs["reference"] == docs["soa"]
+
+    def test_run_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "MTMI", "--kernel", "scalar"])
+
+    def test_run_preset_platform_hmp256(self, capsys):
+        code = main(
+            ["run", "--workload", "MTMI", "--threads", "8",
+             "--platform", "hmp256", "--balancer", "none", "--epochs", "1"]
+        )
+        assert code == 0
+        assert "instructions/J" in capsys.readouterr().out
+
     def test_run_writes_trace(self, tmp_path, capsys):
         trace = tmp_path / "trace.json"
         main(
