@@ -143,6 +143,12 @@ class PairSample:
     dst: str
     features: np.ndarray
     ipc: float
+    #: OPP level the destination core was running at when the sample
+    #: was taken (``None`` outside governor runs).  Drift detectors are
+    #: binned by it so the residual conditioning error of a scaled OPP
+    #: is never mistaken for nominal-frame model drift — each bin has
+    #: its own error regime.
+    opp_bin: "int | None" = None
 
     @property
     def pair(self) -> "tuple[str, str]":
@@ -198,7 +204,9 @@ class AdaptationController:
         self._power_rls: "dict[str, RLSUpdater]" = {}
         self._holdout: "dict[tuple[str, str], deque]" = {}
         self._power_holdout: "dict[str, deque]" = {}
-        self._detectors: "dict[tuple[str, str], PageHinkley]" = {}
+        #: Keyed by ((src, dst), opp_bin) — non-governor runs only ever
+        #: populate the ``opp_bin=None`` slots.
+        self._detectors: "dict[tuple[tuple[str, str], int | None], PageHinkley]" = {}
         #: Observed measured-IPC band per core type, for range widening.
         self._ipc_seen: "dict[str, tuple[float, float]]" = {}
         self._probation: Optional[_Probation] = None
@@ -258,15 +266,18 @@ class AdaptationController:
             self._power_rls[type_name] = updater
         return updater
 
-    def _detector_for(self, pair: "tuple[str, str]") -> PageHinkley:
-        detector = self._detectors.get(pair)
+    def _detector_for(
+        self, pair: "tuple[str, str]", opp_bin: "int | None" = None
+    ) -> PageHinkley:
+        key = (pair, opp_bin)
+        detector = self._detectors.get(key)
         if detector is None:
             detector = PageHinkley(
                 delta=self.config.drift_delta,
                 threshold=self.config.drift_threshold,
                 min_samples=self.config.drift_min_samples,
             )
-            self._detectors[pair] = detector
+            self._detectors[key] = detector
         return detector
 
     # ------------------------------------------------------------------
@@ -416,12 +427,16 @@ class AdaptationController:
             )
             predicted = active.predict_ipc(sample.src, sample.dst, sample.features)
             error = abs(predicted - sample.ipc) / max(sample.ipc, 1e-9)
-            detector = self._detector_for(pair)
+            detector = self._detector_for(pair, sample.opp_bin)
             already = detector.drifted
             if detector.update(error) and not already:
                 drifted.append(pair)
                 self.drift_detections += 1
                 if oc.enabled:
+                    extra = (
+                        {} if sample.opp_bin is None
+                        else {"opp_bin": sample.opp_bin}
+                    )
                     oc.tracer.emit(
                         obs_events.DRIFT_DETECTED,
                         t_s,
@@ -430,6 +445,7 @@ class AdaptationController:
                         threshold=detector.threshold,
                         samples=detector.samples,
                         epoch=epoch,
+                        **extra,
                     )
                     oc.metrics.inc(
                         f"adaptation.drift_detected[{pair[0]}->{pair[1]}]"
@@ -577,7 +593,13 @@ class AdaptationController:
             # Latched detectors keep proposing re-fits (under cooldown)
             # as fresh evidence accumulates.
             for pair in probation.pairs:
+                # Latch every bin of the pair (plus the canonical
+                # unbinned slot, created on demand): whatever bin
+                # flagged the shift, the rollback un-explains it.
                 self._detector_for(pair).latch()
+                for (other, opp_bin), det in self._detectors.items():
+                    if other == pair and opp_bin is not None:
+                        det.latch()
             self._probation = None
             if oc.enabled:
                 oc.tracer.emit(

@@ -101,6 +101,7 @@ def print_resilience(result) -> None:
 
 
 def cmd_list(args) -> int:
+    from repro.governor.config import GOVERNOR_STRATEGIES
     from repro.runner.factories import catalogue
 
     if getattr(args, "json", False):
@@ -108,6 +109,8 @@ def cmd_list(args) -> int:
         return 0
     user_output("platforms :", ", ".join(sorted(PLATFORMS)), "+ hmp:<n>")
     user_output("balancers :", ", ".join(sorted(BALANCERS) + ["smartbalance"]))
+    user_output("governors :", ", ".join(sorted(GOVERNOR_STRATEGIES)),
+                "+ pinned:<level>")
     user_output("imb       :", ", ".join(IMB_CONFIGS))
     user_output("benchmarks:", ", ".join(sorted(BENCHMARKS)))
     user_output("mixes     :", ", ".join(sorted(MIXES)))
@@ -122,6 +125,7 @@ def cmd_run(args) -> int:
         args.balancer,
         mitigations=not args.no_mitigations,
         adaptation=args.adapt,
+        governor=args.governor,
     )
     plan = make_fault_plan(args, platform)
     obs = ObsContext() if args.trace_out else None
@@ -146,6 +150,18 @@ def cmd_run(args) -> int:
             f"{result.average_ips:.4e} IPS, {result.average_power_w:.3f} W, "
             f"{result.migrations} migrations"
         )
+        if result.governor:
+            gov = result.governor
+            levels = ", ".join(
+                f"{cluster}={level}"
+                for cluster, level in sorted(gov["levels"].items())
+            )
+            user_output(
+                f"governor {gov['strategy']}: {gov['opp_changes']} OPP "
+                f"switches over {gov['epochs']} epochs "
+                f"({gov['transition_energy_j'] * 1e6:.1f} uJ transition "
+                f"energy); final levels {levels}"
+            )
         print_resilience(result)
     if result.degenerate_epochs:
         _log.warning("%d degenerate epoch(s) (zero energy) in this run",
@@ -301,6 +317,7 @@ def cmd_experiments(args) -> int:
         "table4_adapted": lambda: experiments.table4.run_adapted(scale),
         "drift": lambda: experiments.drift.run(scale),
         "fleet": lambda: experiments.fleet.run(scale, jobs=jobs, cache=cache),
+        "governor": lambda: experiments.governor.run(scale, jobs=jobs, cache=cache),
     }
     selected = args.ids or list(registry)
     unknown = [i for i in selected if i not in registry]
@@ -412,6 +429,8 @@ def _spec_payload_from_args(args) -> dict:
         "mitigations": not args.no_mitigations,
         "adaptation": args.adapt,
     }
+    if getattr(args, "governor", "fixed") != "fixed":
+        payload["governor"] = args.governor
     if args.faults:
         payload["faults"] = args.faults
         if args.fault_seed is not None:
@@ -583,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--adapt", action=argparse.BooleanOptionalAction, default=False,
         help="online model maintenance: drift-triggered RLS re-fits "
         "with registry rollback (smartbalance only; default off)",
+    )
+    run.add_argument(
+        "--governor", default="fixed", metavar="STRATEGY",
+        help="joint placement + per-cluster DVFS co-optimisation "
+        "(smartbalance only): fixed (off, default), two_level, "
+        "coupled_anneal or pinned:<level>",
     )
     run.add_argument(
         "--kernel", choices=("soa", "reference"), default="soa",
@@ -803,6 +828,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--adapt", action=argparse.BooleanOptionalAction, default=False,
         help="online model maintenance (smartbalance only; default off)",
+    )
+    submit.add_argument(
+        "--governor", default="fixed", metavar="STRATEGY",
+        help="DVFS governor strategy (smartbalance only; default fixed)",
     )
     submit.add_argument(
         "--priority", type=int, default=0,

@@ -175,6 +175,12 @@ class SmartBalance:
         self.predictor = model
         self._builder = MatrixBuilder(model)
 
+    def _opp_bin_for(self, obs: ThreadObservation) -> "int | None":
+        """OPP level of the observed core, for (pair, bin)-keyed drift
+        detection.  The stock balancer never scales OPPs, so there is
+        nothing to bin by; the governor subclass overrides this."""
+        return None
+
     def _adaptation_step(self, healthy: list[ThreadObservation], view, t_s: float) -> None:
         """Feed this epoch's observations to the adaptation controller
         and adopt whatever model it decides is active afterwards.
@@ -192,7 +198,11 @@ class SmartBalance:
             if prev is not None and prev[0] != dst and obs.ipc_measured > 0:
                 ipc_samples.append(
                     PairSample(
-                        src=prev[0], dst=dst, features=prev[1], ipc=obs.ipc_measured
+                        src=prev[0],
+                        dst=dst,
+                        features=prev[1],
+                        ipc=obs.ipc_measured,
+                        opp_bin=self._opp_bin_for(obs),
                     )
                 )
             if obs.ipc_measured > 0 and obs.power_measured > 0:
@@ -491,6 +501,147 @@ class SmartBalance:
                 )
         return decision
 
+    def _sense_observation(self, view: SystemView):
+        """Sense-phase hook: the raw window observation the sanity
+        checks and predictor consume.
+
+        Subclasses may override to post-process the observation — the
+        governor tier normalises measurements taken at a scaled
+        operating point back into the nominal-frequency frame here,
+        *after* the kernel-side sensing but before any model sees the
+        numbers.
+        """
+        return sense(
+            view, include_kernel_threads=self.config.include_kernel_threads
+        )
+
+    def _optimize(
+        self,
+        view: SystemView,
+        observation,
+        matrices: CharacterisationMatrices,
+        participants: list[ThreadObservation],
+        core_types: list,
+        allowed: "Optional[np.ndarray]",
+        t_s: float,
+        t0: float,
+    ) -> "tuple[Optional[dict[int, int]], Optional[SAResult], float]":
+        """Balance-phase hook: pick the next placement given this
+        epoch's characterisation matrices.
+
+        The base implementation is the paper's pipeline — Eq. 10/11
+        objective + Algorithm 1 annealing + the adoption gate — over a
+        fixed operating point.  The governor tier overrides this to
+        search (allocation, OPP vector) jointly.  Returns
+        ``(placement, sa_result, incumbent_value)``; ``placement`` is
+        ``None`` when the incumbent is kept.
+        """
+        oc = self.obs
+        placement: Optional[dict[int, int]] = None
+        sa_result: Optional[SAResult] = None
+        weights = self.config.core_weights
+        if self.config.thermal_aware and observation.core_temperatures_c:
+            from repro.hardware.thermal import thermal_weights
+
+            weights = thermal_weights(
+                list(observation.core_temperatures_c),
+                knee_c=self.config.thermal_knee_c,
+                zero_c=self.config.thermal_zero_c,
+            )
+        objective = EnergyEfficiencyObjective(
+            ips=matrices.ips,
+            power=matrices.power,
+            utilization=matrices.utilization,
+            idle_power=list(observation.idle_power_w),
+            sleep_power=list(observation.sleep_power_w),
+            weights=weights,
+            mode=self.config.objective_mode,
+            throughput_exponent=self.config.throughput_exponent,
+            allowed=allowed,
+        )
+        incumbent = Allocation.from_mapping(
+            [obs.core_id for obs in participants], n_cores=len(core_types)
+        )
+        incumbent_value = objective.evaluate(incumbent)
+
+        # Epoch time budget: whatever sensing and predicting
+        # consumed is gone; the SA balance phase gets only the
+        # remainder and truncates cleanly when it runs out.
+        sa_config = self.config.sa
+        skipped = False
+        if self.config.epoch_time_budget_s is not None:
+            remaining = self.config.epoch_time_budget_s - (
+                time.perf_counter() - t0
+            )
+            if remaining <= 0:
+                self.health.budget_skipped_epochs += 1
+                if oc.enabled:
+                    oc.tracer.emit(
+                        obs_events.MITIGATION,
+                        t_s,
+                        kind="budget_skip",
+                        cause="epoch_budget_exhausted",
+                    )
+                    oc.metrics.inc("balancer.epoch_budget_overruns")
+                skipped = True
+            else:
+                if sa_config.time_budget_s is not None:
+                    remaining = min(remaining, sa_config.time_budget_s)
+                sa_config = replace(sa_config, time_budget_s=remaining)
+        if not skipped:
+            result = anneal(
+                objective, incumbent, sa_config, keep_trace=oc.enabled
+            )
+            sa_result = result
+            if result.truncated:
+                self.health.truncated_epochs += 1
+                if oc.enabled:
+                    oc.tracer.emit(
+                        obs_events.MITIGATION,
+                        t_s,
+                        kind="sa_truncated",
+                        cause="sa_time_budget",
+                    )
+                    oc.metrics.inc("balancer.truncated_epochs")
+            if oc.enabled:
+                oc.tracer.emit(
+                    obs_events.ANNEAL,
+                    t_s,
+                    epoch=view.epoch_index,
+                    iterations=result.iterations,
+                    accepted=result.accepted_moves,
+                    uphill=result.uphill_accepts,
+                    truncated=result.truncated,
+                    initial_value=result.initial_value,
+                    best_value=result.best_value,
+                    improvement_pct=result.improvement * 100.0,
+                    samples=(
+                        result.trace.samples if result.trace else None
+                    ),
+                )
+                oc.metrics.inc("annealer.runs")
+                oc.metrics.inc("annealer.iterations", result.iterations)
+                oc.metrics.inc(
+                    "annealer.accepted_moves", result.accepted_moves
+                )
+            changes = incumbent.diff(result.best_allocation)
+            # Adoption gate: the predicted gain must clear both
+            # the churn threshold and the warm-up cost of the
+            # migrations it needs.
+            required = (
+                1.0
+                + self.config.min_improvement
+                + self.config.migration_penalty
+                * len(changes)
+                / max(len(participants), 1)
+            )
+            if changes and result.best_value > incumbent_value * required:
+                placement = {
+                    matrices.tids[thread]: core
+                    for thread, core in changes.items()
+                }
+        return placement, sa_result, incumbent_value
+
     def decide(self, view: SystemView) -> BalanceDecision:
         """Run one epoch's sense → predict → balance pass."""
         oc = self.obs
@@ -498,9 +649,7 @@ class SmartBalance:
         t0 = time.perf_counter()
         res = self.config.resilience
         with oc.span("sense") as sense_span:
-            observation = sense(
-                view, include_kernel_threads=self.config.include_kernel_threads
-            )
+            observation = self._sense_observation(view)
             measured = list(observation.measured_threads)
 
             # Sanity-check the samples before they touch the predictor:
@@ -718,107 +867,16 @@ class SmartBalance:
                 placement = self._capability_placement(participants, view, allowed)
                 fallback_mode = True
             else:
-                weights = self.config.core_weights
-                if self.config.thermal_aware and observation.core_temperatures_c:
-                    from repro.hardware.thermal import thermal_weights
-
-                    weights = thermal_weights(
-                        list(observation.core_temperatures_c),
-                        knee_c=self.config.thermal_knee_c,
-                        zero_c=self.config.thermal_zero_c,
-                    )
-                objective = EnergyEfficiencyObjective(
-                    ips=matrices.ips,
-                    power=matrices.power,
-                    utilization=matrices.utilization,
-                    idle_power=list(observation.idle_power_w),
-                    sleep_power=list(observation.sleep_power_w),
-                    weights=weights,
-                    mode=self.config.objective_mode,
-                    throughput_exponent=self.config.throughput_exponent,
-                    allowed=allowed,
+                placement, sa_result, incumbent_value = self._optimize(
+                    view,
+                    observation,
+                    matrices,
+                    participants,
+                    core_types,
+                    allowed,
+                    t_s,
+                    t0,
                 )
-                incumbent = Allocation.from_mapping(
-                    [obs.core_id for obs in participants], n_cores=len(core_types)
-                )
-                incumbent_value = objective.evaluate(incumbent)
-
-                # Epoch time budget: whatever sensing and predicting
-                # consumed is gone; the SA balance phase gets only the
-                # remainder and truncates cleanly when it runs out.
-                sa_config = self.config.sa
-                skipped = False
-                if self.config.epoch_time_budget_s is not None:
-                    remaining = self.config.epoch_time_budget_s - (
-                        time.perf_counter() - t0
-                    )
-                    if remaining <= 0:
-                        self.health.budget_skipped_epochs += 1
-                        if oc.enabled:
-                            oc.tracer.emit(
-                                obs_events.MITIGATION,
-                                t_s,
-                                kind="budget_skip",
-                                cause="epoch_budget_exhausted",
-                            )
-                            oc.metrics.inc("balancer.epoch_budget_overruns")
-                        skipped = True
-                    else:
-                        if sa_config.time_budget_s is not None:
-                            remaining = min(remaining, sa_config.time_budget_s)
-                        sa_config = replace(sa_config, time_budget_s=remaining)
-                if not skipped:
-                    result = anneal(
-                        objective, incumbent, sa_config, keep_trace=oc.enabled
-                    )
-                    sa_result = result
-                    if result.truncated:
-                        self.health.truncated_epochs += 1
-                        if oc.enabled:
-                            oc.tracer.emit(
-                                obs_events.MITIGATION,
-                                t_s,
-                                kind="sa_truncated",
-                                cause="sa_time_budget",
-                            )
-                            oc.metrics.inc("balancer.truncated_epochs")
-                    if oc.enabled:
-                        oc.tracer.emit(
-                            obs_events.ANNEAL,
-                            t_s,
-                            epoch=view.epoch_index,
-                            iterations=result.iterations,
-                            accepted=result.accepted_moves,
-                            uphill=result.uphill_accepts,
-                            truncated=result.truncated,
-                            initial_value=result.initial_value,
-                            best_value=result.best_value,
-                            improvement_pct=result.improvement * 100.0,
-                            samples=(
-                                result.trace.samples if result.trace else None
-                            ),
-                        )
-                        oc.metrics.inc("annealer.runs")
-                        oc.metrics.inc("annealer.iterations", result.iterations)
-                        oc.metrics.inc(
-                            "annealer.accepted_moves", result.accepted_moves
-                        )
-                    changes = incumbent.diff(result.best_allocation)
-                    # Adoption gate: the predicted gain must clear both
-                    # the churn threshold and the warm-up cost of the
-                    # migrations it needs.
-                    required = (
-                        1.0
-                        + self.config.min_improvement
-                        + self.config.migration_penalty
-                        * len(changes)
-                        / max(len(participants), 1)
-                    )
-                    if changes and result.best_value > incumbent_value * required:
-                        placement = {
-                            matrices.tids[thread]: core
-                            for thread, core in changes.items()
-                        }
 
         timings = PhaseTimings(
             sense_s=sense_span.elapsed_s,

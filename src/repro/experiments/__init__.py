@@ -16,7 +16,10 @@ prints the rendered result.  ``run_all()`` regenerates everything.
 | fig7    | per-phase overhead + 2-128 core scalability        |
 | fig8    | SA iterations vs distance-to-optimal + parameters  |
 
-``resilience``, ``drift`` and ``fleet`` are not paper artifacts:
+``resilience``, ``drift``, ``fleet`` and ``governor`` are not paper
+artifacts; ``governor`` sweeps the joint placement + DVFS co-optimiser
+(:mod:`repro.governor`) against fixed-V/f and static-pin baselines.
+Of the rest:
 ``resilience`` measures IPS/W retention under injected faults (sensor,
 counter, migration, hotplug, thermal), mitigated vs unmitigated;
 ``drift`` deploys a predictor trained on a mismatched corpus and
@@ -35,6 +38,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fleet,
+    governor,
     resilience,
     table1,
     table2,
@@ -65,6 +69,7 @@ def run_all(scale: Scale = QUICK) -> list:
         resilience.run(scale),
         drift.run(scale),
         fleet.run(scale),
+        governor.run(scale),
     ]
     return results
 
@@ -94,4 +99,5 @@ __all__ = [
     "resilience",
     "drift",
     "fleet",
+    "governor",
 ]

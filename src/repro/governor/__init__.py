@@ -1,0 +1,32 @@
+"""Joint thread-placement + per-cluster DVFS co-optimisation.
+
+The governor tier extends SmartBalance's sense→predict→balance epoch
+loop to choose *(thread allocation, OPP vector)* jointly: the Eq. 8/9
+predictors are frequency-conditioned onto every rung of each cluster's
+OPP ladder via exact V/f scaling laws, and the Eq. 10/11 objective is
+maximised over the joint space by one of two strategies (an outer
+ladder search around the stock annealer, or a coupled annealer whose
+move set mixes thread swaps with OPP steps).
+
+``governor="fixed"`` (the default everywhere) disables the subsystem:
+runs are byte-identical to the pre-governor pipeline.
+"""
+
+from repro.governor.balancer import GovernorKernelAdapter, GovernorSmartBalance
+from repro.governor.config import (
+    GOVERNOR_STRATEGIES,
+    GovernorConfig,
+    parse_governor,
+)
+from repro.governor.ladder import ClusterLadder, OppChange, build_ladders
+
+__all__ = [
+    "GOVERNOR_STRATEGIES",
+    "ClusterLadder",
+    "GovernorConfig",
+    "GovernorKernelAdapter",
+    "GovernorSmartBalance",
+    "OppChange",
+    "build_ladders",
+    "parse_governor",
+]

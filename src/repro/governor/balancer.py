@@ -1,0 +1,342 @@
+"""SmartBalance with the joint placement + DVFS governor plugged in.
+
+:class:`GovernorSmartBalance` subclasses the epoch loop at its two
+extension points: ``_sense_observation`` normalises scaled-OPP
+measurements back into the nominal frame (so the Eq. 8/9 predictors,
+the sanity checks and the adaptation layer keep operating on the data
+they were characterised for), and ``_optimize`` replaces the
+fixed-OPP balance phase with a joint (allocation, OPP-vector) search.
+
+Adopted OPP switches are queued as
+:class:`~repro.governor.ladder.OppChange` entries; the simulator
+collects them through the adapter's ``take_opp_request()`` hook right
+after applying the placement, so the next sensing window runs at the
+new operating points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.allocation import Allocation
+from repro.core.balancer import SmartBalance
+from repro.core.config import SmartBalanceConfig
+from repro.core.prediction import PredictorModel
+from repro.core.sensing import ThreadObservation
+from repro.governor.config import GovernorConfig
+from repro.governor.ladder import OppChange, build_ladders, opp_change
+from repro.governor.scaling import (
+    ConditionedObjectiveFactory,
+    normalize_observation,
+)
+from repro.governor.strategies import STRATEGIES, SearchContext
+from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
+from repro.kernel.view import SystemView
+from repro.obs import events as obs_events
+
+
+class GovernorSmartBalance(SmartBalance):
+    """The joint governor riding on the stock sense→predict loop."""
+
+    def __init__(
+        self,
+        predictor: PredictorModel,
+        config: "SmartBalanceConfig | None" = None,
+        obs=None,
+        governor: "GovernorConfig | None" = None,
+    ) -> None:
+        super().__init__(predictor, config=config, obs=obs)
+        self.governor = governor or GovernorConfig(strategy="two_level")
+        if self.governor.strategy == "fixed":
+            raise ValueError(
+                "strategy 'fixed' means no governor: use the stock "
+                "SmartBalance/SmartBalanceKernelAdapter instead"
+            )
+        #: Lazily built from the first view's (nominal) platform.
+        self._ladders = None
+        self._levels: tuple[int, ...] = ()
+        self._nominal_by_core: dict[int, object] = {}
+        self._core_cluster_index: dict[int, int] = {}
+        self._nominal_idle: tuple[float, ...] = ()
+        self._nominal_sleep: tuple[float, ...] = ()
+        #: Adopted OPP switches awaiting pickup by the simulator.
+        self._pending_opp: list[OppChange] = []
+        self.governor_stats: dict = {
+            "strategy": self._strategy_label(),
+            "n_points": self.governor.n_points,
+            "epochs": 0,
+            "opp_changes": 0,
+            "candidates_evaluated": 0,
+            "transition_energy_j": 0.0,
+            "transition_latency_s": 0.0,
+            "levels": {},
+        }
+
+    def _strategy_label(self) -> str:
+        if self.governor.strategy == "pinned":
+            return f"pinned:{self.governor.pinned_level}"
+        return self.governor.strategy
+
+    # ------------------------------------------------------------------
+
+    def _ensure_ladders(self, view: SystemView) -> None:
+        if self._ladders is not None:
+            return
+        self._ladders = build_ladders(view.platform, self.governor.n_points)
+        self._levels = tuple(
+            ladder.top for ladder in self._ladders
+        )
+        for index, ladder in enumerate(self._ladders):
+            for i, core_id in enumerate(ladder.core_ids):
+                self._nominal_by_core[core_id] = ladder.nominal_types[i]
+                self._core_cluster_index[core_id] = index
+        self.governor_stats["levels"] = {
+            ladder.cluster: level
+            for ladder, level in zip(self._ladders, self._levels)
+        }
+
+    def take_opp_request(self) -> "list[OppChange]":
+        """Drain the adopted-but-unapplied OPP switches."""
+        pending, self._pending_opp = self._pending_opp, []
+        return pending
+
+    def _opp_bin_for(self, obs: ThreadObservation) -> "int | None":
+        """The OPP level the observed core was running at — the
+        adaptation layer bins its drift detectors by it so a residual
+        shift caused by an OPP change is never mistaken for model
+        drift on the nominal-frame pair."""
+        index = self._core_cluster_index.get(obs.core_id)
+        if index is None:
+            return None
+        return self._levels[index]
+
+    # ------------------------------------------------------------------
+    # Epoch-loop hooks
+    # ------------------------------------------------------------------
+
+    def _sense_observation(self, view: SystemView):
+        observation = super()._sense_observation(view)
+        self._ensure_ladders(view)
+        if not self._nominal_idle:
+            # First epoch runs with every cluster at its top (nominal)
+            # rung, so this observation's firmware-table vectors *are*
+            # the nominal ones — stash them for the normalised frame.
+            self._nominal_idle = tuple(observation.idle_power_w)
+            self._nominal_sleep = tuple(observation.sleep_power_w)
+        if all(
+            level == ladder.top
+            for ladder, level in zip(self._ladders, self._levels)
+        ):
+            return observation
+        return normalize_observation(
+            observation,
+            self._nominal_by_core,
+            self._nominal_idle,
+            self._nominal_sleep,
+        )
+
+    def _optimize(
+        self,
+        view: SystemView,
+        observation,
+        matrices,
+        participants,
+        core_types,
+        allowed,
+        t_s: float,
+        t0: float,
+    ):
+        import time
+        from dataclasses import replace as dc_replace
+
+        oc = self.obs
+        weights = self.config.core_weights
+        if self.config.thermal_aware and observation.core_temperatures_c:
+            from repro.hardware.thermal import thermal_weights
+
+            weights = thermal_weights(
+                list(observation.core_temperatures_c),
+                knee_c=self.config.thermal_knee_c,
+                zero_c=self.config.thermal_zero_c,
+            )
+        factory = ConditionedObjectiveFactory(
+            ips=matrices.ips,
+            power=matrices.power,
+            utilization=matrices.utilization,
+            nominal_types=core_types,
+            nominal_idle_w=self._nominal_idle,
+            nominal_sleep_w=self._nominal_sleep,
+            ladders=self._ladders,
+            weights=weights,
+            mode=self.config.objective_mode,
+            throughput_exponent=self.config.throughput_exponent,
+            allowed=allowed,
+        )
+        incumbent = Allocation.from_mapping(
+            [obs.core_id for obs in participants], n_cores=len(core_types)
+        )
+
+        sa_config = self.config.sa
+        if self.config.epoch_time_budget_s is not None:
+            remaining = self.config.epoch_time_budget_s - (
+                time.perf_counter() - t0
+            )
+            if remaining <= 0:
+                self.health.budget_skipped_epochs += 1
+                if oc.enabled:
+                    oc.tracer.emit(
+                        obs_events.MITIGATION,
+                        t_s,
+                        kind="budget_skip",
+                        cause="epoch_budget_exhausted",
+                    )
+                    oc.metrics.inc("balancer.epoch_budget_overruns")
+                incumbent_value = factory.objective(self._levels).evaluate(
+                    incumbent
+                )
+                return None, None, incumbent_value
+            if sa_config.time_budget_s is not None:
+                remaining = min(remaining, sa_config.time_budget_s)
+            sa_config = dc_replace(sa_config, time_budget_s=remaining)
+
+        ctx = SearchContext(
+            factory=factory,
+            ladders=self._ladders,
+            incumbent=incumbent,
+            current_levels=self._levels,
+            participants=len(participants),
+            sa_config=sa_config,
+            min_improvement=self.config.min_improvement,
+            migration_penalty=self.config.migration_penalty,
+            gov=self.governor,
+            keep_trace=oc.enabled,
+        )
+        outcome = STRATEGIES[self.governor.strategy](ctx)
+        sa_result = outcome.sa_result
+
+        if sa_result is not None:
+            if sa_result.truncated:
+                self.health.truncated_epochs += 1
+                if oc.enabled:
+                    oc.tracer.emit(
+                        obs_events.MITIGATION,
+                        t_s,
+                        kind="sa_truncated",
+                        cause="sa_time_budget",
+                    )
+                    oc.metrics.inc("balancer.truncated_epochs")
+            if oc.enabled:
+                oc.tracer.emit(
+                    obs_events.ANNEAL,
+                    t_s,
+                    epoch=view.epoch_index,
+                    iterations=sa_result.iterations,
+                    accepted=sa_result.accepted_moves,
+                    uphill=sa_result.uphill_accepts,
+                    truncated=sa_result.truncated,
+                    initial_value=sa_result.initial_value,
+                    best_value=sa_result.best_value,
+                    improvement_pct=sa_result.improvement * 100.0,
+                    samples=(
+                        sa_result.trace.samples if sa_result.trace else None
+                    ),
+                )
+                oc.metrics.inc("annealer.runs")
+                oc.metrics.inc("annealer.iterations", sa_result.iterations)
+                oc.metrics.inc(
+                    "annealer.accepted_moves", sa_result.accepted_moves
+                )
+
+        # Adopt the OPP side of the decision: queue one OppChange per
+        # switched cluster for the simulator to apply after the
+        # placement lands.
+        changes: list[OppChange] = []
+        transition_energy = 0.0
+        if outcome.adopted_opp and outcome.levels != self._levels:
+            for index, ladder in enumerate(self._ladders):
+                if outcome.levels[index] != self._levels[index]:
+                    change = opp_change(
+                        ladder,
+                        self._levels[index],
+                        outcome.levels[index],
+                    )
+                    changes.append(change)
+                    transition_energy += change.transition_energy_j
+                    self.governor_stats["transition_latency_s"] += (
+                        change.transition_latency_s
+                    )
+            self._pending_opp.extend(changes)
+            self._levels = outcome.levels
+
+        stats = self.governor_stats
+        stats["epochs"] += 1
+        stats["opp_changes"] += len(changes)
+        stats["candidates_evaluated"] += outcome.candidates_evaluated
+        stats["transition_energy_j"] += transition_energy
+        stats["levels"] = {
+            ladder.cluster: level
+            for ladder, level in zip(self._ladders, self._levels)
+        }
+
+        placement: "Optional[dict[int, int]]" = None
+        if outcome.changes:
+            placement = {
+                matrices.tids[thread]: core
+                for thread, core in outcome.changes.items()
+            }
+
+        if oc.enabled:
+            oc.tracer.emit(
+                obs_events.GOVERNOR_DECISION,
+                t_s,
+                epoch=view.epoch_index,
+                strategy=self._strategy_label(),
+                opp_levels=list(self._levels),
+                candidates_evaluated=outcome.candidates_evaluated,
+                opp_changes=len(changes),
+                incumbent_value=outcome.incumbent_value,
+                best_value=outcome.best_value,
+                transition_energy_j=transition_energy,
+                adopted=bool(placement or changes),
+            )
+            oc.metrics.inc("governor.epochs")
+            if changes:
+                oc.metrics.inc("governor.opp_changes", len(changes))
+
+        return placement, sa_result, outcome.incumbent_value
+
+
+class GovernorKernelAdapter(SmartBalanceKernelAdapter):
+    """Kernel adapter running the governor-extended epoch loop.
+
+    Exposes ``take_opp_request()`` — the simulator polls it (by duck
+    typing) right after applying each placement and re-bases the
+    affected cores, making the OPP change OS-visible from the next
+    period on.
+    """
+
+    def __init__(
+        self,
+        governor: GovernorConfig,
+        predictor: "PredictorModel | None" = None,
+        config: "SmartBalanceConfig | None" = None,
+        epoch_periods: int = 10,
+    ) -> None:
+        super().__init__(
+            predictor=predictor, config=config, epoch_periods=epoch_periods
+        )
+        # Rebuild the engine as the governor variant, reusing the
+        # (possibly freshly trained) predictor from the stock engine.
+        self.engine = GovernorSmartBalance(
+            predictor=self.engine.predictor,
+            config=config,
+            governor=governor,
+        )
+        self.name = f"governor:{self.engine._strategy_label()}"
+
+    def take_opp_request(self) -> "list[OppChange]":
+        return self.engine.take_opp_request()
+
+    @property
+    def governor_stats(self) -> dict:
+        return self.engine.governor_stats

@@ -1,0 +1,166 @@
+"""Per-cluster OPP ladders and applied-type bookkeeping.
+
+A *cluster* shares one V/f knob (per
+:class:`~repro.hardware.platform.Platform` cluster labels), but the
+cores inside it may be heterogeneous: a cluster level ``l`` maps each
+core to *its own nominal type's* OPP-``l`` variant.  The top rung of
+every per-core ladder is the **exact nominal** :class:`CoreType`
+object, not a reconstructed ``"Name@fMHz"`` variant — so a governor
+that never leaves the top level leaves every core type byte-identical
+to a governor-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import dvfs
+from repro.hardware.features import CoreType
+from repro.hardware.platform import Platform
+
+
+@dataclass(frozen=True)
+class ClusterLadder:
+    """One cluster's shared OPP ladder.
+
+    ``types[level][i]`` / ``opps[level][i]`` is the applied core type /
+    operating point of core ``core_ids[i]`` at that level.
+    """
+
+    cluster: str
+    core_ids: tuple[int, ...]
+    nominal_types: tuple[CoreType, ...]
+    types: tuple[tuple[CoreType, ...], ...]
+    opps: tuple[tuple[dvfs.OperatingPoint, ...], ...]
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.types)
+
+    @property
+    def top(self) -> int:
+        """The nominal (highest-frequency) level index."""
+        return self.n_levels - 1
+
+    def freq_mhz(self, level: int) -> float:
+        """Representative cluster frequency: the first core's OPP."""
+        return self.opps[level][0].freq_mhz
+
+    def vdd(self, level: int) -> float:
+        return self.opps[level][0].vdd
+
+    def transition_cost(
+        self, from_level: int, to_level: int
+    ) -> tuple[float, float]:
+        """(dead time s, energy J) of switching the whole cluster.
+
+        Cores change in parallel, so latency is the slowest core's ramp
+        while energy is the sum over cores.
+        """
+        if from_level == to_level:
+            return 0.0, 0.0
+        latency = 0.0
+        energy = 0.0
+        for i, nominal in enumerate(self.nominal_types):
+            old = self.opps[from_level][i]
+            new = self.opps[to_level][i]
+            latency = max(latency, dvfs.transition_latency_s(old, new))
+            energy += dvfs.transition_energy_j(nominal, old, new)
+        return latency, energy
+
+
+@dataclass(frozen=True)
+class OppChange:
+    """One adopted cluster OPP switch, ready for the simulator to apply.
+
+    The simulator duck-types this (``repro.kernel`` never imports the
+    governor): it walks ``core_ids``/``new_types`` and re-bases each
+    core, then emits an ``opp_change`` event from the remaining fields.
+    """
+
+    cluster: str
+    core_ids: tuple[int, ...]
+    new_types: tuple[CoreType, ...]
+    from_level: int
+    to_level: int
+    from_freq_mhz: float
+    to_freq_mhz: float
+    from_vdd: float
+    to_vdd: float
+    transition_latency_s: float
+    transition_energy_j: float
+
+
+def build_ladders(platform: Platform, n_points: int) -> tuple[ClusterLadder, ...]:
+    """One :class:`ClusterLadder` per platform cluster (label-sorted).
+
+    Built from the platform's *nominal* core types, which is what the
+    balancer's ``view.platform`` carries throughout a run regardless of
+    throttle faults or previously applied OPPs.
+    """
+    ladders = []
+    for label in sorted(platform.clusters):
+        cores = platform.clusters[label]
+        core_ids = tuple(core.core_id for core in cores)
+        nominal = tuple(core.core_type for core in cores)
+        per_core_opps = [dvfs.opp_table(ct, n_points) for ct in nominal]
+        per_core_types = []
+        for ct, opps in zip(nominal, per_core_opps):
+            variants = list(dvfs.opp_variants(ct, n_points))
+            # Top rung: the exact nominal object, not a "@"-named clone.
+            variants[-1] = ct
+            per_core_types.append(tuple(variants))
+        levels_types = tuple(
+            tuple(per_core_types[i][lvl] for i in range(len(nominal)))
+            for lvl in range(n_points)
+        )
+        levels_opps = tuple(
+            tuple(per_core_opps[i][lvl] for i in range(len(nominal)))
+            for lvl in range(n_points)
+        )
+        ladders.append(
+            ClusterLadder(
+                cluster=label,
+                core_ids=core_ids,
+                nominal_types=nominal,
+                types=levels_types,
+                opps=levels_opps,
+            )
+        )
+    return tuple(ladders)
+
+
+def applied_types(
+    ladders: "tuple[ClusterLadder, ...]",
+    levels: "tuple[int, ...]",
+    n_cores: int,
+) -> "list[CoreType]":
+    """Per-core applied type list (core-id indexed) for a level vector."""
+    out: list[CoreType | None] = [None] * n_cores
+    for ladder, level in zip(ladders, levels):
+        for i, core_id in enumerate(ladder.core_ids):
+            out[core_id] = ladder.types[level][i]
+    missing = [i for i, t in enumerate(out) if t is None]
+    if missing:
+        raise ValueError(f"cores {missing} belong to no cluster ladder")
+    return out  # type: ignore[return-value]
+
+
+def opp_change(
+    ladder: ClusterLadder, from_level: int, to_level: int
+) -> OppChange:
+    """Materialise one cluster's adopted level switch."""
+    latency, energy = ladder.transition_cost(from_level, to_level)
+    return OppChange(
+        cluster=ladder.cluster,
+        core_ids=ladder.core_ids,
+        new_types=ladder.types[to_level],
+        from_level=from_level,
+        to_level=to_level,
+        from_freq_mhz=ladder.freq_mhz(from_level),
+        to_freq_mhz=ladder.freq_mhz(to_level),
+        from_vdd=ladder.vdd(from_level),
+        to_vdd=ladder.vdd(to_level),
+        transition_latency_s=latency,
+        transition_energy_j=energy,
+    )

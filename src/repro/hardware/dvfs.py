@@ -22,6 +22,9 @@ from typing import Sequence
 
 from repro.hardware.features import CoreType
 from repro.hardware.platform import Platform, build_platform
+from repro.obs.log import get_logger
+
+_log = get_logger("hardware.dvfs")
 
 #: Voltage scaling: V(f) follows a linear law between the type's
 #: nominal point and the minimum operating voltage, the standard
@@ -29,6 +32,17 @@ from repro.hardware.platform import Platform, build_platform
 MIN_OPERATING_VDD = 0.55
 #: Lowest frequency an OPP table goes down to, as a fraction of nominal.
 MIN_FREQ_FRACTION = 0.25
+
+# --- OPP transition model ---------------------------------------------------
+#: Voltage regulator slew rate.  Mobile PMIC buck converters ramp their
+#: output in the few-to-tens of mV/us range; 10 mV/us is a standard
+#: conservative figure.
+VOLTAGE_RAMP_V_PER_S = 10e-3 / 1e-6
+#: PLL relock / clock-switch dead time added to every frequency change.
+PLL_RELOCK_S = 20e-6
+#: Energy drawn from the rail per volt of supply swing per mm^2 of core
+#: area (charging/discharging the distributed decap and rail network).
+TRANSITION_ENERGY_J_PER_V_MM2 = 2e-4
 
 
 @dataclass(frozen=True)
@@ -45,18 +59,37 @@ class OperatingPoint:
             raise ValueError(f"vdd must be positive, got {self.vdd}")
 
 
-def voltage_for_frequency(core_type: CoreType, freq_mhz: float) -> float:
+def voltage_for_frequency(
+    core_type: CoreType, freq_mhz: float, strict: bool = False
+) -> float:
     """Matched supply voltage for a frequency on a type's V/f curve.
 
     Linear interpolation between (``MIN_FREQ_FRACTION`` · f_nom,
     ``MIN_OPERATING_VDD``) and the nominal (f_nom, V_nom) point,
     clamped at the nominal voltage for over-nominal requests.
+
+    The model has no overdrive points: a request *above* nominal cannot
+    be honoured and is clamped to the nominal voltage.  Because silently
+    returning nominal V for an impossible frequency has bitten callers
+    before, the clamp is no longer silent — it logs a warning through
+    the ``repro.hardware.dvfs`` logger, and with ``strict=True`` it
+    raises ``ValueError`` instead.
     """
     if freq_mhz <= 0:
         raise ValueError(f"freq_mhz must be positive, got {freq_mhz}")
     f_nom = core_type.freq_mhz
     f_min = MIN_FREQ_FRACTION * f_nom
-    if freq_mhz >= f_nom:
+    if freq_mhz > f_nom:
+        message = (
+            f"over-nominal frequency request for {core_type.name}: "
+            f"{freq_mhz:g} MHz > nominal {f_nom:g} MHz; the V/f curve "
+            f"has no overdrive points"
+        )
+        if strict:
+            raise ValueError(message)
+        _log.warning("%s (clamping to nominal V=%g)", message, core_type.vdd)
+        return core_type.vdd
+    if freq_mhz == f_nom:
         return core_type.vdd
     if freq_mhz <= f_min:
         return MIN_OPERATING_VDD
@@ -114,6 +147,42 @@ def dvfs_platform(
     return build_platform(
         counts, name=name or f"dvfs-{core_type.name}-{n_cores}"
     )
+
+
+def transition_latency_s(
+    old: OperatingPoint, new: OperatingPoint
+) -> float:
+    """Dead time of one OPP change (seconds).
+
+    Two serial contributions, per the standard cpufreq transition
+    model: the voltage regulator ramps the rail at
+    :data:`VOLTAGE_RAMP_V_PER_S` (up before the frequency rises, down
+    after it falls — either way the core waits out the ramp), then the
+    PLL relocks (:data:`PLL_RELOCK_S`).  A no-op transition costs
+    nothing.
+    """
+    if old == new:
+        return 0.0
+    ramp = abs(new.vdd - old.vdd) / VOLTAGE_RAMP_V_PER_S
+    return ramp + PLL_RELOCK_S
+
+
+def transition_energy_j(
+    core_type: CoreType, old: OperatingPoint, new: OperatingPoint
+) -> float:
+    """Energy overhead of one OPP change on one core (Joules).
+
+    Dominated by re-charging the rail/decap network across the voltage
+    swing (proportional to core area and ``|ΔV|``), plus the leakage
+    burned while the core sits out the transition dead time.
+    """
+    if old == new:
+        return 0.0
+    from repro.hardware import power
+
+    swing = abs(new.vdd - old.vdd) * TRANSITION_ENERGY_J_PER_V_MM2 * core_type.area_mm2
+    stall = transition_latency_s(old, new) * power.leakage_power(core_type)
+    return swing + stall
 
 
 def energy_per_instruction(core_type: CoreType, opps: Sequence[OperatingPoint]):

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.hardware import microarch
-from repro.hardware.features import CoreType
+from repro.hardware.features import BUILTIN_TYPES, CoreType
 
 #: Table 2 peak power targets (Watt) used for calibration.
 TABLE2_PEAK_POWER_W = {
@@ -80,8 +80,22 @@ def effective_capacitance(core: CoreType) -> float:
     For Table 2 types, solved from the published peak power at the
     type's peak IPC; other types fall back to an area-proportional
     default.
+
+    An OPP variant of a calibrated type (``Big@750MHz``, produced by
+    :meth:`CoreType.with_frequency`) is the *same silicon* at a
+    different operating point, so it inherits its base type's
+    calibrated ``C_eff`` — the capacitance is a property of the chip,
+    not of the V/f point.  This keeps power continuous along an OPP
+    ladder: the ladder-top variant dissipates exactly the base type's
+    Table 2 power.  Types whose name carries no ``@`` (including
+    firmware-throttled cores, which keep their nominal name) are
+    resolved exactly as before.
     """
     target = TABLE2_PEAK_POWER_W.get(core.name)
+    if target is None and "@" in core.name:
+        base = BUILTIN_TYPES.get(core.name.split("@", 1)[0])
+        if base is not None:
+            return effective_capacitance(base)
     if target is None:
         return DEFAULT_CEFF_PER_MM2 * core.area_mm2
     dynamic_peak = max(target - leakage_power(core), 1e-6)

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.features import CoreType
 
 #: Ambient/package reference temperature (deg C).
@@ -109,6 +111,65 @@ class ThermalState:
                 f"base leakage must be non-negative, got {base_leakage_w}"
             )
         return base_leakage_w * (leakage_multiplier(self.temp_c) - 1.0)
+
+
+def decay_factor(core: CoreType, dt_s: float) -> float:
+    """The per-step RC decay ``e^(-dt/tau)`` of :meth:`ThermalState.step`.
+
+    Computed through the exact same call chain as the scalar step
+    (``thermal_resistance * thermal_capacitance`` then ``math.exp``) so
+    a cached value is bit-identical to what the step would compute.
+    The kernel engines cache this per (core type, period) — ``tau`` is
+    mathematically uniform across areas, but the float product
+    ``(R/area)·(C·area)`` may differ in the last ulp per area, so the
+    cache must be per type, never global.
+    """
+    if dt_s < 0:
+        raise ValueError(f"dt must be non-negative, got {dt_s}")
+    tau = thermal_time_constant(core)
+    return math.exp(-dt_s / tau) if tau > 0 else 0.0
+
+
+def step_batch(
+    temps_c: np.ndarray,
+    peaks_c: np.ndarray,
+    power_w: np.ndarray,
+    resistance: np.ndarray,
+    decay: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorised :meth:`ThermalState.step` over many cores at once.
+
+    ``resistance`` and ``decay`` are per-core vectors of
+    :func:`thermal_resistance` and :func:`decay_factor` values (cached
+    by the caller — recomputing ``math.exp`` per core per period is
+    what the scalar path spends most of its time on).  Every operation
+    is elementwise, so each lane reproduces the scalar step's float
+    sequence bit for bit; the returned ``(temps, peaks)`` are fresh
+    arrays.
+    """
+    target = AMBIENT_C + power_w * resistance
+    new_temps = target + (temps_c - target) * decay
+    new_peaks = np.maximum(peaks_c, new_temps)
+    return new_temps, new_peaks
+
+
+def extra_leakage_batch(
+    temps_c: np.ndarray, base_leakage_w: np.ndarray
+) -> np.ndarray:
+    """Vectorised :meth:`ThermalState.extra_leakage_w`.
+
+    The leakage multiplier is ``2.0 ** u`` — and neither ``np.exp2``
+    nor ``np.power(2.0, u)`` is bit-identical to CPython's scalar
+    ``2.0 ** u`` (different libm paths), so the transcendental stays a
+    per-element scalar ``**``; everything around it is vectorised.
+    The bit-identity contract of the SoA kernel depends on this: do
+    not "optimise" the loop into ``np.exp2``.
+    """
+    u = (temps_c - AMBIENT_C) / LEAK_DOUBLE_C
+    out = np.zeros_like(temps_c)
+    for i in range(u.size):
+        out[i] = base_leakage_w[i] * (2.0 ** float(u[i]) - 1.0)
+    return out
 
 
 def thermal_weights(

@@ -153,6 +153,11 @@ class RunResult:
     #: Host-side execution telemetry, excluded from the determinism
     #: fingerprint like ``phase_times``.
     attempts: int = 1
+    #: Governor (joint placement + DVFS) accounting — strategy, OPP
+    #: switch counts, final per-cluster levels.  ``None`` for every
+    #: non-governor balancer, and serialised only when present so
+    #: ``governor="fixed"`` results stay byte-identical.
+    governor: "dict | None" = None
 
     @property
     def ips_per_watt(self) -> float:

@@ -394,6 +394,62 @@ class System:
             self.faults.counts.throttle_events += 1
             self.faults._emit("throttle", core=core_id, detail=freq_scale)
 
+    def set_core_base_type(self, core_id: int, core_type) -> None:
+        """Re-base a core onto a governor-chosen operating point.
+
+        Unlike a throttle fault, a DVFS change is *OS-visible*: the new
+        type becomes the core's base, so ``build_view`` reports it and
+        the firmware idle/sleep tables follow.  An active throttle
+        fault keeps its relative frequency scale across the re-base —
+        firmware caps track the commanded clock, not the nominal one.
+        """
+        old_base = self._base_cores[core_id]
+        if old_base.core_type == core_type:
+            return
+        new_base = replace(old_base, core_type=core_type)
+        self._base_cores[core_id] = new_base
+        queue = self.runqueues[core_id]
+        if core_id in self._throttle_until:
+            scale = queue.core.core_type.freq_mhz / old_base.core_type.freq_mhz
+            queue.core = replace(
+                new_base,
+                core_type=replace(
+                    core_type, freq_mhz=core_type.freq_mhz * scale
+                ),
+            )
+        else:
+            queue.core = new_base
+        if self.engine is not None:
+            self.engine.on_core_type_changed(core_id, queue.core.core_type)
+
+    def _apply_opp_changes(self, changes) -> None:
+        """Apply cluster OPP switches adopted by a governor balancer.
+
+        Each entry is duck-typed (``repro.kernel`` never imports the
+        governor package): ``core_ids``/``new_types`` drive the
+        re-base, the remaining fields feed the ``opp_change`` event.
+        """
+        for change in changes:
+            for core_id, new_type in zip(change.core_ids, change.new_types):
+                self.set_core_base_type(core_id, new_type)
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    obs_events.OPP_CHANGE,
+                    self.time_s,
+                    cluster=change.cluster,
+                    epoch=self._view_counter,
+                    from_level=change.from_level,
+                    to_level=change.to_level,
+                    from_freq_mhz=change.from_freq_mhz,
+                    to_freq_mhz=change.to_freq_mhz,
+                    from_vdd=change.from_vdd,
+                    to_vdd=change.to_vdd,
+                    cores=list(change.core_ids),
+                    transition_latency_s=change.transition_latency_s,
+                    transition_energy_j=change.transition_energy_j,
+                )
+                self.obs.metrics.inc("kernel.opp_changes")
+
     def _process_fault_events(self) -> None:
         """Fire every timeline event due at the current simulated time."""
         while self._hotplug_pending and self._hotplug_pending[0].time_s <= self.time_s:
@@ -590,6 +646,14 @@ class System:
                 self._reset_window_accounting()
                 if placement:
                     self.apply_placement(placement)
+                # A governor balancer may have adopted cluster OPP
+                # switches alongside the placement; collect and apply
+                # them so the next window runs at the new points.
+                taker = getattr(self.balancer, "take_opp_request", None)
+                if taker is not None:
+                    opp_changes = taker()
+                    if opp_changes:
+                        self._apply_opp_changes(opp_changes)
                 self._view_counter += 1
                 periods_since_rebalance = 0
 
@@ -794,6 +858,7 @@ class System:
         return RunResult(
             resilience=self._resilience_stats(),
             phase_times=phase_times,
+            governor=getattr(self.balancer, "governor_stats", None),
             balancer_name=self.balancer.name,
             platform_name=self.platform.name,
             duration_s=self.time_s,

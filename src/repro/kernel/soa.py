@@ -45,7 +45,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
-from repro.hardware import microarch, power
+from repro.hardware import microarch, power, thermal
 from repro.hardware.counters import CounterBlock
 from repro.kernel.cfs import (
     CACHE_WARMUP_S,
@@ -144,6 +144,29 @@ class SoaKernel:
         self.core_instr = np.zeros(m)
         self.online = np.array(system._online, dtype=bool)
 
+        # --- per-core thermal state (vectorised ThermalState) ---------------
+        # R and the per-period decay come from the ThermalState's *own*
+        # core type (fixed when the queue was built), matching the
+        # scalar path; base leakage is gathered per current core type
+        # (throttle/OPP changes move it) via ``_ct_leak_w``.
+        self.thermal_temp = np.full(m, thermal.AMBIENT_C)
+        self.thermal_peak = np.full(m, thermal.AMBIENT_C)
+        self._thermal_r = np.zeros(m)
+        self._thermal_decay = np.zeros(m)
+        thermal_ids = []
+        for q in system.runqueues:
+            if q.thermal is None:
+                continue
+            qid = q.core.core_id
+            thermal_ids.append(qid)
+            self.thermal_temp[qid] = q.thermal.temp_c
+            self.thermal_peak[qid] = q.thermal.peak_c
+            self._thermal_r[qid] = thermal.thermal_resistance(q.thermal.core)
+            self._thermal_decay[qid] = thermal.decay_factor(
+                q.thermal.core, system.config.period_s
+            )
+        self._thermal_idx = np.array(sorted(thermal_ids), dtype=np.intp)
+
         # --- registries -----------------------------------------------------
         self._phases: list = []
         self._phase_ids: dict[int, int] = {}
@@ -152,6 +175,7 @@ class SoaKernel:
         self._ct_freq: list[float] = []
         self._ct_idle_w: list[float] = []
         self._ct_sleep_w: list[float] = []
+        self._ct_leak_w: list[float] = []
         self.phase_key = np.zeros(n, dtype=np.int64)
         for i, task in enumerate(tasks):
             self.phase_key[i] = self._register_phase(
@@ -245,6 +269,7 @@ class SoaKernel:
             self._ct_freq.append(ctype.freq_hz)
             self._ct_idle_w.append(power.idle_power(ctype).total_w)
             self._ct_sleep_w.append(power.sleep_power(ctype))
+            self._ct_leak_w.append(power.leakage_power(ctype))
         return idx
 
     def _lookup_rows(self, codes: np.ndarray) -> np.ndarray:
@@ -446,6 +471,9 @@ class SoaKernel:
             q.epoch_energy_j = float(self.q_epoch_energy[qid])
             q.epoch_time_s = float(self.q_epoch_time[qid])
             core_instructions[qid] = float(self.core_instr[qid])
+            if q.thermal is not None:
+                q.thermal.temp_c = float(self.thermal_temp[qid])
+                q.thermal.peak_c = float(self.thermal_peak[qid])
 
     def reset_window_accounting(self) -> None:
         self.t_cnt[:] = 0.0
@@ -666,20 +694,24 @@ class SoaKernel:
 
         # _account(): thermal feedback, then the per-core totals.
         thermal_e_q = np.zeros(m)
-        if self.system.config.thermal_enabled:
-            base_e_q = busy_e_q + idle_e_q + sleep_e_q
-            for q in self.system.runqueues:
-                qid = q.core.core_id
-                if q.thermal is None or not self.online[qid]:
-                    continue
-                base_power = float(base_e_q[qid]) / period_s
-                q.thermal.step(base_power, period_s)
-                powered_fraction = (
-                    float(busy_q[qid]) + float(idle_s_q[qid])
-                ) / period_s
-                base_leak = power.leakage_power(q.core.core_type)
-                thermal_e_q[qid] = (
-                    q.thermal.extra_leakage_w(base_leak)
+        if self.system.config.thermal_enabled and self._thermal_idx.size:
+            idx = self._thermal_idx[self.online[self._thermal_idx]]
+            if idx.size:
+                base_e_q = busy_e_q + idle_e_q + sleep_e_q
+                base_power = base_e_q[idx] / period_s
+                new_t, new_p = thermal.step_batch(
+                    self.thermal_temp[idx],
+                    self.thermal_peak[idx],
+                    base_power,
+                    self._thermal_r[idx],
+                    self._thermal_decay[idx],
+                )
+                self.thermal_temp[idx] = new_t
+                self.thermal_peak[idx] = new_p
+                powered_fraction = (busy_q[idx] + idle_s_q[idx]) / period_s
+                base_leak = np.asarray(self._ct_leak_w)[self.ctype_idx[idx]]
+                thermal_e_q[idx] = (
+                    thermal.extra_leakage_batch(new_t, base_leak)
                     * powered_fraction
                     * period_s
                 )

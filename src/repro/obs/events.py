@@ -56,6 +56,10 @@ DRIFT_DETECTED = "drift_detected"
 MODEL_UPDATE = "model_update"
 #: A committed model failed probation and was rolled back.
 MODEL_ROLLBACK = "model_rollback"
+#: Governor tier: one applied per-cluster operating-point change.
+OPP_CHANGE = "opp_change"
+#: Governor tier: outcome of one joint (allocation, OPP-vector) search.
+GOVERNOR_DECISION = "governor_decision"
 #: Wall-clock per-phase time breakdown (one per run; nondeterministic).
 PHASE_PROFILE = "phase_profile"
 #: Fleet tier: a node joined (or rejoined) the membership view.
@@ -94,6 +98,8 @@ EVENT_TYPES = (
     DRIFT_DETECTED,
     MODEL_UPDATE,
     MODEL_ROLLBACK,
+    OPP_CHANGE,
+    GOVERNOR_DECISION,
     PHASE_PROFILE,
     NODE_UP,
     NODE_DOWN,
@@ -216,7 +222,7 @@ EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
     DEGRADATION: (("state", "cause"), ()),
     DRIFT_DETECTED: (
         ("pair", "statistic", "threshold"),
-        ("epoch", "samples"),
+        ("epoch", "samples", "opp_bin"),
     ),
     MODEL_UPDATE: (
         ("version", "cause", "pairs_updated"),
@@ -231,6 +237,30 @@ EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
     MODEL_ROLLBACK: (
         ("from_version", "to_version", "cause"),
         ("epoch", "fingerprint"),
+    ),
+    OPP_CHANGE: (
+        ("cluster", "from_freq_mhz", "to_freq_mhz"),
+        (
+            "epoch",
+            "from_level",
+            "to_level",
+            "from_vdd",
+            "to_vdd",
+            "cores",
+            "transition_latency_s",
+            "transition_energy_j",
+        ),
+    ),
+    GOVERNOR_DECISION: (
+        ("epoch", "strategy", "opp_levels"),
+        (
+            "candidates_evaluated",
+            "opp_changes",
+            "incumbent_value",
+            "best_value",
+            "transition_energy_j",
+            "adopted",
+        ),
     ),
     PHASE_PROFILE: (("phases",), ()),
     NODE_UP: (("node",), ("platform", "detail")),

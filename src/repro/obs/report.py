@@ -13,6 +13,8 @@ the paper's headline diagnostics:
 * **Resilience pairing** — injected-fault and mitigation counts by kind.
 * **Epoch health** — degenerate-epoch count (epochs whose energy
   accounting made ``ips_per_watt`` meaningless).
+* **Governor** — joint placement + DVFS decision counts and the
+  cluster OPP switch ledger, when the run used ``--governor``.
 * **Fleet** — multi-node dispatch/completion totals and the node
   failure + reroute ledger, when the trace came from a
   :mod:`repro.fleet` run.
@@ -131,6 +133,48 @@ def build_adaptation_summary(events: Iterable[dict]) -> dict:
     }
 
 
+def build_governor_summary(events: Iterable[dict]) -> dict:
+    """Joint placement + DVFS governor activity: decision counts,
+    adoption rate, OPP switch ledger and the per-cluster level
+    trajectory endpoints."""
+    decisions = [e for e in events if e.get("type") == ev.GOVERNOR_DECISION]
+    switches = [e for e in events if e.get("type") == ev.OPP_CHANGE]
+    if not decisions and not switches:
+        return {"decisions": 0, "opp_switches": 0}
+    candidates = [int(e.get("candidates_evaluated") or 0) for e in decisions]
+    return {
+        "decisions": len(decisions),
+        "strategy": str(decisions[0]["strategy"]) if decisions else None,
+        "adopted": sum(1 for e in decisions if e.get("adopted")),
+        "candidates_evaluated_total": sum(candidates),
+        "candidates_evaluated_mean": _mean(candidates),
+        "opp_switches": len(switches),
+        "switches_by_cluster": _count_by(events, ev.OPP_CHANGE, "cluster"),
+        "transition_energy_j": sum(
+            float(e.get("transition_energy_j") or 0.0) for e in switches
+        ),
+        "transition_latency_s": sum(
+            float(e.get("transition_latency_s") or 0.0) for e in switches
+        ),
+        # Last write per cluster; clusters that never switched ran at
+        # their top (nominal) rung throughout and have no entry here.
+        "final_levels": {
+            str(e["cluster"]): int(e["to_level"]) for e in switches
+        },
+        "switch_ledger": [
+            {
+                "t_s": float(e["t_s"]),
+                "cluster": str(e["cluster"]),
+                "from_level": int(e["from_level"]),
+                "to_level": int(e["to_level"]),
+                "from_freq_mhz": float(e["from_freq_mhz"]),
+                "to_freq_mhz": float(e["to_freq_mhz"]),
+            }
+            for e in switches
+        ],
+    }
+
+
 def build_fleet_summary(events: Iterable[dict]) -> dict:
     """Fleet-tier activity: dispatch/completion totals, the node
     failure + recovery ledger, reroute causes and circuit actions.
@@ -219,6 +263,7 @@ def build_report(events: Sequence[dict]) -> dict:
         "mitigations": _count_by(events, ev.MITIGATION, "kind"),
         "degradation_transitions": _count_by(events, ev.DEGRADATION, "state"),
         "adaptation": build_adaptation_summary(events),
+        "governor": build_governor_summary(events),
         "fleet": build_fleet_summary(events),
         "phase_profile": None
         if phase_profile is None
@@ -335,6 +380,40 @@ def render_report(report: dict) -> str:
                 f" cause={row['cause']}"
                 f" pairs={len(row['pairs_updated'])}"
                 f" fp={row.get('fingerprint') or '-'}"
+            )
+
+    governor = report.get("governor") or {}
+    if governor.get("decisions") or governor.get("opp_switches"):
+        lines += _section("Governor (joint placement + DVFS)")
+        lines.append(
+            f"  strategy          {governor.get('strategy') or '?'}"
+        )
+        lines.append(
+            f"  decisions         {governor['decisions']} "
+            f"(adopted {governor.get('adopted', 0)})"
+        )
+        lines.append(
+            "  candidates        "
+            f"total={governor.get('candidates_evaluated_total', 0)} "
+            f"mean={governor.get('candidates_evaluated_mean', 0.0):.1f}"
+        )
+        lines.append(
+            f"  OPP switches      {governor['opp_switches']} "
+            f"(transition energy "
+            f"{governor.get('transition_energy_j', 0.0) * 1e6:.1f} uJ, "
+            f"dead time {governor.get('transition_latency_s', 0.0) * 1e6:.1f} us)"
+        )
+        final = governor.get("final_levels") or {}
+        if final:
+            lines.append(
+                "  final levels      "
+                + ", ".join(f"{k}={v}" for k, v in sorted(final.items()))
+            )
+        for row in governor.get("switch_ledger") or []:
+            lines.append(
+                f"    {row['cluster']:<8} @ {row['t_s']:.3f}s  "
+                f"L{row['from_level']}->L{row['to_level']}  "
+                f"{row['from_freq_mhz']:.0f}->{row['to_freq_mhz']:.0f} MHz"
             )
 
     fleet = report.get("fleet") or {}

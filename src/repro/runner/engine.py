@@ -72,6 +72,7 @@ def execute_spec(spec: RunSpec, obs=None) -> RunResult:
         spec.balancer,
         mitigations=spec.mitigations,
         adaptation=spec.adaptation,
+        governor=spec.governor,
     )
     plan = None
     if spec.faults is not None:

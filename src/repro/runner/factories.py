@@ -10,7 +10,14 @@ these resolvers, so ``python -m repro run --workload MTMI`` and a
 
 from __future__ import annotations
 
-from repro.hardware.platform import Platform, big_little_octa, quad_hmp, scaled_hmp
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL
+from repro.hardware.platform import (
+    Platform,
+    big_little_octa,
+    build_platform,
+    quad_hmp,
+    scaled_hmp,
+)
 from repro.kernel.balancers.base import LoadBalancer, NullBalancer
 from repro.kernel.balancers.gts import GtsBalancer
 from repro.kernel.balancers.iks import IksBalancer
@@ -25,6 +32,21 @@ def _hmp_preset(n_cores: int):
     return build
 
 
+def dvfs_quad() -> Platform:
+    """The paper's quad HMP with one cluster (= one V/f knob) per type.
+
+    The stock ``quad`` preset puts all four cores in one cluster, which
+    gives a DVFS governor a single chip-wide knob; this variant is the
+    same silicon with per-type clustering so the governor gets four
+    independent ladders — the interesting co-optimisation topology.
+    """
+    return build_platform(
+        [(HUGE, 1), (BIG, 1), (MEDIUM, 1), (SMALL, 1)],
+        name="dvfs-quad",
+        cluster_per_type=True,
+    )
+
+
 #: Platform presets reachable from the CLI and from RunSpecs.  The
 #: ``hmp256``/``hmp512``/``hmp1024`` presets pin the Table-2-style
 #: round-robin heterogeneous mixes used by the structure-of-arrays
@@ -37,6 +59,7 @@ PLATFORMS = {
     "hmp256": _hmp_preset(256),
     "hmp512": _hmp_preset(512),
     "hmp1024": _hmp_preset(1024),
+    "dvfsquad": dvfs_quad,
 }
 
 #: Balancer factories reachable from the CLI and from RunSpecs.
@@ -53,7 +76,9 @@ RANDOM_WORKLOAD = "random"
 
 
 def _smart_balancer(
-    mitigations: bool = True, adaptation: bool = False
+    mitigations: bool = True,
+    adaptation: bool = False,
+    governor: str = "fixed",
 ) -> LoadBalancer:
     # Imported lazily: training the default predictor takes a moment
     # and commands like `list` should stay instant.
@@ -62,12 +87,19 @@ def _smart_balancer(
     from repro.kernel.balancers.smart import SmartBalanceKernelAdapter
 
     resilience = ResilienceConfig() if mitigations else ResilienceConfig.disabled()
-    return SmartBalanceKernelAdapter(
-        config=SmartBalanceConfig(
-            resilience=resilience,
-            adaptation=AdaptationConfig(enabled=adaptation),
-        )
+    config = SmartBalanceConfig(
+        resilience=resilience,
+        adaptation=AdaptationConfig(enabled=adaptation),
     )
+    if governor != "fixed":
+        from repro.governor import GovernorKernelAdapter, parse_governor
+
+        try:
+            parsed = parse_governor(governor)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        return GovernorKernelAdapter(parsed, config=config)
+    return SmartBalanceKernelAdapter(config=config)
 
 
 def make_platform(spec: str) -> Platform:
@@ -112,11 +144,14 @@ def catalogue() -> dict:
     from repro.faults import SCENARIOS
     from repro.fleet.faults import FLEET_SCENARIOS
     from repro.fleet.spec import POLICIES
+    from repro.governor.config import GOVERNOR_STRATEGIES
 
     return {
         "platforms": sorted(PLATFORMS),
         "platform_patterns": ["hmp:<n>"],
         "balancers": sorted(BALANCERS) + ["smartbalance"],
+        "governors": sorted(GOVERNOR_STRATEGIES),
+        "governor_patterns": ["pinned:<level>"],
         "workloads": {
             "imb": list(IMB_CONFIGS),
             "benchmarks": sorted(BENCHMARKS),
@@ -138,15 +173,24 @@ def workload_names() -> "set[str]":
 
 
 def make_balancer(
-    name: str, mitigations: bool = True, adaptation: bool = False
+    name: str,
+    mitigations: bool = True,
+    adaptation: bool = False,
+    governor: str = "fixed",
 ) -> LoadBalancer:
     """Resolve a balancer name, including ``smartbalance``.
 
-    ``adaptation`` switches on online model maintenance (smartbalance
-    only; the other balancers have no model to maintain and ignore it).
+    ``adaptation`` switches on online model maintenance and ``governor``
+    the joint placement + DVFS co-optimiser (both smartbalance only;
+    the other balancers have neither a model nor an OPP search).
     """
     if name == "smartbalance":
-        return _smart_balancer(mitigations, adaptation)
+        return _smart_balancer(mitigations, adaptation, governor)
+    if governor != "fixed":
+        raise SystemExit(
+            f"governor {governor!r} requires the smartbalance balancer, "
+            f"got {name!r}"
+        )
     try:
         return BALANCERS[name]()
     except KeyError:

@@ -44,6 +44,13 @@ def result_to_dict(result: RunResult) -> dict:
         ),
         "phase_times": [[name, seconds] for name, seconds in result.phase_times],
         "attempts": result.attempts,
+        # Emitted only when present: governor-free results (the entire
+        # pre-governor corpus) keep their exact dict shape and digest.
+        **(
+            {"governor": result.governor}
+            if result.governor is not None
+            else {}
+        ),
     }
 
 
@@ -69,6 +76,7 @@ def result_from_dict(data: dict) -> RunResult:
             for name, seconds in data.get("phase_times") or ()
         ),
         attempts=int(data.get("attempts", 1)),
+        governor=data.get("governor"),
     )
 
 

@@ -35,7 +35,9 @@ from repro.kernel.simulator import SimulationConfig
 #: vs reference engine) and the reference kernel's per-core
 #: instruction accumulation was restructured (same totals, different
 #: float association), so pre-SoA cache entries are stale.
-CACHE_FORMAT = 5
+#: 6: RunSpec grew the ``governor`` field and RunResult the optional
+#: ``governor`` stats dict.
+CACHE_FORMAT = 6
 
 
 def _code_version() -> str:
@@ -102,6 +104,11 @@ class RunSpec:
     #: :mod:`repro.adaptation`).  Off keeps runs byte-identical to
     #: builds without the adaptation subsystem.
     adaptation: bool = False
+    #: DVFS governor strategy (smartbalance only): ``"fixed"`` (no
+    #: governor — byte-identical to pre-governor builds), ``"two_level"``,
+    #: ``"coupled_anneal"`` or ``"pinned:<level>"``.  Parsed by
+    #: :func:`repro.governor.parse_governor`.
+    governor: str = "fixed"
     #: Simulator knobs.  ``config.seed`` and ``config.faults`` are
     #: ignored in favour of the spec's own fields.
     config: SimulationConfig = field(default_factory=SimulationConfig)
@@ -135,6 +142,7 @@ class RunSpec:
             "fault_seed": self.fault_seed,
             "mitigations": self.mitigations,
             "adaptation": self.adaptation,
+            "governor": self.governor,
             "config": config_fingerprint(self.config),
         }
 
@@ -151,6 +159,8 @@ class RunSpec:
     def label(self) -> str:
         """Compact human-readable id for logs and progress lines."""
         parts = [self.platform, self.workload, f"x{self.threads}", self.balancer]
+        if self.governor != "fixed":
+            parts.append(f"gov={self.governor}")
         if self.faults:
             parts.append(f"faults={self.faults}")
         parts.append(f"seed={self.seed}")

@@ -51,6 +51,7 @@ SPEC_FIELDS = (
     "fault_seed",
     "mitigations",
     "adaptation",
+    "governor",
     "config",
 )
 
@@ -195,6 +196,29 @@ def spec_from_payload(payload: object) -> RunSpec:
     if not isinstance(adaptation, bool):
         raise ApiError("adaptation must be a boolean", field="adaptation")
 
+    governor = payload.get("governor", "fixed")
+    if not isinstance(governor, str):
+        raise ApiError("governor must be a string", field="governor")
+    if governor not in names["governors"]:
+        if governor.startswith("pinned:"):
+            suffix = governor.split(":", 1)[1]
+            if not suffix.isdigit():
+                raise ApiError(
+                    f"malformed governor {governor!r}; use pinned:<level>",
+                    field="governor",
+                )
+        else:
+            raise ApiError(
+                f"unknown governor {governor!r}; one of "
+                f"{names['governors']} or pinned:<level>",
+                field="governor",
+            )
+    if governor != "fixed" and balancer != "smartbalance":
+        raise ApiError(
+            f"governor {governor!r} requires the smartbalance balancer",
+            field="governor",
+        )
+
     config = (
         _config_from_payload(payload["config"])
         if payload.get("config") is not None
@@ -213,6 +237,7 @@ def spec_from_payload(payload: object) -> RunSpec:
             fault_seed=_optional_int(payload, "fault_seed"),
             mitigations=mitigations,
             adaptation=adaptation,
+            governor=governor,
             config=config,
         )
     except ValueError as exc:
@@ -238,6 +263,7 @@ def payload_from_spec(spec: RunSpec) -> dict:
         "fault_seed": spec.fault_seed,
         "mitigations": spec.mitigations,
         "adaptation": spec.adaptation,
+        "governor": spec.governor,
     }
     if spec.config != SimulationConfig():
         config = config_fingerprint(spec.config)

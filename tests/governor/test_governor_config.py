@@ -1,0 +1,66 @@
+"""GovernorConfig validation and CLI spec parsing."""
+
+import pytest
+
+from repro.governor import GOVERNOR_STRATEGIES, GovernorConfig, parse_governor
+
+
+class TestGovernorConfig:
+    def test_defaults_valid(self):
+        config = GovernorConfig(strategy="two_level")
+        assert config.n_points == 4
+        assert config.opp_min_improvement > 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            GovernorConfig(strategy="turbo")
+
+    def test_pinned_requires_level(self):
+        with pytest.raises(ValueError, match="pinned_level"):
+            GovernorConfig(strategy="pinned")
+
+    def test_negative_pinned_level_rejected(self):
+        with pytest.raises(ValueError, match="pinned_level"):
+            GovernorConfig(strategy="pinned", pinned_level=-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_points": 0},
+            {"opp_min_improvement": -0.1},
+            {"inner_iteration_fraction": 0.0},
+            {"inner_iteration_fraction": 1.5},
+            {"max_enumeration": 0},
+            {"opp_move_period": 1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GovernorConfig(strategy="two_level", **kwargs)
+
+
+class TestParseGovernor:
+    @pytest.mark.parametrize("name", ["fixed", "two_level", "coupled_anneal"])
+    def test_bare_strategies(self, name):
+        assert name in GOVERNOR_STRATEGIES
+        assert parse_governor(name).strategy == name
+
+    def test_pinned_with_level(self):
+        config = parse_governor("pinned:2")
+        assert config.strategy == "pinned"
+        assert config.pinned_level == 2
+
+    def test_pinned_without_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            parse_governor("pinned")
+
+    def test_pinned_bad_level_rejected(self):
+        with pytest.raises(ValueError, match="pinned level"):
+            parse_governor("pinned:lowest")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown governor"):
+            parse_governor("ondemand")
+
+    def test_whitespace_tolerated(self):
+        assert parse_governor("  two_level ").strategy == "two_level"

@@ -1,0 +1,95 @@
+"""Cluster OPP ladders: construction, top-rung identity, transitions."""
+
+import pytest
+
+from repro.governor.ladder import applied_types, build_ladders, opp_change
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL
+from repro.hardware.platform import build_platform
+
+
+def quad_clustered():
+    """The dvfsquad shape: one single-core cluster per core type."""
+    return build_platform(
+        [(HUGE, 1), (BIG, 1), (MEDIUM, 1), (SMALL, 1)],
+        name="quad-clustered",
+        cluster_per_type=True,
+    )
+
+
+class TestBuildLadders:
+    def test_one_ladder_per_cluster_sorted(self):
+        platform = quad_clustered()
+        ladders = build_ladders(platform, 4)
+        assert [lad.cluster for lad in ladders] == sorted(platform.clusters)
+        assert all(lad.n_levels == 4 for lad in ladders)
+
+    def test_every_core_covered_exactly_once(self):
+        platform = quad_clustered()
+        ladders = build_ladders(platform, 4)
+        covered = [cid for lad in ladders for cid in lad.core_ids]
+        assert sorted(covered) == [core.core_id for core in platform]
+
+    def test_top_rung_is_exact_nominal_object(self):
+        """The bit-identity contract hangs on this: at the top level
+        the applied type must be the *same* nominal CoreType value, not
+        a reconstructed '@MHz' clone with a different name."""
+        platform = quad_clustered()
+        for ladder in build_ladders(platform, 4):
+            for i, nominal in enumerate(ladder.nominal_types):
+                assert ladder.types[ladder.top][i] is nominal
+
+    def test_levels_ascend_in_frequency(self):
+        for ladder in build_ladders(quad_clustered(), 5):
+            freqs = [ladder.freq_mhz(level) for level in range(ladder.n_levels)]
+            assert freqs == sorted(freqs)
+            assert freqs[-1] == ladder.nominal_types[0].freq_mhz
+
+    def test_heterogeneous_cluster_scales_per_core(self):
+        """A mixed cluster's level-l rung is each core's *own* type at
+        its own ladder — relative heterogeneity is preserved."""
+        platform = build_platform([(BIG, 2), (SMALL, 2)], name="one-knob")
+        (ladder,) = build_ladders(platform, 4)
+        low = ladder.types[0]
+        assert {t.issue_width for t in low} == {BIG.issue_width, SMALL.issue_width}
+        for applied, nominal in zip(low, ladder.nominal_types):
+            assert applied.freq_mhz < nominal.freq_mhz
+
+
+class TestAppliedTypes:
+    def test_round_trip_all_top_is_nominal(self):
+        platform = quad_clustered()
+        ladders = build_ladders(platform, 4)
+        levels = tuple(lad.top for lad in ladders)
+        applied = applied_types(ladders, levels, len(platform))
+        assert applied == [core.core_type for core in platform]
+
+    def test_uncovered_core_rejected(self):
+        ladders = build_ladders(quad_clustered(), 4)
+        with pytest.raises(ValueError, match="no cluster ladder"):
+            applied_types(ladders, tuple(lad.top for lad in ladders), 5)
+
+
+class TestTransitions:
+    def test_same_level_is_free(self):
+        (ladder, *_) = build_ladders(quad_clustered(), 4)
+        assert ladder.transition_cost(2, 2) == (0.0, 0.0)
+
+    def test_costs_positive_and_symmetric_latency(self):
+        (ladder, *_) = build_ladders(quad_clustered(), 4)
+        down = ladder.transition_cost(ladder.top, 0)
+        up = ladder.transition_cost(0, ladder.top)
+        assert down[0] == up[0] > 0.0
+        assert down[1] > 0.0 and up[1] > 0.0
+
+    def test_opp_change_materialisation(self):
+        ladders = build_ladders(quad_clustered(), 4)
+        ladder = ladders[0]
+        change = opp_change(ladder, ladder.top, 1)
+        assert change.cluster == ladder.cluster
+        assert change.core_ids == ladder.core_ids
+        assert change.new_types == ladder.types[1]
+        assert change.from_freq_mhz == ladder.freq_mhz(ladder.top)
+        assert change.to_freq_mhz == ladder.freq_mhz(1)
+        assert change.to_freq_mhz < change.from_freq_mhz
+        assert change.transition_latency_s > 0.0
+        assert change.transition_energy_j > 0.0

@@ -1,0 +1,144 @@
+"""Frequency-conditioning laws: normalisation inverts OPP scaling."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.sensing import ThreadObservation
+from repro.governor.scaling import (
+    dynamic_ratio,
+    freq_ratio,
+    normalize_thread,
+)
+from repro.hardware import power as power_model
+from repro.hardware.counters import DerivedRates
+from repro.hardware.dvfs import opp_table, type_at_opp
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL
+
+CORE_TYPES = (HUGE, BIG, MEDIUM, SMALL)
+
+RATES = DerivedRates(
+    ipc=1.5,
+    mem_share=0.2,
+    branch_share=0.1,
+    branch_miss_rate=0.02,
+    l1i_miss_rate=0.01,
+    l1d_miss_rate=0.03,
+    itlb_miss_rate=0.001,
+    dtlb_miss_rate=0.002,
+    stall_fraction=0.2,
+    ips=1.5e9,
+)
+
+
+def observation_at(core_type, ips, utilization, power_w):
+    return ThreadObservation(
+        tid=1,
+        name="t1",
+        core_id=0,
+        core_type=core_type,
+        utilization=utilization,
+        ips_measured=ips,
+        ipc_measured=RATES.ipc,
+        power_measured=power_w,
+        rates=RATES,
+        busy_time_s=0.004,
+    )
+
+
+class TestRatios:
+    def test_nominal_ratios_are_one(self):
+        assert freq_ratio(BIG, BIG) == 1.0
+        assert dynamic_ratio(BIG, BIG) == 1.0
+
+    def test_scaled_ratios_below_one(self):
+        low = type_at_opp(BIG, opp_table(BIG, 4)[0])
+        assert 0.0 < freq_ratio(BIG, low) < 1.0
+        # Dynamic power falls faster than frequency (V drops too).
+        assert dynamic_ratio(BIG, low) < freq_ratio(BIG, low)
+
+
+class TestNormalizeThread:
+    def test_nominal_observation_is_identity(self):
+        obs = observation_at(BIG, ips=2e9, utilization=0.5, power_w=1.0)
+        assert normalize_thread(obs, BIG) is obs
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        type_index=st.integers(min_value=0, max_value=len(CORE_TYPES) - 1),
+        level=st.integers(min_value=0, max_value=2),
+        ips_nom=st.floats(min_value=1e6, max_value=5e9),
+        util_nom=st.floats(min_value=0.01, max_value=0.9),
+        dyn_w=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_inverts_forward_scaling(
+        self, type_index, level, ips_nom, util_nom, dyn_w
+    ):
+        """Scale a nominal-frame measurement onto a lower OPP with the
+        forward laws, normalise it back, recover the original: ips by
+        1/r (IPC frequency-invariance), utilization by r (demand
+        stretch) and power by the dynamic/leakage separation."""
+        nominal = CORE_TYPES[type_index]
+        applied = type_at_opp(nominal, opp_table(nominal, 4)[level])
+        r = freq_ratio(nominal, applied)
+        s = dynamic_ratio(nominal, applied)
+        leak_nom = power_model.leakage_power(nominal)
+        leak_app = power_model.leakage_power(applied)
+
+        util_scaled = util_nom / r
+        if util_scaled >= 1.0:
+            return  # saturation clips the information away; not invertible
+        scaled = observation_at(
+            applied,
+            ips=ips_nom * r,
+            utilization=util_scaled,
+            power_w=dyn_w * s + leak_app,
+        )
+        recovered = normalize_thread(scaled, nominal)
+        assert recovered.core_type == nominal
+        assert recovered.ips_measured == pytest.approx(ips_nom, rel=1e-12)
+        assert recovered.utilization == pytest.approx(util_nom, rel=1e-12)
+        assert recovered.power_measured == pytest.approx(
+            dyn_w + leak_nom, rel=1e-9, abs=1e-12
+        )
+
+    def test_clock_identity_preserved(self):
+        """After normalisation ips/ipc ≈ f_nom again, so the throttle
+        sanity check keeps working on normalised observations."""
+        nominal = BIG
+        applied = type_at_opp(nominal, opp_table(nominal, 4)[1])
+        ips_scaled = RATES.ipc * applied.freq_mhz * 1e6
+        obs = observation_at(applied, ips=ips_scaled, utilization=0.4, power_w=0.8)
+        recovered = normalize_thread(obs, nominal)
+        clock_hz = recovered.ips_measured / recovered.ipc_measured
+        assert clock_hz == pytest.approx(nominal.freq_mhz * 1e6, rel=1e-9)
+
+    def test_negative_dynamic_power_clamped(self):
+        """Sensor noise can report less than the applied leakage; the
+        nominal-frame power must clamp at zero, not go negative."""
+        nominal = BIG
+        applied = type_at_opp(nominal, opp_table(nominal, 4)[0])
+        leak_app = power_model.leakage_power(applied)
+        obs = observation_at(
+            applied, ips=1e8, utilization=0.3, power_w=0.5 * leak_app
+        )
+        recovered = normalize_thread(obs, nominal)
+        assert recovered.power_measured >= 0.0
+
+    def test_zero_power_passes_through(self):
+        nominal = BIG
+        applied = type_at_opp(nominal, opp_table(nominal, 4)[0])
+        obs = observation_at(applied, ips=1e8, utilization=0.3, power_w=0.0)
+        assert normalize_thread(obs, nominal).power_measured == 0.0
+
+    def test_other_fields_untouched(self):
+        nominal = BIG
+        applied = type_at_opp(nominal, opp_table(nominal, 4)[1])
+        obs = observation_at(applied, ips=1e9, utilization=0.5, power_w=1.0)
+        obs = replace(obs, allowed_cores=frozenset({0, 2}))
+        recovered = normalize_thread(obs, nominal)
+        assert recovered.tid == obs.tid
+        assert recovered.rates is obs.rates
+        assert recovered.busy_time_s == obs.busy_time_s
+        assert recovered.allowed_cores == frozenset({0, 2})

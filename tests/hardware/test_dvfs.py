@@ -1,18 +1,27 @@
 """Tests for the DVFS operating-point extension."""
 
+import logging
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.hardware import microarch, power
 from repro.hardware.dvfs import (
+    MIN_FREQ_FRACTION,
     MIN_OPERATING_VDD,
     OperatingPoint,
     dvfs_platform,
     energy_per_instruction,
     opp_table,
     opp_variants,
+    transition_energy_j,
+    transition_latency_s,
+    type_at_opp,
     voltage_for_frequency,
 )
-from repro.hardware.features import BIG, MEDIUM
+from repro.hardware.features import BIG, HUGE, MEDIUM, SMALL
+
+CORE_TYPES = (HUGE, BIG, MEDIUM, SMALL)
 
 
 class TestVoltageCurve:
@@ -22,13 +31,51 @@ class TestVoltageCurve:
     def test_over_nominal_clamped(self):
         assert voltage_for_frequency(BIG, 2 * BIG.freq_mhz) == BIG.vdd
 
+    def test_over_nominal_clamp_warns(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.hardware.dvfs"):
+            voltage_for_frequency(BIG, 2 * BIG.freq_mhz)
+        assert any("over-nominal" in r.message for r in caplog.records)
+
+    def test_over_nominal_strict_raises(self):
+        with pytest.raises(ValueError, match="over-nominal"):
+            voltage_for_frequency(BIG, 2 * BIG.freq_mhz, strict=True)
+
+    def test_strict_accepts_in_range(self):
+        vdd = voltage_for_frequency(BIG, 0.5 * BIG.freq_mhz, strict=True)
+        assert MIN_OPERATING_VDD < vdd < BIG.vdd
+
     def test_floor_voltage(self):
         assert voltage_for_frequency(BIG, 1.0) == MIN_OPERATING_VDD
+
+    def test_floor_is_min_freq_fraction(self):
+        """The curve bottoms out exactly at MIN_FREQ_FRACTION · f_nom:
+        everything at or below that frequency sits at the minimum
+        operating voltage, anything above it is strictly higher."""
+        f_floor = MIN_FREQ_FRACTION * BIG.freq_mhz
+        assert voltage_for_frequency(BIG, f_floor) == MIN_OPERATING_VDD
+        assert voltage_for_frequency(BIG, 0.5 * f_floor) == MIN_OPERATING_VDD
+        assert voltage_for_frequency(BIG, 1.01 * f_floor) > MIN_OPERATING_VDD
 
     def test_monotone(self):
         freqs = [200, 500, 900, 1200, 1500]
         volts = [voltage_for_frequency(BIG, f) for f in freqs]
         assert volts == sorted(volts)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        type_index=st.integers(min_value=0, max_value=len(CORE_TYPES) - 1),
+        lo=st.floats(min_value=0.01, max_value=1.0),
+        hi=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_monotone_property(self, type_index, lo, hi):
+        """V(f) is non-decreasing over the whole in-range curve, for
+        every core type."""
+        core_type = CORE_TYPES[type_index]
+        f_lo = min(lo, hi) * core_type.freq_mhz
+        f_hi = max(lo, hi) * core_type.freq_mhz
+        assert voltage_for_frequency(core_type, f_lo) <= voltage_for_frequency(
+            core_type, f_hi
+        )
 
     def test_invalid_frequency_rejected(self):
         with pytest.raises(ValueError):
@@ -74,6 +121,29 @@ class TestOppVariants:
         low, *_, high = opp_variants(BIG, 4)
         assert microarch.peak_ips(low) < microarch.peak_ips(high)
 
+    @settings(max_examples=50, deadline=None)
+    @given(
+        type_index=st.integers(min_value=0, max_value=len(CORE_TYPES) - 1),
+        n_points=st.integers(min_value=1, max_value=8),
+    )
+    def test_distinct_core_types_equivalence(self, type_index, n_points):
+        """The paper's Section 3 equivalence, as a property: a core
+        pinned at an OPP is exactly the distinct core type built by
+        re-basing the micro-architecture at that frequency and the V/f
+        curve's matched voltage — same name scheme, same parameters,
+        same voltage as re-deriving it from the base curve."""
+        base = CORE_TYPES[type_index]
+        for opp in opp_table(base, n_points):
+            variant = type_at_opp(base, opp)
+            direct = base.with_frequency(opp.freq_mhz, vdd=opp.vdd)
+            assert variant == direct
+            assert variant.vdd == voltage_for_frequency(base, opp.freq_mhz)
+            assert variant.issue_width == base.issue_width
+            assert variant.area_mm2 == base.area_mm2
+        top = type_at_opp(base, opp_table(base, n_points)[-1])
+        assert top.freq_mhz == base.freq_mhz
+        assert top.vdd == base.vdd
+
 
 class TestDvfsPlatform:
     def test_one_opp_per_core(self):
@@ -86,9 +156,46 @@ class TestDvfsPlatform:
         assert len(platform) == 6
         assert len(platform.core_types) == 3
 
+    def test_round_trip_to_opp_variants(self):
+        """The platform's core types are exactly the OPP-variant types,
+        cycled over the cores in ladder order."""
+        platform = dvfs_platform(BIG, n_cores=6, n_points=3)
+        variants = opp_variants(BIG, 3)
+        for core in platform:
+            assert core.core_type == variants[core.core_id % len(variants)]
+
     def test_invalid_core_count_rejected(self):
         with pytest.raises(ValueError):
             dvfs_platform(MEDIUM, n_cores=0)
+
+
+class TestTransitionModel:
+    def test_noop_transition_is_free(self):
+        (opp,) = opp_table(BIG, 1)
+        assert transition_latency_s(opp, opp) == 0.0
+        assert transition_energy_j(BIG, opp, opp) == 0.0
+
+    def test_latency_symmetric_and_positive(self):
+        low, *_, high = opp_table(BIG, 4)
+        up = transition_latency_s(low, high)
+        down = transition_latency_s(high, low)
+        assert up == down > 0.0
+
+    def test_bigger_swing_costs_more(self):
+        low, mid, _, high = opp_table(BIG, 4)
+        assert transition_latency_s(low, high) > transition_latency_s(mid, high)
+        assert transition_energy_j(BIG, low, high) > transition_energy_j(
+            BIG, mid, high
+        )
+
+    def test_latency_below_epoch_period(self):
+        """The governor applies OPP changes at epoch boundaries and
+        models the dead time as an energy/latency tax rather than
+        stalling the simulation: valid because a full-ladder swing is
+        orders of magnitude shorter than the paper's 6 ms epoch."""
+        epoch_period_s = 6e-3
+        low, *_, high = opp_table(BIG, 4)
+        assert transition_latency_s(low, high) < 0.05 * epoch_period_s
 
 
 class TestEnergyPerInstruction:

@@ -114,6 +114,62 @@ class TestThermalState:
             state.extra_leakage_w(-0.1)
 
 
+class TestVectorisedHelpers:
+    """The batch helpers must be *bit-identical* to the scalar path —
+    the SoA kernel's digest contract depends on it."""
+
+    def test_step_batch_bit_identical(self):
+        import numpy as np
+
+        from repro.hardware.thermal import decay_factor, step_batch
+
+        cores = [HUGE, BIG, SMALL, BIG]
+        dt = 0.006
+        states = [
+            ThermalState(core=c, temp_c=AMBIENT_C + 7.0 * i)
+            for i, c in enumerate(cores)
+        ]
+        temps = np.array([s.temp_c for s in states])
+        peaks = np.array([s.peak_c for s in states])
+        r = np.array([thermal_resistance(c) for c in cores])
+        decay = np.array([decay_factor(c, dt) for c in cores])
+        powers = np.array([0.0, 0.5, 1.3, 2.0])
+        for _ in range(200):
+            temps, peaks = step_batch(temps, peaks, powers, r, decay)
+            for i, state in enumerate(states):
+                state.step(float(powers[i]), dt)
+                assert temps[i] == state.temp_c
+                assert peaks[i] == state.peak_c
+
+    def test_extra_leakage_batch_bit_identical(self):
+        import numpy as np
+
+        from repro.hardware.thermal import extra_leakage_batch
+
+        temps = np.array([AMBIENT_C, 52.3, 61.7, 88.9, 94.99])
+        base = np.array([0.05, 0.1, 0.2, 0.4, 0.8])
+        batch = extra_leakage_batch(temps, base)
+        for i in range(temps.size):
+            state = ThermalState(core=BIG, temp_c=float(temps[i]))
+            assert batch[i] == state.extra_leakage_w(float(base[i]))
+
+    def test_decay_factor_matches_scalar_step(self):
+        from repro.hardware.thermal import decay_factor
+
+        for core in (HUGE, BIG, SMALL):
+            state = ThermalState(core=core, temp_c=70.0)
+            decay = decay_factor(core, 0.006)
+            expected = AMBIENT_C + (state.temp_c - AMBIENT_C) * decay
+            state.step(0.0, 0.006)
+            assert state.temp_c == expected
+
+    def test_decay_factor_rejects_negative_dt(self):
+        from repro.hardware.thermal import decay_factor
+
+        with pytest.raises(ValueError):
+            decay_factor(BIG, -0.001)
+
+
 class TestThermalWeights:
     def test_cool_cores_full_weight(self):
         assert thermal_weights([50.0, 60.0]) == [1.0, 1.0]
@@ -187,6 +243,27 @@ class TestKernelIntegration:
         system = System(quad_hmp(), imb_threads("HTMI", 8), balancer, config)
         result = system.run(n_epochs=10)
         assert result.instructions > 0
+
+    def test_vectorised_thermal_digest_matches_reference(self):
+        """End-to-end lock: the SoA kernel's vectorised thermal path is
+        digest-identical to the reference kernel's scalar ThermalState
+        stepping."""
+        from repro.hardware.platform import quad_hmp
+        from repro.kernel.simulator import SimulationConfig, System
+        from repro.runner.factories import make_balancer
+        from repro.runner.serialize import metrics_digest
+        from repro.workload.synthetic import imb_threads
+
+        digests = {}
+        for kernel in ("reference", "soa"):
+            system = System(
+                quad_hmp(),
+                imb_threads("HTLI", 8),
+                make_balancer("smartbalance"),
+                SimulationConfig(thermal_enabled=True, kernel=kernel),
+            )
+            digests[kernel] = metrics_digest(system.run(n_epochs=6))
+        assert digests["soa"] == digests["reference"]
 
     def test_thermal_aware_conflicts_with_explicit_weights(self):
         from repro.core.config import SmartBalanceConfig
