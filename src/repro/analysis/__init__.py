@@ -14,6 +14,7 @@ from repro.analysis.stats import (
     normalize,
     percent_improvement,
     percentile,
+    percentiles,
     stdev,
 )
 from repro.analysis.tables import format_bar_chart, format_table
@@ -27,6 +28,7 @@ __all__ = [
     "stdev",
     "percent_improvement",
     "percentile",
+    "percentiles",
     "mean_absolute_relative_error",
     "normalize",
     "format_table",

@@ -49,6 +49,28 @@ def percentile(values: Sequence[float], q: float) -> float:
     return values[rank - 1]
 
 
+def percentiles(
+    values: Sequence[float], qs: Sequence[float]
+) -> "list[float]":
+    """Several nearest-rank percentiles from **one** sort.
+
+    Returns ``[percentile(values, q) for q in qs]`` — same ceiling
+    nearest-rank definition, element-for-element identical — but sorts
+    the input once, so tail-latency reporting (p50/p95/p99 over the
+    same sample) pays O(n log n) once instead of per quantile.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    out = []
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        rank = max(1, math.ceil(q * len(ordered)))
+        out.append(ordered[rank - 1])
+    return out
+
+
 def percent_improvement(candidate: float, baseline: float) -> float:
     """Relative improvement of ``candidate`` over ``baseline`` in %."""
     if baseline <= 0:

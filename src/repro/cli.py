@@ -115,6 +115,10 @@ def cmd_list(args) -> int:
     user_output("benchmarks:", ", ".join(sorted(BENCHMARKS)))
     user_output("mixes     :", ", ".join(sorted(MIXES)))
     user_output("faults    :", ", ".join(SCENARIOS))
+    from repro.scenarios import SCENARIO_FAMILIES
+
+    user_output("scenarios :", ", ".join(SCENARIO_FAMILIES),
+                "+ <family>:<key>=<value>,...")
     return 0
 
 
@@ -129,10 +133,27 @@ def cmd_run(args) -> int:
     )
     plan = make_fault_plan(args, platform)
     obs = ObsContext() if args.trace_out else None
+    config = SimulationConfig(seed=args.seed, faults=plan, kernel=args.kernel)
+    scenario_rt = None
+    if getattr(args, "scenario", "none") != "none":
+        from repro.scenarios import build_scenario
+
+        try:
+            workload, scenario_rt = build_scenario(
+                args.scenario,
+                workload,
+                seed=args.seed,
+                period_s=config.period_s,
+                periods_per_epoch=config.periods_per_epoch,
+                n_epochs=args.epochs,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     system = System(
         platform, workload, balancer,
-        SimulationConfig(seed=args.seed, faults=plan, kernel=args.kernel),
+        config,
         obs=obs,
+        scenario=scenario_rt,
     )
     result = system.run(n_epochs=args.epochs)
     if args.json:
@@ -162,6 +183,34 @@ def cmd_run(args) -> int:
                 f"({gov['transition_energy_j'] * 1e6:.1f} uJ transition "
                 f"energy); final levels {levels}"
             )
+        if result.scenario:
+            scen = result.scenario
+            if scen["family"] == "openloop":
+                extra = ""
+                if "latency_p50_s" in scen:
+                    extra = (
+                        f"; p50/p95/p99 = {scen['latency_p50_s'] * 1e3:.1f}/"
+                        f"{scen['latency_p95_s'] * 1e3:.1f}/"
+                        f"{scen['latency_p99_s'] * 1e3:.1f} ms"
+                    )
+                user_output(
+                    f"scenario openloop: {scen['completed']}/{scen['requests']} "
+                    f"requests completed, {scen['slo_misses']} SLO misses "
+                    f"({scen['slo_miss_rate']:.1%}){extra}"
+                )
+            elif scen["family"] == "barrier":
+                makespan = scen["makespan_s"]
+                user_output(
+                    f"scenario barrier: {scen['barriers_released']} barriers "
+                    f"released across {scen['groups']} group(s), "
+                    f"{scen['stall_s']:.3f} s total stall, makespan "
+                    + (f"{makespan:.3f} s" if makespan is not None else "incomplete")
+                )
+            elif scen["family"] == "smt":
+                user_output(
+                    f"scenario smt: cores {scen['smt_cores']} co-running, "
+                    f"{scen['corunners']} background co-runner(s)"
+                )
         print_resilience(result)
     if result.degenerate_epochs:
         _log.warning("%d degenerate epoch(s) (zero energy) in this run",
@@ -318,6 +367,7 @@ def cmd_experiments(args) -> int:
         "drift": lambda: experiments.drift.run(scale),
         "fleet": lambda: experiments.fleet.run(scale, jobs=jobs, cache=cache),
         "governor": lambda: experiments.governor.run(scale, jobs=jobs, cache=cache),
+        "scenarios": lambda: experiments.scenarios.run(scale, jobs=jobs, cache=cache),
     }
     selected = args.ids or list(registry)
     unknown = [i for i in selected if i not in registry]
@@ -431,6 +481,8 @@ def _spec_payload_from_args(args) -> dict:
     }
     if getattr(args, "governor", "fixed") != "fixed":
         payload["governor"] = args.governor
+    if getattr(args, "scenario", "none") != "none":
+        payload["scenario"] = args.scenario
     if args.faults:
         payload["faults"] = args.faults
         if args.fault_seed is not None:
@@ -614,6 +666,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel engine: vectorised structure-of-arrays core (soa, "
         "default) or the object-per-task reference path; both are "
         "digest-identical (see docs/kernel.md)",
+    )
+    run.add_argument(
+        "--scenario", default="none", metavar="SPEC",
+        help="workload scenario (docs/scenarios.md): none (default), "
+        "openloop[:rate=..,slo_ms=..], barrier[:groups=..,members=..] "
+        "or smt[:cores=..,corunners=..]",
     )
     run.add_argument(
         "--json", action="store_true",
@@ -832,6 +890,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--governor", default="fixed", metavar="STRATEGY",
         help="DVFS governor strategy (smartbalance only; default fixed)",
+    )
+    submit.add_argument(
+        "--scenario", default="none", metavar="SPEC",
+        help="workload scenario (default none; see docs/scenarios.md)",
     )
     submit.add_argument(
         "--priority", type=int, default=0,

@@ -16,8 +16,10 @@ prints the rendered result.  ``run_all()`` regenerates everything.
 | fig7    | per-phase overhead + 2-128 core scalability        |
 | fig8    | SA iterations vs distance-to-optimal + parameters  |
 
-``resilience``, ``drift``, ``fleet`` and ``governor`` are not paper
-artifacts; ``governor`` sweeps the joint placement + DVFS co-optimiser
+``resilience``, ``drift``, ``fleet``, ``governor`` and ``scenarios``
+are not paper artifacts; ``scenarios`` sweeps the workload-scenario
+families (:mod:`repro.scenarios`) with the progress- and latency-aware
+balancer variants against stock SmartBalance and the kernel baselines; ``governor`` sweeps the joint placement + DVFS co-optimiser
 (:mod:`repro.governor`) against fixed-V/f and static-pin baselines.
 Of the rest:
 ``resilience`` measures IPS/W retention under injected faults (sensor,
@@ -40,6 +42,7 @@ from repro.experiments import (
     fleet,
     governor,
     resilience,
+    scenarios,
     table1,
     table2,
     table3,
@@ -70,6 +73,7 @@ def run_all(scale: Scale = QUICK) -> list:
         drift.run(scale),
         fleet.run(scale),
         governor.run(scale),
+        scenarios.run(scale),
     ]
     return results
 
@@ -100,4 +104,5 @@ __all__ = [
     "drift",
     "fleet",
     "governor",
+    "scenarios",
 ]

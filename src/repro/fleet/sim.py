@@ -24,7 +24,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.analysis.stats import percentile
+from repro.analysis.stats import percentiles
 from repro.fleet.agent import NodeAgent
 from repro.fleet.dispatcher import Action, Dispatcher
 from repro.fleet.faults import (
@@ -436,6 +436,14 @@ class FleetSim:
 
         stats = self.dispatcher.stats
         throughput = stats.completions / makespan if makespan > 0 else 0.0
+        dispatch_p50, dispatch_p99 = (
+            percentiles(dispatch_latencies, (0.50, 0.99))
+            if dispatch_latencies else (0.0, 0.0)
+        )
+        completion_p50, completion_p99 = (
+            percentiles(completion_latencies, (0.50, 0.99))
+            if completion_latencies else (0.0, 0.0)
+        )
         return FleetResult(
             fleet_key=spec.fleet_key(),
             label=spec.label(),
@@ -450,14 +458,10 @@ class FleetSim:
             wasted_energy_j=max(0.0, total_energy - useful_energy),
             ips_per_watt=(useful_instructions / total_energy
                           if total_energy > 0 else 0.0),
-            dispatch_latency_p50_s=(percentile(dispatch_latencies, 0.50)
-                                    if dispatch_latencies else 0.0),
-            dispatch_latency_p99_s=(percentile(dispatch_latencies, 0.99)
-                                    if dispatch_latencies else 0.0),
-            completion_latency_p50_s=(percentile(completion_latencies, 0.50)
-                                      if completion_latencies else 0.0),
-            completion_latency_p99_s=(percentile(completion_latencies, 0.99)
-                                      if completion_latencies else 0.0),
+            dispatch_latency_p50_s=dispatch_p50,
+            dispatch_latency_p99_s=dispatch_p99,
+            completion_latency_p50_s=completion_p50,
+            completion_latency_p99_s=completion_p99,
             nodes=node_rows,
             stats=stats.to_dict(),
             injections={

@@ -216,14 +216,18 @@ class FleetSpec:
         """The full request stream, in arrival order.
 
         Pure function of the spec: Poisson interarrivals drawn from a
-        private RNG seeded off the fleet seed, identities from
+        private RNG seeded off the fleet seed (through the shared
+        :func:`repro.workload.arrivals.poisson_process`, whose draw
+        order matches the loop that used to live here — the fleet
+        digest regression test pins this), identities from
         :meth:`slot_identity`.
         """
+        from repro.workload.arrivals import poisson_process
+
         rng = random.Random(_derive(self.seed, "arrivals"))
+        times = poisson_process(rng, self.n_requests, self.arrival_rate_hz)
         jobs: "list[FleetJob]" = []
-        now = 0.0
-        for index in range(self.n_requests):
-            now += rng.expovariate(self.arrival_rate_hz)
+        for index, now in enumerate(times):
             slot = index % self.distinct_jobs
             workload, seed = self.slot_identity(slot)
             jobs.append(

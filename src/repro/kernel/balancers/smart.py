@@ -19,8 +19,20 @@ from repro.kernel.balancers.base import LoadBalancer, Placement
 from repro.kernel.view import SystemView
 
 
+#: ``variant -> SmartBalance engine class`` dotted paths, resolved
+#: lazily so importing the adapter never pulls in the variants module.
+_VARIANTS = ("stock", "tpeq", "slo")
+
+
 class SmartBalanceKernelAdapter(LoadBalancer):
-    """SmartBalance as a kernel load balancer."""
+    """SmartBalance as a kernel load balancer.
+
+    ``variant`` selects the optimisation engine: ``"stock"`` is the
+    paper's pipeline, ``"tpeq"`` and ``"slo"`` are the scenario-aware
+    row-scaling variants of :mod:`repro.core.variants` (same sensing,
+    predictor and annealer — they differ only in how the objective
+    weights each thread's predicted-IPS row).
+    """
 
     name = "smartbalance"
 
@@ -29,11 +41,23 @@ class SmartBalanceKernelAdapter(LoadBalancer):
         predictor: Optional[PredictorModel] = None,
         config: Optional[SmartBalanceConfig] = None,
         epoch_periods: int = 10,
+        variant: str = "stock",
     ) -> None:
         if epoch_periods < 1:
             raise ValueError(f"epoch_periods must be >= 1, got {epoch_periods}")
+        if variant not in _VARIANTS:
+            raise ValueError(
+                f"variant must be one of {_VARIANTS}, got {variant!r}"
+            )
         self.interval_periods = epoch_periods
-        self.engine = SmartBalance(
+        if variant == "stock":
+            engine_cls = SmartBalance
+        else:
+            from repro.core.variants import SloAwareBalance, TpeqBalance
+
+            engine_cls = TpeqBalance if variant == "tpeq" else SloAwareBalance
+            self.name = variant
+        self.engine = engine_cls(
             predictor=predictor or default_predictor(),
             config=config,
         )

@@ -127,6 +127,12 @@ class CfsRunQueue:
     def __init__(self, core: Core) -> None:
         self.core = core
         self.tasks: list[Task] = []
+        #: Opt-in SMT mode (set by the SMT co-run scenario before the
+        #: engine is built): the core exposes two hardware threads, so
+        #: the period's time capacity doubles and co-running tasks
+        #: degrade each other through
+        #: :func:`repro.hardware.microarch.estimate`'s contention term.
+        self.smt = False
         #: Optional per-core thermal state (enabled by the simulator).
         self.thermal: Optional[ThermalState] = None
         #: Per-core hardware counters (epoch-scoped, like the tasks').
@@ -190,14 +196,36 @@ class CfsRunQueue:
 
         result.context_switches = len(runnable)
         capacity = max(period_s - CONTEXT_SWITCH_COST_S * len(runnable), 0.0)
+        if self.smt and len(runnable) > 1:
+            # Two hardware threads: twice the thread-seconds per wall
+            # period.  A lone occupant owns the whole core exactly as
+            # on a non-SMT core — the second hardware thread is idle —
+            # so the doubling only applies when the queue is shared.
+            # ``* 2.0`` is exact in binary floating point.
+            capacity = capacity * 2.0
         demands = [t.demanded_fraction(core_type) * period_s for t in runnable]
         weights = [t.weight for t in runnable]
         grants = fair_shares(demands, weights, capacity)
 
-        for task, granted in zip(runnable, grants):
+        # Per-task SMT co-runner pressure, fixed for the period: the
+        # summed memory share of the *other* runnable tasks on this
+        # core, from their phases at period start.  The total runs
+        # left-to-right over run-queue slot order — the SoA kernel
+        # replays it as a masked cumsum row — and ``total - own`` is
+        # exactly 0.0 for a single occupant, so a lone task on an SMT
+        # core sees contention level 0 (the unshared code path).
+        smt_contentions = [0.0] * len(runnable)
+        if self.smt and len(runnable) > 1:
+            mem_shares = [t.current_phase().mem_share for t in runnable]
+            total = 0.0
+            for share in mem_shares:
+                total += share
+            smt_contentions = [min(total - share, 1.0) for share in mem_shares]
+
+        for task, granted, contention in zip(runnable, grants, smt_contentions):
             if granted <= 0:
                 continue
-            slice_result = self._execute_slice(task, granted)
+            slice_result = self._execute_slice(task, granted, contention)
             result.slices.append(slice_result)
             result.busy_s += slice_result.granted_s
             result.busy_energy_j += slice_result.energy_j
@@ -219,12 +247,18 @@ class CfsRunQueue:
         self._account(result)
         return result
 
-    def _execute_slice(self, task: Task, granted_s: float) -> SliceResult:
+    def _execute_slice(
+        self, task: Task, granted_s: float, smt_contention: float = 0.0
+    ) -> SliceResult:
         """Execute one task for ``granted_s`` seconds on this core.
 
         Sub-steps across workload phase boundaries so multi-phase
         threads see per-phase IPC/power.  Decrements migration warm-up
-        as the task executes.
+        as the task executes.  ``smt_contention`` is the period-fixed
+        co-runner pressure on an SMT core (0.0 elsewhere); a barrier
+        stop (:attr:`Task.barrier_stop_instr`) caps the slice exactly
+        like a phase boundary — the default ``inf`` stop keeps every
+        ``min()`` an identity.
 
         Counters accumulate into a slice-local block that is merged
         exactly once into the task's and the core's accumulators when
@@ -239,19 +273,28 @@ class CfsRunQueue:
         instructions = 0.0
         energy = 0.0
         while remaining > 1e-12 and task.state is TaskState.ACTIVE:
+            barrier_room = max(
+                task.barrier_stop_instr - task.progress_instructions, 0.0
+            )
+            if barrier_room <= 0.0:
+                break
             phase = task.current_phase()
             warmup_fraction = (
                 task.warmup_remaining_s / CACHE_WARMUP_S
                 if task.warmup_remaining_s > 0
                 else 0.0
             )
-            perf = microarch.estimate(phase, core_type, warmup_fraction)
+            perf = microarch.estimate(
+                phase, core_type, warmup_fraction, smt_contention
+            )
             ips = perf.ips(core_type)
 
             boundary = task.behavior.schedule.instructions_until_phase_change(
                 task.progress_instructions
             )
-            step_limit_instr = min(boundary, task.remaining_instructions())
+            step_limit_instr = min(
+                boundary, task.remaining_instructions(), barrier_room
+            )
             step_s = remaining
             if step_limit_instr != float("inf") and ips > 0:
                 step_s = min(step_s, step_limit_instr / ips)

@@ -158,6 +158,12 @@ class RunResult:
     #: non-governor balancer, and serialised only when present so
     #: ``governor="fixed"`` results stay byte-identical.
     governor: "dict | None" = None
+    #: Scenario accounting (repro.scenarios) — request latency
+    #: percentiles and SLO misses for open-loop traffic, barrier stall
+    #: totals and makespan for barrier groups, co-running core set for
+    #: SMT.  ``None`` for every scenario-free run, and serialised only
+    #: when present so ``scenario="none"`` results stay byte-identical.
+    scenario: "dict | None" = None
 
     @property
     def ips_per_watt(self) -> float:

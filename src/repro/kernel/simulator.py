@@ -131,11 +131,15 @@ class System:
         balancer: LoadBalancer,
         config: SimulationConfig | None = None,
         obs: Optional[ObsContext] = None,
+        scenario=None,
     ) -> None:
         if not behaviors:
             raise ValueError("need at least one thread behaviour")
         self.platform = platform
         self.balancer = balancer
+        #: Optional scenario runtime (repro.scenarios); drives barrier
+        #: state machines, request-latency accounting and SMT opt-in.
+        self.scenario = scenario
         self.config = config or SimulationConfig()
         self.obs = obs if obs is not None else NULL_OBS
         if obs is not None:
@@ -211,6 +215,12 @@ class System:
             for t in self.tasks
             if t.state is TaskState.PENDING
         )
+        # The scenario attaches before the engine is built: attach-time
+        # state (barrier stops on tasks, SMT flags on run queues) must
+        # be visible to the SoA kernel's construction snapshot so both
+        # kernels start from identical state.
+        if self.scenario is not None:
+            self.scenario.attach(self)
         self.engine = None
         if self.config.kernel == "soa":
             from repro.kernel.soa import SoaKernel
@@ -497,6 +507,11 @@ class System:
             # array state first.  (The noise RNG draw order below is
             # unchanged: tasks in tid order, then cores in id order.)
             self.engine.sync_to_objects()
+        # Scenario observables (progress fractions, SLO slack) ride on
+        # the TaskViews so scenario-aware balancers can weight threads.
+        extras_by_tid: "dict[int, dict]" = (
+            self.scenario.task_extras(self) if self.scenario is not None else {}
+        )
         task_views = []
         for task in self.tasks:
             if task.state is TaskState.PENDING:
@@ -523,6 +538,7 @@ class System:
                     power_w=measured_power,
                     busy_time_s=busy,
                     allowed_cores=task.behavior.allowed_cores,
+                    **extras_by_tid.get(task.tid, {}),
                 )
             )
         core_views = []
@@ -661,6 +677,8 @@ class System:
             self._handle_arrivals()
             period_instr, period_energy = self._simulate_period()
             self._period_counter += 1
+            if self.scenario is not None:
+                self.scenario.on_period(self)
             window_instructions += period_instr
             window_energy += period_energy
             periods_since_rebalance += 1
@@ -859,6 +877,7 @@ class System:
             resilience=self._resilience_stats(),
             phase_times=phase_times,
             governor=getattr(self.balancer, "governor_stats", None),
+            scenario=self.scenario.stats() if self.scenario is not None else None,
             balancer_name=self.balancer.name,
             platform_name=self.platform.name,
             duration_s=self.time_s,

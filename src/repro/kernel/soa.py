@@ -84,6 +84,7 @@ _N_COLS = 13
 _MAX_CTYPES = 1 << 20
 
 _WQ = microarch.WARMUP_QUANTISATION
+_SMT_Q = microarch.SMT_QUANTISATION
 
 
 class SoaKernel:
@@ -132,6 +133,12 @@ class SoaKernel:
             i for i in range(n) if len(self._schedules[i].segments) > 1
         ]
         self.until_boundary = np.full(n, np.inf)
+        #: Next barrier stop per task (``inf`` = none); every ``min``
+        #: against it is then the identity, keeping barrier-free runs
+        #: bit-identical.  Updated through :meth:`set_barrier_stop`.
+        self.barrier_stop = np.array(
+            [t.barrier_stop_instr for t in tasks], dtype=np.float64
+        )
 
         # --- per-core state -------------------------------------------------
         self.c_cnt = np.zeros((m, N_COUNTERS))
@@ -143,6 +150,12 @@ class SoaKernel:
         self.q_epoch_time = np.zeros(m)
         self.core_instr = np.zeros(m)
         self.online = np.array(system._online, dtype=bool)
+        #: Opt-in SMT cores (mirrors ``CfsRunQueue.smt``): doubled
+        #: period capacity, co-runner contention fed to the estimate.
+        self.smt_core = np.zeros(m, dtype=bool)
+        for q in system.runqueues:
+            self.smt_core[q.core.core_id] = bool(q.smt)
+        self._any_smt = bool(self.smt_core.any())
 
         # --- per-core thermal state (vectorised ThermalState) ---------------
         # R and the per-period decay come from the ThermalState's *own*
@@ -170,6 +183,8 @@ class SoaKernel:
         # --- registries -----------------------------------------------------
         self._phases: list = []
         self._phase_ids: dict[int, int] = {}
+        #: ``mem_share`` per registered phase (the SMT contention input).
+        self._phase_mem: list[float] = []
         self._ctypes: list = []
         self._ctype_ids: dict[int, int] = {}
         self._ct_freq: list[float] = []
@@ -255,6 +270,7 @@ class SoaKernel:
         if idx is None:
             idx = len(self._phases)
             self._phases.append(phase)
+            self._phase_mem.append(phase.mem_share)
             self._phase_ids[id(phase)] = idx
         return idx
 
@@ -286,13 +302,17 @@ class SoaKernel:
         new_rows = []
         next_row = self._V.shape[0]
         for code in missing.tolist():
-            wlevel = code % (_WQ + 1)
-            rest = code // (_WQ + 1)
+            smt_level = code % (_SMT_Q + 1)
+            rest = code // (_SMT_Q + 1)
+            wlevel = rest % (_WQ + 1)
+            rest = rest // (_WQ + 1)
             ct_idx = rest % _MAX_CTYPES
             ph_idx = rest // _MAX_CTYPES
             phase = self._phases[ph_idx]
             ctype = self._ctypes[ct_idx]
-            perf = microarch.estimate(phase, ctype, wlevel / _WQ)
+            perf = microarch.estimate(
+                phase, ctype, wlevel / _WQ, smt_level / _SMT_Q
+            )
             new_rows.append(
                 [
                     perf.ipc,
@@ -344,6 +364,23 @@ class SoaKernel:
         self.ctype_idx[core_id] = self._register_ctype(ctype)
         self._demand_ver += 1
         self._ctype_change_ver += 1
+
+    def set_smt(self, core_id: int, smt: bool) -> None:
+        """Flip a core's SMT mode (capacity + contention both change)."""
+        self.smt_core[core_id] = smt
+        self._any_smt = bool(self.smt_core.any())
+        self._struct_ver += 1
+
+    def set_blocked(self, tid: int, blocked: bool) -> None:
+        """Barrier block/release: mirrors ``TaskState.BLOCKED``."""
+        self.active[tid] = not blocked
+        self._struct_ver += 1
+
+    def set_barrier_stop(self, tid: int, stop_instr: float) -> None:
+        """Advance a task's next barrier stop (no cache depends on it:
+        the stop only enters the per-period slice limit, which is
+        recomputed from the arrays every period)."""
+        self.barrier_stop[tid] = stop_instr
 
     def _core_power_rows(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
         cache = self._core_pw_cache
@@ -496,31 +533,10 @@ class SoaKernel:
         # rows below are already positioned at the current progress.
         any_warm = bool((self.warmup > 0.0).any())
 
-        # Per-task perf/demand rows (cached while no warm-up is decaying
-        # and no phase/core-type/placement change occurred — a migration
-        # can move a task onto a different core type, so the structure
-        # version is part of the key).
-        rows_key = (self._struct_ver, self._demand_ver)
-        if any_warm or self._rows_cache is None or self._rows_cache[0] != rows_key:
-            if any_warm:
-                frac = np.clip(
-                    np.where(self.warmup > 0.0, self.warmup / CACHE_WARMUP_S, 0.0),
-                    0.0,
-                    1.0,
-                )
-                wlevel = np.rint(frac * _WQ).astype(np.int64)
-            else:
-                wlevel = np.zeros(n, dtype=np.int64)
-            codes = (
-                self.phase_key * _MAX_CTYPES + self.ctype_idx[self.core_of]
-            ) * (_WQ + 1) + wlevel
-            rows = self._lookup_rows(codes)
-            V = self._V[rows]
-            self._rows_cache = None if any_warm else (rows_key, rows, V)
-        else:
-            _, rows, V = self._rows_cache
-
         # Scheduling structure (who is runnable where) and fair shares.
+        # Built before the perf rows: on SMT cores the per-task
+        # contention level is part of the row code and needs the
+        # run-queue slot layout.
         sched_key = self._struct_ver
         if self._sched_cache is None or self._sched_cache["key"] != sched_key:
             run_m = self.active[self._members] & self.online[self._member_queue]
@@ -530,6 +546,14 @@ class SoaKernel:
             capacity = np.maximum(
                 period_s - CONTEXT_SWITCH_COST_S * nr.astype(np.float64), 0.0
             )
+            if self._any_smt:
+                # Two hardware threads per SMT core, but only when the
+                # queue is shared — a lone occupant owns the core as on
+                # a non-SMT core (matches the reference's conditional
+                # ``capacity * 2.0`` — exact in binary FP).
+                capacity = np.where(
+                    self.smt_core & (nr > 1), capacity * 2.0, capacity
+                )
             if r_mem.size:
                 starts = np.zeros(m, dtype=np.intp)
                 np.cumsum(nr[:-1], out=starts[1:])
@@ -561,6 +585,60 @@ class SoaKernel:
             sc["capacity"], sc["M"], sc["valid"], sc["M_safe"],
         )
 
+        # Per-task SMT contention, fixed for the period: the summed
+        # memory share of the *other* runnable tasks on the same SMT
+        # core.  The per-core total replays the reference's
+        # left-to-right slot-order accumulation as a masked cumsum row;
+        # ``total - own`` is exactly 0.0 for a single occupant.
+        smt_cont: "np.ndarray | None" = None
+        smt_level: "np.ndarray | None" = None
+        if self._any_smt and r_mem.size:
+            mem_t = np.asarray(self._phase_mem)[self.phase_key]
+            mem_pad = np.where(valid, mem_t[M_safe], 0.0)
+            totals = (
+                np.cumsum(mem_pad, axis=1)[:, -1] if mem_pad.shape[1] else
+                np.zeros(m)
+            )
+            smt_cont = np.zeros(n)
+            smt_cont[r_mem] = np.where(
+                self.smt_core[r_q],
+                np.minimum(totals[r_q] - mem_t[r_mem], 1.0),
+                0.0,
+            )
+            # Same half-even rounding as ``microarch.estimate``.
+            smt_level = np.rint(
+                np.clip(smt_cont, 0.0, 1.0) * _SMT_Q
+            ).astype(np.int64)
+
+        # Per-task perf/demand rows (cached while no warm-up is decaying
+        # and no phase/core-type/placement change occurred — a migration
+        # can move a task onto a different core type, so the structure
+        # version is part of the key; SMT contention only moves with
+        # the phase/membership state the key already covers).
+        rows_key = (self._struct_ver, self._demand_ver)
+        if any_warm or self._rows_cache is None or self._rows_cache[0] != rows_key:
+            if any_warm:
+                frac = np.clip(
+                    np.where(self.warmup > 0.0, self.warmup / CACHE_WARMUP_S, 0.0),
+                    0.0,
+                    1.0,
+                )
+                wlevel = np.rint(frac * _WQ).astype(np.int64)
+            else:
+                wlevel = np.zeros(n, dtype=np.int64)
+            codes = (
+                (self.phase_key * _MAX_CTYPES + self.ctype_idx[self.core_of])
+                * (_WQ + 1)
+                + wlevel
+            ) * (_SMT_Q + 1)
+            if smt_level is not None:
+                codes = codes + smt_level
+            rows = self._lookup_rows(codes)
+            V = self._V[rows]
+            self._rows_cache = None if any_warm else (rows_key, rows, V)
+        else:
+            _, rows, V = self._rows_cache
+
         demand_t = V[:, _DEMAND]
         gkey = (self._struct_ver, self._demand_ver)
         if self._grants_cache is not None and self._grants_cache[0] == gkey:
@@ -577,6 +655,12 @@ class SoaKernel:
             limit = np.minimum(
                 self.until_boundary,
                 np.maximum(self.behavior_total - self.progress, 0.0),
+            )
+            # Barrier stop: ``inf`` (no barrier) keeps the minimum an
+            # identity; a near stop forces the slow path, which breaks
+            # at the barrier exactly like the reference slice loop.
+            limit = np.minimum(
+                limit, np.maximum(self.barrier_stop - self.progress, 0.0)
             )
             limit_over_ips = limit / ips_t
         runnable_t = np.zeros(n, dtype=bool)
@@ -626,7 +710,12 @@ class SoaKernel:
 
         if slow.any():
             for t in np.nonzero(slow)[0].tolist():
-                self._execute_slow(int(t), float(granted[t]), S, E, gu, exited)
+                contention = (
+                    float(smt_cont[t]) if smt_cont is not None else 0.0
+                )
+                self._execute_slow(
+                    int(t), float(granted[t]), S, E, gu, exited, contention
+                )
 
         # Merge once per task (matches the reference's slice-local merge).
         self.t_cnt += S
@@ -747,9 +836,12 @@ class SoaKernel:
             if changed.any():
                 ids = self._multi_idx[changed]
                 codes = (
-                    self.phase_key[ids] * _MAX_CTYPES
-                    + self.ctype_idx[self.core_of[ids]]
-                ) * (_WQ + 1)
+                    (
+                        self.phase_key[ids] * _MAX_CTYPES
+                        + self.ctype_idx[self.core_of[ids]]
+                    )
+                    * (_WQ + 1)
+                ) * (_SMT_Q + 1)
                 # Two statements: _lookup_rows may grow (rebind) _V.
                 rows2 = self._lookup_rows(codes)
                 demand_post = demand_t.copy()
@@ -827,15 +919,17 @@ class SoaKernel:
         E: np.ndarray,
         gu: np.ndarray,
         exited: np.ndarray,
+        smt_contention: float = 0.0,
     ) -> None:
         """Mirror of ``CfsRunQueue._execute_slice`` for one task.
 
-        Runs when a slice sub-steps (phase boundary or exit inside the
-        slice) — the identical scalar float sequence, reading/writing
-        the arrays instead of a Task object.
+        Runs when a slice sub-steps (phase boundary, exit or barrier
+        stop inside the slice) — the identical scalar float sequence,
+        reading/writing the arrays instead of a Task object.
         """
         schedule = self._schedules[t]
         total = float(self.behavior_total[t])
+        stop = float(self.barrier_stop[t])
         ctype = self._ctypes[self.ctype_idx[self.core_of[t]]]
         progress = float(self.progress[t])
         warmup = float(self.warmup[t])
@@ -845,13 +939,20 @@ class SoaKernel:
         energy = 0.0
         is_active = True
         while remaining > 1e-12 and is_active:
+            barrier_room = max(stop - progress, 0.0)
+            if barrier_room <= 0.0:
+                break
             phase = schedule.phase_at(progress)
             warmup_fraction = warmup / CACHE_WARMUP_S if warmup > 0 else 0.0
-            perf = microarch.estimate(phase, ctype, warmup_fraction)
+            perf = microarch.estimate(
+                phase, ctype, warmup_fraction, smt_contention
+            )
             ips = perf.ips(ctype)
 
             boundary = schedule.instructions_until_phase_change(progress)
-            step_limit_instr = min(boundary, max(total - progress, 0.0))
+            step_limit_instr = min(
+                boundary, max(total - progress, 0.0), barrier_room
+            )
             step_s = remaining
             if step_limit_instr != float("inf") and ips > 0:
                 step_s = min(step_s, step_limit_instr / ips)

@@ -32,6 +32,10 @@ class TaskState(enum.Enum):
     #: Arrived and schedulable (may still sleep part of each period —
     #: the duty cycle lives in the workload phase).
     ACTIVE = "active"
+    #: Waiting at a synchronisation barrier (``TASK_UNINTERRUPTIBLE``):
+    #: not runnable, demands nothing, utilisation frozen.  Entered and
+    #: released by the scenario runtime's barrier state machine.
+    BLOCKED = "blocked"
     #: Retired all its instructions.
     EXITED = "exited"
 
@@ -52,6 +56,12 @@ class Task:
     #: Remaining cache warm-up wall time after a migration (seconds of
     #: own execution).
     warmup_remaining_s: float = 0.0
+    #: Progress point (instructions) at which the task hits its next
+    #: synchronisation barrier and must stop executing; ``inf`` (the
+    #: default) means no barrier, and every ``min()`` it joins is then
+    #: the identity — barrier-free runs are bit-identical to before the
+    #: field existed.  Advanced by the barrier scenario on release.
+    barrier_stop_instr: float = float("inf")
     #: Per-epoch hardware counters (reset at each sensing boundary).
     counters: CounterBlock = field(default_factory=CounterBlock)
     #: Per-epoch attributed energy (Joule) while this task ran.

@@ -47,6 +47,15 @@ class TaskView:
     busy_time_s: float
     #: cpuset affinity (core ids); None = any core.
     allowed_cores: "frozenset[int] | None" = None
+    #: Scenario observable: fraction of the thread's total barrier work
+    #: completed, for progress-equalising placement.  ``None`` for
+    #: every thread outside a barrier scenario.
+    progress_frac: "float | None" = None
+    #: Scenario observable: remaining fraction of a request's latency
+    #: budget (1 at arrival, 0 at the deadline, clamped at -1 when
+    #: overdue).  ``None`` for every thread outside an open-loop
+    #: scenario.
+    slo_slack_frac: "float | None" = None
 
     @property
     def has_measurement(self) -> bool:

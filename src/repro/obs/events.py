@@ -80,6 +80,13 @@ FLEET_DISPATCH = "fleet_dispatch"
 #: Fleet tier: a node reported one job finished (possibly a duplicate
 #: of an already-completed hedged job).
 FLEET_COMPLETE = "fleet_complete"
+#: Scenario tier: an open-loop request thread became runnable.
+REQUEST_ARRIVED = "request_arrived"
+#: Scenario tier: an open-loop request finished, with its latency and
+#: SLO verdict.
+REQUEST_COMPLETED = "request_completed"
+#: Scenario tier: one barrier release, with the group's summed stall.
+BARRIER_STALL = "barrier_stall"
 
 EVENT_TYPES = (
     RUN_START,
@@ -109,6 +116,9 @@ EVENT_TYPES = (
     CIRCUIT_CLOSE,
     FLEET_DISPATCH,
     FLEET_COMPLETE,
+    REQUEST_ARRIVED,
+    REQUEST_COMPLETED,
+    BARRIER_STALL,
 )
 
 #: Event types whose payload depends only on the simulation (never on
@@ -277,6 +287,12 @@ EVENT_SCHEMA: "dict[str, tuple[tuple[str, ...], tuple[str, ...]]]" = {
         ("job", "node"),
         ("attempt", "duplicate", "latency_s"),
     ),
+    REQUEST_ARRIVED: (("tid",), ("name",)),
+    REQUEST_COMPLETED: (
+        ("tid", "latency_s"),
+        ("slo_s", "slo_miss", "name"),
+    ),
+    BARRIER_STALL: (("group", "barrier"), ("stall_s", "waiters")),
 }
 
 

@@ -235,6 +235,46 @@ def build_fleet_summary(events: Iterable[dict]) -> dict:
     }
 
 
+def build_scenario_summary(events: Iterable[dict]) -> dict:
+    """Scenario-tier activity: request latency percentiles and SLO
+    misses (open-loop traffic) plus barrier release/stall totals."""
+    events = list(events)
+    completes = [
+        e for e in events if e.get("type") == ev.REQUEST_COMPLETED
+    ]
+    arrivals = sum(
+        1 for e in events if e.get("type") == ev.REQUEST_ARRIVED
+    )
+    stalls = [e for e in events if e.get("type") == ev.BARRIER_STALL]
+    summary: dict = {
+        "requests_arrived": arrivals,
+        "requests_completed": len(completes),
+        "barriers_released": len(stalls),
+    }
+    if completes:
+        from repro.analysis.stats import percentiles
+
+        latencies = [float(e["latency_s"]) for e in completes]
+        p50, p95, p99 = percentiles(latencies, (0.50, 0.95, 0.99))
+        misses = sum(1 for e in completes if e.get("slo_miss"))
+        summary.update(
+            latency_p50_s=p50,
+            latency_p95_s=p95,
+            latency_p99_s=p99,
+            latency_mean_s=_mean(latencies),
+            slo_misses=misses,
+            slo_miss_rate=misses / len(completes),
+        )
+    if stalls:
+        summary.update(
+            barrier_stall_s=sum(float(e.get("stall_s") or 0.0) for e in stalls),
+            barrier_stalls_by_group=_count_by(
+                events, ev.BARRIER_STALL, "group"
+            ),
+        )
+    return summary
+
+
 def build_report(events: Sequence[dict]) -> dict:
     """Aggregate one event stream into the full diagnostic report."""
     run_end = next((e for e in events if e.get("type") == ev.RUN_END), None)
@@ -265,6 +305,7 @@ def build_report(events: Sequence[dict]) -> dict:
         "adaptation": build_adaptation_summary(events),
         "governor": build_governor_summary(events),
         "fleet": build_fleet_summary(events),
+        "scenario": build_scenario_summary(events),
         "phase_profile": None
         if phase_profile is None
         else dict(phase_profile.get("phases") or {}),
@@ -460,6 +501,41 @@ def render_report(report: dict) -> str:
                 "  reroutes:         "
                 + ", ".join(f"{k}={v}" for k, v in causes.items())
             )
+
+    scenario = report.get("scenario") or {}
+    if (
+        scenario.get("requests_completed")
+        or scenario.get("requests_arrived")
+        or scenario.get("barriers_released")
+    ):
+        lines += _section("Scenario (workload scenarios)")
+        if scenario.get("requests_arrived") or scenario.get("requests_completed"):
+            lines.append(
+                f"  requests:         {scenario.get('requests_completed', 0)} "
+                f"completed / {scenario.get('requests_arrived', 0)} arrived"
+            )
+        if "latency_p50_s" in scenario:
+            lines.append(
+                "  latency:          "
+                f"p50={scenario['latency_p50_s'] * 1e3:.2f}ms "
+                f"p95={scenario['latency_p95_s'] * 1e3:.2f}ms "
+                f"p99={scenario['latency_p99_s'] * 1e3:.2f}ms"
+            )
+            lines.append(
+                f"  SLO misses:       {scenario['slo_misses']} "
+                f"({scenario['slo_miss_rate']:.1%})"
+            )
+        if scenario.get("barriers_released"):
+            lines.append(
+                f"  barriers:         {scenario['barriers_released']} released, "
+                f"{scenario.get('barrier_stall_s', 0.0):.4f}s total stall"
+            )
+            by_group = scenario.get("barrier_stalls_by_group") or {}
+            if by_group:
+                lines.append(
+                    "  releases by group: "
+                    + ", ".join(f"{k}={v}" for k, v in sorted(by_group.items()))
+                )
 
     phases = report.get("phase_profile")
     if phases:

@@ -27,7 +27,12 @@ from repro.kernel.simulator import System
 from repro.obs.log import get_logger
 from repro.runner.cache import ResultCache
 from repro.runner.env import JOBS_ENV, resolve_jobs  # noqa: F401 (re-export)
-from repro.runner.factories import make_balancer, make_platform, make_workload
+from repro.runner.factories import (
+    SMART_BALANCERS,
+    make_balancer,
+    make_platform,
+    make_workload,
+)
 from repro.runner.spec import RunSpec
 
 _log = get_logger("runner.engine")
@@ -68,6 +73,18 @@ def execute_spec(spec: RunSpec, obs=None) -> RunResult:
     platform = make_platform(spec.platform)
     workload_seed = spec.workload_seed if spec.workload_seed is not None else spec.seed
     workload = make_workload(spec.workload, spec.threads, workload_seed)
+    scenario_rt = None
+    if spec.scenario != "none":
+        from repro.scenarios import build_scenario
+
+        workload, scenario_rt = build_scenario(
+            spec.scenario,
+            workload,
+            seed=workload_seed,
+            period_s=spec.config.period_s,
+            periods_per_epoch=spec.config.periods_per_epoch,
+            n_epochs=spec.n_epochs,
+        )
     balancer = make_balancer(
         spec.balancer,
         mitigations=spec.mitigations,
@@ -86,7 +103,9 @@ def execute_spec(spec: RunSpec, obs=None) -> RunResult:
             duration_s=spec.n_epochs * spec.config.epoch_s,
         )
     config = dataclasses.replace(spec.config, seed=spec.seed, faults=plan)
-    system = System(platform, workload, balancer, config, obs=obs)
+    system = System(
+        platform, workload, balancer, config, obs=obs, scenario=scenario_rt
+    )
     return system.run(n_epochs=spec.n_epochs)
 
 
@@ -245,7 +264,7 @@ def run_specs(
         pending.append((index, spec, trace_dir))
 
     if pending:
-        needs_predictor = any(s.balancer == "smartbalance" for _, s, _ in pending)
+        needs_predictor = any(s.balancer in SMART_BALANCERS for _, s, _ in pending)
         if jobs > 1 and len(pending) > 1:
             if needs_predictor:
                 _warm_shared_state()

@@ -74,11 +74,17 @@ BALANCERS = {
 #: resilience experiment and integration tests.
 RANDOM_WORKLOAD = "random"
 
+#: SmartBalance-pipeline balancers: the stock engine plus the
+#: scenario-aware variants (repro.core.variants).  All three share the
+#: predictor, so sweeps warm it whenever any of them is queued.
+SMART_BALANCERS = ("smartbalance", "tpeq", "slo")
+
 
 def _smart_balancer(
     mitigations: bool = True,
     adaptation: bool = False,
     governor: str = "fixed",
+    variant: str = "stock",
 ) -> LoadBalancer:
     # Imported lazily: training the default predictor takes a moment
     # and commands like `list` should stay instant.
@@ -92,6 +98,11 @@ def _smart_balancer(
         adaptation=AdaptationConfig(enabled=adaptation),
     )
     if governor != "fixed":
+        if variant != "stock":
+            raise SystemExit(
+                f"balancer variant {variant!r} cannot be combined with a "
+                "DVFS governor"
+            )
         from repro.governor import GovernorKernelAdapter, parse_governor
 
         try:
@@ -99,7 +110,7 @@ def _smart_balancer(
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
         return GovernorKernelAdapter(parsed, config=config)
-    return SmartBalanceKernelAdapter(config=config)
+    return SmartBalanceKernelAdapter(config=config, variant=variant)
 
 
 def make_platform(spec: str) -> Platform:
@@ -145,11 +156,12 @@ def catalogue() -> dict:
     from repro.fleet.faults import FLEET_SCENARIOS
     from repro.fleet.spec import POLICIES
     from repro.governor.config import GOVERNOR_STRATEGIES
+    from repro.scenarios import scenario_catalogue
 
     return {
         "platforms": sorted(PLATFORMS),
         "platform_patterns": ["hmp:<n>"],
-        "balancers": sorted(BALANCERS) + ["smartbalance"],
+        "balancers": sorted(BALANCERS) + sorted(SMART_BALANCERS),
         "governors": sorted(GOVERNOR_STRATEGIES),
         "governor_patterns": ["pinned:<level>"],
         "workloads": {
@@ -159,6 +171,7 @@ def catalogue() -> dict:
             "special": [RANDOM_WORKLOAD],
         },
         "faults": list(SCENARIOS),
+        "scenarios": scenario_catalogue(),
         "fleet": {
             "policies": list(POLICIES),
             "faults": list(FLEET_SCENARIOS),
@@ -184,8 +197,9 @@ def make_balancer(
     the joint placement + DVFS co-optimiser (both smartbalance only;
     the other balancers have neither a model nor an OPP search).
     """
-    if name == "smartbalance":
-        return _smart_balancer(mitigations, adaptation, governor)
+    if name in SMART_BALANCERS:
+        variant = "stock" if name == "smartbalance" else name
+        return _smart_balancer(mitigations, adaptation, governor, variant)
     if governor != "fixed":
         raise SystemExit(
             f"governor {governor!r} requires the smartbalance balancer, "
@@ -196,5 +210,5 @@ def make_balancer(
     except KeyError:
         raise SystemExit(
             f"unknown balancer {name!r}; use one of "
-            f"{sorted(BALANCERS) + ['smartbalance']}"
+            f"{sorted(BALANCERS) + list(SMART_BALANCERS)}"
         ) from None

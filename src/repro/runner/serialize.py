@@ -51,6 +51,12 @@ def result_to_dict(result: RunResult) -> dict:
             if result.governor is not None
             else {}
         ),
+        # Same only-when-present rule for scenario accounting.
+        **(
+            {"scenario": result.scenario}
+            if result.scenario is not None
+            else {}
+        ),
     }
 
 
@@ -77,6 +83,7 @@ def result_from_dict(data: dict) -> RunResult:
         ),
         attempts=int(data.get("attempts", 1)),
         governor=data.get("governor"),
+        scenario=data.get("scenario"),
     )
 
 

@@ -37,7 +37,9 @@ from repro.kernel.simulator import SimulationConfig
 #: float association), so pre-SoA cache entries are stale.
 #: 6: RunSpec grew the ``governor`` field and RunResult the optional
 #: ``governor`` stats dict.
-CACHE_FORMAT = 6
+#: 7: RunSpec grew the ``scenario`` field and RunResult the optional
+#: ``scenario`` stats dict (repro.scenarios).
+CACHE_FORMAT = 7
 
 
 def _code_version() -> str:
@@ -109,6 +111,12 @@ class RunSpec:
     #: ``"coupled_anneal"`` or ``"pinned:<level>"``.  Parsed by
     #: :func:`repro.governor.parse_governor`.
     governor: str = "fixed"
+    #: Workload scenario from :mod:`repro.scenarios`: ``"none"`` (no
+    #: scenario — byte-identical to pre-scenario builds) or a scenario
+    #: string like ``"openloop:rate=120"``, ``"barrier:groups=2"``,
+    #: ``"smt:cores=big"``.  Parsed by
+    #: :func:`repro.scenarios.parse_scenario`.
+    scenario: str = "none"
     #: Simulator knobs.  ``config.seed`` and ``config.faults`` are
     #: ignored in favour of the spec's own fields.
     config: SimulationConfig = field(default_factory=SimulationConfig)
@@ -123,6 +131,12 @@ class RunSpec:
                 "RunSpec.config must not embed a FaultPlan; name the "
                 "scenario via RunSpec.faults so the spec stays hashable"
             )
+        if self.scenario != "none":
+            # Validate eagerly so a bad scenario string fails at spec
+            # construction, not minutes later inside a worker.
+            from repro.scenarios import parse_scenario
+
+            parse_scenario(self.scenario)
 
     # ------------------------------------------------------------------
     # Identity
@@ -143,6 +157,7 @@ class RunSpec:
             "mitigations": self.mitigations,
             "adaptation": self.adaptation,
             "governor": self.governor,
+            "scenario": self.scenario,
             "config": config_fingerprint(self.config),
         }
 
@@ -161,6 +176,8 @@ class RunSpec:
         parts = [self.platform, self.workload, f"x{self.threads}", self.balancer]
         if self.governor != "fixed":
             parts.append(f"gov={self.governor}")
+        if self.scenario != "none":
+            parts.append(f"scenario={self.scenario}")
         if self.faults:
             parts.append(f"faults={self.faults}")
         parts.append(f"seed={self.seed}")

@@ -1,0 +1,220 @@
+"""Scenario builders: turn a parsed spec into threads + a runtime.
+
+:func:`build_scenario` is the single entry point the runner and CLI
+use.  Given the scenario string, the base workload's behaviours and
+the run geometry, it appends the scenario's extra threads to the
+workload and returns the matching :class:`ScenarioRuntime` that the
+:class:`~repro.kernel.simulator.System` will drive.
+
+All randomness comes from a ``random.Random`` seeded by a local
+derivation of the run seed (``sha256("scenario:<seed>")``) — the base
+workload's stream is untouched, so adding a scenario never perturbs
+the base threads, and two runs that differ only in balancer see the
+exact same scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+from repro.scenarios.runtime import (
+    BarrierRuntime,
+    OpenLoopRuntime,
+    ScenarioRuntime,
+    SmtRuntime,
+    _BarrierGroup,
+)
+from repro.scenarios.spec import ScenarioSpec, parse_scenario
+from repro.workload.arrivals import (
+    diurnal_process,
+    poisson_process,
+    spike_process,
+)
+from repro.workload.characteristics import MEMORY_PHASE, WorkloadPhase
+from repro.workload.thread import ThreadBehavior, steady_thread
+
+__all__ = ["build_scenario"]
+
+#: Fraction of the run horizon the arrival stream covers; the final
+#: fifth is a drain window so late requests can still meet their SLO
+#: before the simulation ends.
+_ARRIVAL_WINDOW = 0.8
+
+
+def _scenario_rng(seed: int) -> random.Random:
+    """RNG derived from the run seed but independent of it.
+
+    The base workload generator consumes the run seed's stream; the
+    scenario must not share it, or enabling a scenario would reshuffle
+    the base threads.  A one-way derivation keeps both deterministic.
+    """
+    digest = hashlib.sha256(f"scenario:{seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def build_scenario(
+    text: str,
+    behaviors: "list[ThreadBehavior]",
+    seed: int,
+    *,
+    period_s: float,
+    periods_per_epoch: int,
+    n_epochs: int,
+) -> "tuple[list[ThreadBehavior], ScenarioRuntime]":
+    """Resolve ``text`` against a base workload.
+
+    Returns the augmented behaviour list (base behaviours first, in
+    their original order, then the scenario's threads) and the runtime
+    to hand to the simulator.
+    """
+    spec = parse_scenario(text)
+    rng = _scenario_rng(seed)
+    horizon_s = period_s * periods_per_epoch * n_epochs
+    if spec.family == "openloop":
+        extra, runtime = _build_openloop(spec, rng, horizon_s)
+    elif spec.family == "barrier":
+        extra, runtime = _build_barrier(spec, rng)
+    else:
+        extra, runtime = _build_smt(spec, rng)
+    return list(behaviors) + extra, runtime
+
+
+# ---------------------------------------------------------------------------
+# openloop
+# ---------------------------------------------------------------------------
+
+
+def _build_openloop(
+    spec: ScenarioSpec, rng: random.Random, horizon_s: float
+) -> "tuple[list[ThreadBehavior], OpenLoopRuntime]":
+    params = spec.params
+    rate = float(params["rate"])
+    pattern = str(params["pattern"])
+    window_s = horizon_s * _ARRIVAL_WINDOW
+    n = math.ceil(rate * window_s)
+    if pattern == "poisson":
+        times = poisson_process(rng, n, rate)
+    elif pattern == "diurnal":
+        # One full day/night cycle across the arrival window, with the
+        # stated rate as the trough.
+        times = diurnal_process(
+            rng, n, rate, peak_factor=3.0, period_s=max(window_s, 1e-9)
+        )
+    else:  # spike: a 10x flash crowd over the middle fifth of the window
+        times = spike_process(
+            rng,
+            n,
+            rate,
+            spike_start_s=window_s * 0.4,
+            spike_duration_s=window_s * 0.2,
+            spike_factor=10.0,
+        )
+    work_mean = float(params["work_minstr"]) * 1e6
+    spread = float(params["spread"])
+    slo_s = float(params["slo_ms"]) / 1e3
+    behaviors: "list[ThreadBehavior]" = []
+    names: "dict[str, float]" = {}
+    for i, t in enumerate(times):
+        if t >= window_s:
+            break
+        # Per-request service demand: uniform around the mean, never
+        # collapsing to zero work.
+        work = work_mean * (1.0 + spread * rng.uniform(-1.0, 1.0))
+        # Per-request character: mostly cache-resident request handlers
+        # with occasional memory-heavy outliers.
+        mem_share = rng.uniform(0.15, 0.40)
+        phase = WorkloadPhase(
+            ilp=rng.uniform(2.0, 5.0),
+            mem_share=mem_share,
+            branch_share=rng.uniform(0.08, 0.15),
+            working_set_kb=math.exp(rng.uniform(math.log(16.0), math.log(512.0))),
+            code_footprint_kb=16.0,
+            branch_entropy=rng.uniform(0.2, 0.5),
+        )
+        name = f"req/{i:04d}"
+        behaviors.append(
+            steady_thread(name, phase, total_instructions=work, arrival_s=t)
+        )
+        names[name] = t
+    return behaviors, OpenLoopRuntime(names, slo_s)
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+
+def _build_barrier(
+    spec: ScenarioSpec, rng: random.Random
+) -> "tuple[list[ThreadBehavior], BarrierRuntime]":
+    params = spec.params
+    groups = int(params["groups"])
+    members = int(params["members"])
+    intervals = int(params["intervals"])
+    interval_instr = float(params["interval_minstr"]) * 1e6
+    imbalance = float(params["imbalance"])
+    behaviors: "list[ThreadBehavior]" = []
+    group_objs: "list[_BarrierGroup]" = []
+    total_instr = interval_instr * intervals
+    for g in range(groups):
+        names: "list[str]" = []
+        for m in range(members):
+            # Heterogeneous members: the imbalance knob widens the
+            # spread of ILP / memory appetite / footprint, so with
+            # imbalance=0 every member is identical (stall-free apart
+            # from placement skew) and with imbalance=1 the slowest
+            # member is severely memory-bound.
+            name = f"bar/g{g}/m{m}"
+            skew = imbalance * rng.uniform(-1.0, 1.0)
+            phase = WorkloadPhase(
+                ilp=3.0 - 1.5 * imbalance * rng.random(),
+                mem_share=min(0.30 + 0.20 * max(skew, 0.0), 0.55),
+                branch_share=0.10,
+                working_set_kb=math.exp(
+                    math.log(128.0) + imbalance * rng.uniform(-2.0, 2.5)
+                ),
+                data_locality=1.0 - 0.4 * imbalance * rng.random(),
+            )
+            behaviors.append(
+                steady_thread(name, phase, total_instructions=total_instr)
+            )
+            names.append(name)
+        group_objs.append(
+            _BarrierGroup(
+                name=f"g{g}",
+                member_names=tuple(names),
+                interval_instr=interval_instr,
+                n_intervals=intervals,
+            )
+        )
+    return behaviors, BarrierRuntime(group_objs)
+
+
+# ---------------------------------------------------------------------------
+# smt
+# ---------------------------------------------------------------------------
+
+
+def _build_smt(
+    spec: ScenarioSpec, rng: random.Random
+) -> "tuple[list[ThreadBehavior], SmtRuntime]":
+    params = spec.params
+    corunners = int(params["corunners"])
+    behaviors: "list[ThreadBehavior]" = []
+    names: "list[str]" = []
+    for i in range(corunners):
+        # Memory-bound background threads: the co-runners whose cache
+        # appetite makes SMT sharing interesting.  Unbounded — they run
+        # until the simulation ends.
+        name = f"smtbg/{i}"
+        phase = MEMORY_PHASE.scaled(
+            working_set_kb=math.exp(
+                rng.uniform(math.log(512.0), math.log(4096.0))
+            ),
+            mem_share=rng.uniform(0.35, 0.50),
+        )
+        behaviors.append(steady_thread(name, phase))
+        names.append(name)
+    return behaviors, SmtRuntime(str(params["cores"]), tuple(names))

@@ -20,6 +20,7 @@ from repro.hardware.sensors import NoiseModel
 from repro.kernel.simulator import SimulationConfig
 from repro.runner.factories import catalogue, workload_names
 from repro.runner.spec import RunSpec, config_fingerprint
+from repro.scenarios import parse_scenario
 
 
 class ApiError(Exception):
@@ -52,6 +53,7 @@ SPEC_FIELDS = (
     "mitigations",
     "adaptation",
     "governor",
+    "scenario",
     "config",
 )
 
@@ -219,6 +221,15 @@ def spec_from_payload(payload: object) -> RunSpec:
             field="governor",
         )
 
+    scenario = payload.get("scenario", "none")
+    if not isinstance(scenario, str):
+        raise ApiError("scenario must be a string", field="scenario")
+    if scenario != "none":
+        try:
+            parse_scenario(scenario)
+        except ValueError as exc:
+            raise ApiError(str(exc), field="scenario") from None
+
     config = (
         _config_from_payload(payload["config"])
         if payload.get("config") is not None
@@ -238,6 +249,7 @@ def spec_from_payload(payload: object) -> RunSpec:
             mitigations=mitigations,
             adaptation=adaptation,
             governor=governor,
+            scenario=scenario,
             config=config,
         )
     except ValueError as exc:
@@ -264,6 +276,7 @@ def payload_from_spec(spec: RunSpec) -> dict:
         "mitigations": spec.mitigations,
         "adaptation": spec.adaptation,
         "governor": spec.governor,
+        "scenario": spec.scenario,
     }
     if spec.config != SimulationConfig():
         config = config_fingerprint(spec.config)

@@ -1,0 +1,150 @@
+"""Seeded arrival processes shared by the fleet tier and scenarios.
+
+The fleet dispatcher (:mod:`repro.fleet`) and the open-loop traffic
+scenario (:mod:`repro.scenarios`) both need request arrival streams
+that are pure functions of a seed.  This module is the single
+implementation: every process consumes draws from a caller-supplied
+``random.Random`` in a documented order, so refactoring a caller onto
+these helpers cannot change its stream (the fleet digest regression
+test pins exactly that).
+
+Three shapes:
+
+* :func:`poisson_process` — homogeneous Poisson: i.i.d. exponential
+  interarrivals at a constant rate.  **Draw order contract**: exactly
+  one ``rng.expovariate(rate_hz)`` call per arrival, in arrival order —
+  byte-compatible with the loop :meth:`repro.fleet.spec.FleetSpec.jobs`
+  historically inlined.
+* :func:`diurnal_process` — sinusoidally modulated rate (a day/night
+  load curve compressed to ``period_s``), realised by Lewis-Shedler
+  thinning of a homogeneous process at the peak rate.
+* :func:`spike_process` — a constant base rate with a multiplicative
+  burst window (flash-crowd traffic), same thinning construction.
+
+All processes return strictly increasing absolute arrival times in
+seconds from time zero.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List
+
+__all__ = [
+    "poisson_process",
+    "inhomogeneous_process",
+    "diurnal_process",
+    "spike_process",
+]
+
+
+def poisson_process(
+    rng: random.Random, n: int, rate_hz: float
+) -> "List[float]":
+    """``n`` homogeneous Poisson arrival times at ``rate_hz``.
+
+    Consumes exactly ``n`` ``rng.expovariate(rate_hz)`` draws, one per
+    arrival in arrival order — the draw-order contract the fleet spec
+    relies on.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    times: "List[float]" = []
+    now = 0.0
+    for _ in range(n):
+        now += rng.expovariate(rate_hz)
+        times.append(now)
+    return times
+
+
+def inhomogeneous_process(
+    rng: random.Random,
+    n: int,
+    rate_fn: Callable[[float], float],
+    max_rate_hz: float,
+) -> "List[float]":
+    """``n`` arrivals of a non-homogeneous Poisson process by thinning.
+
+    Candidate arrivals are drawn at ``max_rate_hz`` and each is kept
+    with probability ``rate_fn(t) / max_rate_hz`` (Lewis-Shedler).
+    ``rate_fn`` must stay within ``[0, max_rate_hz]``; violations raise
+    rather than silently distorting the distribution.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if max_rate_hz <= 0:
+        raise ValueError(f"max_rate_hz must be positive, got {max_rate_hz}")
+    times: "List[float]" = []
+    now = 0.0
+    while len(times) < n:
+        now += rng.expovariate(max_rate_hz)
+        rate = rate_fn(now)
+        if rate < 0 or rate > max_rate_hz * (1 + 1e-12):
+            raise ValueError(
+                f"rate_fn({now:.6g}) = {rate:.6g} outside [0, {max_rate_hz}]"
+            )
+        if rng.random() * max_rate_hz <= rate:
+            times.append(now)
+    return times
+
+
+def diurnal_process(
+    rng: random.Random,
+    n: int,
+    base_rate_hz: float,
+    peak_factor: float = 3.0,
+    period_s: float = 1.0,
+    phase: float = 0.0,
+) -> "List[float]":
+    """``n`` arrivals under a sinusoidal day/night rate curve.
+
+    The instantaneous rate swings between ``base_rate_hz`` (trough)
+    and ``base_rate_hz * peak_factor`` (peak) over ``period_s``
+    seconds; ``phase`` in ``[0, 1)`` shifts where in the cycle time
+    zero falls.
+    """
+    if peak_factor < 1.0:
+        raise ValueError(f"peak_factor must be >= 1, got {peak_factor}")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    peak = base_rate_hz * peak_factor
+    mid = (peak + base_rate_hz) / 2.0
+    amplitude = (peak - base_rate_hz) / 2.0
+
+    def rate(t: float) -> float:
+        return mid + amplitude * math.sin(2 * math.pi * (t / period_s + phase))
+
+    return inhomogeneous_process(rng, n, rate, peak)
+
+
+def spike_process(
+    rng: random.Random,
+    n: int,
+    base_rate_hz: float,
+    spike_start_s: float,
+    spike_duration_s: float,
+    spike_factor: float = 10.0,
+) -> "List[float]":
+    """``n`` arrivals at a constant base rate with one burst window.
+
+    Within ``[spike_start_s, spike_start_s + spike_duration_s)`` the
+    rate is multiplied by ``spike_factor`` — a seeded flash crowd.
+    """
+    if base_rate_hz <= 0:
+        raise ValueError(f"base_rate_hz must be positive, got {base_rate_hz}")
+    if spike_factor < 1.0:
+        raise ValueError(f"spike_factor must be >= 1, got {spike_factor}")
+    if spike_duration_s < 0:
+        raise ValueError(
+            f"spike_duration_s must be >= 0, got {spike_duration_s}"
+        )
+    peak = base_rate_hz * spike_factor
+
+    def rate(t: float) -> float:
+        in_spike = spike_start_s <= t < spike_start_s + spike_duration_s
+        return peak if in_spike else base_rate_hz
+
+    return inhomogeneous_process(rng, n, rate, peak)

@@ -11,6 +11,8 @@ from repro.analysis.stats import (
     mean_absolute_relative_error,
     normalize,
     percent_improvement,
+    percentile,
+    percentiles,
     stdev,
 )
 
@@ -92,3 +94,56 @@ class TestNormalize:
     def test_zero_reference_rejected(self):
         with pytest.raises(ValueError):
             normalize([1.0], 0.0)
+
+
+class TestPercentiles:
+    """The batched helper must be element-for-element identical to the
+    single-quantile nearest-rank definition (scenario latency stats
+    and fleet gates both rely on it)."""
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        qs=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=0, max_size=8
+        ),
+    )
+    def test_batched_equals_single(self, values, qs):
+        assert percentiles(values, qs) == [
+            percentile(values, q) for q in qs
+        ]
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_results_are_elements_and_monotone(self, values):
+        p50, p95, p99 = percentiles(values, (0.50, 0.95, 0.99))
+        assert p50 in values and p95 in values and p99 in values
+        assert p50 <= p95 <= p99
+        assert percentiles(values, (0.0,))[0] == min(values)
+        assert percentiles(values, (1.0,))[0] == max(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentiles([], (0.5,))
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], (1.5,))

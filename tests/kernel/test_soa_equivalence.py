@@ -47,6 +47,19 @@ FUZZ_PLATFORMS = ("quad", "biglittle", "hmp:3", "hmp:16", "hmp:64", "hmp:256")
 FUZZ_BALANCERS = ("none", "vanilla")
 BIGLITTLE_BALANCERS = FUZZ_BALANCERS + ("iks", "gts")
 
+#: Workload scenarios (repro.scenarios) sampled alongside fault
+#: scenarios: arriving/departing request threads, barrier-blocked
+#: groups and SMT co-run cores all mutate engine state mid-run through
+#: the narrow hooks, so each family must hold bit identity on its own.
+#: None dominates so the plain paths keep their fuzz coverage.
+FUZZ_SCENARIOS = (
+    None,
+    None,
+    "openloop:rate=60,slo_ms=15,work_minstr=2",
+    "barrier:groups=1,members=3,intervals=3,interval_minstr=8",
+    "smt:cores=half,corunners=2",
+)
+
 
 def run_digest(
     kernel,
@@ -56,6 +69,7 @@ def run_digest(
     n_epochs=2,
     seed=0,
     faults=None,
+    workload_scenario=None,
     **config_kwargs,
 ):
     """Digest of one complete run under the given kernel."""
@@ -71,7 +85,21 @@ def run_digest(
     config = SimulationConfig(
         seed=seed, kernel=kernel, faults=plan, **config_kwargs
     )
-    system = System(plat, behaviors, make_balancer(balancer), config)
+    scenario_rt = None
+    if workload_scenario is not None:
+        from repro.scenarios import build_scenario
+
+        behaviors, scenario_rt = build_scenario(
+            workload_scenario,
+            behaviors,
+            seed=seed,
+            period_s=config.period_s,
+            periods_per_epoch=config.periods_per_epoch,
+            n_epochs=n_epochs,
+        )
+    system = System(
+        plat, behaviors, make_balancer(balancer), config, scenario=scenario_rt
+    )
     return metrics_digest(system.run(n_epochs=n_epochs))
 
 
@@ -138,6 +166,7 @@ def differential_cases(draw):
         "balancer": draw(st.sampled_from(balancers)),
         "seed": draw(st.integers(min_value=0, max_value=3)),
         "faults": draw(st.sampled_from((None, None) + SCENARIOS)),
+        "workload_scenario": draw(st.sampled_from(FUZZ_SCENARIOS)),
         "os_noise_tasks": draw(st.sampled_from((0, 0, 2))),
         "thermal_enabled": draw(st.sampled_from((False, False, True))),
     }
@@ -202,6 +231,150 @@ class TestPinnedEquivalence:
         behaviors = make_workload("HTLI", 8, seed=1)
         assert_equivalent("biglittle", behaviors, balancer="gts")
 
+class TestScenarioEquivalence:
+    """Workload scenarios: pinned families, variants and edge cases."""
+
+    @pytest.mark.parametrize(
+        "platform,workload_scenario,balancer",
+        [
+            ("quad", "openloop:rate=80,slo_ms=20", "vanilla"),
+            ("biglittle", "barrier:groups=2,members=4,intervals=3,"
+             "interval_minstr=10", "gts"),
+            ("hmp:3", "barrier:groups=1,members=2,intervals=2,"
+             "interval_minstr=5", "none"),
+            ("hmp:256", "smt:cores=big,corunners=8", "vanilla"),
+        ],
+    )
+    def test_families(self, platform, workload_scenario, balancer):
+        behaviors = make_workload("MTMI", 4, seed=1)
+        assert_equivalent(
+            platform,
+            behaviors,
+            balancer=balancer,
+            workload_scenario=workload_scenario,
+            seed=1,
+        )
+
+    @pytest.mark.parametrize(
+        "balancer,workload_scenario",
+        [
+            ("tpeq", "barrier:groups=1,members=4,intervals=3,"
+             "interval_minstr=10,imbalance=0.8"),
+            ("slo", "openloop:rate=60,slo_ms=15"),
+        ],
+    )
+    def test_scenario_variants(self, balancer, workload_scenario):
+        """The row-scaling variants hold bit identity too."""
+        behaviors = make_workload("MTMI", 4, seed=2)
+        assert_equivalent(
+            "quad",
+            behaviors,
+            balancer=balancer,
+            workload_scenario=workload_scenario,
+            n_epochs=3,
+            seed=2,
+        )
+
+    def test_member_departs_while_group_blocked(self):
+        """A member exiting before its stop must not wedge the group.
+
+        The group's other members reach the barrier and block; the
+        short member exits mid-interval (EXITED counts as arrived), so
+        the group must still release — on both kernels, identically.
+        """
+        from repro.scenarios.runtime import BarrierRuntime, _BarrierGroup
+        from repro.workload.characteristics import COMPUTE_PHASE
+        from repro.workload.thread import steady_thread
+
+        def build():
+            behaviors = [
+                steady_thread("bar/g0/m0", COMPUTE_PHASE,
+                              total_instructions=4e6),
+                steady_thread("bar/g0/m1", PEAK_PHASE,
+                              total_instructions=3e7),
+                steady_thread("bar/g0/m2", PEAK_PHASE,
+                              total_instructions=3e7),
+            ]
+            runtime = BarrierRuntime([
+                _BarrierGroup(
+                    name="g0",
+                    member_names=("bar/g0/m0", "bar/g0/m1", "bar/g0/m2"),
+                    interval_instr=1e7,
+                    n_intervals=3,
+                )
+            ])
+            return behaviors, runtime
+
+        digests = {}
+        stats = {}
+        for kernel in ("reference", "soa"):
+            behaviors, runtime = build()
+            system = System(
+                make_platform("quad"),
+                behaviors,
+                make_balancer("none"),
+                SimulationConfig(seed=0, kernel=kernel),
+                scenario=runtime,
+            )
+            digests[kernel] = metrics_digest(system.run(n_epochs=3))
+            stats[kernel] = runtime.stats()
+        assert digests["reference"] == digests["soa"]
+        assert stats["reference"] == stats["soa"]
+        # The short member exited, yet every barrier still released and
+        # the group completed.
+        assert stats["soa"]["barriers_released"] == 2
+        assert stats["soa"]["groups_completed"] == 1
+
+    def test_smt_single_occupant_is_level_zero(self):
+        """One thread alone on an SMT core must take the exact pre-SMT
+        code path: full-core capacity, contention level 0.  A
+        corunner-free SMT run on a single-thread workload is therefore
+        metrics-identical to no scenario — only the scenario stats dict
+        (which records the SMT core ids) may differ."""
+        from repro.runner.serialize import metrics_dict
+        from repro.scenarios import build_scenario
+        from repro.workload.characteristics import COMPUTE_PHASE
+        from repro.workload.thread import steady_thread
+
+        for kernel in ("reference", "soa"):
+            plat = make_platform("quad")
+            config = SimulationConfig(seed=0, kernel=kernel)
+            metrics = []
+            for scenario_text in ("smt:cores=all,corunners=0", None):
+                behaviors = [steady_thread("solo", COMPUTE_PHASE)]
+                scenario_rt = None
+                if scenario_text is not None:
+                    behaviors, scenario_rt = build_scenario(
+                        scenario_text,
+                        behaviors,
+                        seed=0,
+                        period_s=config.period_s,
+                        periods_per_epoch=config.periods_per_epoch,
+                        n_epochs=2,
+                    )
+                system = System(
+                    plat, behaviors, make_balancer("none"), config,
+                    scenario=scenario_rt,
+                )
+                data = metrics_dict(system.run(n_epochs=2))
+                data.pop("scenario", None)
+                metrics.append(data)
+            assert metrics[0] == metrics[1], kernel
+
+    def test_core_left_empty_by_departures(self):
+        """Every request thread retires before the run ends, leaving
+        cores empty; both kernels agree through the drain."""
+        behaviors = make_workload("LTLI", 2, seed=3)
+        assert_equivalent(
+            "hmp:3",
+            behaviors,
+            workload_scenario="openloop:rate=30,slo_ms=10,work_minstr=1",
+            n_epochs=3,
+            seed=3,
+        )
+
+
+class TestPlatformPresets:
     def test_preset_platforms_resolve_to_scaled_hmp(self):
         """hmp256/512/1024 presets are exactly the hmp:<n> shapes."""
         for n in (256, 512, 1024):

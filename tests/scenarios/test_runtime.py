@@ -1,0 +1,184 @@
+"""Scenario runtimes driven through real simulator runs.
+
+Each family's runtime is exercised end-to-end: build the scenario,
+run the System, and assert on the ``RunResult.scenario`` stats and
+the emitted events rather than on internals.
+"""
+
+import pytest
+
+from repro.kernel.simulator import SimulationConfig, System
+from repro.obs import ObsContext
+from repro.obs import events as ev
+from repro.runner.factories import make_balancer, make_platform
+from repro.scenarios import build_scenario
+from repro.workload.characteristics import COMPUTE_PHASE
+from repro.workload.thread import steady_thread
+
+
+def run_scenario(
+    text, platform="quad", n_epochs=2, seed=1, base=None, balancer="none"
+):
+    plat = make_platform(platform)
+    config = SimulationConfig(seed=seed)
+    behaviors = base if base is not None else [
+        steady_thread("base/0", COMPUTE_PHASE)
+    ]
+    behaviors, runtime = build_scenario(
+        text,
+        behaviors,
+        seed=seed,
+        period_s=config.period_s,
+        periods_per_epoch=config.periods_per_epoch,
+        n_epochs=n_epochs,
+    )
+    obs = ObsContext()
+    system = System(
+        plat, behaviors, make_balancer(balancer), config,
+        obs=obs, scenario=runtime,
+    )
+    result = system.run(n_epochs=n_epochs)
+    return result, system, obs
+
+
+class TestOpenLoopRuntime:
+    def test_latency_stats_and_events(self):
+        result, system, obs = run_scenario(
+            "openloop:rate=120,slo_ms=15,work_minstr=2", n_epochs=3
+        )
+        stats = result.scenario
+        assert stats["family"] == "openloop"
+        assert stats["slo_s"] == 15e-3
+        assert stats["requests"] > 0
+        assert 0 < stats["completed"] <= stats["requests"]
+        assert 0.0 <= stats["slo_miss_rate"] <= 1.0
+        # Nearest-rank percentiles over real samples: ordered, and
+        # every one an actual observed latency.
+        p50, p95, p99 = (
+            stats["latency_p50_s"],
+            stats["latency_p95_s"],
+            stats["latency_p99_s"],
+        )
+        assert 0 < p50 <= p95 <= p99
+        completed = obs.tracer.by_type(ev.REQUEST_COMPLETED)
+        arrived = obs.tracer.by_type(ev.REQUEST_ARRIVED)
+        assert len(completed) == stats["completed"]
+        assert len(arrived) >= len(completed)
+        misses = sum(1 for e in completed if e["slo_miss"])
+        assert misses == stats["slo_misses"]
+
+    def test_latency_is_at_least_service_time(self):
+        result, _, _ = run_scenario(
+            "openloop:rate=120,slo_ms=15,work_minstr=2", n_epochs=3
+        )
+        # A request cannot complete before it arrived; every latency is
+        # strictly positive and bounded by the run horizon.
+        assert all(
+            0 < lat < result.duration_s
+            for lat in [result.scenario["latency_p99_s"]]
+        )
+
+    def test_builder_name_mismatch_raises(self):
+        from repro.scenarios.runtime import OpenLoopRuntime
+
+        plat = make_platform("quad")
+        config = SimulationConfig(seed=0)
+        runtime = OpenLoopRuntime({"req/9999": 0.01}, slo_s=0.02)
+        with pytest.raises(ValueError, match="do not match"):
+            System(
+                plat,
+                [steady_thread("base/0", COMPUTE_PHASE)],
+                make_balancer("none"),
+                config,
+                scenario=runtime,
+            )
+
+
+class TestBarrierRuntime:
+    def test_all_barriers_release_and_groups_finish(self):
+        result, _, obs = run_scenario(
+            "barrier:groups=2,members=3,intervals=3,interval_minstr=5",
+            n_epochs=3,
+        )
+        stats = result.scenario
+        assert stats["family"] == "barrier"
+        assert stats["groups"] == 2
+        assert stats["members"] == 6
+        # Every *interior* interval ends in a release; the final
+        # barrier coincides with exit (the kernel retires the thread),
+        # so a finished run released groups x (intervals - 1).
+        assert stats["barriers_released"] == 2 * (3 - 1)
+        assert stats["groups_completed"] == 2
+        assert stats["makespan_s"] is not None
+        assert 0 < stats["makespan_s"] <= result.duration_s
+        assert stats["stall_s"] >= 0.0
+        stalls = obs.tracer.by_type(ev.BARRIER_STALL)
+        assert len(stalls) == stats["barriers_released"]
+        assert sum(e["stall_s"] for e in stalls) == pytest.approx(
+            stats["stall_s"]
+        )
+
+    def test_unfinished_group_reports_no_makespan(self):
+        # One epoch is nowhere near enough for this much work.
+        result, _, _ = run_scenario(
+            "barrier:groups=1,members=2,intervals=8,interval_minstr=500",
+            n_epochs=1,
+        )
+        stats = result.scenario
+        assert stats["makespan_s"] is None
+        assert stats["groups_completed"] == 0
+        assert stats["barriers_released"] < 8
+
+    def test_members_block_while_waiting(self):
+        # Strong imbalance: fast members must block at the barrier
+        # until the slowest arrives, which shows up as stall time.
+        result, _, _ = run_scenario(
+            "barrier:groups=1,members=4,intervals=3,"
+            "interval_minstr=8,imbalance=1",
+            n_epochs=3,
+        )
+        assert result.scenario["stall_s"] > 0.0
+
+
+class TestSmtRuntime:
+    def test_core_selection_shapes(self):
+        plat = make_platform("biglittle")
+        n = len(plat.cores)
+        big_ids = {
+            c.core_id
+            for c in sorted(
+                plat.cores,
+                key=lambda c: c.core_type.freq_mhz * c.core_type.issue_width,
+                reverse=True,
+            )[: n // 2]
+        }
+        cases = {
+            "all": n,
+            "half": n // 2,
+            "big": n // 2,
+        }
+        for select, expected in cases.items():
+            result, system, _ = run_scenario(
+                f"smt:cores={select},corunners=2", platform="biglittle"
+            )
+            stats = result.scenario
+            assert stats["family"] == "smt"
+            assert stats["corunners"] == 2
+            assert len(stats["smt_cores"]) == expected, select
+            flagged = {
+                q.core.core_id for q in system.runqueues if q.smt
+            }
+            assert flagged == set(stats["smt_cores"])
+            if select == "big":
+                assert flagged == big_ids
+
+    def test_smt_cores_actually_corun(self):
+        # With co-runners forced onto shared big cores the run must
+        # record SMT contention (visible as throughput below the sum
+        # of isolated rates — asserted indirectly: the scenario runs
+        # to completion and reports the chosen cores).
+        result, system, _ = run_scenario(
+            "smt:cores=big,corunners=4", platform="biglittle", n_epochs=2
+        )
+        assert result.scenario["smt_cores"]
+        assert result.instructions > 0

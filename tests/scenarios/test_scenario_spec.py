@@ -1,0 +1,99 @@
+"""Scenario string parsing: the loud-failure contract.
+
+A scenario string is part of a run's cached identity, so the parser
+must reject anything it does not fully understand — unknown families,
+unknown parameters, malformed items, out-of-range values — rather
+than silently running defaults.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_FAMILIES,
+    parse_scenario,
+    scenario_catalogue,
+)
+
+
+class TestParseScenario:
+    def test_bare_family_gets_all_defaults(self):
+        spec = parse_scenario("openloop")
+        assert spec.family == "openloop"
+        assert spec.text == "openloop"
+        assert spec.params["pattern"] == "poisson"
+        assert spec.params["rate"] == 80.0
+        assert spec.params["slo_ms"] == 20.0
+
+    def test_overrides_merge_with_defaults(self):
+        spec = parse_scenario("barrier:groups=3,imbalance=0.9")
+        assert spec.params["groups"] == 3
+        assert spec.params["imbalance"] == 0.9
+        # Untouched keys keep their declared defaults.
+        assert spec.params["members"] == 4
+        assert spec.params["intervals"] == 6
+
+    def test_every_family_parses_bare(self):
+        for family in SCENARIO_FAMILIES:
+            assert parse_scenario(family).family == family
+
+    def test_params_are_typed(self):
+        spec = parse_scenario("barrier:groups=2,interval_minstr=12")
+        assert isinstance(spec.params["groups"], int)
+        assert isinstance(spec.params["interval_minstr"], float)
+
+    @pytest.mark.parametrize("bad", ["", "none"])
+    def test_none_and_empty_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_scenario(bad)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            parse_scenario("closedloop")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_scenario("openloop:rte=80")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["openloop:rate", "openloop:=80", "openloop:rate=", "openloop:,"],
+    )
+    def test_malformed_items(self, bad):
+        with pytest.raises(ValueError, match="malformed|unknown"):
+            parse_scenario(bad)
+
+    def test_uncastable_value(self):
+        with pytest.raises(ValueError, match="not a valid float"):
+            parse_scenario("openloop:rate=fast")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "openloop:rate=0",
+            "openloop:rate=-5",
+            "openloop:slo_ms=0",
+            "openloop:spread=1.0",
+            "openloop:pattern=bursty",
+            "barrier:groups=0",
+            "barrier:intervals=-1",
+            "barrier:imbalance=1.5",
+            "smt:cores=little",
+            "smt:corunners=-1",
+        ],
+    )
+    def test_out_of_range_values(self, bad):
+        with pytest.raises(ValueError):
+            parse_scenario(bad)
+
+
+class TestCatalogue:
+    def test_shape(self):
+        cat = scenario_catalogue()
+        assert cat["families"] == list(SCENARIO_FAMILIES)
+        assert set(cat["params"]) == set(SCENARIO_FAMILIES)
+
+    def test_defaults_round_trip_through_parser(self):
+        cat = scenario_catalogue()
+        for family, defaults in cat["params"].items():
+            spec = parse_scenario(family)
+            assert dict(spec.params) == defaults

@@ -36,6 +36,16 @@ class TestRoundTrip:
         )
         assert spec_from_payload(payload_from_spec(spec)) == spec
 
+    def test_scenario_spec_round_trips(self):
+        spec = RunSpec(
+            workload="MTMI",
+            platform="biglittle",
+            threads=4,
+            balancer="tpeq",
+            scenario="barrier:groups=1,members=3,intervals=3",
+        )
+        assert spec_from_payload(payload_from_spec(spec)) == spec
+
     def test_custom_config_round_trips(self):
         config = dataclasses.replace(
             SimulationConfig(),
@@ -82,6 +92,9 @@ class TestRefusals:
             ("platform", "hmp:0"),
             ("balancer", "magic"),
             ("faults", "asteroid"),
+            ("scenario", "bogus:nope=1"),
+            ("scenario", "openloop:rate=-5"),
+            ("scenario", "barrier:members"),
         ],
     )
     def test_unknown_names_are_refused_with_field(self, field, value):
@@ -101,6 +114,7 @@ class TestRefusals:
             ("seed", None),
             ("workload_seed", "x"),
             ("mitigations", "yes"),
+            ("scenario", 3),
         ],
     )
     def test_bad_types_are_refused(self, field, value):

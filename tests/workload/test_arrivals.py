@@ -1,0 +1,94 @@
+"""Seeded arrival processes: draw-order pins and shape properties.
+
+The fleet dispatcher refactored onto :func:`poisson_process` from an
+inline ``rng.expovariate`` loop; the pin test here freezes the draw
+-order contract (exactly one ``expovariate(rate)`` call per arrival,
+in arrival order) so the shared helper can never drift from the
+stream the fleet digests were recorded against.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.arrivals import (
+    diurnal_process,
+    inhomogeneous_process,
+    poisson_process,
+    spike_process,
+)
+
+
+class TestPoissonDrawOrder:
+    def test_byte_compatible_with_inline_loop(self):
+        """poisson_process(rng, n, rate) consumes the RNG stream
+        exactly as the historical inline loop did."""
+        for seed in (0, 1, 7, 12345):
+            rate = 40.0
+            inline_rng = random.Random(seed)
+            inline = []
+            now = 0.0
+            for _ in range(25):
+                now += inline_rng.expovariate(rate)
+                inline.append(now)
+            helper_rng = random.Random(seed)
+            assert poisson_process(helper_rng, 25, rate) == inline
+
+    def test_rng_state_after_equals_inline(self):
+        """Exactly n draws are consumed — the next draw after the
+        helper matches the next draw after the inline loop."""
+        a, b = random.Random(3), random.Random(3)
+        poisson_process(a, 10, 55.0)
+        for _ in range(10):
+            b.expovariate(55.0)
+        assert a.random() == b.random()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=0, max_value=50),
+        rate=st.floats(min_value=0.1, max_value=1e4),
+    )
+    def test_strictly_increasing_and_sized(self, seed, n, rate):
+        times = poisson_process(random.Random(seed), n, rate)
+        assert len(times) == n
+        assert all(t > 0 for t in times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestInhomogeneous:
+    def test_thinning_respects_rate_bound(self):
+        with pytest.raises(ValueError, match="outside"):
+            inhomogeneous_process(
+                random.Random(0), 5, lambda t: 20.0, max_rate_hz=10.0
+            )
+
+    def test_diurnal_and_spike_increasing(self):
+        for maker in (
+            lambda rng: diurnal_process(rng, 30, 50.0, period_s=0.5),
+            lambda rng: spike_process(rng, 30, 50.0, 0.1, 0.05),
+        ):
+            times = maker(random.Random(9))
+            assert len(times) == 30
+            assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_spike_concentrates_mass(self):
+        # A 10x burst over [0.2, 0.3) should put far more than its
+        # share of duration-proportional arrivals inside the window.
+        times = spike_process(
+            random.Random(4), 400, 100.0, 0.2, 0.1, spike_factor=10.0
+        )
+        horizon = times[-1]
+        in_spike = sum(1 for t in times if 0.2 <= t < 0.3)
+        assert in_spike / 400 > 2 * (0.1 / horizon)
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            poisson_process(rng, -1, 10.0)
+        with pytest.raises(ValueError):
+            poisson_process(rng, 5, 0.0)
+        with pytest.raises(ValueError):
+            diurnal_process(rng, 5, 10.0, peak_factor=0.5)
+        with pytest.raises(ValueError):
+            spike_process(rng, 5, 10.0, 0.1, -0.1)
